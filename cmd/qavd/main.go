@@ -1,0 +1,30 @@
+// Command qavd serves the QAV library over HTTP: the mediator component
+// of an information-integration deployment. See internal/server for the
+// endpoints.
+//
+//	qavd -addr :8080
+//	curl -s localhost:8080/v1/rewrite -d '{"query":"//Trials[//Status]//Trial","view":"//Trials//Trial"}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"qav/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+	}
+	log.Printf("qavd listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,46 @@
+// Package qav answers tree pattern queries using views, implementing
+// Lakshmanan, Wang and Zhao, "Answering Tree Pattern Queries Using
+// Views" (VLDB 2006).
+//
+// Given a query Q and a materialized view V — both tree pattern queries
+// in the XPath fragment XP{/,//,[]} of child steps, descendant steps
+// and predicates — the package decides whether Q is answerable using V
+// and computes the maximal contained rewriting (MCR): the most complete
+// set of sound answers obtainable from the view alone, the formulation
+// appropriate for information integration (as opposed to the equivalent
+// rewritings of classical query optimization).
+//
+// # Without a schema
+//
+//	q := qav.MustParseQuery("//Trials[//Status]//Trial")
+//	v := qav.MustParseQuery("//Trials//Trial")
+//	res, err := qav.Rewrite(q, v)
+//	// res.Union is a union of tree patterns contained in q — here
+//	// //Trials//Trial[//Status] — evaluable directly or through the
+//	// materialized view via qav.AnswerUsingView.
+//
+// The MCR without a schema is in general a union of tree patterns, in
+// the worst case exponentially many (§3.2 of the paper); existence is
+// decidable in polynomial time (Theorems 1 and 2).
+//
+// # With a schema
+//
+//	s := qav.MustParseSchema(auctionDSL)
+//	rw := qav.NewSchemaRewriter(s)
+//	res, err := rw.Rewrite(q, v)
+//
+// A schema (without recursion or union types) is distilled into five
+// classes of constraints — sibling, functional, cousin, parent-child
+// and intermediate-node (§4.1) — that drive a chase of the view; the
+// MCR then consists of at most one tree pattern and is computed in
+// polynomial time (Theorems 8 and 9). Recursive schemas are handled by
+// RewriteRecursive (§5), where the MCR may again be a union.
+//
+// # Answering through the view
+//
+// Each contained rewriting carries its compensation query E with
+// R ≡ E ∘ V. AnswerUsingView materializes V once and evaluates the
+// compensations against the view forest, never touching the parts of
+// the document outside the view — the source of the "substantial
+// savings" reported by the paper's experiments.
+package qav

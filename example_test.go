@@ -1,0 +1,86 @@
+package qav_test
+
+import (
+	"fmt"
+	"strings"
+
+	"qav"
+)
+
+// The paper's running example: rewrite a query against a materialized
+// view and answer it from the view alone.
+func Example() {
+	q := qav.MustParseQuery("//Trials[//Status]//Trial")
+	v := qav.MustParseQuery("//Trials//Trial")
+
+	fmt.Println("answerable:", qav.Answerable(q, v))
+	res, _ := qav.Rewrite(q, v)
+	fmt.Println("first CR:", res.CRs[0].Rewriting)
+	fmt.Println("compensation:", res.CRs[0].Compensation)
+	// Output:
+	// answerable: true
+	// first CR: //Trials//Trial[//Status]
+	// compensation: //Trial[//Status]
+}
+
+// Containment of tree patterns is decided by homomorphism.
+func ExampleContained() {
+	fmt.Println(qav.Contained(qav.MustParseQuery("//a/b"), qav.MustParseQuery("//a//b")))
+	fmt.Println(qav.Contained(qav.MustParseQuery("//a//b"), qav.MustParseQuery("//a/b")))
+	// Output:
+	// true
+	// false
+}
+
+// With a schema, constraints license rewritings that plain containment
+// rejects (the paper's Figure 2).
+func ExampleSchemaRewriter_Rewrite() {
+	s := qav.MustParseSchema(`
+root Auctions
+Auctions -> Auction*
+Auction  -> open_auction* closed_auction?
+open_auction -> item bids?
+closed_auction -> item person? buyer?
+bids  -> person+
+buyer -> person
+person -> name
+item  -> name
+`)
+	rw := qav.NewSchemaRewriter(s)
+	q := qav.MustParseQuery("//Auction[//item]//name")
+	v := qav.MustParseQuery("//Auction//person")
+	res, _ := rw.Rewrite(q, v)
+	fmt.Println(res.Union)
+	// Output:
+	// //Auction//person//name
+}
+
+// AnswerUsingView never evaluates the query itself: the view is
+// materialized once and the compensations run over the view forest.
+func ExampleAnswerUsingView() {
+	d, _ := qav.ParseDocumentString(`<PharmaLab><Trials>
+	  <Trial><Patient>John</Patient><Status/></Trial>
+	  <Trial><Patient>Jen</Patient></Trial>
+	</Trials></PharmaLab>`)
+	q := qav.MustParseQuery("//Trials[//Status]//Trial/Patient")
+	v := qav.MustParseQuery("//Trials//Trial")
+	res, _ := qav.Rewrite(q, v)
+	for _, n := range qav.AnswerUsingView(res.CRs, v, d) {
+		fmt.Println(n.Path(), n.Text)
+	}
+	// Output:
+	// /PharmaLab/Trials/Trial/Patient John
+}
+
+// Streaming evaluation scans an XML byte stream in one pass.
+func ExampleEvaluateStream() {
+	src := `<log><entry level="error"><msg>boom</msg></entry><entry level="info"><msg>ok</msg></entry></log>`
+	q := qav.MustParseQuery("//entry[level]/msg")
+	answers, _ := qav.EvaluateStream(strings.NewReader(src), q)
+	for _, a := range answers {
+		fmt.Println(a.Path, a.Text)
+	}
+	// Output:
+	// /log/entry/msg boom
+	// /log/entry/msg ok
+}

@@ -1,0 +1,62 @@
+// Command auction replays the paper's schema-aware example (Figure 2,
+// Example 2): the auction schema's cousin constraint
+// Auction : person ⇓ item licenses a rewriting that is NOT contained in
+// the query without the schema.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"qav"
+	"qav/internal/schema"
+	"qav/internal/workload"
+)
+
+func main() {
+	s := workload.AuctionSchema()
+	fmt.Println("schema (Figure 2(a)):")
+	fmt.Print(s)
+
+	rw := qav.NewSchemaRewriter(s)
+	q := qav.MustParseQuery("//Auction[//item]//name")
+	v := qav.MustParseQuery("//Auction//person")
+	fmt.Println("\nquery:", q)
+	fmt.Println("view :", v)
+
+	// Without the schema the natural rewriting //Auction//person//name
+	// is NOT contained in Q — there is no item witness.
+	want := qav.MustParseQuery("//Auction//person//name")
+	fmt.Println("\nplain containment of", want, "in Q:", qav.Contained(want, q))
+	fmt.Println("schema-relative containment:       ", rw.Contained(want, q))
+	fmt.Println("(the cousin constraint Auction:person⇓item makes the difference)")
+
+	res, err := rw.Rewrite(q, v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nMCR under the schema:", res.Union)
+	fmt.Println("compensation query:  ", res.CRs[0].Compensation)
+
+	// Demonstrate on generated conforming instances.
+	rng := rand.New(rand.NewSource(1))
+	d, err := s.RandomInstance(rng, schema.InstanceSpec{MaxRepeat: 3, OptProb: 0.8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngenerated a conforming instance with %d elements\n", d.Size())
+	answers := qav.AnswerUsingView(res.CRs, v, d)
+	direct := q.Evaluate(d)
+	fmt.Printf("answers via view: %d, direct query answers: %d\n", len(answers), len(direct))
+	inQ := make(map[*qav.Node]bool)
+	for _, n := range direct {
+		inQ[n] = true
+	}
+	for _, n := range answers {
+		if !inQ[n] {
+			log.Fatalf("UNSOUND answer %s", n.Path())
+		}
+	}
+	fmt.Println("all view-derived answers verified sound")
+}

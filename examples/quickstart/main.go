@@ -1,0 +1,60 @@
+// Command quickstart shows the core QAV workflow in a few lines:
+// parse a query and a view, test answerability, generate the maximal
+// contained rewriting, and answer the query from the materialized view
+// without touching the rest of the document.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qav"
+)
+
+func main() {
+	// A database the integration system cannot query directly...
+	doc, err := qav.ParseDocumentString(`
+<catalog>
+  <section>
+    <book><title>TPQ rewriting</title><award>best paper</award></book>
+    <book><title>Unsung tomes</title></book>
+  </section>
+  <section>
+    <book><title>Misc</title></book>
+  </section>
+</catalog>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ...except through a materialized view of its sections.
+	v := qav.MustParseQuery("//catalog//section")
+	// The integration query wants books in sections holding an award
+	// winner.
+	q := qav.MustParseQuery("//section[//award]/book")
+
+	fmt.Println("query:", q)
+	fmt.Println("view :", v)
+	fmt.Println("answerable using view:", qav.Answerable(q, v))
+
+	res, err := qav.Rewrite(q, v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("maximal contained rewriting:", res.Union)
+
+	// Answer using only the view: materialize V once, run each CR's
+	// compensation query over the view forest.
+	views := qav.MaterializeView(v, doc)
+	fmt.Printf("materialized view: %d section subtrees\n", len(views))
+	answers := qav.AnswerUsingView(res.CRs, v, doc)
+	for _, n := range answers {
+		fmt.Println("answer:", n.Path(), "-", n.Children[0].Text)
+	}
+
+	// Contained, not equivalent: the query itself may find more (here
+	// it does not on this document, but in general it can).
+	direct := q.Evaluate(doc)
+	fmt.Printf("direct evaluation finds %d answers; the rewriting found %d sound ones\n",
+		len(direct), len(answers))
+}

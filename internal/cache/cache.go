@@ -1,0 +1,116 @@
+// Package cache provides a concurrency-safe bounded LRU cache for
+// rewriting results, keyed by the canonical forms of the query, the
+// view, and the schema. Mediators answer many queries against few
+// views; rewriting is pure, so caching it is free speedup (the
+// semantic-caching direction the paper cites as [7]).
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"qav/internal/rewrite"
+	"qav/internal/schema"
+	"qav/internal/tpq"
+)
+
+// Cache is a bounded LRU of rewriting results. The zero value is not
+// usable; call New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *entry
+	byKey    map[string]*list.Element
+
+	hits, misses int64
+}
+
+type entry struct {
+	key string
+	res *rewrite.Result
+	err error
+}
+
+// New creates a cache holding up to capacity results (minimum 1).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		byKey:    make(map[string]*list.Element),
+	}
+}
+
+// Key derives the cache key for a rewriting request. The schema graph
+// may be nil (schemaless); recursive selects the §5 algorithm.
+func Key(q, v *tpq.Pattern, g *schema.Graph, recursive bool) string {
+	k := q.Canonical() + "\x00" + v.Canonical()
+	if g != nil {
+		k += "\x00" + g.String()
+	}
+	if recursive {
+		k += "\x00R"
+	}
+	return k
+}
+
+// Get returns the cached result for key, if present.
+func (c *Cache) Get(key string) (*rewrite.Result, error, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	e := el.Value.(*entry)
+	return e.res, e.err, true
+}
+
+// Put stores a result (or the error computing it produced) under key.
+func (c *Cache) Put(key string, res *rewrite.Result, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*entry).res = res
+		el.Value.(*entry).err = err
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&entry{key: key, res: res, err: err})
+	for c.order.Len() > c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*entry).key)
+	}
+}
+
+// GetOrCompute returns the cached result for key or computes, stores
+// and returns it. Concurrent callers may compute the same key
+// redundantly; the result is pure, so last-write-wins is harmless.
+func (c *Cache) GetOrCompute(key string, compute func() (*rewrite.Result, error)) (*rewrite.Result, error) {
+	if res, err, ok := c.Get(key); ok {
+		return res, err
+	}
+	res, err := compute()
+	c.Put(key, res, err)
+	return res, err
+}
+
+// Stats returns the hit and miss counters.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,117 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"qav/internal/rewrite"
+	"qav/internal/schema"
+	"qav/internal/tpq"
+)
+
+func TestGetPutEvict(t *testing.T) {
+	c := New(2)
+	r1 := &rewrite.Result{}
+	r2 := &rewrite.Result{}
+	r3 := &rewrite.Result{}
+	c.Put("a", r1, nil)
+	c.Put("b", r2, nil)
+	if got, _, ok := c.Get("a"); !ok || got != r1 {
+		t.Fatal("a missing")
+	}
+	// a is now most recent; inserting c evicts b.
+	c.Put("c", r3, nil)
+	if _, _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	c := New(2)
+	r1, r2 := &rewrite.Result{}, &rewrite.Result{}
+	c.Put("k", r1, nil)
+	c.Put("k", r2, nil)
+	if got, _, _ := c.Get("k"); got != r2 {
+		t.Error("overwrite lost")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestKeyDistinguishes(t *testing.T) {
+	q1 := tpq.MustParse("//a[b]")
+	q2 := tpq.MustParse("//a[c]")
+	v := tpq.MustParse("//a")
+	g := schema.MustParse("root a\na -> b? c?")
+	keys := map[string]bool{}
+	for _, k := range []string{
+		Key(q1, v, nil, false),
+		Key(q2, v, nil, false),
+		Key(q1, v, g, false),
+		Key(q1, v, g, true),
+		Key(v, q1, nil, false), // argument order matters
+	} {
+		if keys[k] {
+			t.Fatalf("key collision: %q", k)
+		}
+		keys[k] = true
+	}
+	// Structurally equal patterns share keys.
+	if Key(tpq.MustParse("//a[b][c]"), v, nil, false) != Key(tpq.MustParse("//a[c][b]"), v, nil, false) {
+		t.Error("sibling order changed the key")
+	}
+}
+
+func TestGetOrCompute(t *testing.T) {
+	c := New(4)
+	calls := 0
+	compute := func() (*rewrite.Result, error) {
+		calls++
+		return rewrite.MCR(tpq.MustParse("//a[b]"), tpq.MustParse("//a"), rewrite.Options{})
+	}
+	key := "k"
+	r1, err := c.GetOrCompute(key, compute)
+	if err != nil || r1 == nil {
+		t.Fatal(err)
+	}
+	r2, _ := c.GetOrCompute(key, compute)
+	if calls != 1 {
+		t.Errorf("compute ran %d times", calls)
+	}
+	if r1 != r2 {
+		t.Error("cache returned a different result")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%24)
+				c.GetOrCompute(key, func() (*rewrite.Result, error) {
+					return &rewrite.Result{}, nil
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Errorf("capacity exceeded: %d", c.Len())
+	}
+}

@@ -1,0 +1,326 @@
+// Package constraints implements the five classes of schema constraints
+// the paper uses to capture the essence of a schema (§4.1):
+//
+//	SC  sibling constraint        a : b ↓ c   (b-child implies c-child)
+//	FC  functional constraint     a → b       (at most one b child)
+//	CC  cousin constraint         a : b ⇓ c   (b-descendant implies c-descendant)
+//	PC  parent-child constraint   a ⇓1 b      (b-descendant is necessarily a child)
+//	IC  intermediate node         a -c-> b    (every a⇝b path passes through c)
+//
+// SC and CC premises may be empty (written a : {} ↓ c), meaning every
+// a node has the child/descendant unconditionally. The package also
+// implements inference of all constraints implied by a schema graph
+// (§4.2, Theorem 5, O(|S|³)).
+package constraints
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qav/internal/schema"
+)
+
+// Kind identifies one of the five constraint classes.
+type Kind uint8
+
+const (
+	// SC is a sibling constraint a : b ↓ c.
+	SC Kind = iota
+	// FC is a functional constraint a → b.
+	FC
+	// CC is a cousin constraint a : b ⇓ c.
+	CC
+	// PC is a parent-child constraint a ⇓1 b.
+	PC
+	// IC is an intermediate-node constraint a -c-> b.
+	IC
+)
+
+func (k Kind) String() string {
+	switch k {
+	case SC:
+		return "SC"
+	case FC:
+		return "FC"
+	case CC:
+		return "CC"
+	case PC:
+		return "PC"
+	default:
+		return "IC"
+	}
+}
+
+// Constraint is a single schema constraint. Field use by kind:
+//
+//	SC: A : B ↓ C  (B == "" for an unconditional constraint)
+//	FC: A → B
+//	CC: A : B ⇓ C  (B == "" for an unconditional constraint)
+//	PC: A ⇓1 B
+//	IC: A -C-> B
+type Constraint struct {
+	Kind    Kind
+	A, B, C string
+}
+
+func (c Constraint) String() string {
+	prem := c.B
+	if prem == "" {
+		prem = "{}"
+	}
+	switch c.Kind {
+	case SC:
+		return fmt.Sprintf("%s:%s↓%s", c.A, prem, c.C)
+	case FC:
+		return fmt.Sprintf("%s→%s", c.A, c.B)
+	case CC:
+		return fmt.Sprintf("%s:%s⇓%s", c.A, prem, c.C)
+	case PC:
+		return fmt.Sprintf("%s⇓1%s", c.A, c.B)
+	default:
+		return fmt.Sprintf("%s-%s->%s", c.A, c.C, c.B)
+	}
+}
+
+// Set is a collection of constraints with lookup indexes used by the
+// chase.
+type Set struct {
+	All []Constraint
+
+	byKind map[Kind][]Constraint
+	// byConsequent indexes SC/CC by the added tag C and IC by the
+	// inserted tag C: the tags a chase step can introduce.
+	byConsequent map[string][]Constraint
+	member       map[Constraint]bool
+}
+
+// NewSet builds a Set over the given constraints, deduplicated.
+func NewSet(cs []Constraint) *Set {
+	s := &Set{
+		byKind:       make(map[Kind][]Constraint),
+		byConsequent: make(map[string][]Constraint),
+		member:       make(map[Constraint]bool),
+	}
+	for _, c := range cs {
+		s.add(c)
+	}
+	return s
+}
+
+func (s *Set) add(c Constraint) {
+	if s.member[c] {
+		return
+	}
+	s.member[c] = true
+	s.All = append(s.All, c)
+	s.byKind[c.Kind] = append(s.byKind[c.Kind], c)
+	switch c.Kind {
+	case SC, CC, IC:
+		s.byConsequent[c.C] = append(s.byConsequent[c.C], c)
+	}
+}
+
+// Len returns the number of constraints.
+func (s *Set) Len() int { return len(s.All) }
+
+// OfKind returns the constraints of one kind.
+func (s *Set) OfKind(k Kind) []Constraint { return s.byKind[k] }
+
+// Introducing returns the SC/CC/IC constraints whose application can
+// introduce the tag c into a pattern.
+func (s *Set) Introducing(c string) []Constraint { return s.byConsequent[c] }
+
+// Has reports membership.
+func (s *Set) Has(c Constraint) bool { return s.member[c] }
+
+// String lists the constraints sorted, one per line.
+func (s *Set) String() string {
+	lines := make([]string, len(s.All))
+	for i, c := range s.All {
+		lines[i] = c.Kind.String() + " " + c.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// Infer computes all SC, FC, CC, PC and IC constraints implied by the
+// schema (Algorithm extractConstraints, Fig 11, plus Wood-style SC/FC
+// inference). It runs in O(|S|³) time as stated by Theorem 5.
+//
+// Notes on the realization of the Fig 11 Datalog programs:
+//
+//   - In the `avoid` test for cousin constraints, a path node x
+//     certifies the constraint if x == c or x has a guaranteed path to
+//     c; the endpoint a certifies only via a guaranteed path (an
+//     element is not its own descendant). This matches the prose
+//     semantics of §4.1.
+//   - Unconditional constraints (a : {} ↓ c, a : {} ⇓ c) are emitted
+//     where implied; conditional ones subsumed by an unconditional one
+//     are omitted, keeping the set small without losing chase power.
+//   - Conditional SCs (a : b ↓ c with b ≠ "") cannot arise
+//     non-vacuously in these schema graphs because child quantifiers
+//     are independent (no sequence/union groups), so all emitted SCs
+//     are unconditional. CCs do arise conditionally (Fig 2(a)'s
+//     Auction : person ⇓ item).
+//   - Inference works unchanged on recursive schemas except for PC,
+//     whose §5 side conditions are subsumed by the path test used here.
+func Infer(g *schema.Graph) *Set {
+	tags := g.Tags()
+	n := len(tags)
+	idx := make(map[string]int, n)
+	for i, t := range tags {
+		idx[t] = i
+	}
+
+	// adj and reach: plain reachability; gp: guaranteed-path closure.
+	adj := make([][]int, n)
+	for i, t := range tags {
+		for _, e := range g.Edges(t) {
+			adj[i] = append(adj[i], idx[e.Child])
+		}
+	}
+	reach := closure(n, func(i int, visit func(int)) {
+		for _, j := range adj[i] {
+			visit(j)
+		}
+	})
+	gp := closure(n, func(i int, visit func(int)) {
+		for _, e := range g.Edges(tags[i]) {
+			if e.Quant.Guaranteed() {
+				visit(idx[e.Child])
+			}
+		}
+	})
+
+	var out []Constraint
+
+	// SC (unconditional) and FC from direct edges.
+	for _, t := range tags {
+		for _, e := range g.Edges(t) {
+			if e.Quant.Guaranteed() {
+				out = append(out, Constraint{Kind: SC, A: t, C: e.Child})
+			}
+			if e.Quant.AtMostOne() {
+				out = append(out, Constraint{Kind: FC, A: t, B: e.Child})
+			}
+		}
+	}
+
+	// Unconditional CC: a has a guaranteed path (length ≥ 1) to c.
+	for a := 0; a < n; a++ {
+		for c := 0; c < n; c++ {
+			if gp[a][c] {
+				out = append(out, Constraint{Kind: CC, A: tags[a], C: tags[c]})
+			}
+		}
+	}
+
+	// PC: edge(a,b) exists and there is no multi-step path a→x⇝b.
+	// The ∃x test also rules out cycles through a or b, so it covers
+	// the §5 recursive-schema inference rule.
+	for a, t := range tags {
+		for _, e := range g.Edges(t) {
+			b := idx[e.Child]
+			detour := false
+			for _, x := range adj[a] {
+				if (x == b && reach[b][b]) || (x != b && reach[x][b]) {
+					detour = true
+					break
+				}
+			}
+			if !detour {
+				out = append(out, Constraint{Kind: PC, A: t, B: e.Child})
+			}
+		}
+	}
+
+	// IC and conditional CC need per-excluded-node reachability.
+	for c := 0; c < n; c++ {
+		// bypassReach[a] = set of b reachable from a via paths whose
+		// intermediate nodes are all ≠ c (endpoints unrestricted except
+		// a ≠ c, b ≠ c checked at emission).
+		bypass := avoidClosure(n, adj, func(x int) bool { return x == c })
+		// unsafe(x): x does not certify a c-descendant.
+		unsafeAvoid := avoidClosure(n, adj, func(x int) bool { return x == c || gp[x][c] })
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if !reach[a][b] {
+					continue
+				}
+				// IC: every path a⇝b goes through c (c strictly inside).
+				if a != c && b != c && !bypass[a][b] {
+					out = append(out, Constraint{Kind: IC, A: tags[a], B: tags[b], C: tags[c]})
+				}
+				// Conditional CC: skip trivia and cases subsumed by the
+				// unconditional a : {} ⇓ c.
+				if b == c || gp[a][c] {
+					continue
+				}
+				// avoid(a,b,c) holds iff some path a⇝b consists solely of
+				// unsafe nodes: intermediates via unsafeAvoid, endpoint a
+				// via ¬gp(a,c) (checked above), endpoint b via
+				// ¬(b == c ∨ gp(b,c)). b == c was skipped above.
+				avoid := !gp[b][c] && unsafeAvoid[a][b]
+				if b != a && !avoid {
+					out = append(out, Constraint{Kind: CC, A: tags[a], B: tags[b], C: tags[c]})
+				}
+			}
+		}
+	}
+
+	return NewSet(out)
+}
+
+// closure computes the transitive closure (proper, length ≥ 1) of the
+// neighbor relation given by next.
+func closure(n int, next func(i int, visit func(int))) [][]bool {
+	out := make([][]bool, n)
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		next(i, func(j int) { adj[i] = append(adj[i], j) })
+	}
+	for i := 0; i < n; i++ {
+		out[i] = make([]bool, n)
+		// BFS from i.
+		stack := append([]int(nil), adj[i]...)
+		for len(stack) > 0 {
+			j := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if out[i][j] {
+				continue
+			}
+			out[i][j] = true
+			stack = append(stack, adj[j]...)
+		}
+	}
+	return out
+}
+
+// avoidClosure computes, for every a, the set of b reachable by a
+// non-empty path whose strictly-intermediate nodes all fail blocked.
+// Endpoints are not tested here.
+func avoidClosure(n int, adj [][]int, blocked func(int) bool) [][]bool {
+	out := make([][]bool, n)
+	for a := 0; a < n; a++ {
+		out[a] = make([]bool, n)
+		stack := append([]int(nil), adj[a]...)
+		for _, j := range adj[a] {
+			out[a][j] = true
+		}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if blocked(x) {
+				continue // cannot pass through x
+			}
+			for _, j := range adj[x] {
+				if !out[a][j] {
+					out[a][j] = true
+					stack = append(stack, j)
+				}
+			}
+		}
+	}
+	return out
+}

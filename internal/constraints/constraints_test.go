@@ -1,0 +1,373 @@
+package constraints
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qav/internal/schema"
+	"qav/internal/xmltree"
+)
+
+// auctionDSL is the schema of Figure 2(a).
+const auctionDSL = `
+root Auctions
+Auctions -> Auction*
+Auction  -> open_auction* closed_auction?
+open_auction -> item bids?
+closed_auction -> item person? buyer?
+bids  -> person+
+buyer -> person
+person -> name
+item  -> name
+`
+
+func TestConstraintStrings(t *testing.T) {
+	cases := []struct {
+		c    Constraint
+		want string
+	}{
+		{Constraint{Kind: SC, A: "a", B: "b", C: "c"}, "a:b↓c"},
+		{Constraint{Kind: SC, A: "a", C: "c"}, "a:{}↓c"},
+		{Constraint{Kind: FC, A: "a", B: "b"}, "a→b"},
+		{Constraint{Kind: CC, A: "a", B: "b", C: "c"}, "a:b⇓c"},
+		{Constraint{Kind: PC, A: "a", B: "b"}, "a⇓1b"},
+		{Constraint{Kind: IC, A: "a", B: "b", C: "c"}, "a-c->b"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// TestInferAuctionExamples checks each constraint example from §4.1 of
+// the paper against the Figure 2(a) schema.
+func TestInferAuctionExamples(t *testing.T) {
+	g := schema.MustParse(auctionDSL)
+	sigma := Infer(g)
+
+	want := []Constraint{
+		// (1) Every bids has at least one person child.
+		{Kind: SC, A: "bids", C: "person"},
+		// (2) buyer below closed_auction is necessarily a child.
+		{Kind: PC, A: "closed_auction", B: "buyer"},
+		// (3) Every Auction has at most one closed_auction child.
+		{Kind: FC, A: "Auction", B: "closed_auction"},
+		// (4) Every Auction with a person descendant has an item
+		// descendant (the paper's flagship cousin constraint).
+		{Kind: CC, A: "Auction", B: "person", C: "item"},
+		// Example 2 constraints: person:{}↓name, item:{}↓name,
+		// closed_auction:{}⇓name, open_auction:{}⇓name.
+		{Kind: SC, A: "person", C: "name"},
+		{Kind: SC, A: "item", C: "name"},
+		{Kind: CC, A: "closed_auction", C: "name"},
+		{Kind: CC, A: "open_auction", C: "name"},
+	}
+	for _, c := range want {
+		if !sigma.Has(c) {
+			t.Errorf("missing constraint %s %s", c.Kind, c)
+		}
+	}
+
+	dontWant := []Constraint{
+		// open_auction may repeat under Auction.
+		{Kind: FC, A: "Auction", B: "open_auction"},
+		// bids is optional under open_auction, so no guaranteed person.
+		{Kind: CC, A: "open_auction", C: "person"},
+		// A person descendant does not imply a buyer (open_auction path).
+		{Kind: CC, A: "Auction", B: "person", C: "buyer"},
+		// person can be a grandchild of Auction? No — it's deeper; but
+		// person under bids is a child only; person under Auction goes
+		// through intermediaries, so no PC(Auction, person) — it is not
+		// even an edge.
+		{Kind: PC, A: "Auction", B: "person"},
+		// item appears under both open_auction and closed_auction, so
+		// no IC forcing one of them between Auction and item.
+		{Kind: IC, A: "Auction", B: "item", C: "open_auction"},
+	}
+	for _, c := range dontWant {
+		if sigma.Has(c) {
+			t.Errorf("spurious constraint %s %s", c.Kind, c)
+		}
+	}
+}
+
+// §4.1 example (5): with the item→name edge absent, every path from
+// closed_auction to name passes through person.
+func TestInferICExample(t *testing.T) {
+	g := schema.MustParse(`
+root Auctions
+Auctions -> Auction*
+Auction  -> open_auction* closed_auction?
+open_auction -> item bids?
+closed_auction -> item person? buyer?
+bids  -> person+
+buyer -> person
+person -> name
+item  ->
+`)
+	sigma := Infer(g)
+	if !sigma.Has(Constraint{Kind: IC, A: "closed_auction", B: "name", C: "person"}) {
+		t.Errorf("expected closed_auction-person->name; got:\n%s", sigma)
+	}
+	// With item→name present (original schema) the IC must not hold.
+	sigma2 := Infer(schema.MustParse(auctionDSL))
+	if sigma2.Has(Constraint{Kind: IC, A: "closed_auction", B: "name", C: "person"}) {
+		t.Error("IC should not hold when item→name provides a bypass")
+	}
+}
+
+func TestInferPC(t *testing.T) {
+	g := schema.MustParse("root a\na -> b c\nb -> c\nc ->")
+	sigma := Infer(g)
+	// c can be a child of a or a grandchild via b: no PC(a,c).
+	if sigma.Has(Constraint{Kind: PC, A: "a", B: "c"}) {
+		t.Error("PC(a,c) must not hold with the a->b->c detour")
+	}
+	if !sigma.Has(Constraint{Kind: PC, A: "a", B: "b"}) {
+		t.Error("PC(a,b) must hold")
+	}
+	if !sigma.Has(Constraint{Kind: PC, A: "b", B: "c"}) {
+		t.Error("PC(b,c) must hold")
+	}
+}
+
+func TestInferPCRecursive(t *testing.T) {
+	// §5: nodes on cycles never yield PCs.
+	g := schema.MustParse("root a\na -> b?\nb -> a? c\nc ->")
+	sigma := Infer(g)
+	if sigma.Has(Constraint{Kind: PC, A: "a", B: "b"}) {
+		t.Error("PC(a,b) must not hold: b can appear at depth 3 via a->b->a->b")
+	}
+	if sigma.Has(Constraint{Kind: PC, A: "b", B: "c"}) {
+		t.Error("PC(b,c) must not hold: c below a nested b is a deep descendant of the outer b")
+	}
+}
+
+func TestInferUnconditionalCCTransitive(t *testing.T) {
+	g := schema.MustParse("root a\na -> b\nb -> c+\nc ->")
+	sigma := Infer(g)
+	if !sigma.Has(Constraint{Kind: CC, A: "a", C: "c"}) {
+		t.Error("a:{}⇓c must hold via guaranteed path a->b->c")
+	}
+	if !sigma.Has(Constraint{Kind: CC, A: "a", C: "b"}) {
+		t.Error("a:{}⇓b must hold")
+	}
+	g2 := schema.MustParse("root a\na -> b?\nb -> c+\nc ->")
+	sigma2 := Infer(g2)
+	if sigma2.Has(Constraint{Kind: CC, A: "a", C: "c"}) {
+		t.Error("a:{}⇓c must not hold when b is optional")
+	}
+	// But the conditional one must: an a with a c descendant... trivial.
+	// More interesting: a : b ⇓ c (b child implies c descendant).
+	if !sigma2.Has(Constraint{Kind: CC, A: "a", B: "b", C: "c"}) {
+		t.Error("a:b⇓c must hold: any b has a mandatory c")
+	}
+}
+
+func TestSetIndexes(t *testing.T) {
+	g := schema.MustParse(auctionDSL)
+	sigma := Infer(g)
+	if sigma.Len() != len(sigma.All) {
+		t.Error("Len mismatch")
+	}
+	for _, c := range sigma.Introducing("item") {
+		if c.C != "item" {
+			t.Errorf("Introducing(item) returned %s", c)
+		}
+	}
+	// Deduplication.
+	s := NewSet([]Constraint{
+		{Kind: FC, A: "a", B: "b"},
+		{Kind: FC, A: "a", B: "b"},
+	})
+	if s.Len() != 1 {
+		t.Errorf("duplicate constraints kept: %d", s.Len())
+	}
+	if len(s.OfKind(FC)) != 1 {
+		t.Error("OfKind broken")
+	}
+}
+
+// randomDAGSchema builds a random DAG schema over n tags t0..t{n-1}
+// with edges only from lower to higher indices.
+func randomDAGSchema(rng *rand.Rand, n int) *schema.Graph {
+	tags := make([]string, n)
+	for i := range tags {
+		tags[i] = string(rune('a' + i))
+	}
+	g := schema.New(tags[0])
+	quants := []schema.Quantifier{schema.One, schema.Plus, schema.Opt, schema.Star}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.4 {
+				g.MustAddEdge(tags[i], tags[j], quants[rng.Intn(len(quants))])
+			}
+		}
+	}
+	return g
+}
+
+// Soundness: every inferred constraint holds on every random instance.
+func TestQuickInferenceSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAGSchema(rng, 2+rng.Intn(6))
+		sigma := Infer(g)
+		for i := 0; i < 5; i++ {
+			d, err := g.RandomInstance(rng, schema.InstanceSpec{MaxRepeat: 3})
+			if err != nil {
+				return true // ungeneratable schema; nothing to check
+			}
+			for _, c := range sigma.All {
+				if !Satisfies(d, c) {
+					t.Logf("schema:\n%s\nconstraint %s %s violated by:\n%s", g, c.Kind, c, d.XMLString())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Soundness on the auction schema with many instances.
+func TestInferenceSoundAuction(t *testing.T) {
+	g := schema.MustParse(auctionDSL)
+	sigma := Infer(g)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 60; i++ {
+		d, err := g.RandomInstance(rng, schema.InstanceSpec{MaxRepeat: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range sigma.All {
+			if !Satisfies(d, c) {
+				t.Fatalf("constraint %s %s violated by instance:\n%s", c.Kind, c, d.XMLString())
+			}
+		}
+	}
+}
+
+// Probabilistic completeness: candidate constraints NOT inferred should
+// be violated by some instance (unless vacuous on all sampled ones).
+func TestInferenceCompleteOnSamples(t *testing.T) {
+	g := schema.MustParse(auctionDSL)
+	sigma := Infer(g)
+	rng := rand.New(rand.NewSource(11))
+	var instances []*xmltree.Document
+	for i := 0; i < 200; i++ {
+		d, err := g.RandomInstance(rng, schema.InstanceSpec{MaxRepeat: 3, OptProb: 0.6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances = append(instances, d)
+	}
+	tags := g.Tags()
+	// implied mirrors the deliberate omissions of Infer: trivial
+	// constraints (premise equals conclusion) and conditional SC/CC
+	// subsumed by an unconditional constraint on the same (A, C).
+	implied := func(c Constraint) bool {
+		if sigma.Has(c) {
+			return true
+		}
+		switch c.Kind {
+		case SC:
+			return c.B == c.C || sigma.Has(Constraint{Kind: SC, A: c.A, C: c.C})
+		case CC:
+			if c.B == c.C {
+				return true
+			}
+			return sigma.Has(Constraint{Kind: CC, A: c.A, C: c.C}) ||
+				sigma.Has(Constraint{Kind: SC, A: c.A, C: c.C})
+		}
+		return false
+	}
+	check := func(c Constraint) {
+		if implied(c) {
+			return
+		}
+		violated, applicable := false, false
+		for _, d := range instances {
+			if !Satisfies(d, c) {
+				violated = true
+				break
+			}
+			if applies(d, c) {
+				applicable = true
+			}
+		}
+		if applicable && !violated {
+			t.Errorf("constraint %s %s holds on all 200 samples but was not inferred", c.Kind, c)
+		}
+	}
+	// FC and PC candidates (pairs).
+	for _, a := range tags {
+		for _, b := range tags {
+			check(Constraint{Kind: FC, A: a, B: b})
+			check(Constraint{Kind: PC, A: a, B: b})
+			check(Constraint{Kind: SC, A: a, C: b})
+			check(Constraint{Kind: CC, A: a, C: b})
+		}
+	}
+	// A few interesting CC/IC triples rather than the full cube.
+	for _, a := range tags {
+		for _, b := range tags {
+			for _, c := range []string{"item", "person", "name"} {
+				check(Constraint{Kind: CC, A: a, B: b, C: c})
+				check(Constraint{Kind: IC, A: a, B: b, C: c})
+			}
+		}
+	}
+}
+
+// applies reports whether the constraint's premise is triggered
+// somewhere in the document (so that holding is not vacuous).
+func applies(d *xmltree.Document, c Constraint) bool {
+	switch c.Kind {
+	case SC, FC, PC:
+		for _, n := range d.Nodes {
+			if n.Tag == c.A {
+				if c.Kind == SC && c.B != "" {
+					if hasChild(n, c.B) {
+						return true
+					}
+					continue
+				}
+				if c.Kind == FC {
+					// FC is vacuous unless some a node actually has a
+					// b child.
+					if hasChild(n, c.B) {
+						return true
+					}
+					continue
+				}
+				if c.Kind == PC {
+					if hasDescendant(n, c.B) {
+						return true
+					}
+					continue
+				}
+				return true
+			}
+		}
+	case CC:
+		for _, n := range d.Nodes {
+			if n.Tag == c.A {
+				if c.B == "" || hasDescendant(n, c.B) {
+					return true
+				}
+			}
+		}
+	case IC:
+		for _, n := range d.Nodes {
+			if n.Tag == c.A && hasDescendant(n, c.B) {
+				return true
+			}
+		}
+	}
+	return false
+}

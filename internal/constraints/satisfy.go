@@ -1,0 +1,119 @@
+package constraints
+
+import "qav/internal/xmltree"
+
+// Satisfies reports whether the document satisfies the constraint.
+// Used by tests to validate inference (every constraint inferred from a
+// schema must hold on every conforming instance) and exposed for
+// diagnostics.
+func Satisfies(d *xmltree.Document, c Constraint) bool {
+	switch c.Kind {
+	case SC:
+		for _, n := range d.Nodes {
+			if n.Tag != c.A {
+				continue
+			}
+			if c.B != "" && !hasChild(n, c.B) {
+				continue
+			}
+			if !hasChild(n, c.C) {
+				return false
+			}
+		}
+	case FC:
+		for _, n := range d.Nodes {
+			if n.Tag != c.A {
+				continue
+			}
+			count := 0
+			for _, k := range n.Children {
+				if k.Tag == c.B {
+					count++
+				}
+			}
+			if count > 1 {
+				return false
+			}
+		}
+	case CC:
+		for _, n := range d.Nodes {
+			if n.Tag != c.A {
+				continue
+			}
+			if c.B != "" && !hasDescendant(n, c.B) {
+				continue
+			}
+			if !hasDescendant(n, c.C) {
+				return false
+			}
+		}
+	case PC:
+		for _, n := range d.Nodes {
+			if n.Tag != c.A {
+				continue
+			}
+			for _, m := range n.Subtree()[1:] {
+				if m.Tag == c.B && m.Parent != n {
+					return false
+				}
+			}
+		}
+	case IC:
+		for _, n := range d.Nodes {
+			if n.Tag != c.A {
+				continue
+			}
+			// Every path from n down to a c.B node must contain a c.C
+			// node strictly between them.
+			if descendantAvoiding(n, c.B, c.C) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func hasChild(n *xmltree.Node, tag string) bool {
+	for _, k := range n.Children {
+		if k.Tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func hasDescendant(n *xmltree.Node, tag string) bool {
+	for _, m := range n.Subtree()[1:] {
+		if m.Tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// descendantAvoiding reports whether some proper descendant of n tagged
+// target is reachable from n without passing through a node tagged via
+// (the endpoints do not count as intermediate).
+func descendantAvoiding(n *xmltree.Node, target, via string) bool {
+	var walk func(m *xmltree.Node) bool
+	walk = func(m *xmltree.Node) bool {
+		if m.Tag == target {
+			return true
+		}
+		if m.Tag == via {
+			return false
+		}
+		for _, k := range m.Children {
+			if walk(k) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, k := range n.Children {
+		if walk(k) {
+			return true
+		}
+	}
+	return false
+}

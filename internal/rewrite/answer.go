@@ -1,0 +1,65 @@
+package rewrite
+
+import (
+	"sort"
+
+	"qav/internal/tpq"
+	"qav/internal/xmltree"
+)
+
+// MaterializeView evaluates the view over the document and returns the
+// view result: the document nodes whose subtrees constitute the
+// materialized view (Figure 1(b) of the paper shows such a forest).
+func MaterializeView(v *tpq.Pattern, d *xmltree.Document) []*xmltree.Node {
+	return v.Evaluate(d)
+}
+
+// ApplyCompensation runs a compensation query E over a materialized
+// view forest: E's root is pinned to each view node in turn and the
+// answers are unioned. The document provides the node storage backing
+// the forest (the subtrees of the view nodes).
+func ApplyCompensation(e *tpq.Pattern, d *xmltree.Document, viewNodes []*xmltree.Node) []*xmltree.Node {
+	seen := make(map[*xmltree.Node]bool)
+	for _, vn := range viewNodes {
+		for _, n := range e.EvaluateAt(d, vn) {
+			seen[n] = true
+		}
+	}
+	out := make([]*xmltree.Node, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// AnswerUsingView answers a query through its contained rewritings:
+// the view is materialized once and each CR's compensation query is
+// applied to the view forest (E ∘ V evaluated as the paper prescribes,
+// footnote 1 of §2). The result equals evaluating the union of the
+// rewritings directly, without ever running the query itself.
+func AnswerUsingView(crs []*ContainedRewriting, v *tpq.Pattern, d *xmltree.Document) []*xmltree.Node {
+	return AnswerMaterialized(crs, d, MaterializeView(v, d))
+}
+
+// AnswerMaterialized answers through an already-materialized view
+// forest: only the compensation queries run, in time proportional to
+// the total size of the view subtrees — the source of the paper's
+// reported savings when the view is selective.
+func AnswerMaterialized(crs []*ContainedRewriting, d *xmltree.Document, viewNodes []*xmltree.Node) []*xmltree.Node {
+	seen := make(map[*xmltree.Node]bool)
+	for _, cr := range crs {
+		comp := cr.Compensation.Prepare()
+		for _, vn := range viewNodes {
+			for _, n := range comp.EvaluateAt(d, vn) {
+				seen[n] = true
+			}
+		}
+	}
+	out := make([]*xmltree.Node, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}

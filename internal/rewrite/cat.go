@@ -1,0 +1,64 @@
+package rewrite
+
+import "qav/internal/tpq"
+
+// ContainedRewriting is one contained rewriting (CR) of a query using a
+// view: the rewriting query R ≡ E ∘ V together with the compensation
+// query E (the clip-away tree grafted onto the view output) that is
+// applied to the materialized view at answering time.
+type ContainedRewriting struct {
+	// Rewriting is R = E ∘ V, a pattern over the base documents.
+	Rewriting *tpq.Pattern
+	// Compensation is E, a pattern rooted at a node carrying the view
+	// output's tag; it is evaluated with its root pinned to each node of
+	// the materialized view result.
+	Compensation *tpq.Pattern
+	// Embedding is the useful embedding the CR was induced by.
+	Embedding *Embedding
+}
+
+// BuildCR materializes the contained rewriting induced by a useful
+// embedding f against the view base (normally f.V; for the schema case,
+// the CAT computed against the chased view is composed with the
+// original view, per the paper's Example 3).
+//
+// Construction (paper §3.1, Fig 4): clone the base view; for every
+// unmapped child y of a terminal node, graft a copy of y's subtree
+// under the clone of the view output dV, preserving y's edge type; for
+// the empty embedding the whole query is grafted. The rewriting's
+// output is the dV clone if f maps the query output, else the grafted
+// copy of the query output.
+func BuildCR(f *Embedding, base *tpq.Pattern) (*ContainedRewriting, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return buildUnchecked(f, base)
+}
+
+// recordClones records the node correspondence of CloneSubtree into m.
+func recordClones(orig, clone *tpq.Node, m map[*tpq.Node]*tpq.Node) {
+	m[orig] = clone
+	for i := range orig.Children {
+		recordClones(orig.Children[i], clone.Children[i], m)
+	}
+}
+
+// extractCompensation copies the subtree of R rooted at the dV clone
+// into a standalone pattern E. R's output is inside that subtree by
+// construction.
+func extractCompensation(r *tpq.Pattern, dVc *tpq.Node) *tpq.Pattern {
+	m := make(map[*tpq.Node]*tpq.Node)
+	cp := tpq.CloneSubtree(dVc)
+	recordClones(dVc, cp, m)
+	cp.Axis = tpq.Descendant // the compensation root is a context node
+	e := &tpq.Pattern{Root: cp, Output: m[r.Output]}
+	return e
+}
+
+// VerifyContained reports whether the CR's rewriting is contained in
+// the query — the soundness guarantee every CR must satisfy. MCR
+// generation calls this as a safety net; it holds by construction for
+// useful embeddings.
+func (cr *ContainedRewriting) VerifyContained(q *tpq.Pattern) bool {
+	return tpq.Contained(cr.Rewriting, q)
+}

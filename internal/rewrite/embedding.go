@@ -1,0 +1,191 @@
+// Package rewrite implements the paper's core contribution: maximal
+// contained rewritings (MCRs) of tree pattern queries using tree
+// pattern views, in the absence (§3) and presence (§4, §5) of a schema.
+//
+// The central notion is the useful embedding (Definition 1): a partial,
+// upward-closed matching f : Q ⇝ V whose unfulfilled obligations (the
+// clip-away tree, CAT) can be grafted below the view's distinguished
+// node to form a compensation query E with E ∘ V contained in Q.
+//
+// Definition 1's anchor conditions are realized operationally (see
+// DESIGN.md): mapped distinguished-path nodes must land on the view's
+// distinguished path, a mapped query output must land exactly on the
+// view output, and a node may be left unmapped under a mapped parent x
+// only if its edge is an ad-edge with f(x) on the distinguished path,
+// or a pc-edge with f(x) = dV. Every rewriting the package produces is
+// additionally verified contained in Q by homomorphism, so these
+// conditions are load-bearing for completeness only — soundness is
+// checked independently.
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qav/internal/tpq"
+)
+
+// Embedding is a partial matching from query nodes to view nodes.
+type Embedding struct {
+	Q, V *tpq.Pattern
+	// M maps query nodes to view nodes; absent keys are unmapped.
+	M map[*tpq.Node]*tpq.Node
+}
+
+// Defined reports whether the embedding maps x.
+func (e *Embedding) Defined(x *tpq.Node) bool {
+	_, ok := e.M[x]
+	return ok
+}
+
+// Empty reports whether no node is mapped.
+func (e *Embedding) Empty() bool { return len(e.M) == 0 }
+
+// Terminals returns the mapped nodes that have at least one unmapped
+// child (the paper's terminal nodes), in preorder.
+func (e *Embedding) Terminals() []*tpq.Node {
+	var out []*tpq.Node
+	for _, x := range e.Q.Nodes() {
+		if !e.Defined(x) {
+			continue
+		}
+		for _, y := range x.Children {
+			if !e.Defined(y) {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Signature returns a canonical string identifying the embedding's
+// mapping, used to deduplicate enumerations.
+func (e *Embedding) Signature() string {
+	qn := e.Q.Nodes()
+	vi := make(map[*tpq.Node]int)
+	for i, n := range e.V.Nodes() {
+		vi[n] = i
+	}
+	parts := make([]string, len(qn))
+	for i, x := range qn {
+		if img, ok := e.M[x]; ok {
+			parts[i] = fmt.Sprint(vi[img])
+		} else {
+			parts[i] = "_"
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// String renders the embedding as query-node paths mapped to view-node
+// paths.
+func (e *Embedding) String() string {
+	var parts []string
+	for _, x := range e.Q.Nodes() {
+		if img, ok := e.M[x]; ok {
+			parts = append(parts, nodePath(x)+"->"+nodePath(img))
+		}
+	}
+	if len(parts) == 0 {
+		return "{empty}"
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func nodePath(n *tpq.Node) string {
+	var tags []string
+	for x := n; x != nil; x = x.Parent {
+		tags = append(tags, x.Tag)
+	}
+	for i, j := 0, len(tags)-1; i < j; i, j = i+1, j-1 {
+		tags[i], tags[j] = tags[j], tags[i]
+	}
+	return strings.Join(tags, "/")
+}
+
+// Validate checks that the embedding is a structurally valid partial
+// matching AND useful in the operational sense described in the package
+// comment. It returns nil for useful embeddings and a descriptive error
+// otherwise.
+func (e *Embedding) Validate() error {
+	if e.Empty() {
+		if e.Q.Root.Axis != tpq.Descendant {
+			return fmt.Errorf("rewrite: empty embedding requires a '//' query root")
+		}
+		return nil
+	}
+	pv := pathSet(e.V)
+	dV := e.V.Output
+	for _, x := range e.Q.Nodes() {
+		img, ok := e.M[x]
+		if !ok {
+			continue
+		}
+		if x.Tag != img.Tag {
+			return fmt.Errorf("rewrite: %s mapped to %s: tag mismatch", nodePath(x), nodePath(img))
+		}
+		if x.Parent == nil {
+			// Root-axis compatibility with the virtual document root.
+			if x.Axis == tpq.Child {
+				if img != e.V.Root || e.V.Root.Axis != tpq.Child {
+					return fmt.Errorf("rewrite: '/%s' query root must map to a '/' view root", x.Tag)
+				}
+			}
+		} else {
+			pimg, ok := e.M[x.Parent]
+			if !ok {
+				return fmt.Errorf("rewrite: not upward closed at %s", nodePath(x))
+			}
+			switch x.Axis {
+			case tpq.Child:
+				if img.Parent != pimg || img.Axis != tpq.Child {
+					return fmt.Errorf("rewrite: pc-edge to %s not preserved", nodePath(x))
+				}
+			case tpq.Descendant:
+				if !pimg.IsAncestorOf(img) {
+					return fmt.Errorf("rewrite: ad-edge to %s not preserved", nodePath(x))
+				}
+			}
+		}
+		// Distinguished-path discipline (Def 1 (ii)(a), strengthened at
+		// the output).
+		if x == e.Q.Output && img != dV {
+			return fmt.Errorf("rewrite: query output mapped to %s, not the view output", nodePath(img))
+		}
+		if e.Q.OnDistinguishedPath(x) && !pv[img] {
+			return fmt.Errorf("rewrite: distinguished-path node %s mapped off the view's distinguished path", nodePath(x))
+		}
+	}
+	// Terminal conditions (Def 1 (ii)(b)).
+	for _, x := range e.Terminals() {
+		img := e.M[x]
+		for _, y := range x.Children {
+			if e.Defined(y) {
+				continue
+			}
+			switch y.Axis {
+			case tpq.Child:
+				if img != dV {
+					return fmt.Errorf("rewrite: pc-child %s cut below %s which is not the view output", nodePath(y), nodePath(x))
+				}
+			case tpq.Descendant:
+				if !pv[img] {
+					return fmt.Errorf("rewrite: ad-child %s cut below %s which is off the distinguished path", nodePath(y), nodePath(x))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// pathSet returns the set of nodes on the pattern's distinguished path.
+func pathSet(p *tpq.Pattern) map[*tpq.Node]bool {
+	out := make(map[*tpq.Node]bool)
+	for _, n := range p.DistinguishedPath() {
+		out[n] = true
+	}
+	return out
+}

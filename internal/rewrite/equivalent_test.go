@@ -1,0 +1,96 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qav/internal/tpq"
+	"qav/internal/workload"
+)
+
+func TestEquivalentRewritingExists(t *testing.T) {
+	cases := []struct {
+		q, v string
+		want bool
+	}{
+		// The compensation [b] restores Q exactly.
+		{"//a[b]", "//a", true},
+		// V is Q itself: identity compensation.
+		{"//a[b]//c", "//a[b]//c", true},
+		// Fig 1: contained but not equivalent (the [//Status] moves).
+		{"//Trials[//Status]//Trial", "//Trials//Trial", false},
+		// §6: //a using //b has only the nested CR, never equivalent.
+		{"//a", "//b", false},
+		// View is strictly more selective than Q: information lost.
+		{"//a", "//a[b]", false},
+		// A pc-step can be recovered below the view output.
+		{"//a/b", "//a", true},
+	}
+	for _, tc := range cases {
+		q, v := tpq.MustParse(tc.q), tpq.MustParse(tc.v)
+		cr, ok, err := EquivalentRewriting(q, v, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != tc.want {
+			t.Errorf("EquivalentRewriting(%s, %s) = %v, want %v", tc.q, tc.v, ok, tc.want)
+			continue
+		}
+		if ok && !tpq.Equivalent(cr.Rewriting, q) {
+			t.Errorf("returned rewriting %s not equivalent to %s", cr.Rewriting, q)
+		}
+	}
+}
+
+// §6 cites Xu & Özsoyoglu: for queries and views whose roots are the
+// distinguished nodes, a rewriting exists iff Q ⊆ V. In the contained-
+// rewriting framework the criterion carries over for ABSOLUTE patterns
+// ('/'-rooted with root output) — with a '//' view root the view
+// cannot pin the document root, and Q ⊆ V no longer suffices (e.g.
+// Q = /a[..], V = //a). Check the absolute case property-style.
+func TestQuickRootDistinguishedCriterion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alphabet := []string{"a", "b"}
+		q := workload.RandomPattern(rng, alphabet, 4)
+		v := workload.RandomPattern(rng, alphabet, 4)
+		q.Output = q.Root
+		v.Output = v.Root
+		q.Root.Axis = tpq.Child
+		v.Root.Axis = tpq.Child
+		_, ok, err := EquivalentRewriting(q, v, Options{MaxEmbeddings: 1 << 14})
+		if err != nil {
+			return true
+		}
+		want := tpq.Contained(q, v)
+		if ok != want {
+			t.Logf("q=%s v=%s: equivalent-exists=%v, Q⊆V=%v", q, v, ok, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquivalentRewritingWithSchema(t *testing.T) {
+	sc := NewSchemaContext(workload.AuctionSchema())
+	// Fig 2's rewriting is contained, not equivalent: Q also returns
+	// item names.
+	q := tpq.MustParse("//Auction[//item]//name")
+	v := tpq.MustParse("//Auction//person")
+	if _, ok, err := sc.EquivalentRewriting(q, v, Options{}); err != nil || ok {
+		t.Errorf("Fig 2 rewriting must not be equivalent (ok=%v err=%v)", ok, err)
+	}
+	// But a person-rooted query is answered exactly.
+	q2 := tpq.MustParse("//Auction//person/name")
+	cr, ok, err := sc.EquivalentRewriting(q2, v, Options{})
+	if err != nil || !ok {
+		t.Fatalf("expected an equivalent rewriting (ok=%v err=%v)", ok, err)
+	}
+	if !sc.SEquivalent(cr.Rewriting, q2) {
+		t.Errorf("rewriting %s not S-equivalent to %s", cr.Rewriting, q2)
+	}
+}

@@ -1,0 +1,86 @@
+package rewrite
+
+import (
+	"fmt"
+	"strings"
+
+	"qav/internal/tpq"
+)
+
+// Dump renders the labeling in the spirit of the paper's Figure 5: one
+// line per query node listing its admissible view images (view nodes
+// are identified by their root paths), plus whether the subtree may be
+// clipped below each image. Intended for diagnostics and the CLI.
+func (l *Labeling) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\nview : %s\n", l.Q, l.V)
+	if l.emptyAllowed() {
+		b.WriteString("the empty embedding is useful (query root is '//')\n")
+	}
+	for i, x := range l.qn {
+		fmt.Fprintf(&b, "%-24s ->", strings.Repeat("  ", depth(x))+x.Axis.String()+x.Tag)
+		any := false
+		for j, img := range l.vn {
+			if l.ok[i][j] {
+				fmt.Fprintf(&b, " %s", nodePath(img))
+				any = true
+			}
+		}
+		if !any {
+			b.WriteString(" (no image: must be clipped)")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func depth(n *tpq.Node) int {
+	d := 0
+	for x := n.Parent; x != nil; x = x.Parent {
+		d++
+	}
+	return d
+}
+
+// Explain renders a human-readable derivation of an MCR result: for
+// each contained rewriting, the inducing embedding (which query nodes
+// were mapped where, which were clipped into the CAT) and the
+// compensation query to run over the materialized view.
+func Explain(q, v *tpq.Pattern, res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\nview : %s\n", q, v)
+	if res.Union.Empty() {
+		b.WriteString("not answerable: no useful embedding exists\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%d useful embedding(s) considered, %d irredundant CR(s):\n",
+		res.EmbeddingsConsidered, len(res.CRs))
+	for i, cr := range res.CRs {
+		fmt.Fprintf(&b, "\nCR %d: %s\n", i+1, cr.Rewriting)
+		fmt.Fprintf(&b, "  compensation: %s\n", cr.Compensation)
+		f := cr.Embedding
+		if f == nil {
+			continue
+		}
+		if f.Empty() {
+			b.WriteString("  embedding: empty (the whole query is clipped below the view output)\n")
+			continue
+		}
+		b.WriteString("  embedding:\n")
+		for _, x := range f.Q.Nodes() {
+			if img, ok := f.M[x]; ok {
+				fmt.Fprintf(&b, "    %-20s -> %s\n", nodePath(x), nodePath(img))
+			}
+		}
+		var clipped []string
+		for _, x := range f.Q.Nodes() {
+			if !f.Defined(x) && (x.Parent == nil || f.Defined(x.Parent)) {
+				clipped = append(clipped, nodePath(x))
+			}
+		}
+		if len(clipped) > 0 {
+			fmt.Fprintf(&b, "  clipped below the view output: %s\n", strings.Join(clipped, ", "))
+		}
+	}
+	return b.String()
+}

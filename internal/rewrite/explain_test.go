@@ -1,0 +1,57 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"qav/internal/tpq"
+)
+
+func TestExplainFigure1(t *testing.T) {
+	q := tpq.MustParse("//Trials[//Status]//Trial")
+	v := tpq.MustParse("//Trials//Trial")
+	res, err := MCR(q, v, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Explain(q, v, res)
+	for _, want := range []string{
+		"query: //Trials[//Status]//Trial",
+		"irredundant CR(s):",
+		"compensation:",
+		"-> Trials",
+		"clipped below the view output",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainUnanswerable(t *testing.T) {
+	q := tpq.MustParse("/b/d")
+	v := tpq.MustParse("/a/b//c")
+	res, err := MCR(q, v, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Explain(q, v, res)
+	if !strings.Contains(out, "not answerable") {
+		t.Errorf("Explain output:\n%s", out)
+	}
+}
+
+func TestLabelingDump(t *testing.T) {
+	q := tpq.MustParse("//Trials[//Status]//Trial")
+	v := tpq.MustParse("//Trials//Trial")
+	out := ComputeLabels(q, v, nil).Dump()
+	for _, want := range []string{
+		"//Trials",
+		"empty embedding is useful",
+		"no image: must be clipped", // Status has none
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package rewrite
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"qav/internal/tpq"
+)
+
+// Answerable reports whether the query is answerable using the view in
+// the absence of a schema — i.e. whether a maximal contained rewriting
+// exists (Theorem 1). It runs the polynomial labeling test of Theorem 2
+// only; no rewriting is materialized.
+// Wildcard patterns (XP{/,//,[],*}) are outside the algorithm's
+// fragment and always report false.
+func Answerable(q, v *tpq.Pattern) bool {
+	if q.HasWildcard() || v.HasWildcard() {
+		return false
+	}
+	return ComputeLabels(q, v, nil).Exists()
+}
+
+// Options bounds MCR generation. The MCR can be a union of
+// exponentially many tree patterns (§3.2, Example 1), so generation is
+// explicitly budgeted.
+type Options struct {
+	// MaxEmbeddings bounds the number of useful embeddings enumerated;
+	// 0 means a generous default (1 << 20).
+	MaxEmbeddings int
+}
+
+// Result is the output of MCR generation.
+type Result struct {
+	// Union is the maximal contained rewriting as a union of tree
+	// patterns, irredundant (no disjunct contains another).
+	Union *tpq.Union
+	// CRs carries the rewritings with their compensation queries and
+	// inducing embeddings, aligned with Union.Patterns.
+	CRs []*ContainedRewriting
+	// EmbeddingsConsidered is the number of distinct useful embeddings
+	// enumerated before redundancy elimination.
+	EmbeddingsConsidered int
+}
+
+// MCR computes the maximal contained rewriting of q using v without a
+// schema (Algorithm MCRGen, Fig 10). It returns an empty-union result
+// when q is not answerable using v. Every returned CR is verified
+// contained in q by homomorphism.
+func MCR(q, v *tpq.Pattern, opts Options) (*Result, error) {
+	if q.HasWildcard() || v.HasWildcard() {
+		return nil, fmt.Errorf("rewrite: wildcard patterns are outside XP{/,//,[]}; the MCR algorithms do not support them")
+	}
+	limit := opts.MaxEmbeddings
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	labels := ComputeLabels(q, v, nil)
+	if !labels.Exists() {
+		return &Result{Union: &tpq.Union{}}, nil
+	}
+	embeddings, err := labels.Enumerate(limit)
+	if err != nil {
+		return nil, err
+	}
+	crs := make([]*ContainedRewriting, 0, len(embeddings))
+	for _, f := range embeddings {
+		cr, err := BuildCR(f, v)
+		if err != nil {
+			return nil, fmt.Errorf("rewrite: embedding %s: %w", f, err)
+		}
+		if !cr.VerifyContained(q) {
+			// Useful embeddings induce contained rewritings by
+			// construction; reaching this indicates a bug upstream.
+			return nil, fmt.Errorf("rewrite: internal error: CR %s not contained in %s (embedding %s)", cr.Rewriting, q, f)
+		}
+		crs = append(crs, cr)
+	}
+	return assembleResult(crs, len(embeddings)), nil
+}
+
+// assembleResult deduplicates CRs structurally, removes redundant ones
+// (contained in another CR), and packages the union.
+func assembleResult(crs []*ContainedRewriting, considered int) *Result {
+	// Structural dedup first: different embeddings frequently induce
+	// identical rewritings after grafting.
+	seen := make(map[string]*ContainedRewriting)
+	var uniq []*ContainedRewriting
+	for _, cr := range crs {
+		key := cr.Rewriting.Canonical()
+		if seen[key] == nil {
+			seen[key] = cr
+			uniq = append(uniq, cr)
+		}
+	}
+	// Order smallest-first so that equivalence classes keep their most
+	// compact representative.
+	sortCRs(uniq)
+	// Redundancy elimination: drop CRs strictly contained in another,
+	// and keep one representative per equivalence class.
+	kept := make([]*ContainedRewriting, 0, len(uniq))
+	redundant := markRedundant(len(uniq), func(i, j int) bool {
+		return tpq.Contained(uniq[i].Rewriting, uniq[j].Rewriting)
+	})
+	u := &tpq.Union{}
+	for i, cr := range uniq {
+		if !redundant[i] {
+			kept = append(kept, cr)
+			u.Patterns = append(u.Patterns, cr.Rewriting)
+		}
+	}
+	return &Result{Union: u, CRs: kept, EmbeddingsConsidered: considered}
+}
+
+// NaiveMCR is the brute-force baseline used as ground truth in tests
+// and as the ablation baseline in the benchmarks: it enumerates EVERY
+// structurally valid partial matching f : Q ⇝ V (upward closed, no
+// usefulness conditions), builds the graft-at-dV rewriting for each,
+// keeps exactly those contained in q, and removes redundant ones.
+// Exponential in |Q| and |V|; use only on small inputs.
+func NaiveMCR(q, v *tpq.Pattern) *Result {
+	qn := q.Nodes()
+	vn := v.Nodes()
+	var crs []*ContainedRewriting
+	considered := 0
+
+	cur := make(map[*tpq.Node]*tpq.Node)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(qn) {
+			f := &Embedding{Q: q, V: v, M: copyMap(cur)}
+			// Expressibility: a mapped query output must be the view
+			// output, else E ∘ V cannot return it.
+			if img, ok := f.M[q.Output]; ok && img != v.Output {
+				return
+			}
+			if f.Empty() && q.Root.Axis != tpq.Descendant {
+				return
+			}
+			considered++
+			cr, err := buildUnchecked(f, v)
+			if err != nil {
+				return
+			}
+			if tpq.Contained(cr.Rewriting, q) {
+				crs = append(crs, cr)
+			}
+			return
+		}
+		x := qn[i]
+		// Option 1: leave x (and transitively its subtree) unmapped.
+		rec(i + 1)
+		// Option 2: map x to every structurally consistent view node.
+		if x.Parent != nil {
+			pimg, ok := cur[x.Parent]
+			if !ok {
+				return // upward closure: parent unmapped
+			}
+			for _, img := range vn {
+				if img.Tag != x.Tag {
+					continue
+				}
+				valid := false
+				switch x.Axis {
+				case tpq.Child:
+					valid = img.Parent == pimg && img.Axis == tpq.Child
+				case tpq.Descendant:
+					valid = pimg.IsAncestorOf(img)
+				}
+				if !valid {
+					continue
+				}
+				cur[x] = img
+				rec(i + 1)
+				delete(cur, x)
+			}
+			return
+		}
+		for _, img := range vn {
+			if img.Tag != x.Tag {
+				continue
+			}
+			if x.Axis == tpq.Child && (img != v.Root || v.Root.Axis != tpq.Child) {
+				continue
+			}
+			cur[x] = img
+			rec(i + 1)
+			delete(cur, x)
+		}
+	}
+	rec(0)
+	return assembleResult(crs, considered)
+}
+
+// markRedundant computes, for each CR index, whether it is strictly
+// contained in another CR or equivalent to an earlier one. The
+// criterion is order-independent (containment is transitive, so a
+// witness that is itself redundant always leads to an irredundant one),
+// which lets the quadratic containment matrix run in parallel — the
+// dominating cost when the MCR is exponential (§3.2).
+func markRedundant(n int, contains func(i, j int) bool) []bool {
+	redundant := make([]bool, n)
+	mark := func(i int) {
+		for j := 0; j < n; j++ {
+			if i == j || !contains(i, j) {
+				continue
+			}
+			if !contains(j, i) {
+				redundant[i] = true // strictly contained in j
+				return
+			}
+			if j < i {
+				redundant[i] = true // equivalent; keep the earlier one
+				return
+			}
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if n < 32 || workers <= 1 {
+		for i := 0; i < n; i++ {
+			mark(i)
+		}
+		return redundant
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				mark(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return redundant
+}
+
+// sortCRs orders rewritings by size then canonical form, so redundancy
+// elimination deterministically keeps the most compact representative
+// of each equivalence class.
+func sortCRs(crs []*ContainedRewriting) {
+	sort.Slice(crs, func(i, j int) bool {
+		si, sj := crs[i].Rewriting.Size(), crs[j].Rewriting.Size()
+		if si != sj {
+			return si < sj
+		}
+		return crs[i].Rewriting.Canonical() < crs[j].Rewriting.Canonical()
+	})
+}
+
+func copyMap(m map[*tpq.Node]*tpq.Node) map[*tpq.Node]*tpq.Node {
+	cp := make(map[*tpq.Node]*tpq.Node, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	return cp
+}
+
+// buildUnchecked constructs the graft-at-dV rewriting for any partial
+// matching without requiring usefulness; the caller filters by
+// containment.
+func buildUnchecked(f *Embedding, base *tpq.Pattern) (*ContainedRewriting, error) {
+	r, baseMap := base.Clone()
+	dVc := baseMap[base.Output]
+	grafts := make(map[*tpq.Node]*tpq.Node)
+	graft := func(y *tpq.Node) {
+		cp := tpq.CloneSubtree(y)
+		recordClones(y, cp, grafts)
+		dVc.Attach(y.Axis, cp)
+	}
+	if f.Empty() {
+		graft(f.Q.Root)
+	} else {
+		for _, x := range f.Terminals() {
+			for _, y := range x.Children {
+				if !f.Defined(y) {
+					graft(y)
+				}
+			}
+		}
+	}
+	if f.Defined(f.Q.Output) {
+		r.Output = dVc
+	} else {
+		out, ok := grafts[f.Q.Output]
+		if !ok {
+			return nil, fmt.Errorf("rewrite: query output neither mapped nor grafted")
+		}
+		r.Output = out
+	}
+	return &ContainedRewriting{Rewriting: r, Compensation: extractCompensation(r, dVc), Embedding: f}, nil
+}

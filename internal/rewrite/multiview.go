@@ -1,0 +1,118 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"qav/internal/tpq"
+	"qav/internal/xmltree"
+)
+
+// ViewSource pairs a named view with the document it is materialized
+// over (in a real deployment, the source behind it).
+type ViewSource struct {
+	Name string
+	View *tpq.Pattern
+}
+
+// MultiViewResult is the maximal contained rewriting of a query over a
+// SET of views: per-view contributions, globally deduplicated and made
+// irredundant. This is the information-integration setting of Halevy's
+// survey (the paper's [13]): each source exposes one view, and the
+// mediator unions the best sound answers obtainable from each.
+type MultiViewResult struct {
+	// Union is the global MCR: the irredundant union of every view's
+	// contained rewritings.
+	Union *tpq.Union
+	// Contributions maps positions in Union.Patterns to the index of
+	// the view whose compensation produces that disjunct.
+	Contributions []int
+	// CRs aligns with Union.Patterns.
+	CRs []*ContainedRewriting
+	// PerView records each view's own MCR size before global redundancy
+	// elimination (views whose CRs are all subsumed contribute 0 to
+	// Union but keep their local size here).
+	PerView []int
+}
+
+// MCRMultiView computes the maximal contained rewriting of q using all
+// the views together: the union of the per-view MCRs with redundancy
+// eliminated across views. A view subsumed by a more informative view
+// contributes nothing.
+func MCRMultiView(q *tpq.Pattern, views []ViewSource, opts Options) (*MultiViewResult, error) {
+	type tagged struct {
+		cr   *ContainedRewriting
+		view int
+	}
+	var all []tagged
+	perView := make([]int, len(views))
+	for i, vs := range views {
+		res, err := MCR(q, vs.View, opts)
+		if err != nil {
+			return nil, fmt.Errorf("rewrite: view %q: %w", vs.Name, err)
+		}
+		perView[i] = len(res.CRs)
+		for _, cr := range res.CRs {
+			all = append(all, tagged{cr: cr, view: i})
+		}
+	}
+	// Dedup structurally, then drop CRs contained in another CR
+	// (possibly from a different view).
+	seen := make(map[string]bool)
+	var uniq []tagged
+	for _, t := range all {
+		key := t.cr.Rewriting.Canonical()
+		if !seen[key] {
+			seen[key] = true
+			uniq = append(uniq, t)
+		}
+	}
+	sort.SliceStable(uniq, func(i, j int) bool {
+		si, sj := uniq[i].cr.Rewriting.Size(), uniq[j].cr.Rewriting.Size()
+		if si != sj {
+			return si < sj
+		}
+		return uniq[i].cr.Rewriting.Canonical() < uniq[j].cr.Rewriting.Canonical()
+	})
+	redundant := markRedundant(len(uniq), func(i, j int) bool {
+		return tpq.Contained(uniq[i].cr.Rewriting, uniq[j].cr.Rewriting)
+	})
+	out := &MultiViewResult{Union: &tpq.Union{}, PerView: perView}
+	for i, t := range uniq {
+		if redundant[i] {
+			continue
+		}
+		out.Union.Patterns = append(out.Union.Patterns, t.cr.Rewriting)
+		out.CRs = append(out.CRs, t.cr)
+		out.Contributions = append(out.Contributions, t.view)
+	}
+	return out, nil
+}
+
+// AnswerMultiView answers the query against a document through the
+// views only: each kept CR's compensation runs over its own view's
+// materialization; the answers are unioned.
+func (r *MultiViewResult) AnswerMultiView(views []ViewSource, d *xmltree.Document) []*xmltree.Node {
+	materialized := make(map[int][]*xmltree.Node)
+	seen := make(map[*xmltree.Node]bool)
+	var out []*xmltree.Node
+	for i, cr := range r.CRs {
+		vi := r.Contributions[i]
+		vn, ok := materialized[vi]
+		if !ok {
+			vn = views[vi].View.Evaluate(d)
+			materialized[vi] = vn
+		}
+		comp := cr.Compensation.Prepare()
+		for _, ctx := range vn {
+			for _, n := range comp.EvaluateAt(d, ctx) {
+				if !seen[n] {
+					seen[n] = true
+					out = append(out, n)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}

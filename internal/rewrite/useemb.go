@@ -1,0 +1,257 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"qav/internal/tpq"
+)
+
+// CutCheck is an extra admissibility condition for leaving the subtree
+// rooted at y unmapped (y is "clipped away" and grafted below the view
+// output). The schemaless case allows every cut; the schema case
+// (Definition 2) requires the grafted subtree to be realizable below
+// the view output's tag.
+type CutCheck func(y *tpq.Node) bool
+
+// Labeling is the result of the label-entry computation of Algorithm
+// UseEmb (Fig 6): for every query node the set of admissible view
+// images, taking into account the distinguished-path discipline and the
+// cut conditions. It is a compact encoding of all useful embeddings.
+type Labeling struct {
+	Q, V *tpq.Pattern
+
+	qn, vn []*tpq.Node
+	qi, vi map[*tpq.Node]int
+
+	// ok[i][j]: query node qn[i] can map to view node vn[j] such that
+	// the whole query subtree below qn[i] is handled (mapped or
+	// admissibly cut).
+	ok [][]bool
+
+	pv      map[*tpq.Node]bool
+	vDesc   [][]*tpq.Node
+	cut     CutCheck
+	onPQ    map[*tpq.Node]bool
+	canCutQ []bool // cached cut admissibility per query node
+}
+
+// ComputeLabels runs the polynomial labeling pass of Algorithm UseEmb:
+// O(|Q|·|V|²) as stated by Theorem 2. cut may be nil (always allowed).
+func ComputeLabels(q, v *tpq.Pattern, cut CutCheck) *Labeling {
+	l := &Labeling{
+		Q: q, V: v,
+		qn: q.Nodes(), vn: v.Nodes(),
+		qi: make(map[*tpq.Node]int), vi: make(map[*tpq.Node]int),
+		pv:   pathSet(v),
+		onPQ: pathSet(q),
+		cut:  cut,
+	}
+	for i, n := range l.qn {
+		l.qi[n] = i
+	}
+	for j, n := range l.vn {
+		l.vi[n] = j
+	}
+	l.vDesc = make([][]*tpq.Node, len(l.vn))
+	var collect func(anc int, n *tpq.Node)
+	collect = func(anc int, n *tpq.Node) {
+		for _, c := range n.Children {
+			l.vDesc[anc] = append(l.vDesc[anc], c)
+			collect(anc, c)
+		}
+	}
+	for j, n := range l.vn {
+		collect(j, n)
+	}
+	l.canCutQ = make([]bool, len(l.qn))
+	for i, n := range l.qn {
+		l.canCutQ[i] = cut == nil || cut(n)
+	}
+
+	l.ok = make([][]bool, len(l.qn))
+	for i := range l.ok {
+		l.ok[i] = make([]bool, len(l.vn))
+	}
+	// Post-order: children of qn[i] have larger preorder indexes, so
+	// iterate in reverse preorder.
+	for i := len(l.qn) - 1; i >= 0; i-- {
+		x := l.qn[i]
+		for j, img := range l.vn {
+			l.ok[i][j] = l.feasible(x, img, j)
+		}
+	}
+	return l
+}
+
+// feasible decides ok[x][img]: tags match, path discipline holds, and
+// every child is either mappable consistently or admissibly cut.
+func (l *Labeling) feasible(x *tpq.Node, img *tpq.Node, j int) bool {
+	if x.Tag != img.Tag {
+		return false
+	}
+	if x == l.Q.Output {
+		if img != l.V.Output {
+			return false
+		}
+	} else if l.onPQ[x] && !l.pv[img] {
+		return false
+	}
+	if x.Parent == nil && x.Axis == tpq.Child {
+		// '/t' query root must be the view root, itself rooted '/t'.
+		if img != l.V.Root || l.V.Root.Axis != tpq.Child {
+			return false
+		}
+	}
+	for _, y := range x.Children {
+		if l.cutAllowed(y, img) {
+			continue
+		}
+		yi := l.qi[y]
+		found := false
+		for _, cand := range l.candidates(y, img, j) {
+			if l.ok[yi][l.vi[cand]] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// candidates lists the view nodes y may map to when its parent maps to
+// img.
+func (l *Labeling) candidates(y *tpq.Node, img *tpq.Node, j int) []*tpq.Node {
+	if y.Axis == tpq.Child {
+		var out []*tpq.Node
+		for _, c := range img.Children {
+			if c.Axis == tpq.Child {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	return l.vDesc[j]
+}
+
+// cutAllowed reports whether the subtree at y may be left unmapped when
+// y's parent maps to img: ad-edges cut below distinguished-path nodes,
+// pc-edges only below the view output itself (Def 1 (ii)(b)), plus the
+// caller's CutCheck.
+func (l *Labeling) cutAllowed(y *tpq.Node, img *tpq.Node) bool {
+	if !l.canCutQ[l.qi[y]] {
+		return false
+	}
+	if y.Axis == tpq.Child {
+		return img == l.V.Output
+	}
+	return l.pv[img]
+}
+
+// emptyAllowed reports whether the empty embedding is useful: the query
+// root is '//' and the whole-query graft passes the cut check.
+func (l *Labeling) emptyAllowed() bool {
+	return l.Q.Root.Axis == tpq.Descendant && l.canCutQ[0]
+}
+
+// RootImages returns the admissible images of the query root.
+func (l *Labeling) RootImages() []*tpq.Node {
+	var out []*tpq.Node
+	for j := range l.vn {
+		if l.ok[0][j] {
+			out = append(out, l.vn[j])
+		}
+	}
+	return out
+}
+
+// Exists reports whether at least one useful embedding exists, i.e.
+// whether the query is answerable using the view (Theorem 1). This is
+// the polynomial-time existence test of Theorem 2.
+func (l *Labeling) Exists() bool {
+	if l.emptyAllowed() {
+		return true
+	}
+	return len(l.RootImages()) > 0
+}
+
+// Enumerate yields every useful embedding encoded by the labeling
+// (including the empty one when admissible), deduplicated. It stops
+// with an error if more than limit embeddings are produced — the MCR
+// can be exponential in |Q| (§3.2), so callers must bound the
+// enumeration explicitly.
+func (l *Labeling) Enumerate(limit int) ([]*Embedding, error) {
+	var out []*Embedding
+	emit := func(m map[*tpq.Node]*tpq.Node) error {
+		cp := make(map[*tpq.Node]*tpq.Node, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		out = append(out, &Embedding{Q: l.Q, V: l.V, M: cp})
+		if len(out) > limit {
+			return fmt.Errorf("rewrite: more than %d useful embeddings", limit)
+		}
+		return nil
+	}
+
+	cur := make(map[*tpq.Node]*tpq.Node)
+	// assign maps the subtree below x given x ∈ cur, then calls next.
+	var assign func(x *tpq.Node, next func() error) error
+	assign = func(x *tpq.Node, next func() error) error {
+		img := cur[x]
+		// Recursively branch over each child's choices.
+		var perChild func(k int) error
+		perChild = func(k int) error {
+			if k == len(x.Children) {
+				return next()
+			}
+			y := x.Children[k]
+			yi := l.qi[y]
+			if l.cutAllowed(y, img) {
+				if err := perChild(k + 1); err != nil {
+					return err
+				}
+			}
+			for _, cand := range l.candidates(y, img, l.vi[img]) {
+				if !l.ok[yi][l.vi[cand]] {
+					continue
+				}
+				cur[y] = cand
+				err := assign(y, func() error { return perChild(k + 1) })
+				delete(cur, y)
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return perChild(0)
+	}
+
+	if l.emptyAllowed() {
+		if err := emit(nil); err != nil {
+			return nil, err
+		}
+	}
+	for _, rootImg := range l.RootImages() {
+		cur[l.Q.Root] = rootImg
+		err := assign(l.Q.Root, func() error { return emit(cur) })
+		delete(cur, l.Q.Root)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Deduplicate (different branches can coincide after cuts).
+	seen := make(map[string]bool, len(out))
+	uniq := out[:0]
+	for _, e := range out {
+		sig := e.Signature()
+		if !seen[sig] {
+			seen[sig] = true
+			uniq = append(uniq, e)
+		}
+	}
+	return uniq, nil
+}

@@ -1,0 +1,31 @@
+package schema
+
+import "testing"
+
+// FuzzParse checks the schema DSL parser never panics and accepted
+// schemas survive a print/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("root a\na -> b* c?\nb -> d+\n")
+	f.Add("root Auctions\nAuctions -> Auction*\n")
+	f.Add("root a\na -> a?\n")
+	f.Add("root a\n# comment\na -> b")
+	f.Add("a -> b")
+	f.Add("root a\na ->")
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Parse accepted invalid schema: %v", err)
+		}
+		g2, err := Parse(g.String())
+		if err != nil {
+			t.Fatalf("round trip of\n%s\nfailed: %v", g.String(), err)
+		}
+		if g2.String() != g.String() {
+			t.Fatalf("round trip changed schema:\n%s\nvs\n%s", g.String(), g2.String())
+		}
+		_ = g.IsRecursive()
+	})
+}

@@ -1,0 +1,118 @@
+package schema
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qav/internal/xmltree"
+)
+
+// ValidateDocument checks that d conforms to the schema (d ∈ inst(S)):
+// the root carries the schema's root tag, every element's children are
+// declared subelements of its tag, and the child multiplicities respect
+// the edge quantifiers ('1': exactly one, '+': at least one, '?': at
+// most one, '*': any number).
+func (g *Graph) ValidateDocument(d *xmltree.Document) error {
+	if d.Root == nil {
+		return fmt.Errorf("schema: empty document")
+	}
+	if d.Root.Tag != g.Root {
+		return fmt.Errorf("schema: document root %q, schema root %q", d.Root.Tag, g.Root)
+	}
+	for _, n := range d.Nodes {
+		edges := g.nodes[n.Tag]
+		if edges == nil && !g.HasTag(n.Tag) {
+			return fmt.Errorf("schema: element %q not declared", n.Tag)
+		}
+		counts := make(map[string]int)
+		for _, c := range n.Children {
+			if _, ok := g.EdgeBetween(n.Tag, c.Tag); !ok {
+				return fmt.Errorf("schema: %q is not a declared child of %q (at %s)", c.Tag, n.Tag, n.Path())
+			}
+			counts[c.Tag]++
+		}
+		for _, e := range edges {
+			c := counts[e.Child]
+			if e.Quant.Guaranteed() && c == 0 {
+				return fmt.Errorf("schema: %q requires a %q child (quantifier %s) at %s", n.Tag, e.Child, e.Quant, n.Path())
+			}
+			if e.Quant.AtMostOne() && c > 1 {
+				return fmt.Errorf("schema: %q allows at most one %q child (quantifier %s) at %s, got %d", n.Tag, e.Child, e.Quant, n.Path(), c)
+			}
+		}
+	}
+	return nil
+}
+
+// InstanceSpec controls random conforming-instance generation.
+type InstanceSpec struct {
+	// MaxRepeat bounds how many copies a '+' or '*' edge may produce
+	// (default 3).
+	MaxRepeat int
+	// MaxDepth bounds recursion depth: below it, optional edges are
+	// dropped and repeated edges produce the minimum count (default 12).
+	// Generation fails if a mandatory edge would exceed the bound, which
+	// can only happen for schemas whose cycles contain guaranteed edges.
+	MaxDepth int
+	// OptProb is the probability of materializing a '?' or the optional
+	// part of a '*' edge (default 0.5).
+	OptProb float64
+}
+
+// RandomInstance generates a random document conforming to the schema.
+func (g *Graph) RandomInstance(rng *rand.Rand, spec InstanceSpec) (*xmltree.Document, error) {
+	if spec.MaxRepeat <= 0 {
+		spec.MaxRepeat = 3
+	}
+	if spec.MaxDepth <= 0 {
+		spec.MaxDepth = 12
+	}
+	if spec.OptProb <= 0 {
+		spec.OptProb = 0.5
+	}
+	var build func(tag string, depth int) (*xmltree.Node, error)
+	build = func(tag string, depth int) (*xmltree.Node, error) {
+		n := &xmltree.Node{Tag: tag}
+		for _, e := range g.nodes[tag] {
+			count := 0
+			switch e.Quant {
+			case One:
+				count = 1
+			case Plus:
+				count = 1 + rng.Intn(spec.MaxRepeat)
+			case Opt:
+				if rng.Float64() < spec.OptProb {
+					count = 1
+				}
+			case Star:
+				if rng.Float64() < spec.OptProb {
+					count = 1 + rng.Intn(spec.MaxRepeat)
+				}
+			}
+			if depth >= spec.MaxDepth {
+				if e.Quant.Guaranteed() {
+					count = 1
+					if depth > spec.MaxDepth+g.Size() {
+						return nil, fmt.Errorf("schema: cannot close instance: mandatory cycle through %q", tag)
+					}
+				} else {
+					count = 0
+				}
+			}
+			for i := 0; i < count; i++ {
+				c, err := build(e.Child, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				c.Parent = n
+				n.Children = append(n.Children, c)
+			}
+		}
+		return n, nil
+	}
+	root, err := build(g.Root, 0)
+	if err != nil {
+		return nil, err
+	}
+	return xmltree.NewDocument(root), nil
+}

@@ -1,0 +1,95 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a schema graph from a small text DSL:
+//
+//	root Auctions
+//	Auctions -> Auction*
+//	Auction  -> open_auction* closed_auction?
+//	open_auction -> item bids?
+//
+// Each line declares the children of one element; a child tag may be
+// suffixed by one of '+', '?', '*' (default quantifier is '1').
+// Blank lines and '#' comments are ignored. The "root" line is
+// mandatory and must come first.
+func Parse(src string) (*Graph, error) {
+	var g *Graph
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if g == nil {
+			rest, ok := strings.CutPrefix(line, "root ")
+			if !ok {
+				return nil, fmt.Errorf("schema: line %d: expected 'root <tag>' first", lineNo+1)
+			}
+			tag := strings.TrimSpace(rest)
+			if tag == "" || strings.ContainsAny(tag, " \t") {
+				return nil, fmt.Errorf("schema: line %d: bad root tag %q", lineNo+1, rest)
+			}
+			g = New(tag)
+			continue
+		}
+		parent, rhs, ok := strings.Cut(line, "->")
+		if !ok {
+			return nil, fmt.Errorf("schema: line %d: expected '<tag> -> children'", lineNo+1)
+		}
+		parent = strings.TrimSpace(parent)
+		if parent == "" {
+			return nil, fmt.Errorf("schema: line %d: empty parent tag", lineNo+1)
+		}
+		for _, field := range strings.Fields(rhs) {
+			child, q, err := splitQuant(field)
+			if err != nil {
+				return nil, fmt.Errorf("schema: line %d: %w", lineNo+1, err)
+			}
+			if err := g.AddEdge(parent, child, q); err != nil {
+				return nil, fmt.Errorf("schema: line %d: %w", lineNo+1, err)
+			}
+		}
+	}
+	if g == nil {
+		return nil, fmt.Errorf("schema: empty input")
+	}
+	return g, g.Validate()
+}
+
+// MustParse is Parse panicking on error, for static literals in tests
+// and examples.
+func MustParse(src string) *Graph {
+	g, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func splitQuant(field string) (string, Quantifier, error) {
+	q := One
+	switch field[len(field)-1] {
+	case '+':
+		q = Plus
+	case '?':
+		q = Opt
+	case '*':
+		q = Star
+	case '1':
+		// Bare tags may end in digits; only strip an explicit trailing
+		// quantifier character, and '1' is never stripped.
+	}
+	if q != One {
+		field = field[:len(field)-1]
+	}
+	if field == "" {
+		return "", One, fmt.Errorf("empty child tag")
+	}
+	return field, q, nil
+}

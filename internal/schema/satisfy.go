@@ -1,0 +1,61 @@
+package schema
+
+import (
+	"fmt"
+
+	"qav/internal/tpq"
+)
+
+// Satisfiable reports whether the pattern has a total embedding into the
+// schema graph (Theorem 7(ii) of the paper): each pattern node maps to
+// the schema node with its tag, pc-edges must be schema edges, ad-edges
+// must be realizable as non-empty schema paths, and the pattern root
+// must be the schema root (for "/t") or reachable from it (for "//t",
+// where the schema root itself qualifies).
+//
+// A pattern that is not satisfiable w.r.t. the schema returns the empty
+// answer on every conforming instance.
+func (g *Graph) Satisfiable(p *tpq.Pattern) bool {
+	return g.explainUnsatisfiable(p) == nil
+}
+
+// ExplainUnsatisfiable returns nil if the pattern is satisfiable w.r.t.
+// the schema, and otherwise an error describing the first violated
+// structural requirement. Useful for diagnostics in tools.
+func (g *Graph) ExplainUnsatisfiable(p *tpq.Pattern) error {
+	return g.explainUnsatisfiable(p)
+}
+
+func (g *Graph) explainUnsatisfiable(p *tpq.Pattern) error {
+	if p.Root == nil {
+		return fmt.Errorf("schema: empty pattern")
+	}
+	root := p.Root
+	if root.Axis == tpq.Child {
+		if root.Tag != g.Root {
+			return fmt.Errorf("schema: pattern root /%s but schema root is %s", root.Tag, g.Root)
+		}
+	} else {
+		if root.Tag != g.Root && !g.Reachable(g.Root, root.Tag) {
+			return fmt.Errorf("schema: no %s element can occur in instances", root.Tag)
+		}
+	}
+	for _, n := range p.Nodes() {
+		if !g.HasTag(n.Tag) {
+			return fmt.Errorf("schema: tag %q not declared", n.Tag)
+		}
+		for _, c := range n.Children {
+			switch c.Axis {
+			case tpq.Child:
+				if _, ok := g.EdgeBetween(n.Tag, c.Tag); !ok {
+					return fmt.Errorf("schema: %q cannot be a child of %q", c.Tag, n.Tag)
+				}
+			case tpq.Descendant:
+				if !g.Reachable(n.Tag, c.Tag) {
+					return fmt.Errorf("schema: %q cannot be a descendant of %q", c.Tag, n.Tag)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+// Package schema implements the schema graphs of the paper (§2): directed
+// graphs with one node per element tag and edges labeled by the
+// quantifiers '1' (one, the default), '+' (one or more), '?' (zero or
+// one), and '*' (zero or more). Schema graphs model DTDs and a core
+// fragment of XML Schema structure.
+//
+// Like the paper's algorithms, the package assumes one schema node per
+// tag and no union types; recursion (cycles) is permitted and detected,
+// since §5 of the paper discusses recursive schemas.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Quantifier is an edge label of a schema graph.
+type Quantifier uint8
+
+const (
+	// One: exactly one occurrence (the default, usually unlabeled).
+	One Quantifier = iota
+	// Plus: one or more occurrences.
+	Plus
+	// Opt: zero or one occurrence.
+	Opt
+	// Star: zero or more occurrences.
+	Star
+)
+
+func (q Quantifier) String() string {
+	switch q {
+	case One:
+		return "1"
+	case Plus:
+		return "+"
+	case Opt:
+		return "?"
+	default:
+		return "*"
+	}
+}
+
+// Guaranteed reports whether the quantifier forces at least one
+// occurrence ('1' or '+'). Paths all of whose edges are guaranteed are
+// the paper's "guaranteed paths".
+func (q Quantifier) Guaranteed() bool { return q == One || q == Plus }
+
+// AtMostOne reports whether the quantifier forbids repetition ('1', '?').
+func (q Quantifier) AtMostOne() bool { return q == One || q == Opt }
+
+// Edge is a subelement edge of the schema graph.
+type Edge struct {
+	Child string
+	Quant Quantifier
+}
+
+// Graph is a schema graph. The zero value is empty; use New or Parse.
+type Graph struct {
+	// Root is the tag of the document root element.
+	Root string
+	// tags in insertion order, for deterministic iteration.
+	order []string
+	nodes map[string][]Edge
+}
+
+// New creates an empty schema graph with the given root tag. The root
+// tag is registered as a node immediately.
+func New(root string) *Graph {
+	g := &Graph{Root: root, nodes: make(map[string][]Edge)}
+	g.ensure(root)
+	return g
+}
+
+func (g *Graph) ensure(tag string) {
+	if _, ok := g.nodes[tag]; !ok {
+		g.nodes[tag] = nil
+		g.order = append(g.order, tag)
+	}
+}
+
+// AddEdge declares child as a subelement of parent with the given
+// quantifier. Both tags are registered as nodes. Declaring the same
+// (parent, child) pair twice is an error, mirroring DTD element
+// declarations.
+func (g *Graph) AddEdge(parent, child string, q Quantifier) error {
+	g.ensure(parent)
+	g.ensure(child)
+	for _, e := range g.nodes[parent] {
+		if e.Child == child {
+			return fmt.Errorf("schema: duplicate edge %s -> %s", parent, child)
+		}
+	}
+	g.nodes[parent] = append(g.nodes[parent], Edge{Child: child, Quant: q})
+	return nil
+}
+
+// MustAddEdge is AddEdge panicking on error, for static literals.
+func (g *Graph) MustAddEdge(parent, child string, q Quantifier) {
+	if err := g.AddEdge(parent, child, q); err != nil {
+		panic(err)
+	}
+}
+
+// Tags returns all node tags in insertion order.
+func (g *Graph) Tags() []string { return g.order }
+
+// Size returns |S|, the number of nodes.
+func (g *Graph) Size() int { return len(g.order) }
+
+// Edges returns the outgoing edges of tag (nil if unknown).
+func (g *Graph) Edges(tag string) []Edge { return g.nodes[tag] }
+
+// HasTag reports whether tag is a node of the schema.
+func (g *Graph) HasTag(tag string) bool {
+	_, ok := g.nodes[tag]
+	return ok
+}
+
+// EdgeBetween returns the edge parent->child and whether it exists.
+func (g *Graph) EdgeBetween(parent, child string) (Edge, bool) {
+	for _, e := range g.nodes[parent] {
+		if e.Child == child {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// Parents returns the tags with an edge into child, sorted.
+func (g *Graph) Parents(child string) []string {
+	var out []string
+	for _, tag := range g.order {
+		if _, ok := g.EdgeBetween(tag, child); ok {
+			out = append(out, tag)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsRecursive reports whether the schema graph contains a cycle.
+func (g *Graph) IsRecursive() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(g.order))
+	var visit func(string) bool
+	visit = func(t string) bool {
+		color[t] = gray
+		for _, e := range g.nodes[t] {
+			switch color[e.Child] {
+			case gray:
+				return true
+			case white:
+				if visit(e.Child) {
+					return true
+				}
+			}
+		}
+		color[t] = black
+		return false
+	}
+	for _, t := range g.order {
+		if color[t] == white && visit(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// InCycle reports whether tag lies on some cycle (there is a non-empty
+// path from tag to itself). Used by the §5 recursive-schema PC
+// inference.
+func (g *Graph) InCycle(tag string) bool {
+	// DFS from tag looking for tag again.
+	seen := make(map[string]bool)
+	var visit func(string) bool
+	visit = func(t string) bool {
+		for _, e := range g.nodes[t] {
+			if e.Child == tag {
+				return true
+			}
+			if !seen[e.Child] {
+				seen[e.Child] = true
+				if visit(e.Child) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return visit(tag)
+}
+
+// Reachable reports whether there is a non-empty path from a to b.
+func (g *Graph) Reachable(a, b string) bool {
+	seen := make(map[string]bool)
+	var visit func(string) bool
+	visit = func(t string) bool {
+		for _, e := range g.nodes[t] {
+			if e.Child == b {
+				return true
+			}
+			if !seen[e.Child] {
+				seen[e.Child] = true
+				if visit(e.Child) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return visit(a)
+}
+
+// Validate checks that the root is registered and all edges reference
+// known tags (always true by construction) and that the root has no
+// incoming edges in a non-recursive schema. It returns nil for usable
+// schemas.
+func (g *Graph) Validate() error {
+	if g.Root == "" {
+		return fmt.Errorf("schema: no root tag")
+	}
+	if !g.HasTag(g.Root) {
+		return fmt.Errorf("schema: root tag %q not declared", g.Root)
+	}
+	return nil
+}
+
+// String renders the schema in the DSL accepted by Parse.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "root %s\n", g.Root)
+	for _, tag := range g.order {
+		edges := g.nodes[tag]
+		if len(edges) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s ->", tag)
+		for _, e := range edges {
+			b.WriteByte(' ')
+			b.WriteString(e.Child)
+			if e.Quant != One {
+				b.WriteString(e.Quant.String())
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy of the schema graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.Root)
+	for _, tag := range g.order {
+		c.ensure(tag)
+		c.nodes[tag] = append([]Edge(nil), g.nodes[tag]...)
+	}
+	return c
+}

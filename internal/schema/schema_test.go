@@ -1,0 +1,260 @@
+package schema
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qav/internal/tpq"
+	"qav/internal/xmltree"
+)
+
+// auctionDSL is the schema of Figure 2(a) in the paper.
+const auctionDSL = `
+root Auctions
+Auctions -> Auction*
+Auction  -> open_auction* closed_auction?
+open_auction -> item bids?
+closed_auction -> item person? buyer?
+bids  -> person+
+buyer -> person
+person -> name
+item  -> name
+`
+
+func TestParseAuctionSchema(t *testing.T) {
+	g := MustParse(auctionDSL)
+	if g.Root != "Auctions" {
+		t.Fatalf("root = %q", g.Root)
+	}
+	if g.Size() != 9 {
+		t.Fatalf("size = %d, want 9", g.Size())
+	}
+	e, ok := g.EdgeBetween("Auction", "closed_auction")
+	if !ok || e.Quant != Opt {
+		t.Errorf("Auction->closed_auction = %v %v", e, ok)
+	}
+	e, ok = g.EdgeBetween("bids", "person")
+	if !ok || e.Quant != Plus {
+		t.Errorf("bids->person = %v %v", e, ok)
+	}
+	e, ok = g.EdgeBetween("open_auction", "item")
+	if !ok || e.Quant != One {
+		t.Errorf("open_auction->item = %v %v", e, ok)
+	}
+	if _, ok := g.EdgeBetween("person", "item"); ok {
+		t.Error("phantom edge person->item")
+	}
+	if g.IsRecursive() {
+		t.Error("auction schema is not recursive")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"a -> b",                 // missing root line
+		"root r\nx : y",          // bad arrow
+		"root r\nr -> b b",       // duplicate edge
+		"root r\n -> b",          // empty parent
+		"root r\nr -> +",         // empty child tag
+		"root two words\nr -> b", // bad root
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	g := MustParse(auctionDSL)
+	g2, err := Parse(g.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if g2.String() != g.String() {
+		t.Errorf("round trip changed schema:\n%s\nvs\n%s", g.String(), g2.String())
+	}
+}
+
+func TestRecursionDetection(t *testing.T) {
+	g := MustParse("root a\na -> b*\nb -> a? c\nc -> d")
+	if !g.IsRecursive() {
+		t.Error("cycle a->b->a not detected")
+	}
+	if !g.InCycle("a") || !g.InCycle("b") {
+		t.Error("a and b are in a cycle")
+	}
+	if g.InCycle("c") || g.InCycle("d") {
+		t.Error("c, d are not in a cycle")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := MustParse(auctionDSL)
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"Auctions", "name", true},
+		{"Auction", "person", true},
+		{"person", "Auction", false},
+		{"item", "name", true},
+		{"name", "name", false},
+		{"buyer", "name", true},
+	}
+	for _, c := range cases {
+		if got := g.Reachable(c.a, c.b); got != c.want {
+			t.Errorf("Reachable(%s,%s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	// Self-reachability requires a cycle.
+	r := MustParse("root a\na -> a?")
+	if !r.Reachable("a", "a") {
+		t.Error("a->a edge means a reaches itself")
+	}
+}
+
+func TestParents(t *testing.T) {
+	g := MustParse(auctionDSL)
+	got := g.Parents("person")
+	want := []string{"bids", "buyer", "closed_auction"}
+	if len(got) != len(want) {
+		t.Fatalf("Parents(person) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Parents(person) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRandomInstanceConforms(t *testing.T) {
+	g := MustParse(auctionDSL)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		d, err := g.RandomInstance(rng, InstanceSpec{MaxRepeat: 3, MaxDepth: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.ValidateDocument(d); err != nil {
+			t.Fatalf("generated instance does not conform: %v\n%s", err, d.XMLString())
+		}
+	}
+}
+
+func TestRandomInstanceRecursiveSchema(t *testing.T) {
+	g := MustParse("root a\na -> b*\nb -> a? c\nc ->")
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 30; i++ {
+		d, err := g.RandomInstance(rng, InstanceSpec{MaxDepth: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.ValidateDocument(d); err != nil {
+			t.Fatalf("recursive instance invalid: %v", err)
+		}
+	}
+}
+
+func TestRandomInstanceMandatoryCycleFails(t *testing.T) {
+	g := MustParse("root a\na -> b\nb -> a")
+	if _, err := g.RandomInstance(rand.New(rand.NewSource(1)), InstanceSpec{MaxDepth: 4}); err == nil {
+		t.Error("mandatory cycle should be ungeneratable")
+	}
+}
+
+func TestValidateDocumentViolations(t *testing.T) {
+	g := MustParse(auctionDSL)
+	cases := []struct {
+		name string
+		xml  string
+		ok   bool
+	}{
+		{"wrong root", "<Auction/>", false},
+		{"undeclared child", "<Auctions><item><name/></item></Auctions>", false},
+		{"missing mandatory item", "<Auctions><Auction><open_auction><bids><person><name/></person></bids></open_auction></Auction></Auctions>", false},
+		{"two closed_auctions", "<Auctions><Auction><closed_auction><item><name/></item></closed_auction><closed_auction><item><name/></item></closed_auction></Auction></Auctions>", false},
+		{"minimal valid", "<Auctions/>", true},
+		{"valid with one open_auction", "<Auctions><Auction><open_auction><item><name/></item></open_auction></Auction></Auctions>", true},
+	}
+	for _, c := range cases {
+		d := mustDoc(t, c.xml)
+		err := g.ValidateDocument(d)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: ValidateDocument err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestSatisfiable(t *testing.T) {
+	g := MustParse(auctionDSL)
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"//Auction//person", true},
+		{"//Auction[//item]//name", true},
+		{"/Auctions//name", true},
+		{"/Auction//name", false},    // Auction is not the schema root
+		{"//person//Auction", false}, // Auction below person impossible
+		{"//Auction/person", false},  // person is not a direct child of Auction
+		{"//Auction/open_auction", true},
+		{"//widget", false},  // unknown tag
+		{"//Auctions", true}, // root tag via '//' qualifies
+		{"//bids[person]//name", true},
+	}
+	for _, c := range cases {
+		p := tpq.MustParse(c.expr)
+		if got := g.Satisfiable(p); got != c.want {
+			t.Errorf("Satisfiable(%s) = %v, want %v (%v)", c.expr, got, c.want, g.ExplainUnsatisfiable(p))
+		}
+	}
+}
+
+// Satisfiability must agree with evaluability on random instances: if a
+// pattern matches some generated instance, it is satisfiable.
+func TestSatisfiableSoundOnInstances(t *testing.T) {
+	g := MustParse(auctionDSL)
+	rng := rand.New(rand.NewSource(77))
+	pats := []*tpq.Pattern{
+		tpq.MustParse("//Auction//person"),
+		tpq.MustParse("//Auction[//item]//name"),
+		tpq.MustParse("//Auction/person"),
+		tpq.MustParse("//bids/person/name"),
+		tpq.MustParse("//closed_auction/buyer//name"),
+	}
+	for i := 0; i < 40; i++ {
+		d, err := g.RandomInstance(rng, InstanceSpec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pats {
+			if len(p.Evaluate(d)) > 0 && !g.Satisfiable(p) {
+				t.Fatalf("pattern %s matched an instance but is reported unsatisfiable", p)
+			}
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := MustParse(auctionDSL)
+	c := g.Clone()
+	c.MustAddEdge("name", "extra", Star)
+	if g.HasTag("extra") {
+		t.Error("mutating clone affected original")
+	}
+	if !strings.Contains(c.String(), "extra") {
+		t.Error("clone missing added edge")
+	}
+}
+
+func mustDoc(t *testing.T, src string) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return d
+}

@@ -1,0 +1,247 @@
+// Package server exposes the QAV library as a small JSON-over-HTTP
+// service: the mediator component of an integration deployment.
+// Endpoints:
+//
+//	POST /v1/rewrite  {query, view, schema?, recursive?}
+//	POST /v1/answer   {query, view, document, schema?}
+//	POST /v1/contain  {p, q, schema?}
+//	GET  /healthz
+//
+// All state is per-request; the handler is safe for concurrent use.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"qav/internal/cache"
+	"qav/internal/rewrite"
+	"qav/internal/schema"
+	"qav/internal/tpq"
+	"qav/internal/xmltree"
+)
+
+// New returns the service's HTTP handler. Rewriting results are cached
+// (LRU, 1024 entries) keyed by the canonical query/view/schema forms —
+// mediators answer many queries against few views, and rewriting is
+// pure.
+func New() http.Handler {
+	s := &service{cache: cache.New(1024)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/rewrite", s.handleRewrite)
+	mux.HandleFunc("POST /v1/answer", s.handleAnswer)
+	mux.HandleFunc("POST /v1/contain", handleContain)
+	return mux
+}
+
+type service struct {
+	cache *cache.Cache
+}
+
+func (s *service) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.Stats()
+	writeJSON(w, map[string]int64{"cacheHits": hits, "cacheMisses": misses, "cacheEntries": int64(s.cache.Len())})
+}
+
+type rewriteRequest struct {
+	Query     string `json:"query"`
+	View      string `json:"view"`
+	Schema    string `json:"schema,omitempty"`
+	Recursive bool   `json:"recursive,omitempty"`
+}
+
+type crJSON struct {
+	Rewriting    string `json:"rewriting"`
+	Compensation string `json:"compensation"`
+}
+
+type rewriteResponse struct {
+	Answerable bool     `json:"answerable"`
+	Union      string   `json:"union,omitempty"`
+	CRs        []crJSON `json:"crs,omitempty"`
+}
+
+func (s *service) handleRewrite(w http.ResponseWriter, r *http.Request) {
+	var req rewriteRequest
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.doRewrite(req)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, buildRewriteResponse(res))
+}
+
+func (s *service) doRewrite(req rewriteRequest) (*rewrite.Result, error) {
+	q, err := tpq.Parse(req.Query)
+	if err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+	v, err := tpq.Parse(req.View)
+	if err != nil {
+		return nil, fmt.Errorf("view: %w", err)
+	}
+	var g *schema.Graph
+	if req.Schema != "" {
+		if g, err = schema.Parse(req.Schema); err != nil {
+			return nil, fmt.Errorf("schema: %w", err)
+		}
+	}
+	recursive := g != nil && (req.Recursive || g.IsRecursive())
+	return s.cache.GetOrCompute(cache.Key(q, v, g, recursive), func() (*rewrite.Result, error) {
+		if g == nil {
+			return rewrite.MCR(q, v, rewrite.Options{})
+		}
+		sc := rewrite.NewSchemaContext(g)
+		if recursive {
+			return sc.MCRRecursive(q, v, rewrite.Options{})
+		}
+		return sc.MCRWithSchema(q, v)
+	})
+}
+
+func buildRewriteResponse(res *rewrite.Result) rewriteResponse {
+	out := rewriteResponse{Answerable: !res.Union.Empty()}
+	if out.Answerable {
+		out.Union = res.Union.String()
+		for _, cr := range res.CRs {
+			out.CRs = append(out.CRs, crJSON{
+				Rewriting:    cr.Rewriting.String(),
+				Compensation: cr.Compensation.String(),
+			})
+		}
+	}
+	return out
+}
+
+type answerRequest struct {
+	Query    string `json:"query"`
+	View     string `json:"view"`
+	Document string `json:"document"`
+	Schema   string `json:"schema,omitempty"`
+}
+
+type answerJSON struct {
+	Path string `json:"path"`
+	Text string `json:"text,omitempty"`
+}
+
+type answerResponse struct {
+	Union      string       `json:"union"`
+	ViewNodes  int          `json:"viewNodes"`
+	Answers    []answerJSON `json:"answers"`
+	DirectSize int          `json:"directAnswerCount"`
+}
+
+func (s *service) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	var req answerRequest
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.doRewrite(rewriteRequest{Query: req.Query, View: req.View, Schema: req.Schema})
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if res.Union.Empty() {
+		httpError(w, http.StatusUnprocessableEntity, fmt.Errorf("query is not answerable using the view"))
+		return
+	}
+	d, err := xmltree.ParseString(req.Document)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("document: %w", err))
+		return
+	}
+	q, _ := tpq.Parse(req.Query)
+	v, _ := tpq.Parse(req.View)
+	viewNodes := rewrite.MaterializeView(v, d)
+	answers := rewrite.AnswerMaterialized(res.CRs, d, viewNodes)
+	resp := answerResponse{
+		Union:      res.Union.String(),
+		ViewNodes:  len(viewNodes),
+		DirectSize: len(q.Evaluate(d)),
+	}
+	for _, n := range answers {
+		resp.Answers = append(resp.Answers, answerJSON{Path: n.Path(), Text: n.Text})
+	}
+	writeJSON(w, resp)
+}
+
+type containRequest struct {
+	P      string `json:"p"`
+	Q      string `json:"q"`
+	Schema string `json:"schema,omitempty"`
+}
+
+type containResponse struct {
+	PInQ bool `json:"pInQ"`
+	QInP bool `json:"qInP"`
+}
+
+func handleContain(w http.ResponseWriter, r *http.Request) {
+	var req containRequest
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := tpq.Parse(req.P)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("p: %w", err))
+		return
+	}
+	q, err := tpq.Parse(req.Q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("q: %w", err))
+		return
+	}
+	var resp containResponse
+	if req.Schema != "" {
+		g, err := schema.Parse(req.Schema)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("schema: %w", err))
+			return
+		}
+		sc := rewrite.NewSchemaContext(g)
+		resp = containResponse{PInQ: sc.SContained(p, q), QInP: sc.SContained(q, p)}
+	} else {
+		resp = containResponse{PInQ: tpq.Contained(p, q), QInP: tpq.Contained(q, p)}
+	}
+	writeJSON(w, resp)
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Too late for a status change; best effort.
+		fmt.Fprintln(w, `{"error":"encoding failure"}`)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	msg := strings.ReplaceAll(err.Error(), `"`, `'`)
+	fmt.Fprintf(w, "{\n  \"error\": %q\n}\n", msg)
+}

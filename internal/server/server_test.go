@@ -1,0 +1,208 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func post(t *testing.T, h http.Handler, path, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("%s: non-JSON response %q", path, rec.Body.String())
+	}
+	return rec, out
+}
+
+func TestHealthz(t *testing.T) {
+	h := New()
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+}
+
+func TestRewriteEndpoint(t *testing.T) {
+	h := New()
+	rec, out := post(t, h, "/v1/rewrite",
+		`{"query":"//Trials[//Status]//Trial","view":"//Trials//Trial"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if out["answerable"] != true {
+		t.Fatalf("answerable = %v", out["answerable"])
+	}
+	if !strings.Contains(out["union"].(string), "//Trials//Trial[//Status]") {
+		t.Errorf("union = %v", out["union"])
+	}
+	crs := out["crs"].([]any)
+	if len(crs) == 0 {
+		t.Fatal("no CRs")
+	}
+	first := crs[0].(map[string]any)
+	if first["compensation"] == "" {
+		t.Error("missing compensation")
+	}
+}
+
+func TestRewriteWithSchemaEndpoint(t *testing.T) {
+	h := New()
+	body := `{"query":"//Auction[//item]//name","view":"//Auction//person","schema":"root Auctions\nAuctions -> Auction*\nAuction -> open_auction* closed_auction?\nopen_auction -> item bids?\nclosed_auction -> item person? buyer?\nbids -> person+\nbuyer -> person\nperson -> name\nitem -> name\n"}`
+	rec, out := post(t, h, "/v1/rewrite", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if out["union"] != "//Auction//person//name" {
+		t.Errorf("union = %v", out["union"])
+	}
+}
+
+func TestRewriteUnanswerable(t *testing.T) {
+	h := New()
+	rec, out := post(t, h, "/v1/rewrite", `{"query":"/b/d","view":"/a/b//c"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if out["answerable"] != false {
+		t.Errorf("answerable = %v", out["answerable"])
+	}
+}
+
+func TestRewriteErrors(t *testing.T) {
+	h := New()
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`{`, http.StatusBadRequest},
+		{`{"query":"///","view":"//a"}`, http.StatusUnprocessableEntity},
+		{`{"query":"//a","view":"//b","bogus":1}`, http.StatusBadRequest},
+		{`{"query":"//a","view":"//b","schema":"not a schema"}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		rec, out := post(t, h, "/v1/rewrite", tc.body)
+		if rec.Code != tc.code {
+			t.Errorf("body %q: status %d, want %d", tc.body, rec.Code, tc.code)
+		}
+		if out["error"] == nil {
+			t.Errorf("body %q: no error field", tc.body)
+		}
+	}
+}
+
+func TestAnswerEndpoint(t *testing.T) {
+	h := New()
+	body := `{
+	  "query": "//Trials[//Status]//Trial/Patient",
+	  "view": "//Trials//Trial",
+	  "document": "<PharmaLab><Trials><Trial><Patient>John</Patient><Status/></Trial><Trial><Patient>Jen</Patient></Trial></Trials></PharmaLab>"
+	}`
+	rec, out := post(t, h, "/v1/answer", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	answers := out["answers"].([]any)
+	if len(answers) != 1 {
+		t.Fatalf("answers = %v", answers)
+	}
+	a := answers[0].(map[string]any)
+	if a["text"] != "John" {
+		t.Errorf("answer = %v", a)
+	}
+	if out["viewNodes"].(float64) != 2 {
+		t.Errorf("viewNodes = %v", out["viewNodes"])
+	}
+	if out["directAnswerCount"].(float64) != 2 {
+		t.Errorf("directAnswerCount = %v", out["directAnswerCount"])
+	}
+}
+
+func TestAnswerUnanswerable(t *testing.T) {
+	h := New()
+	rec, _ := post(t, h, "/v1/answer",
+		`{"query":"/b","view":"/a//c","document":"<a/>"}`)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d", rec.Code)
+	}
+}
+
+func TestContainEndpoint(t *testing.T) {
+	h := New()
+	rec, out := post(t, h, "/v1/contain", `{"p":"//a/b","q":"//a//b"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if out["pInQ"] != true || out["qInP"] != false {
+		t.Errorf("contain = %v", out)
+	}
+	// Schema-relative: the Figure 2 pair.
+	body := `{"p":"//Auction//person//name","q":"//Auction[//item]//name","schema":"root Auctions\nAuctions -> Auction*\nAuction -> open_auction* closed_auction?\nopen_auction -> item bids?\nclosed_auction -> item person? buyer?\nbids -> person+\nbuyer -> person\nperson -> name\nitem -> name\n"}`
+	rec, out = post(t, h, "/v1/contain", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if out["pInQ"] != true {
+		t.Errorf("S-containment = %v", out)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	h := New()
+	req := httptest.NewRequest("GET", "/v1/rewrite", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/rewrite = %d, want 405", rec.Code)
+	}
+}
+
+func TestCacheStats(t *testing.T) {
+	h := New()
+	body := `{"query":"//a[b]","view":"//a"}`
+	post(t, h, "/v1/rewrite", body)
+	post(t, h, "/v1/rewrite", body) // cache hit
+	req := httptest.NewRequest("GET", "/v1/stats", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]float64
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["cacheHits"] < 1 || out["cacheMisses"] < 1 || out["cacheEntries"] < 1 {
+		t.Errorf("stats = %v", out)
+	}
+}
+
+// The handler must be safe under concurrent requests (shared cache).
+func TestConcurrentRequests(t *testing.T) {
+	h := New()
+	var wg sync.WaitGroup
+	queries := []string{"//a[b]", "//a[c]", "//a//b", "//x/y"}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				q := queries[(w+i)%len(queries)]
+				body := `{"query":"` + q + `","view":"//a"}`
+				req := httptest.NewRequest("POST", "/v1/rewrite", strings.NewReader(body))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("status %d for %s", rec.Code, q)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

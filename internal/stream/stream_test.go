@@ -1,0 +1,160 @@
+package stream
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"qav/internal/tpq"
+	"qav/internal/workload"
+	"qav/internal/xmltree"
+)
+
+const pharmaXML = `<PharmaLab>
+  <Trials type="T1">
+    <Trial><Patient>John Doe</Patient><Status>Complete</Status></Trial>
+    <Trial><Patient>Jennifer Bloe</Patient></Trial>
+  </Trials>
+  <Trials type="T2">
+    <Trial><Patient>Mary Moore</Patient></Trial>
+  </Trials>
+</PharmaLab>`
+
+func TestStreamBasics(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{"//Trials//Trial", 3},
+		{"//Trials[//Status]//Trial", 2},
+		{"//Trials//Trial[//Status]", 1},
+		{"/PharmaLab", 1},
+		{"/Trials", 0},
+		{"//Trial/Patient", 3},
+		{"//type", 2},
+		{"//*[Status]", 1},
+	}
+	for _, tc := range cases {
+		got, err := Evaluate(strings.NewReader(pharmaXML), tpq.MustParse(tc.expr))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.expr, err)
+		}
+		if len(got) != tc.want {
+			t.Errorf("%s: %d answers, want %d (%v)", tc.expr, len(got), tc.want, got)
+		}
+	}
+}
+
+func TestStreamAnswerDetails(t *testing.T) {
+	got, err := Evaluate(strings.NewReader(pharmaXML), tpq.MustParse("//Trial[//Status]/Patient"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("answers = %v", got)
+	}
+	a := got[0]
+	if a.Path != "/PharmaLab/Trials/Trial/Patient" {
+		t.Errorf("path = %s", a.Path)
+	}
+	if a.Text != "John Doe" {
+		t.Errorf("text = %q", a.Text)
+	}
+	// Index agrees with the in-memory parser.
+	d, _ := xmltree.ParseString(pharmaXML)
+	mem := tpq.MustParse("//Trial[//Status]/Patient").Evaluate(d)
+	if len(mem) != 1 || mem[0].Index != a.Index {
+		t.Errorf("index = %d, in-memory = %d", a.Index, mem[0].Index)
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	if _, err := Evaluate(strings.NewReader(""), tpq.MustParse("//a")); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := Evaluate(strings.NewReader("<a><b></a>"), tpq.MustParse("//a")); err == nil {
+		t.Error("malformed stream accepted")
+	}
+	bad := &tpq.Pattern{}
+	if _, err := Evaluate(strings.NewReader("<a/>"), bad); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+}
+
+func TestStreamDeepRecursion(t *testing.T) {
+	var b strings.Builder
+	const depth = 200
+	for i := 0; i < depth; i++ {
+		b.WriteString("<b>")
+	}
+	b.WriteString("<c/>")
+	for i := 0; i < depth; i++ {
+		b.WriteString("</b>")
+	}
+	got, err := Evaluate(strings.NewReader(b.String()), tpq.MustParse("//b[//c]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != depth {
+		t.Errorf("answers = %d, want %d", len(got), depth)
+	}
+	got, err = Evaluate(strings.NewReader(b.String()), tpq.MustParse("//b/b//c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("//b/b//c = %d answers, want 1", len(got))
+	}
+}
+
+// The streaming engine agrees with the in-memory engine on random
+// documents and patterns, including answer indexes.
+func TestQuickStreamAgreesWithMemory(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alphabet := []string{"a", "b", "c"}
+		d := xmltree.Generate(rng, xmltree.GenSpec{
+			Tags: alphabet, MaxDepth: 6, MaxFanout: 3, TargetSize: 40,
+		})
+		xmlSrc := d.XMLString()
+		for i := 0; i < 4; i++ {
+			p := workload.RandomPattern(rng, alphabet, 6)
+			mem := p.Evaluate(d)
+			memIdx := make(map[int]bool, len(mem))
+			for _, n := range mem {
+				memIdx[n.Index] = true
+			}
+			got, err := Evaluate(strings.NewReader(xmlSrc), p)
+			if err != nil {
+				t.Logf("stream error: %v", err)
+				return false
+			}
+			if len(got) != len(mem) {
+				t.Logf("p=%s d=%s: stream %d vs memory %d", p, d, len(got), len(mem))
+				return false
+			}
+			for _, a := range got {
+				if !memIdx[a.Index] {
+					t.Logf("p=%s d=%s: stray stream answer %v", p, d, a)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Wildcards work in the streaming engine too.
+func TestStreamWildcard(t *testing.T) {
+	got, err := Evaluate(strings.NewReader(pharmaXML), tpq.MustParse("//Trials/*[Patient]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("wildcard answers = %d, want 3", len(got))
+	}
+}

@@ -1,0 +1,39 @@
+package tpq
+
+import "fmt"
+
+// Compose builds the rewriting query E ∘ V from a compensation query E
+// and a view V (§2 of the paper): E's root is identified with V's
+// output node, E's subtrees are grafted there, and the composed query's
+// answer node is E's answer node. E's root tag must equal the view
+// output's tag (it denotes the same element). Neither input is
+// modified.
+func Compose(e, v *Pattern) (*Pattern, error) {
+	if e.Root == nil || v.Root == nil {
+		return nil, fmt.Errorf("tpq: compose with empty pattern")
+	}
+	if e.Root.Tag != v.Output.Tag && e.Root.Tag != Wildcard {
+		return nil, fmt.Errorf("tpq: compensation root %q does not match view output %q", e.Root.Tag, v.Output.Tag)
+	}
+	r, vm := v.Clone()
+	dVc := vm[v.Output]
+	ec := CloneSubtree(e.Root)
+	em := make(map[*Node]*Node)
+	mapClones(e.Root, ec, em)
+	for _, c := range ec.Children {
+		dVc.Attach(c.Axis, c)
+	}
+	if e.Output == e.Root {
+		r.Output = dVc
+	} else {
+		r.Output = em[e.Output]
+	}
+	return r, nil
+}
+
+func mapClones(orig, clone *Node, m map[*Node]*Node) {
+	m[orig] = clone
+	for i := range orig.Children {
+		mapClones(orig.Children[i], clone.Children[i], m)
+	}
+}

@@ -1,0 +1,152 @@
+package tpq
+
+import "qav/internal/xmltree"
+
+// Contains reports whether q' contains q, i.e. q ⊆ q' (q'(D) ⊇ q(D) on
+// every database D). For XP{/,//,[]} the existence of a homomorphism
+// from q' to q is necessary and sufficient (Amer-Yahia et al., Miklau &
+// Suciu, as cited in the paper), so this is a polynomial-time decision.
+//
+// A homomorphism h : q' -> q preserves tags, maps pc-edges to pc-edges,
+// maps ad-edges to proper ancestor/descendant pairs, maps the output of
+// q' to the output of q, and respects the root axes via the implicit
+// virtual document root.
+func Contained(q, qPrime *Pattern) bool {
+	h := &homChecker{
+		src: qPrime.Nodes(),
+		dst: q.Nodes(),
+	}
+	h.init(qPrime, q)
+	root := qPrime.Root
+	if root.Axis == Child {
+		// The virtual root's pc-edge forces q' root onto q's root, and
+		// q's root must itself be the document root.
+		return q.Root.Axis == Child && h.hom(root, q.Root)
+	}
+	for _, x := range h.dst {
+		if h.hom(root, x) {
+			return true
+		}
+	}
+	return false
+}
+
+// Equivalent reports q ≡ q' (mutual containment).
+func Equivalent(q, qPrime *Pattern) bool {
+	return Contained(q, qPrime) && Contained(qPrime, q)
+}
+
+// ProperlyContained reports q ⊂ q'.
+func ProperlyContained(q, qPrime *Pattern) bool {
+	return Contained(q, qPrime) && !Contained(qPrime, q)
+}
+
+type homChecker struct {
+	src, dst   []*Node
+	srcIdx     map[*Node]int
+	dstIdx     map[*Node]int
+	srcOut     *Node
+	dstOut     *Node
+	memo       []int8 // 0 unknown, 1 yes, -1 no; indexed src*|dst|+dst
+	descendant [][]*Node
+}
+
+func (h *homChecker) init(qPrime, q *Pattern) {
+	h.srcIdx = make(map[*Node]int, len(h.src))
+	for i, n := range h.src {
+		h.srcIdx[n] = i
+	}
+	h.dstIdx = make(map[*Node]int, len(h.dst))
+	for i, n := range h.dst {
+		h.dstIdx[n] = i
+	}
+	h.srcOut = qPrime.Output
+	h.dstOut = q.Output
+	h.memo = make([]int8, len(h.src)*len(h.dst))
+	// Precompute proper-descendant lists in q.
+	h.descendant = make([][]*Node, len(h.dst))
+	var collect func(anc int, n *Node)
+	collect = func(anc int, n *Node) {
+		for _, c := range n.Children {
+			h.descendant[anc] = append(h.descendant[anc], c)
+			collect(anc, c)
+		}
+	}
+	for i, n := range h.dst {
+		collect(i, n)
+	}
+}
+
+// hom reports whether the subtree of q' rooted at x can map to q with
+// h(x) = y.
+func (h *homChecker) hom(x, y *Node) bool {
+	xi, yi := h.srcIdx[x], h.dstIdx[y]
+	k := xi*len(h.dst) + yi
+	if v := h.memo[k]; v != 0 {
+		return v == 1
+	}
+	ok := h.homCompute(x, y, yi)
+	if ok {
+		h.memo[k] = 1
+	} else {
+		h.memo[k] = -1
+	}
+	return ok
+}
+
+func (h *homChecker) homCompute(x, y *Node, yi int) bool {
+	if !homTagMatches(x.Tag, y.Tag) {
+		return false
+	}
+	// The output of q' must land exactly on the output of q.
+	if x == h.srcOut && y != h.dstOut {
+		return false
+	}
+	for _, cx := range x.Children {
+		found := false
+		switch cx.Axis {
+		case Child:
+			for _, cy := range y.Children {
+				if cy.Axis == Child && h.hom(cx, cy) {
+					found = true
+					break
+				}
+			}
+		case Descendant:
+			for _, cy := range h.descendant[yi] {
+				if h.hom(cx, cy) {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// CanonicalDocument materializes the pattern's canonical database: one
+// element per pattern node, every edge realized at distance one. The
+// image of the output node is returned alongside the document. Every
+// pattern in XP{/,//,[]} is satisfiable, and its canonical database is a
+// smallest witness.
+func (p *Pattern) CanonicalDocument() (*xmltree.Document, *xmltree.Node) {
+	var outImg *xmltree.Node
+	var build func(q *Node) *xmltree.Node
+	build = func(q *Node) *xmltree.Node {
+		n := &xmltree.Node{Tag: q.Tag}
+		if q == p.Output {
+			outImg = n
+		}
+		for _, c := range q.Children {
+			k := build(c)
+			k.Parent = n
+			n.Children = append(n.Children, k)
+		}
+		return n
+	}
+	doc := xmltree.NewDocument(build(p.Root))
+	return doc, outImg
+}

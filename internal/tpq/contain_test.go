@@ -1,0 +1,211 @@
+package tpq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qav/internal/xmltree"
+)
+
+func TestContainedBasics(t *testing.T) {
+	tests := []struct {
+		q, qp string
+		want  bool
+	}{
+		// Reflexive.
+		{"//a", "//a", true},
+		{"/a/b", "/a/b", true},
+		// Child is contained in descendant, not vice versa.
+		{"/a/b", "/a//b", true},
+		{"/a//b", "/a/b", false},
+		// '/' root is contained in '//' root.
+		{"/a", "//a", true},
+		{"//a", "/a", false},
+		// Adding predicates shrinks the query.
+		{"//a[b]", "//a", true},
+		{"//a", "//a[b]", false},
+		{"//a[b][c]", "//a[b]", true},
+		// Paper §1: //Trials//Trial[//Status] ⊆ //Trials[//Status]//Trial
+		// because descendants of Trial are descendants of Trials.
+		{"//Trials//Trial[//Status]", "//Trials[//Status]//Trial", true},
+		{"//Trials[//Status]//Trial", "//Trials//Trial[//Status]", false},
+		// Different output positions are incomparable even when the
+		// trees are identical.
+		{"//a/b", "//a[b]", false},
+		{"//a[b]", "//a/b", false},
+		// Longer paths into shorter descendant edges.
+		{"//a/b/c", "//a//c", true},
+		{"//a//c", "//a/b/c", false},
+		// Incomparable tags.
+		{"//a", "//b", false},
+		// §6 example: //b//a is contained in //a (Q=//a, V=//b; the
+		// rewriting //b//a is a CR of Q though Q and V are incomparable).
+		{"//b//a", "//a", true},
+		{"//a", "//b//a", false},
+		// Predicate structure must be coverable.
+		{"//a[b/c]", "//a[b][//c]", true},
+		{"//a[b][//c]", "//a[b/c]", false},
+	}
+	for _, tc := range tests {
+		q, qp := MustParse(tc.q), MustParse(tc.qp)
+		if got := Contained(q, qp); got != tc.want {
+			t.Errorf("Contained(%s ⊆ %s) = %v, want %v", tc.q, tc.qp, got, tc.want)
+		}
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	if !Equivalent(MustParse("//a[b][b]"), MustParse("//a[b]")) {
+		t.Error("duplicate predicates should be equivalent")
+	}
+	if Equivalent(MustParse("//a[b]"), MustParse("//a")) {
+		t.Error("//a[b] is not equivalent to //a")
+	}
+	if !ProperlyContained(MustParse("//a[b]"), MustParse("//a")) {
+		t.Error("//a[b] ⊂ //a expected")
+	}
+}
+
+// Containment must be sound w.r.t. evaluation: if q ⊆ q' then on every
+// document q's answers are a subset of q”s.
+func TestQuickContainmentSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alphabet := []string{"a", "b", "c"}
+		q := randomPattern(rng, alphabet, 5)
+		qp := randomPattern(rng, alphabet, 5)
+		if !Contained(q, qp) {
+			return true // nothing to check
+		}
+		for trial := 0; trial < 5; trial++ {
+			d := xmltree.Generate(rng, xmltree.GenSpec{
+				Tags: alphabet, MaxDepth: 5, MaxFanout: 3, TargetSize: 20,
+			})
+			inQP := make(map[*xmltree.Node]bool)
+			for _, n := range qp.Evaluate(d) {
+				inQP[n] = true
+			}
+			for _, n := range q.Evaluate(d) {
+				if !inQP[n] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Completeness on canonical documents: if q ⊄ q', then q's canonical
+// document (which q matches) provides a witness unless q' also matches
+// it at the same node. This is the classical canonical-model argument
+// for the //-free part; with // edges a failure of containment implies
+// SOME counterexample exists, and the canonical document is one for
+// pc-only patterns. We check the pc-only case exactly.
+func TestQuickContainmentCompletePCOnly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alphabet := []string{"a", "b"}
+		q := randomPCPattern(rng, alphabet, 5)
+		qp := randomPCPattern(rng, alphabet, 5)
+		doc, outImg := q.CanonicalDocument()
+		matches := false
+		for _, n := range qp.Evaluate(doc) {
+			if n == outImg {
+				matches = true
+			}
+		}
+		// For pc-only patterns, q ⊆ q' iff q' picks out q's output image
+		// on q's canonical document.
+		return Contained(q, qp) == matches
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomPCPattern(rng *rand.Rand, alphabet []string, maxNodes int) *Pattern {
+	p := randomPattern(rng, alphabet, maxNodes)
+	for _, n := range p.Nodes() {
+		n.Axis = Child
+	}
+	return p
+}
+
+func TestContainmentTransitivity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alphabet := []string{"a", "b"}
+		p1 := randomPattern(rng, alphabet, 4)
+		p2 := randomPattern(rng, alphabet, 4)
+		p3 := randomPattern(rng, alphabet, 4)
+		if Contained(p1, p2) && Contained(p2, p3) && !Contained(p1, p3) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionEvaluateAndRedundancy(t *testing.T) {
+	d := pharmaDoc()
+	u := NewUnion(
+		MustParse("//Trials//Trial[//Status]"), // ⊂ //Trials//Trial
+		MustParse("//Trials//Trial"),
+		MustParse("//Trials/Trial"), // ⊂ //Trials//Trial
+	)
+	got := u.Evaluate(d)
+	if len(got) != 3 {
+		t.Fatalf("union answers = %d, want 3", len(got))
+	}
+	trimmed := u.RemoveRedundant()
+	if len(trimmed.Patterns) != 1 {
+		t.Fatalf("RemoveRedundant kept %d, want 1 (//Trials//Trial contains the others)", len(trimmed.Patterns))
+	}
+	if trimmed.Patterns[0].String() != "//Trials//Trial" {
+		t.Errorf("kept %s", trimmed.Patterns[0])
+	}
+	if !u.SameAs(trimmed) {
+		t.Error("redundancy removal changed the union semantics")
+	}
+}
+
+func TestUnionRemoveRedundantKeepsOneOfEquivalent(t *testing.T) {
+	u := NewUnion(MustParse("//a[b][b]"), MustParse("//a[b]"), MustParse("//a[c]"))
+	trimmed := u.RemoveRedundant()
+	if len(trimmed.Patterns) != 2 {
+		t.Fatalf("kept %d disjuncts, want 2: %s", len(trimmed.Patterns), trimmed)
+	}
+}
+
+func TestUnionContainedIn(t *testing.T) {
+	u := NewUnion(MustParse("//a/b"), MustParse("//a//b[c]"))
+	if !u.ContainedIn(MustParse("//a//b")) {
+		t.Error("union should be contained in //a//b")
+	}
+	if u.ContainedIn(MustParse("//a/b")) {
+		t.Error("union is not contained in //a/b")
+	}
+	var empty *Union
+	if !empty.Empty() {
+		t.Error("nil union should be empty")
+	}
+	if empty.Size() != 0 {
+		t.Error("nil union size")
+	}
+}
+
+func TestUnionString(t *testing.T) {
+	u := NewUnion(MustParse("//b"), MustParse("//a"))
+	if got := u.String(); got != "//a U //b" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (&Union{}).String(); got != "∅" {
+		t.Errorf("empty String = %q", got)
+	}
+}

@@ -1,0 +1,56 @@
+package tpq
+
+import "qav/internal/xmltree"
+
+// dummyTag is a tag assumed not to occur in queries; it pads stretched
+// ad-edges in counterexample documents.
+const dummyTag = "∅dummy"
+
+// Counterexample produces a witness database for non-containment: if
+// q ⊄ q', it returns a document D and a node x ∈ q(D) with x ∉ q'(D).
+// If q ⊆ q' it returns ok = false.
+//
+// Construction (the classical canonical-model argument behind
+// homomorphism completeness for XP{/,//,[]}): take q's canonical
+// document and stretch every ad-edge, including the virtual root edge
+// of a '//' query root, with one fresh dummy-tagged node. A matching of
+// q' into the stretched document cannot use the dummy nodes (their tag
+// occurs in no query) and therefore induces a homomorphism q' → q; so
+// when no homomorphism exists, the stretched document is a witness.
+// Wildcard patterns are rejected (the argument needs fresh tags).
+func Counterexample(q, qPrime *Pattern) (*xmltree.Document, *xmltree.Node, bool) {
+	if q.HasWildcard() || qPrime.HasWildcard() {
+		return nil, nil, false
+	}
+	if Contained(q, qPrime) {
+		return nil, nil, false
+	}
+	var outImg *xmltree.Node
+	var build func(qn *Node) *xmltree.Node
+	build = func(qn *Node) *xmltree.Node {
+		n := &xmltree.Node{Tag: qn.Tag}
+		if qn == q.Output {
+			outImg = n
+		}
+		for _, c := range qn.Children {
+			child := build(c)
+			if c.Axis == Descendant {
+				pad := &xmltree.Node{Tag: dummyTag}
+				child.Parent = pad
+				pad.Children = []*xmltree.Node{child}
+				child = pad
+			}
+			child.Parent = n
+			n.Children = append(n.Children, child)
+		}
+		return n
+	}
+	root := build(q.Root)
+	if q.Root.Axis == Descendant {
+		pad := &xmltree.Node{Tag: dummyTag}
+		root.Parent = pad
+		pad.Children = []*xmltree.Node{root}
+		root = pad
+	}
+	return xmltree.NewDocument(root), outImg, true
+}

@@ -1,0 +1,85 @@
+package tpq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterexampleBasics(t *testing.T) {
+	cases := []struct{ q, qp string }{
+		{"/a//b", "/a/b"},
+		{"//a", "/a"},
+		{"//a", "//a[b]"},
+		{"//Trials[//Status]//Trial", "//Trials//Trial[//Status]"},
+		{"//a//c", "//a/b/c"},
+	}
+	for _, tc := range cases {
+		q, qp := MustParse(tc.q), MustParse(tc.qp)
+		d, x, ok := Counterexample(q, qp)
+		if !ok {
+			t.Errorf("%s ⊄ %s but no counterexample produced", tc.q, tc.qp)
+			continue
+		}
+		inQ := false
+		for _, n := range q.Evaluate(d) {
+			if n == x {
+				inQ = true
+			}
+		}
+		if !inQ {
+			t.Errorf("%s: witness not a q answer on %s", tc.q, d)
+			continue
+		}
+		for _, n := range qp.Evaluate(d) {
+			if n == x {
+				t.Errorf("%s vs %s: witness also answers q' on %s", tc.q, tc.qp, d)
+			}
+		}
+	}
+}
+
+func TestCounterexampleNoneWhenContained(t *testing.T) {
+	if _, _, ok := Counterexample(MustParse("/a/b"), MustParse("/a//b")); ok {
+		t.Error("counterexample produced for a valid containment")
+	}
+	if _, _, ok := Counterexample(MustParse("//a[*]"), MustParse("//a")); ok {
+		t.Error("wildcard inputs must be rejected")
+	}
+}
+
+// The constructive witness validates every negative containment
+// decision: whenever Contained says no, the counterexample separates
+// the two queries on a real document.
+func TestQuickCounterexampleValidatesNonContainment(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alphabet := []string{"a", "b"}
+		q := randomPattern(rng, alphabet, 5)
+		qp := randomPattern(rng, alphabet, 5)
+		d, x, ok := Counterexample(q, qp)
+		if !ok {
+			return true // contained: nothing to witness
+		}
+		inQ := false
+		for _, n := range q.Evaluate(d) {
+			if n == x {
+				inQ = true
+			}
+		}
+		if !inQ {
+			t.Logf("witness not in q(D): q=%s q'=%s D=%s", q, qp, d)
+			return false
+		}
+		for _, n := range qp.Evaluate(d) {
+			if n == x {
+				t.Logf("witness in q'(D): q=%s q'=%s D=%s", q, qp, d)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600}); err != nil {
+		t.Error(err)
+	}
+}

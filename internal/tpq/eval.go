@@ -1,0 +1,307 @@
+package tpq
+
+import (
+	"qav/internal/xmltree"
+)
+
+// Evaluate computes the answer Q(D): the set of document nodes x such
+// that some matching h : Q -> D has h(output) = x. A matching preserves
+// tags, maps pc-edges to parent/child pairs and ad-edges to proper
+// ancestor/descendant pairs, and maps the pattern root according to its
+// root axis ("/t" must match the document root; "//t" matches anywhere).
+//
+// The result is in document preorder. Runs in O(|Q| * |D|) time.
+func (p *Pattern) Evaluate(d *xmltree.Document) []*xmltree.Node {
+	if p.Root == nil || d.Root == nil {
+		return nil
+	}
+	e := &evaluator{doc: d}
+	e.index(p)
+
+	// Bottom-up: sat[qi][di] == true iff the pattern subtree rooted at
+	// node qi embeds at document node di.
+	nQ, nD := len(e.qnodes), d.Size()
+	sat := make([][]bool, nQ)
+	buf := make([]bool, nQ*nD)
+	for i := range sat {
+		sat[i], buf = buf[:nD], buf[nD:]
+	}
+	for qi := nQ - 1; qi >= 0; qi-- {
+		q := e.qnodes[qi]
+		for di, dn := range d.Nodes {
+			sat[qi][di] = tagMatches(q.Tag, dn.Tag)
+		}
+		for _, c := range q.Children {
+			ci := e.qindex[c]
+			switch c.Axis {
+			case Child:
+				for di, dn := range d.Nodes {
+					if !sat[qi][di] {
+						continue
+					}
+					ok := false
+					for _, k := range dn.Children {
+						if sat[ci][k.Index] {
+							ok = true
+							break
+						}
+					}
+					sat[qi][di] = ok
+				}
+			case Descendant:
+				// hasDesc[di] == some proper descendant of di satisfies c.
+				hasDesc := descendantClosure(d, sat[ci])
+				for di := range d.Nodes {
+					sat[qi][di] = sat[qi][di] && hasDesc[di]
+				}
+			}
+		}
+	}
+
+	// Top-down along the distinguished path: reach[di] == the current
+	// path node can be the image of di in some complete matching.
+	path := p.DistinguishedPath()
+	reach := make([]bool, nD)
+	rootIdx := e.qindex[p.Root]
+	if p.Root.Axis == Child {
+		reach[d.Root.Index] = sat[rootIdx][d.Root.Index]
+	} else {
+		for di := range d.Nodes {
+			reach[di] = sat[rootIdx][di]
+		}
+	}
+	for _, q := range path[1:] {
+		qi := e.qindex[q]
+		next := make([]bool, nD)
+		switch q.Axis {
+		case Child:
+			for di, dn := range d.Nodes {
+				if reach[di] {
+					for _, k := range dn.Children {
+						if sat[qi][k.Index] {
+							next[k.Index] = true
+						}
+					}
+				}
+			}
+		case Descendant:
+			under := underReachable(d, reach)
+			for di := range d.Nodes {
+				next[di] = under[di] && sat[qi][di]
+			}
+		}
+		reach = next
+	}
+
+	var out []*xmltree.Node
+	for di, ok := range reach {
+		if ok {
+			out = append(out, d.Nodes[di])
+		}
+	}
+	return out
+}
+
+// Matches reports whether Q(D) is non-empty.
+func (p *Pattern) Matches(d *xmltree.Document) bool {
+	return len(p.Evaluate(d)) > 0
+}
+
+// descendantClosure returns, for every document node, whether some
+// proper descendant has the property given by sat (indexed by node
+// Index).
+func descendantClosure(d *xmltree.Document, sat []bool) []bool {
+	out := make([]bool, d.Size())
+	var walk func(n *xmltree.Node) bool // subtree (incl. n) has sat node
+	walk = func(n *xmltree.Node) bool {
+		any := false
+		for _, c := range n.Children {
+			if walk(c) {
+				any = true
+			}
+		}
+		out[n.Index] = any
+		return any || sat[n.Index]
+	}
+	if d.Root != nil {
+		walk(d.Root)
+	}
+	return out
+}
+
+// underReachable returns, for every document node, whether some proper
+// ancestor has the property given by reach.
+func underReachable(d *xmltree.Document, reach []bool) []bool {
+	out := make([]bool, d.Size())
+	var walk func(n *xmltree.Node, above bool)
+	walk = func(n *xmltree.Node, above bool) {
+		out[n.Index] = above
+		for _, c := range n.Children {
+			walk(c, above || reach[n.Index])
+		}
+	}
+	if d.Root != nil {
+		walk(d.Root, false)
+	}
+	return out
+}
+
+type evaluator struct {
+	doc    *xmltree.Document
+	qnodes []*Node
+	qindex map[*Node]int
+}
+
+func (e *evaluator) index(p *Pattern) {
+	e.qnodes = p.Nodes()
+	e.qindex = make(map[*Node]int, len(e.qnodes))
+	for i, n := range e.qnodes {
+		e.qindex[n] = i
+	}
+}
+
+// Prepared is a pattern compiled for repeated EvaluateAt calls: the
+// node indexing is done once, so evaluating a compensation query over
+// thousands of materialized view nodes pays only per-subtree work.
+type Prepared struct {
+	p      *Pattern
+	qnodes []*Node
+	qindex map[*Node]int
+	path   []*Node
+}
+
+// Prepare compiles the pattern for repeated evaluation.
+func (p *Pattern) Prepare() *Prepared {
+	pp := &Prepared{p: p, qnodes: p.Nodes(), path: p.DistinguishedPath()}
+	pp.qindex = make(map[*Node]int, len(pp.qnodes))
+	for i, n := range pp.qnodes {
+		pp.qindex[n] = i
+	}
+	return pp
+}
+
+// EvaluateAt computes the answers of the pattern when its root is
+// pinned to the given document node (the root's own axis is ignored).
+// This is how compensation queries run against a materialized view: the
+// pattern is matched inside ctx's subtree with root ↦ ctx, in time
+// proportional to |pattern| × |subtree| — independent of the rest of
+// the document. Returns nil if ctx's tag does not match the pattern
+// root.
+func (p *Pattern) EvaluateAt(d *xmltree.Document, ctx *xmltree.Node) []*xmltree.Node {
+	return p.Prepare().EvaluateAt(d, ctx)
+}
+
+// EvaluateAt is the compiled form of Pattern.EvaluateAt.
+func (pp *Prepared) EvaluateAt(d *xmltree.Document, ctx *xmltree.Node) []*xmltree.Node {
+	p := pp.p
+	if p.Root == nil || ctx == nil || !tagMatches(p.Root.Tag, ctx.Tag) {
+		return nil
+	}
+	window := ctx.Subtree() // contiguous preorder slice of the subtree
+	base := ctx.Index
+	nQ, nD := len(pp.qnodes), len(window)
+	sat := make([][]bool, nQ)
+	buf := make([]bool, nQ*nD)
+	for i := range sat {
+		sat[i], buf = buf[:nD], buf[nD:]
+	}
+	for qi := nQ - 1; qi >= 0; qi-- {
+		q := pp.qnodes[qi]
+		for wi, dn := range window {
+			sat[qi][wi] = tagMatches(q.Tag, dn.Tag)
+		}
+		for _, c := range q.Children {
+			ci := pp.qindex[c]
+			switch c.Axis {
+			case Child:
+				for wi, dn := range window {
+					if !sat[qi][wi] {
+						continue
+					}
+					ok := false
+					for _, k := range dn.Children {
+						if sat[ci][k.Index-base] {
+							ok = true
+							break
+						}
+					}
+					sat[qi][wi] = ok
+				}
+			case Descendant:
+				hasDesc := subtreeDescendantClosure(ctx, base, sat[ci])
+				for wi := range window {
+					sat[qi][wi] = sat[qi][wi] && hasDesc[wi]
+				}
+			}
+		}
+	}
+	rootIdx := pp.qindex[p.Root]
+	if !sat[rootIdx][0] {
+		return nil
+	}
+	reach := make([]bool, nD)
+	reach[0] = true
+	for _, q := range pp.path[1:] {
+		qi := pp.qindex[q]
+		next := make([]bool, nD)
+		switch q.Axis {
+		case Child:
+			for wi, dn := range window {
+				if reach[wi] {
+					for _, k := range dn.Children {
+						if sat[qi][k.Index-base] {
+							next[k.Index-base] = true
+						}
+					}
+				}
+			}
+		case Descendant:
+			under := subtreeUnderReachable(ctx, base, reach)
+			for wi := range window {
+				next[wi] = under[wi] && sat[qi][wi]
+			}
+		}
+		reach = next
+	}
+	var out []*xmltree.Node
+	for wi, ok := range reach {
+		if ok {
+			out = append(out, window[wi])
+		}
+	}
+	return out
+}
+
+// subtreeDescendantClosure is descendantClosure restricted to the
+// subtree of ctx, indexed relative to ctx.Index.
+func subtreeDescendantClosure(ctx *xmltree.Node, base int, sat []bool) []bool {
+	out := make([]bool, len(sat))
+	var walk func(n *xmltree.Node) bool
+	walk = func(n *xmltree.Node) bool {
+		any := false
+		for _, c := range n.Children {
+			if walk(c) {
+				any = true
+			}
+		}
+		out[n.Index-base] = any
+		return any || sat[n.Index-base]
+	}
+	walk(ctx)
+	return out
+}
+
+// subtreeUnderReachable is underReachable restricted to the subtree of
+// ctx, indexed relative to ctx.Index.
+func subtreeUnderReachable(ctx *xmltree.Node, base int, reach []bool) []bool {
+	out := make([]bool, len(reach))
+	var walk func(n *xmltree.Node, above bool)
+	walk = func(n *xmltree.Node, above bool) {
+		out[n.Index-base] = above
+		for _, c := range n.Children {
+			walk(c, above || reach[n.Index-base])
+		}
+	}
+	walk(ctx, false)
+	return out
+}

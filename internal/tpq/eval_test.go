@@ -1,0 +1,245 @@
+package tpq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qav/internal/xmltree"
+)
+
+// pharmaDoc builds the Figure 1(a) document. Node numbering follows the
+// paper: 1 PharmaLab, 2 Trials(T1), 3 Trial, 4 Patient, 10 Status,
+// 11 Trial, 12 Patient, 13 Trials(T2), 14 Trial, 15 Patient.
+func pharmaDoc() *xmltree.Document {
+	return xmltree.NewDocument(xmltree.Build("PharmaLab",
+		xmltree.Build("Trials",
+			xmltree.Build("Trial", xmltree.Build("Patient"), xmltree.Build("Status")),
+			xmltree.Build("Trial", xmltree.Build("Patient")),
+		),
+		xmltree.Build("Trials",
+			xmltree.Build("Trial", xmltree.Build("Patient")),
+		),
+	))
+}
+
+func tags(ns []*xmltree.Node) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = n.Tag
+	}
+	return out
+}
+
+func paths(ns []*xmltree.Node) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = n.Path()
+	}
+	return out
+}
+
+func TestEvaluateFigure1(t *testing.T) {
+	d := pharmaDoc()
+	// The view //Trials//Trial returns all three Trial elements.
+	v := MustParse("//Trials//Trial")
+	if got := v.Evaluate(d); len(got) != 3 {
+		t.Fatalf("view answers = %v, want 3 Trials", paths(got))
+	}
+	// The query //Trials[//Status]//Trial returns the two Trial children
+	// of the first Trials (nodes 3, 11 in the paper).
+	q := MustParse("//Trials[//Status]//Trial")
+	got := q.Evaluate(d)
+	if len(got) != 2 {
+		t.Fatalf("query answers = %v, want 2", paths(got))
+	}
+	firstTrials := d.Root.Children[0]
+	for _, n := range got {
+		if n.Parent != firstTrials {
+			t.Errorf("answer %s not under the Status-bearing Trials", n.Path())
+		}
+	}
+	// The rewriting //Trials//Trial[//Status] returns only the first
+	// Trial (node 3) — strictly fewer answers, but sound.
+	r := MustParse("//Trials//Trial[//Status]")
+	rgot := r.Evaluate(d)
+	if len(rgot) != 1 || rgot[0] != firstTrials.Children[0] {
+		t.Fatalf("rewriting answers = %v, want only the first Trial", paths(rgot))
+	}
+}
+
+func TestEvaluateRootAxis(t *testing.T) {
+	d := xmltree.NewDocument(xmltree.Build("a", xmltree.Build("a", xmltree.Build("b"))))
+	if got := MustParse("/a").Evaluate(d); len(got) != 1 || got[0] != d.Root {
+		t.Errorf("/a = %v", paths(got))
+	}
+	if got := MustParse("//a").Evaluate(d); len(got) != 2 {
+		t.Errorf("//a = %v, want both a nodes", paths(got))
+	}
+	if got := MustParse("/b").Evaluate(d); len(got) != 0 {
+		t.Errorf("/b = %v, want empty", paths(got))
+	}
+	if got := MustParse("//b").Evaluate(d); len(got) != 1 {
+		t.Errorf("//b = %v", paths(got))
+	}
+}
+
+func TestEvaluateChildVsDescendant(t *testing.T) {
+	// a -> b -> c: /a/c matches nothing, /a//c matches c.
+	d := xmltree.NewDocument(xmltree.Build("a", xmltree.Build("b", xmltree.Build("c"))))
+	if got := MustParse("/a/c").Evaluate(d); len(got) != 0 {
+		t.Errorf("/a/c = %v", paths(got))
+	}
+	if got := MustParse("/a//c").Evaluate(d); len(got) != 1 {
+		t.Errorf("/a//c = %v", paths(got))
+	}
+	// Descendant is proper: //a//a on a single a matches nothing.
+	single := xmltree.NewDocument(xmltree.Build("a"))
+	if got := MustParse("//a//a").Evaluate(single); len(got) != 0 {
+		t.Errorf("//a//a on single a = %v", paths(got))
+	}
+}
+
+func TestEvaluatePredicatesFilter(t *testing.T) {
+	d := xmltree.NewDocument(xmltree.Build("r",
+		xmltree.Build("x", xmltree.Build("y"), xmltree.Build("z")),
+		xmltree.Build("x", xmltree.Build("y")),
+		xmltree.Build("x", xmltree.Build("z")),
+	))
+	got := MustParse("/r/x[y][z]").Evaluate(d)
+	if len(got) != 1 || got[0] != d.Root.Children[0] {
+		t.Errorf("/r/x[y][z] = %v", paths(got))
+	}
+	got = MustParse("/r/x[y]").Evaluate(d)
+	if len(got) != 2 {
+		t.Errorf("/r/x[y] = %v", paths(got))
+	}
+}
+
+func TestEvaluateSameTagChain(t *testing.T) {
+	// b/b/b chain: //b//b needs two distinct b's on a path.
+	d := xmltree.NewDocument(xmltree.Build("b", xmltree.Build("b", xmltree.Build("b"))))
+	got := MustParse("//b//b").Evaluate(d)
+	if len(got) != 2 {
+		t.Errorf("//b//b = %v, want the two lower b's", paths(got))
+	}
+	got = MustParse("//b//b//b").Evaluate(d)
+	if len(got) != 1 {
+		t.Errorf("//b//b//b = %v, want the deepest b", paths(got))
+	}
+}
+
+func TestEvaluateAnswersAreSet(t *testing.T) {
+	// Multiple matchings must not duplicate answers: both b children
+	// witness the predicate, the answer node appears once.
+	d := xmltree.NewDocument(xmltree.Build("a",
+		xmltree.Build("b"), xmltree.Build("b"), xmltree.Build("c"),
+	))
+	got := MustParse("//a[b]/c").Evaluate(d)
+	if len(got) != 1 {
+		t.Errorf("answers duplicated: %v", paths(got))
+	}
+}
+
+func TestCanonicalDocumentMatchesItself(t *testing.T) {
+	exprs := []string{
+		"/a", "//a//b", "//Trials[//Status]//Trial",
+		"//a//a/b/c[d][//a/b/c/e]", "/a[b[//c][d]]/e",
+	}
+	for _, e := range exprs {
+		p := MustParse(e)
+		doc, outImg := p.CanonicalDocument()
+		got := p.Evaluate(doc)
+		found := false
+		for _, n := range got {
+			if n == outImg {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s does not match its canonical document (answers %v)", e, paths(got))
+		}
+	}
+}
+
+// naiveEvaluate enumerates all matchings by brute force, for
+// cross-checking Evaluate on random inputs.
+func naiveEvaluate(p *Pattern, d *xmltree.Document) map[*xmltree.Node]bool {
+	answers := make(map[*xmltree.Node]bool)
+	qnodes := p.Nodes()
+	assign := make(map[*Node]*xmltree.Node, len(qnodes))
+	var try func(i int) // assign qnodes[i..]
+	try = func(i int) {
+		if i == len(qnodes) {
+			answers[assign[p.Output]] = true
+			return
+		}
+		q := qnodes[i]
+		var candidates []*xmltree.Node
+		if q.Parent == nil {
+			if q.Axis == Child {
+				candidates = []*xmltree.Node{d.Root}
+			} else {
+				candidates = d.Nodes
+			}
+		} else {
+			img := assign[q.Parent]
+			if q.Axis == Child {
+				candidates = img.Children
+			} else {
+				candidates = img.Subtree()[1:]
+			}
+		}
+		for _, c := range candidates {
+			if c.Tag != q.Tag {
+				continue
+			}
+			assign[q] = c
+			try(i + 1)
+		}
+		delete(assign, q)
+	}
+	try(0)
+	return answers
+}
+
+func TestQuickEvaluateAgainstNaive(t *testing.T) {
+	tagsets := [][]string{{"a", "b"}, {"a", "b", "c"}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := xmltree.Generate(rng, xmltree.GenSpec{
+			Tags: tagsets[rng.Intn(len(tagsets))], MaxDepth: 5, MaxFanout: 3, TargetSize: 18,
+		})
+		p := randomPattern(rng, []string{"a", "b", "c"}, 5)
+		want := naiveEvaluate(p, d)
+		got := p.Evaluate(d)
+		if len(got) != len(want) {
+			return false
+		}
+		for _, n := range got {
+			if !want[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomPattern builds a random pattern with up to maxNodes nodes.
+func randomPattern(rng *rand.Rand, alphabet []string, maxNodes int) *Pattern {
+	n := 1 + rng.Intn(maxNodes)
+	axis := Axis(rng.Intn(2))
+	p := New(axis, alphabet[rng.Intn(len(alphabet))])
+	nodes := []*Node{p.Root}
+	for len(nodes) < n {
+		parent := nodes[rng.Intn(len(nodes))]
+		c := parent.AddChild(Axis(rng.Intn(2)), alphabet[rng.Intn(len(alphabet))])
+		nodes = append(nodes, c)
+	}
+	p.Output = nodes[rng.Intn(len(nodes))]
+	// Output must be reachable on a root path; any node qualifies.
+	return p
+}

@@ -1,0 +1,188 @@
+package tpq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qav/internal/xmltree"
+)
+
+func TestEvaluateAtPinsContext(t *testing.T) {
+	d := pharmaDoc()
+	// Compensation .[//Status] from the paper: pin Trial at each view
+	// node; only the first Trial subtree contains a Status.
+	e := MustParse("//Trial[//Status]")
+	viewNodes := MustParse("//Trials//Trial").Evaluate(d)
+	if len(viewNodes) != 3 {
+		t.Fatal("setup: expected 3 view nodes")
+	}
+	var hits []*xmltree.Node
+	for _, vn := range viewNodes {
+		hits = append(hits, e.EvaluateAt(d, vn)...)
+	}
+	if len(hits) != 1 || hits[0] != viewNodes[0] {
+		t.Fatalf("EvaluateAt hits = %d, want only the first Trial", len(hits))
+	}
+	// Tag mismatch is nil, not panic.
+	if got := e.EvaluateAt(d, d.Root); got != nil {
+		t.Errorf("mismatched context gave %d answers", len(got))
+	}
+	if got := e.EvaluateAt(d, nil); got != nil {
+		t.Error("nil context gave answers")
+	}
+}
+
+func TestEvaluateAtScopedToSubtree(t *testing.T) {
+	// The Status in a SIBLING subtree must not satisfy the predicate:
+	// EvaluateAt works within the context subtree only.
+	d := xmltree.NewDocument(xmltree.Build("r",
+		xmltree.Build("t", xmltree.Build("Status")),
+		xmltree.Build("t", xmltree.Build("x")),
+	))
+	e := MustParse("//t[//Status]")
+	first, second := d.Root.Children[0], d.Root.Children[1]
+	if got := e.EvaluateAt(d, first); len(got) != 1 {
+		t.Errorf("first subtree: %d answers, want 1", len(got))
+	}
+	if got := e.EvaluateAt(d, second); len(got) != 0 {
+		t.Errorf("second subtree: %d answers, want 0 (leaked across siblings)", len(got))
+	}
+}
+
+func TestEvaluateAtDeepOutput(t *testing.T) {
+	d := xmltree.NewDocument(xmltree.Build("t",
+		xmltree.Build("a", xmltree.Build("b")),
+		xmltree.Build("b"),
+	))
+	e := MustParse("//t/a/b")
+	got := e.EvaluateAt(d, d.Root)
+	if len(got) != 1 || got[0].Parent.Tag != "a" {
+		t.Fatalf("deep output wrong: %d answers", len(got))
+	}
+	e2 := MustParse("//t//b")
+	if got := e2.EvaluateAt(d, d.Root); len(got) != 2 {
+		t.Errorf("//t//b at root: %d answers, want 2", len(got))
+	}
+}
+
+// EvaluateAt must agree with the definition: full evaluation of the
+// pattern restricted to matchings with root ↦ ctx.
+func TestQuickEvaluateAtAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alphabet := []string{"a", "b", "c"}
+		d := xmltree.Generate(rng, xmltree.GenSpec{
+			Tags: alphabet, MaxDepth: 5, MaxFanout: 3, TargetSize: 20,
+		})
+		p := randomPattern(rng, alphabet, 5)
+		pp := p.Prepare()
+		for _, ctx := range d.Nodes {
+			got := make(map[*xmltree.Node]bool)
+			for _, n := range pp.EvaluateAt(d, ctx) {
+				got[n] = true
+			}
+			// Naive: all matchings with root pinned at ctx.
+			want := make(map[*xmltree.Node]bool)
+			for img := range naiveEvaluateAt(p, d, ctx) {
+				want[img] = true
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for n := range got {
+				if !want[n] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// naiveEvaluateAt enumerates matchings with the pattern root pinned.
+func naiveEvaluateAt(p *Pattern, d *xmltree.Document, ctx *xmltree.Node) map[*xmltree.Node]bool {
+	answers := make(map[*xmltree.Node]bool)
+	if p.Root.Tag != ctx.Tag {
+		return answers
+	}
+	qnodes := p.Nodes()
+	assign := map[*Node]*xmltree.Node{p.Root: ctx}
+	var try func(i int)
+	try = func(i int) {
+		if i == len(qnodes) {
+			answers[assign[p.Output]] = true
+			return
+		}
+		q := qnodes[i]
+		if q == p.Root {
+			try(i + 1)
+			return
+		}
+		img := assign[q.Parent]
+		var candidates []*xmltree.Node
+		if q.Axis == Child {
+			candidates = img.Children
+		} else {
+			candidates = img.Subtree()[1:]
+		}
+		for _, c := range candidates {
+			if c.Tag != q.Tag {
+				continue
+			}
+			assign[q] = c
+			try(i + 1)
+		}
+		delete(assign, q)
+	}
+	try(0)
+	return answers
+}
+
+func TestMatches(t *testing.T) {
+	d := pharmaDoc()
+	if !MustParse("//Status").Matches(d) {
+		t.Error("Matches = false for present element")
+	}
+	if MustParse("//Absent").Matches(d) {
+		t.Error("Matches = true for absent element")
+	}
+}
+
+func TestPatternNodeIsAncestorOf(t *testing.T) {
+	p := MustParse("//a/b[c]//d")
+	nodes := p.Nodes() // a, b, c, d
+	a, b, c, d := nodes[0], nodes[1], nodes[2], nodes[3]
+	if !a.IsAncestorOf(d) || !b.IsAncestorOf(c) || !a.IsAncestorOf(b) {
+		t.Error("ancestry not detected")
+	}
+	if c.IsAncestorOf(d) || d.IsAncestorOf(a) || a.IsAncestorOf(a) {
+		t.Error("false ancestry")
+	}
+}
+
+func TestUnionSize(t *testing.T) {
+	u := NewUnion(MustParse("//a/b"), MustParse("//c"))
+	if u.Size() != 3 {
+		t.Errorf("Size = %d, want 3", u.Size())
+	}
+	var nilU *Union
+	if nilU.Size() != 0 {
+		t.Error("nil union size")
+	}
+}
+
+func TestPreparedReuse(t *testing.T) {
+	d := pharmaDoc()
+	pp := MustParse("//Trial[Patient]").Prepare()
+	total := 0
+	for _, n := range d.Nodes {
+		total += len(pp.EvaluateAt(d, n))
+	}
+	if total != 3 {
+		t.Errorf("prepared evaluation found %d, want 3", total)
+	}
+}

@@ -1,0 +1,67 @@
+package tpq
+
+// Minimize returns an equivalent pattern of minimum size, following the
+// branch-elimination approach of Amer-Yahia et al. (the paper's [2]):
+// for wildcard-free tree patterns, the unique minimal equivalent
+// pattern is obtained by repeatedly deleting a redundant branch — a
+// subtree off the distinguished path whose removal leaves an equivalent
+// pattern. Removing constraints can only grow the answer set, so the
+// equivalence test reduces to one homomorphism check per candidate.
+//
+// The input is not modified. Contained rewritings keep their raw E ∘ V
+// shape (the compensation must stay aligned with the view); Minimize is
+// for presentation and for downstream optimizers.
+func Minimize(p *Pattern) *Pattern {
+	out, _ := p.Clone()
+	for {
+		removed := false
+		// Consider larger subtrees first: deleting one redundant branch
+		// can make its siblings' redundancy checks cheaper.
+		nodes := out.Nodes()
+		for i := len(nodes) - 1; i >= 1; i-- {
+			x := nodes[i]
+			if x.Parent == nil || out.OnDistinguishedPath(x) {
+				continue
+			}
+			if stillAttached(out, x) && removable(out, x) {
+				detach(x)
+				removed = true
+			}
+		}
+		if !removed {
+			return out
+		}
+	}
+}
+
+// stillAttached reports whether x is still part of the pattern (an
+// earlier removal this pass may have detached an ancestor).
+func stillAttached(p *Pattern, x *Node) bool {
+	n := x
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n == p.Root
+}
+
+// removable reports whether deleting the subtree at x preserves
+// equivalence. The reduced pattern p' always contains p (fewer
+// constraints), so equivalence holds iff p' ⊆ p, i.e. iff the deleted
+// constraints are implied by the rest.
+func removable(p *Pattern, x *Node) bool {
+	reduced, m := p.Clone()
+	detach(m[x])
+	return Contained(reduced, p)
+}
+
+// detach removes x from its parent's child list.
+func detach(x *Node) {
+	parent := x.Parent
+	for i, c := range parent.Children {
+		if c == x {
+			parent.Children = append(parent.Children[:i], parent.Children[i+1:]...)
+			break
+		}
+	}
+	x.Parent = nil
+}

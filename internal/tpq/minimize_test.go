@@ -1,0 +1,87 @@
+package tpq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinimizeBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		// Duplicate predicate.
+		{"//a[b][b]", "//a[b]"},
+		// A pc predicate implies the ad one.
+		{"//a[//b][b]", "//a[b]"},
+		// A deeper branch implies the shallow one.
+		{"//a[b/c][//c]", "//a[b/c]"},
+		// Nothing to remove.
+		{"//a[b][c]", "//a[b][c]"},
+		{"//Trials[//Status]//Trial", "//Trials[//Status]//Trial"},
+		// Self-similar branches: //a[//b[c]][//b] drops the weaker one.
+		{"//a[//b[c]][//b]", "//a[//b[c]]"},
+		// The path's own /b step witnesses the [b] predicate.
+		{"//a[b]/b", "//a/b"},
+		// ...but not a structurally richer predicate.
+		{"//a[b/c]/b", "//a[b/c]/b"},
+	}
+	for _, tc := range cases {
+		got := Minimize(MustParse(tc.in))
+		want := MustParse(tc.want)
+		if !got.StructuralEqual(want) {
+			t.Errorf("Minimize(%s) = %s, want %s", tc.in, got, tc.want)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("Minimize(%s) invalid: %v", tc.in, err)
+		}
+	}
+}
+
+func TestMinimizeDoesNotMutateInput(t *testing.T) {
+	p := MustParse("//a[b][b][//b]")
+	before := p.Canonical()
+	Minimize(p)
+	if p.Canonical() != before {
+		t.Error("Minimize mutated its input")
+	}
+}
+
+// Properties: equivalence, idempotence, and local minimality.
+func TestQuickMinimize(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPattern(rng, []string{"a", "b"}, 7)
+		m := Minimize(p)
+		if !Equivalent(p, m) {
+			t.Logf("not equivalent: %s vs %s", p, m)
+			return false
+		}
+		if m.Size() > p.Size() {
+			t.Logf("grew: %s -> %s", p, m)
+			return false
+		}
+		m2 := Minimize(m)
+		if m2.Size() != m.Size() {
+			t.Logf("not idempotent: %s -> %s -> %s", p, m, m2)
+			return false
+		}
+		// Local minimality: no single off-path subtree is removable.
+		for _, x := range m.Nodes()[1:] {
+			if m.OnDistinguishedPath(x) {
+				continue
+			}
+			reduced, mm := m.Clone()
+			detach(mm[x])
+			if Contained(reduced, m) {
+				t.Logf("still removable %s in %s", x.Tag, m)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

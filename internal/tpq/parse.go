@@ -1,0 +1,166 @@
+package tpq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses an XPath expression in the fragment XP{/,//,[]} into a
+// Pattern. The expression is a main path of steps, each "/tag" or
+// "//tag" with optional predicates "[...]"; the final step of the main
+// path is the distinguished (output) node. Inside a predicate a leading
+// axis may be omitted, defaulting to the child axis, e.g.
+// "//Auction[//item]//name" or "//a//b[c][//b/d]".
+func Parse(expr string) (*Pattern, error) {
+	p := &parser{src: expr}
+	pat, err := p.pattern()
+	if err != nil {
+		return nil, fmt.Errorf("tpq: parse %q: %w", expr, err)
+	}
+	return pat, nil
+}
+
+// MustParse is Parse but panics on error; intended for tests, examples
+// and literals whose validity is known statically.
+func MustParse(expr string) *Pattern {
+	p, err := Parse(expr)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("at offset %d: "+format, append([]any{p.pos}, args...)...)
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+// axis consumes '/' or '//' and reports which; ok is false if neither is
+// present.
+func (p *parser) axis() (Axis, bool) {
+	if p.peek() != '/' {
+		return 0, false
+	}
+	p.pos++
+	if p.peek() == '/' {
+		p.pos++
+		return Descendant, true
+	}
+	return Child, true
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.'
+}
+
+func (p *parser) name() (string, error) {
+	if p.peek() == '*' {
+		p.pos++
+		return Wildcard, nil
+	}
+	start := p.pos
+	if p.eof() || !isNameStart(p.peek()) {
+		return "", p.errf("expected element name")
+	}
+	for !p.eof() && isNameChar(p.peek()) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+// pattern parses a whole absolute path expression.
+func (p *parser) pattern() (*Pattern, error) {
+	p.src = strings.TrimSpace(p.src)
+	ax, ok := p.axis()
+	if !ok {
+		return nil, p.errf("pattern must start with '/' or '//'")
+	}
+	tag, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	pat := New(ax, tag)
+	cur := pat.Root
+	if err := p.predicates(cur); err != nil {
+		return nil, err
+	}
+	for !p.eof() {
+		ax, ok := p.axis()
+		if !ok {
+			return nil, p.errf("unexpected character %q", p.peek())
+		}
+		tag, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		cur = cur.AddChild(ax, tag)
+		if err := p.predicates(cur); err != nil {
+			return nil, err
+		}
+	}
+	pat.Output = cur
+	return pat, nil
+}
+
+// predicates parses zero or more "[...]" filters attached to n.
+func (p *parser) predicates(n *Node) error {
+	for p.peek() == '[' {
+		p.pos++
+		if err := p.relPath(n); err != nil {
+			return err
+		}
+		if p.peek() != ']' {
+			return p.errf("expected ']'")
+		}
+		p.pos++
+	}
+	return nil
+}
+
+// relPath parses a relative path inside a predicate and attaches it
+// under n. A missing leading axis means child.
+func (p *parser) relPath(n *Node) error {
+	ax, ok := p.axis()
+	if !ok {
+		ax = Child
+	}
+	tag, err := p.name()
+	if err != nil {
+		return err
+	}
+	cur := n.AddChild(ax, tag)
+	if err := p.predicates(cur); err != nil {
+		return err
+	}
+	for {
+		ax, ok := p.axis()
+		if !ok {
+			return nil
+		}
+		tag, err := p.name()
+		if err != nil {
+			return err
+		}
+		cur = cur.AddChild(ax, tag)
+		if err := p.predicates(cur); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package tpq implements tree pattern queries (TPQs), the XPath fragment
+// XP{/,//,[]} of the paper: rooted trees whose nodes carry element tags,
+// whose edges are pc-edges (child, '/') or ad-edges (descendant, '//'),
+// and which have one distinguished (output) node.
+//
+// A pattern is conceptually rooted at a virtual document root: the
+// pattern root's own Axis states whether the root must be the document
+// root (Child, written "/tag") or may be any node (Descendant, "//tag").
+package tpq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Axis is the type of the edge connecting a pattern node to its parent
+// (pc for '/', ad for '//').
+type Axis uint8
+
+const (
+	// Child is the pc (parent-child) axis, written '/'.
+	Child Axis = iota
+	// Descendant is the ad (ancestor-descendant) axis, written '//'.
+	Descendant
+)
+
+func (a Axis) String() string {
+	if a == Child {
+		return "/"
+	}
+	return "//"
+}
+
+// Node is a node of a tree pattern.
+type Node struct {
+	// Tag is the element tag the node must match.
+	Tag string
+	// Axis relates the node to its parent (or, for the pattern root, to
+	// the virtual document root).
+	Axis Axis
+	// Parent is nil for the pattern root.
+	Parent *Node
+	// Children of the node; order is not semantically significant.
+	Children []*Node
+}
+
+// AddChild appends a new child connected by the given axis and returns it.
+func (n *Node) AddChild(axis Axis, tag string) *Node {
+	c := &Node{Tag: tag, Axis: axis, Parent: n}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// Attach links an existing subtree under n with the given axis.
+func (n *Node) Attach(axis Axis, sub *Node) {
+	sub.Axis = axis
+	sub.Parent = n
+	n.Children = append(n.Children, sub)
+}
+
+// IsAncestorOf reports whether n is a proper ancestor of m in the pattern.
+func (n *Node) IsAncestorOf(m *Node) bool {
+	for x := m.Parent; x != nil; x = x.Parent {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Pattern is a tree pattern query with a distinguished output node.
+type Pattern struct {
+	// Root of the pattern. Root.Axis distinguishes "/a" from "//a".
+	Root *Node
+	// Output is the distinguished node (marked '*' in the paper's
+	// figures). It must be a node of the tree rooted at Root.
+	Output *Node
+}
+
+// New builds a pattern from a root node; the root is the output unless
+// changed afterwards.
+func New(rootAxis Axis, rootTag string) *Pattern {
+	r := &Node{Tag: rootTag, Axis: rootAxis}
+	return &Pattern{Root: r, Output: r}
+}
+
+// Nodes returns all pattern nodes in preorder.
+func (p *Pattern) Nodes() []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(n *Node) {
+		out = append(out, n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	if p.Root != nil {
+		walk(p.Root)
+	}
+	return out
+}
+
+// Size is the number of pattern nodes (|Q| in the paper).
+func (p *Pattern) Size() int { return len(p.Nodes()) }
+
+// DistinguishedPath returns the nodes on the path from the root to the
+// output node, inclusive (P_Q in the paper).
+func (p *Pattern) DistinguishedPath() []*Node {
+	var path []*Node
+	for n := p.Output; n != nil; n = n.Parent {
+		path = append(path, n)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// OnDistinguishedPath reports whether n lies on the root-to-output path.
+func (p *Pattern) OnDistinguishedPath(n *Node) bool {
+	for x := p.Output; x != nil; x = x.Parent {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the structural invariants: a root exists, parent
+// pointers are consistent, tags are non-empty, and the output node
+// belongs to the tree.
+func (p *Pattern) Validate() error {
+	if p.Root == nil {
+		return fmt.Errorf("tpq: pattern has no root")
+	}
+	if p.Root.Parent != nil {
+		return fmt.Errorf("tpq: root has a parent")
+	}
+	if p.Output == nil {
+		return fmt.Errorf("tpq: pattern has no output node")
+	}
+	seen := false
+	for _, n := range p.Nodes() {
+		if n.Tag == "" {
+			return fmt.Errorf("tpq: node with empty tag")
+		}
+		if n == p.Output {
+			seen = true
+		}
+		for _, c := range n.Children {
+			if c.Parent != n {
+				return fmt.Errorf("tpq: child %q of %q has wrong parent pointer", c.Tag, n.Tag)
+			}
+		}
+	}
+	if !seen {
+		return fmt.Errorf("tpq: output node not in pattern tree")
+	}
+	return nil
+}
+
+// Clone deep-copies the pattern. The second return value maps original
+// nodes to their copies, which rewriting algorithms use to carry node
+// correspondences across copies.
+func (p *Pattern) Clone() (*Pattern, map[*Node]*Node) {
+	m := make(map[*Node]*Node, p.Size())
+	var cp func(*Node) *Node
+	cp = func(n *Node) *Node {
+		c := &Node{Tag: n.Tag, Axis: n.Axis}
+		m[n] = c
+		for _, k := range n.Children {
+			kc := cp(k)
+			kc.Parent = c
+			c.Children = append(c.Children, kc)
+		}
+		return c
+	}
+	out := &Pattern{Root: cp(p.Root)}
+	out.Output = m[p.Output]
+	return out, m
+}
+
+// CloneSubtree deep-copies the subtree rooted at n (detached: the copy's
+// root has no parent and keeps n's axis).
+func CloneSubtree(n *Node) *Node {
+	c := &Node{Tag: n.Tag, Axis: n.Axis}
+	for _, k := range n.Children {
+		kc := CloneSubtree(k)
+		kc.Parent = c
+		c.Children = append(c.Children, kc)
+	}
+	return c
+}
+
+// canonical returns a canonical string for the subtree rooted at n,
+// marking the output node, with children sorted; used for order-
+// insensitive structural equality.
+func canonical(n *Node, output *Node) string {
+	kids := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		kids[i] = canonical(c, output)
+	}
+	sort.Strings(kids)
+	mark := ""
+	if n == output {
+		mark = "*"
+	}
+	return n.Axis.String() + n.Tag + mark + "(" + strings.Join(kids, ",") + ")"
+}
+
+// Canonical returns an order-insensitive canonical form of the pattern.
+// Two patterns are structurally identical (isomorphic respecting axes,
+// tags and the output mark) iff their canonical forms are equal.
+func (p *Pattern) Canonical() string { return canonical(p.Root, p.Output) }
+
+// StructuralEqual reports whether p and q are identical up to sibling
+// reordering. (Semantic equivalence is Equivalent in contain.go.)
+func (p *Pattern) StructuralEqual(q *Pattern) bool {
+	return p.Canonical() == q.Canonical()
+}

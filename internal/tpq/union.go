@@ -1,0 +1,138 @@
+package tpq
+
+import (
+	"sort"
+	"strings"
+
+	"qav/internal/xmltree"
+)
+
+// Union is a union of tree patterns. Maximal contained rewritings
+// without a schema are, in general, unions of exponentially many TPQs
+// (paper §3.2); this type represents them.
+type Union struct {
+	Patterns []*Pattern
+}
+
+// NewUnion builds a union over the given disjuncts.
+func NewUnion(ps ...*Pattern) *Union { return &Union{Patterns: ps} }
+
+// Empty reports whether the union has no disjuncts (the always-empty
+// query).
+func (u *Union) Empty() bool { return u == nil || len(u.Patterns) == 0 }
+
+// Size is the total number of pattern nodes across disjuncts.
+func (u *Union) Size() int {
+	if u == nil {
+		return 0
+	}
+	total := 0
+	for _, p := range u.Patterns {
+		total += p.Size()
+	}
+	return total
+}
+
+// Evaluate computes the union of the disjuncts' answers, deduplicated,
+// in document preorder.
+func (u *Union) Evaluate(d *xmltree.Document) []*xmltree.Node {
+	if u.Empty() {
+		return nil
+	}
+	seen := make(map[*xmltree.Node]bool)
+	for _, p := range u.Patterns {
+		for _, n := range p.Evaluate(d) {
+			seen[n] = true
+		}
+	}
+	out := make([]*xmltree.Node, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// ContainedIn reports whether every disjunct is contained in q, i.e.
+// the union as a query is contained in q.
+func (u *Union) ContainedIn(q *Pattern) bool {
+	for _, p := range u.Patterns {
+		if !Contained(p, q) {
+			return false
+		}
+	}
+	return true
+}
+
+// CoveredBy reports whether every disjunct of u is contained in some
+// disjunct of v. This is a sufficient condition for u ⊆ v (and it is
+// how the paper compares unions of CRs: a CR is redundant iff another
+// single CR contains it).
+func (u *Union) CoveredBy(v *Union) bool {
+	for _, p := range u.Patterns {
+		ok := false
+		for _, q := range v.Patterns {
+			if Contained(p, q) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SameAs reports mutual disjunct-wise coverage of the two unions.
+func (u *Union) SameAs(v *Union) bool {
+	return u.CoveredBy(v) && v.CoveredBy(u)
+}
+
+// RemoveRedundant drops every disjunct that is contained in another
+// disjunct (the paper's notion of a redundant CR), returning a new
+// Union. Among equivalent disjuncts one representative is kept.
+func (u *Union) RemoveRedundant() *Union {
+	if u.Empty() {
+		return &Union{}
+	}
+	kept := make([]*Pattern, 0, len(u.Patterns))
+	for i, p := range u.Patterns {
+		redundant := false
+		for j, q := range u.Patterns {
+			if i == j {
+				continue
+			}
+			if !Contained(p, q) {
+				continue
+			}
+			if !Contained(q, p) {
+				redundant = true // strictly contained in q
+				break
+			}
+			// p ≡ q: keep only the first of an equivalence class.
+			if j < i {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			kept = append(kept, p)
+		}
+	}
+	return &Union{Patterns: kept}
+}
+
+// String renders the union as the disjuncts joined by " U ", in the
+// paper's notation, with disjuncts sorted for determinism.
+func (u *Union) String() string {
+	if u.Empty() {
+		return "∅"
+	}
+	parts := make([]string, len(u.Patterns))
+	for i, p := range u.Patterns {
+		parts[i] = p.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " U ")
+}

@@ -1,0 +1,43 @@
+package tpq
+
+// Wildcard is the tag of a pattern node matching any element, written
+// '*' in XPath. Wildcards extend the fragment to XP{/,//,[],*} — one of
+// the paper's future-work directions (§7(i)).
+//
+// Support is deliberately scoped:
+//
+//   - Parsing and evaluation handle wildcards fully.
+//   - Containment with wildcards is SOUND but incomplete: homomorphism
+//     existence still implies containment, but containment no longer
+//     implies a homomorphism (Miklau & Suciu show the combined fragment
+//     is coNP-complete). Contained never errs on the side of claiming
+//     containment.
+//   - The rewriting algorithms (rewrite package) reject wildcarded
+//     inputs: the paper's MCR theory is developed for XP{/,//,[]} and
+//     its guarantees do not transfer.
+const Wildcard = "*"
+
+// HasWildcard reports whether any node of the pattern is a wildcard.
+func (p *Pattern) HasWildcard() bool {
+	for _, n := range p.Nodes() {
+		if n.Tag == Wildcard {
+			return true
+		}
+	}
+	return false
+}
+
+// tagMatches is the single point deciding whether a pattern node's tag
+// accepts an element tag.
+func tagMatches(patternTag, elementTag string) bool {
+	return patternTag == Wildcard || patternTag == elementTag
+}
+
+// homTagMatches decides whether a node of the CONTAINING pattern q' may
+// map onto a node of the contained pattern q in the homomorphism test:
+// a wildcard in q' accepts anything; a concrete tag in q' must meet the
+// same concrete tag in q (mapping a concrete tag onto a wildcard of q
+// would be unsound — the wildcard also matches other tags).
+func homTagMatches(containerTag, containedTag string) bool {
+	return containerTag == Wildcard || containerTag == containedTag
+}

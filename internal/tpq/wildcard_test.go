@@ -1,0 +1,169 @@
+package tpq
+
+import (
+	"testing"
+
+	"qav/internal/xmltree"
+)
+
+func TestParseWildcard(t *testing.T) {
+	p := MustParse("//a/*[b]//*")
+	if !p.HasWildcard() {
+		t.Fatal("HasWildcard = false")
+	}
+	if p.Size() != 4 {
+		t.Fatalf("size = %d", p.Size())
+	}
+	star := p.Root.Children[0]
+	if star.Tag != Wildcard || star.Axis != Child {
+		t.Errorf("first step = %s%s", star.Axis, star.Tag)
+	}
+	if p.Output.Tag != Wildcard || p.Output.Axis != Descendant {
+		t.Errorf("output = %s%s", p.Output.Axis, p.Output.Tag)
+	}
+	// Round trip.
+	p2 := MustParse(p.String())
+	if !p.StructuralEqual(p2) {
+		t.Errorf("round trip via %q changed structure", p.String())
+	}
+	if MustParse("//a").HasWildcard() {
+		t.Error("HasWildcard on plain pattern")
+	}
+}
+
+func TestEvaluateWildcard(t *testing.T) {
+	d := xmltree.NewDocument(xmltree.Build("r",
+		xmltree.Build("a", xmltree.Build("x", xmltree.Build("b"))),
+		xmltree.Build("a", xmltree.Build("y")),
+		xmltree.Build("c", xmltree.Build("b")),
+	))
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{"//*", 8},      // every element
+		{"/r/*", 3},     // a, a, c
+		{"//a/*", 2},    // x, y
+		{"//a/*[b]", 1}, // only x has a b child
+		{"//*[b]", 2},   // x and c
+		{"/r/*/*/b", 1}, // r/a/x/b
+		{"//*//b", 2},   // both b nodes sit under some element
+	}
+	for _, tc := range cases {
+		got := MustParse(tc.expr).Evaluate(d)
+		if len(got) != tc.want {
+			t.Errorf("%s: %d answers, want %d", tc.expr, len(got), tc.want)
+		}
+	}
+}
+
+func TestWildcardContainmentSound(t *testing.T) {
+	// Wildcards in the container generalize.
+	if !Contained(MustParse("//a/b"), MustParse("//a/*")) {
+		t.Error("//a/b ⊆ //a/* must hold")
+	}
+	if !Contained(MustParse("//a/*"), MustParse("//*/*")) {
+		t.Error("//a/* ⊆ //*/* must hold")
+	}
+	// Never the unsound direction.
+	if Contained(MustParse("//a/*"), MustParse("//a/b")) {
+		t.Error("//a/* ⊄ //a/b")
+	}
+	// //a/* returns children of a's, which need not be a's themselves.
+	if Contained(MustParse("//a/*"), MustParse("//a")) {
+		t.Error("//a/* ⊄ //a: a z-child of an a is not an a")
+	}
+	if Contained(MustParse("//*"), MustParse("//a")) {
+		t.Error("//* ⊄ //a")
+	}
+}
+
+func TestWildcardRejectedByRewriting(t *testing.T) {
+	// The rewrite package owns this rejection; here we only pin the
+	// predicate it relies on.
+	if !MustParse("//a[*]").HasWildcard() {
+		t.Error("predicate wildcard not detected")
+	}
+}
+
+func TestComposeBasic(t *testing.T) {
+	// Fig 1: E = Trial[//Status] over V = //Trials//Trial.
+	v := MustParse("//Trials//Trial")
+	e := MustParse("//Trial[//Status]")
+	r, err := Compose(e, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustParse("//Trials//Trial[//Status]")
+	if !Equivalent(r, want) {
+		t.Errorf("compose = %s, want %s", r, want)
+	}
+	// Output follows the compensation's output.
+	e2 := MustParse("//Trial/Patient")
+	r2, err := Compose(e2, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Output.Tag != "Patient" {
+		t.Errorf("output = %s", r2.Output.Tag)
+	}
+	if !Equivalent(r2, MustParse("//Trials//Trial/Patient")) {
+		t.Errorf("compose = %s", r2)
+	}
+}
+
+func TestComposeErrors(t *testing.T) {
+	v := MustParse("//Trials//Trial")
+	if _, err := Compose(MustParse("//Patient/x"), v); err == nil {
+		t.Error("mismatched compensation root accepted")
+	}
+}
+
+func TestComposeDoesNotMutate(t *testing.T) {
+	v := MustParse("//a//b")
+	e := MustParse("//b[c]")
+	vc, ec := v.Canonical(), e.Canonical()
+	if _, err := Compose(e, v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Canonical() != vc || e.Canonical() != ec {
+		t.Error("Compose mutated an input")
+	}
+}
+
+// Compose must agree with the rewriting machinery: composing a CR's
+// compensation with its view yields a pattern equivalent to the CR.
+func TestComposeMatchesCRConstruction(t *testing.T) {
+	// Built via the parser to avoid importing rewrite (cycle).
+	v := MustParse("//Trials//Trial")
+	e := MustParse("//Trial[//Status]//Trial")
+	r, err := Compose(e, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equivalent(r, MustParse("//Trials//Trial[//Status]//Trial")) {
+		t.Errorf("compose = %s", r)
+	}
+}
+
+func TestComposeWildcardRoot(t *testing.T) {
+	// A wildcard-rooted compensation composes with any view output.
+	v := MustParse("//Trials//Trial")
+	e := MustParse("//*[Patient]")
+	r, err := Compose(e, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Output.Tag != "Trial" {
+		t.Errorf("output = %s", r.Output.Tag)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("///bad[")
+}

@@ -1,0 +1,163 @@
+// Package viewselect chooses which views to materialize for a query
+// workload — the view-selection companion problem the paper cites
+// (Yang, Lee, Hsu: "Efficient Mining of XML Query Patterns for
+// Caching"). Candidate views are derived from the workload itself;
+// a greedy sweep picks a bounded set maximizing answerability, with
+// exact (equivalent) answerability weighted above partial coverage.
+package viewselect
+
+import (
+	"sort"
+
+	"qav/internal/rewrite"
+	"qav/internal/tpq"
+)
+
+// Workload is a set of queries with optional weights (frequencies).
+type Workload struct {
+	Queries []*tpq.Pattern
+	// Weights aligns with Queries; nil means uniform weight 1.
+	Weights []float64
+}
+
+func (w Workload) weight(i int) float64 {
+	if w.Weights == nil {
+		return 1
+	}
+	return w.Weights[i]
+}
+
+// Benefit grades how useful a set of views is for one query.
+type Benefit int
+
+const (
+	// Useless: the query is not answerable from any selected view.
+	Useless Benefit = iota
+	// Partial: a contained rewriting exists (sound but incomplete
+	// answers).
+	Partial
+	// Exact: some view answers the query equivalently.
+	Exact
+)
+
+// benefitScore weights exact coverage twice as high as partial.
+func benefitScore(b Benefit) float64 {
+	switch b {
+	case Exact:
+		return 2
+	case Partial:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Candidates derives candidate views from the workload: for every
+// query, each distinguished-path prefix both as a bare path view
+// (//t0…·ti) and as the full query re-distinguished at that prefix
+// node. Candidates are deduplicated by canonical form and returned in
+// a deterministic order.
+func Candidates(queries []*tpq.Pattern) []*tpq.Pattern {
+	seen := make(map[string]*tpq.Pattern)
+	add := func(p *tpq.Pattern) {
+		if p.HasWildcard() {
+			return
+		}
+		key := p.Canonical()
+		if _, ok := seen[key]; !ok {
+			seen[key] = p
+		}
+	}
+	for _, q := range queries {
+		path := q.DistinguishedPath()
+		for i := range path {
+			// Bare path prefix.
+			bare := tpq.New(q.Root.Axis, path[0].Tag)
+			cur := bare.Root
+			for _, n := range path[1 : i+1] {
+				cur = cur.AddChild(n.Axis, n.Tag)
+			}
+			bare.Output = cur
+			add(bare)
+			// The query itself with the output moved up to the prefix.
+			full, m := q.Clone()
+			full.Output = m[path[i]]
+			add(full)
+		}
+	}
+	out := make([]*tpq.Pattern, 0, len(seen))
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, seen[k])
+	}
+	return out
+}
+
+// Selection is the result of greedy view selection.
+type Selection struct {
+	// Views are the chosen views, in pick order.
+	Views []*tpq.Pattern
+	// Score is the achieved workload score.
+	Score float64
+	// PerQuery records each workload query's final benefit.
+	PerQuery []Benefit
+}
+
+// Greedy picks up to k views from the candidates, each round adding the
+// view with the largest marginal workload gain; it stops early when no
+// candidate improves the score. Benefits are decided with the paper's
+// machinery: answerability for Partial, an equivalent rewriting for
+// Exact.
+func Greedy(w Workload, candidates []*tpq.Pattern, k int) (*Selection, error) {
+	// Precompute each (query, candidate) benefit once.
+	benefit := make([][]Benefit, len(w.Queries))
+	for qi, q := range w.Queries {
+		benefit[qi] = make([]Benefit, len(candidates))
+		for ci, v := range candidates {
+			b := Useless
+			if rewrite.Answerable(q, v) {
+				b = Partial
+				if _, ok, err := rewrite.EquivalentRewriting(q, v, rewrite.Options{MaxEmbeddings: 1 << 14}); err == nil && ok {
+					b = Exact
+				}
+			}
+			benefit[qi][ci] = b
+		}
+	}
+
+	sel := &Selection{PerQuery: make([]Benefit, len(w.Queries))}
+	chosen := make([]bool, len(candidates))
+	for round := 0; round < k; round++ {
+		bestGain, bestIdx := 0.0, -1
+		for ci := range candidates {
+			if chosen[ci] {
+				continue
+			}
+			gain := 0.0
+			for qi := range w.Queries {
+				if benefit[qi][ci] > sel.PerQuery[qi] {
+					gain += w.weight(qi) * (benefitScore(benefit[qi][ci]) - benefitScore(sel.PerQuery[qi]))
+				}
+			}
+			if gain > bestGain {
+				bestGain, bestIdx = gain, ci
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		chosen[bestIdx] = true
+		sel.Views = append(sel.Views, candidates[bestIdx])
+		sel.Score += bestGain
+		for qi := range w.Queries {
+			if benefit[qi][bestIdx] > sel.PerQuery[qi] {
+				sel.PerQuery[qi] = benefit[qi][bestIdx]
+			}
+		}
+	}
+	return sel, nil
+}

@@ -1,0 +1,145 @@
+package viewselect
+
+import (
+	"math/rand"
+	"testing"
+
+	"qav/internal/rewrite"
+	"qav/internal/tpq"
+	"qav/internal/workload"
+)
+
+func TestCandidatesFromPrefixes(t *testing.T) {
+	q := tpq.MustParse("//Trials[//Status]//Trial/Patient")
+	cands := Candidates([]*tpq.Pattern{q})
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	// The bare prefixes //Trials, //Trials//Trial, //Trials//Trial/Patient
+	// and the re-distinguished full query must all appear.
+	wantSome := []string{
+		"//Trials",
+		"//Trials//Trial",
+		"//Trials//Trial/Patient",
+		"//Trials[//Status]//Trial/Patient",
+	}
+	for _, w := range wantSome {
+		found := false
+		wp := tpq.MustParse(w)
+		for _, c := range cands {
+			if c.StructuralEqual(wp) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("candidate %s missing", w)
+		}
+	}
+	// Deduplicated.
+	seen := map[string]bool{}
+	for _, c := range cands {
+		k := c.Canonical()
+		if seen[k] {
+			t.Errorf("duplicate candidate %s", c)
+		}
+		seen[k] = true
+	}
+}
+
+func TestGreedyPrefersExactCoverage(t *testing.T) {
+	q1 := tpq.MustParse("//Trials[//Status]//Trial")
+	q2 := tpq.MustParse("//Trials//Trial/Patient")
+	w := Workload{Queries: []*tpq.Pattern{q1, q2}}
+	cands := Candidates(w.Queries)
+	sel, err := Greedy(w, cands, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Views) != 1 {
+		t.Fatalf("selected %d views", len(sel.Views))
+	}
+	// One view must give at least partial coverage of both queries.
+	for qi, b := range sel.PerQuery {
+		if b == Useless {
+			t.Errorf("query %d uncovered by %s", qi, sel.Views[0])
+		}
+	}
+	// With budget 2 both queries are answered exactly.
+	sel2, err := Greedy(w, cands, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, b := range sel2.PerQuery {
+		if b != Exact {
+			t.Errorf("query %d benefit %v with 2 views (%v)", qi, b, sel2.Views)
+		}
+	}
+	if sel2.Score < sel.Score {
+		t.Error("larger budget decreased the score")
+	}
+}
+
+func TestGreedyStopsWhenNoGain(t *testing.T) {
+	q := tpq.MustParse("//a")
+	w := Workload{Queries: []*tpq.Pattern{q}}
+	sel, err := Greedy(w, Candidates(w.Queries), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Views) != 1 {
+		t.Errorf("selected %d views for a single trivially-covered query", len(sel.Views))
+	}
+}
+
+func TestGreedyRespectsWeights(t *testing.T) {
+	// Two unrelated queries; the heavier one must be covered first.
+	q1 := tpq.MustParse("//x/y")
+	q2 := tpq.MustParse("//v/w")
+	w := Workload{Queries: []*tpq.Pattern{q1, q2}, Weights: []float64{1, 10}}
+	sel, err := Greedy(w, Candidates(w.Queries), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.PerQuery[1] == Useless {
+		t.Errorf("heavy query left uncovered; picked %v", sel.Views)
+	}
+}
+
+// Every selected view's claimed benefit must be real: Partial means
+// answerable, Exact means an equivalent rewriting exists.
+func TestQuickBenefitsAreReal(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		var qs []*tpq.Pattern
+		for i := 0; i < 3; i++ {
+			qs = append(qs, workload.RandomPattern(rng, []string{"a", "b", "c"}, 4))
+		}
+		w := Workload{Queries: qs}
+		sel, err := Greedy(w, Candidates(qs), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, b := range sel.PerQuery {
+			if b == Useless {
+				continue
+			}
+			anyAnswerable := false
+			anyExact := false
+			for _, v := range sel.Views {
+				if rewrite.Answerable(qs[qi], v) {
+					anyAnswerable = true
+					if _, ok, _ := rewrite.EquivalentRewriting(qs[qi], v, rewrite.Options{MaxEmbeddings: 1 << 14}); ok {
+						anyExact = true
+					}
+				}
+			}
+			if !anyAnswerable {
+				t.Fatalf("benefit %v claimed but query %s unanswerable via %v", b, qs[qi], sel.Views)
+			}
+			if b == Exact && !anyExact {
+				t.Fatalf("Exact claimed but no equivalent rewriting: %s via %v", qs[qi], sel.Views)
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package viewstore implements the mediator side of the paper's
+// information-integration scenario: a source evaluates the view
+// expression and ships ONLY the materialized result (a forest of
+// subtrees, Figure 1(b)); the mediator stores that forest and answers
+// queries by applying compensation queries to it — the original
+// database is never available.
+package viewstore
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"qav/internal/rewrite"
+	"qav/internal/tpq"
+	"qav/internal/xmltree"
+)
+
+// Materialized is a stored view: the view expression and the result
+// forest, each tree a standalone copy of one view-answer subtree.
+type Materialized struct {
+	// Expr is the view expression the forest was computed with.
+	Expr *tpq.Pattern
+	// Forest holds one document per view answer, in document order.
+	Forest []*xmltree.Document
+}
+
+// Materialize evaluates the view on the source database and copies the
+// answer subtrees out, exactly what a source would ship.
+func Materialize(v *tpq.Pattern, d *xmltree.Document) *Materialized {
+	m := &Materialized{Expr: v}
+	for _, n := range v.Evaluate(d) {
+		m.Forest = append(m.Forest, xmltree.NewDocument(cloneSubtree(n)))
+	}
+	return m
+}
+
+func cloneSubtree(n *xmltree.Node) *xmltree.Node {
+	c := &xmltree.Node{Tag: n.Tag, Text: n.Text}
+	for _, k := range n.Children {
+		kc := cloneSubtree(k)
+		kc.Parent = c
+		c.Children = append(c.Children, kc)
+	}
+	return c
+}
+
+// Size returns the total number of element nodes stored.
+func (m *Materialized) Size() int {
+	total := 0
+	for _, t := range m.Forest {
+		total += t.Size()
+	}
+	return total
+}
+
+// Answer applies the contained rewritings' compensation queries to the
+// stored forest and returns the answers (nodes of the stored trees).
+// This is E ∘ V evaluated the way footnote 1 of §2 prescribes, with no
+// access to the source database.
+func (m *Materialized) Answer(crs []*rewrite.ContainedRewriting) []*xmltree.Node {
+	var out []*xmltree.Node
+	seen := make(map[*xmltree.Node]bool)
+	for _, cr := range crs {
+		comp := cr.Compensation.Prepare()
+		for _, tree := range m.Forest {
+			for _, n := range comp.EvaluateAt(tree, tree.Root) {
+				if !seen[n] {
+					seen[n] = true
+					out = append(out, n)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Index != out[j].Index {
+			return out[i].Index < out[j].Index
+		}
+		return out[i].Path() < out[j].Path()
+	})
+	return out
+}
+
+// Write serializes the materialized view as an XML envelope:
+//
+//	<materialized-view expr="...">
+//	  <tree> ... </tree>*
+//	</materialized-view>
+func (m *Materialized) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "<materialized-view expr=%q>\n", m.Expr.String()); err != nil {
+		return err
+	}
+	for _, t := range m.Forest {
+		if _, err := io.WriteString(w, "<tree>\n"); err != nil {
+			return err
+		}
+		if err := t.WriteXML(w); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "</tree>\n"); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "</materialized-view>\n")
+	return err
+}
+
+// Read parses a materialized view previously written with Write.
+func Read(r io.Reader) (*Materialized, error) {
+	doc, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	if doc.Root.Tag != "materialized-view" {
+		return nil, fmt.Errorf("viewstore: unexpected root %q", doc.Root.Tag)
+	}
+	m := &Materialized{}
+	for _, c := range doc.Root.Children {
+		switch c.Tag {
+		case "expr":
+			p, err := tpq.Parse(strings.TrimSpace(c.Text))
+			if err != nil {
+				return nil, fmt.Errorf("viewstore: bad view expression: %w", err)
+			}
+			m.Expr = p
+		case "tree":
+			if len(c.Children) != 1 {
+				return nil, fmt.Errorf("viewstore: tree envelope with %d roots", len(c.Children))
+			}
+			root := c.Children[0]
+			root.Parent = nil
+			m.Forest = append(m.Forest, xmltree.NewDocument(root))
+		default:
+			return nil, fmt.Errorf("viewstore: unexpected element %q", c.Tag)
+		}
+	}
+	if m.Expr == nil {
+		return nil, fmt.Errorf("viewstore: missing view expression")
+	}
+	return m, nil
+}

@@ -1,0 +1,187 @@
+package viewstore
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"qav/internal/rewrite"
+	"qav/internal/tpq"
+	"qav/internal/workload"
+	"qav/internal/xmltree"
+)
+
+func pharma() *xmltree.Document {
+	return xmltree.NewDocument(xmltree.Build("PharmaLab",
+		xmltree.Build("Trials",
+			xmltree.Build("Trial", xmltree.Build("Patient"), xmltree.Build("Status")),
+			xmltree.Build("Trial", xmltree.Build("Patient")),
+		),
+		xmltree.Build("Trials",
+			xmltree.Build("Trial", xmltree.Build("Patient")),
+		),
+	))
+}
+
+func TestMaterializeShipsCopies(t *testing.T) {
+	d := pharma()
+	v := tpq.MustParse("//Trials//Trial")
+	m := Materialize(v, d)
+	if len(m.Forest) != 3 {
+		t.Fatalf("forest has %d trees, want 3", len(m.Forest))
+	}
+	if m.Size() != 7 { // 3 Trials + 3 Patients + 1 Status
+		t.Fatalf("forest size = %d, want 7", m.Size())
+	}
+	// Mutating the stored forest must not touch the source.
+	m.Forest[0].Root.AddChild("intruder")
+	if d.Size() != 10 {
+		t.Error("materialization aliased the source document")
+	}
+}
+
+// Answers from the shipped forest agree (up to node identity) with
+// answering against the source: the mediator loses nothing the view
+// exposes.
+func TestAnswerOnForestMatchesSource(t *testing.T) {
+	d := pharma()
+	q := tpq.MustParse("//Trials[//Status]//Trial")
+	v := tpq.MustParse("//Trials//Trial")
+	res, err := rewrite.MCR(q, v, rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Materialize(v, d)
+	got := m.Answer(res.CRs)
+	want := rewrite.AnswerUsingView(res.CRs, v, d)
+	if !samePathsShape(got, want) {
+		t.Fatalf("forest answers %v != source answers %v", shapes(got), shapes(want))
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := pharma()
+	v := tpq.MustParse("//Trials//Trial")
+	m := Materialize(v, d)
+	var b strings.Builder
+	if err := m.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("read back: %v\n%s", err, b.String())
+	}
+	if m2.Expr.String() != v.String() {
+		t.Errorf("expr round trip: %s", m2.Expr)
+	}
+	if len(m2.Forest) != len(m.Forest) || m2.Size() != m.Size() {
+		t.Fatalf("forest round trip: %d trees / %d nodes", len(m2.Forest), m2.Size())
+	}
+	for i := range m.Forest {
+		if m.Forest[i].String() != m2.Forest[i].String() {
+			t.Errorf("tree %d changed: %s vs %s", i, m.Forest[i], m2.Forest[i])
+		}
+	}
+	// Text content survives.
+	d2 := pharma()
+	d2.Nodes[3].Text = "John Doe"
+	m3 := Materialize(v, d2)
+	var b3 strings.Builder
+	if err := m3.Write(&b3); err != nil {
+		t.Fatal(err)
+	}
+	m4, err := Read(strings.NewReader(b3.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tr := range m4.Forest {
+		for _, n := range tr.Nodes {
+			if n.Text == "John Doe" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("text content lost in round trip")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, src := range []string{
+		"<wrong/>",
+		"<materialized-view/>",            // missing expr
+		`<materialized-view expr="///"/>`, // bad expression
+		`<materialized-view expr="//a"><bogus/></materialized-view>`,
+		`<materialized-view expr="//a"><tree><a/><b/></tree></materialized-view>`,
+	} {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// Property: for random documents and answerable query/view pairs, the
+// mediator's forest answers match source-side view answering.
+func TestQuickForestAnswering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alphabet := []string{"a", "b", "c"}
+		q := workload.RandomPattern(rng, alphabet, 4)
+		v := workload.RandomPattern(rng, alphabet, 4)
+		res, err := rewrite.MCR(q, v, rewrite.Options{MaxEmbeddings: 1 << 14})
+		if err != nil || res.Union.Empty() {
+			return true
+		}
+		for i := 0; i < 3; i++ {
+			d := xmltree.Generate(rng, xmltree.GenSpec{
+				Tags: alphabet, MaxDepth: 5, MaxFanout: 3, TargetSize: 25,
+			})
+			m := Materialize(v, d)
+			got := m.Answer(res.CRs)
+			want := rewrite.AnswerUsingView(res.CRs, v, d)
+			if !samePathsShape(got, want) {
+				t.Logf("q=%s v=%s d=%s:\nforest %v\nsource %v", q, v, d, shapes(got), shapes(want))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// shapes renders answers as the SET of structural strings rooted at
+// the answer nodes; forest answers are copies, so node identity cannot
+// be compared but subtree shapes can. The set (not multiset) is used:
+// overlapping view answers (a view node nested under another) ship the
+// same source element twice, and the mediator cannot tell the copies
+// apart — an inherent artifact of shipping subtrees.
+func shapes(ns []*xmltree.Node) []string {
+	set := make(map[string]bool, len(ns))
+	for _, n := range ns {
+		set[xmltree.NewDocument(cloneSubtree(n)).String()] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func samePathsShape(a, b []*xmltree.Node) bool {
+	as, bs := shapes(a), shapes(b)
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,244 @@
+// Package workload provides the pattern/schema/document generators and
+// the paper-figure fixtures shared by tests, examples and the benchmark
+// harness. Each fixture function names the figure of the paper it
+// reproduces.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qav/internal/schema"
+	"qav/internal/tpq"
+	"qav/internal/xmltree"
+)
+
+// RandomPattern builds a random tree pattern with between 1 and
+// maxNodes nodes over the alphabet, with uniformly random axes and a
+// random output node.
+func RandomPattern(rng *rand.Rand, alphabet []string, maxNodes int) *tpq.Pattern {
+	n := 1 + rng.Intn(maxNodes)
+	p := tpq.New(tpq.Axis(rng.Intn(2)), alphabet[rng.Intn(len(alphabet))])
+	nodes := []*tpq.Node{p.Root}
+	for len(nodes) < n {
+		parent := nodes[rng.Intn(len(nodes))]
+		c := parent.AddChild(tpq.Axis(rng.Intn(2)), alphabet[rng.Intn(len(alphabet))])
+		nodes = append(nodes, c)
+	}
+	p.Output = nodes[rng.Intn(len(nodes))]
+	return p
+}
+
+// RandomSchemaPattern builds a random pattern that is satisfiable with
+// respect to the schema: pc-edges follow schema edges, ad-edges follow
+// schema paths, and the root is the schema root ('/') or a reachable
+// tag ('//'). Returns nil if the schema has no edges to walk.
+func RandomSchemaPattern(rng *rand.Rand, g *schema.Graph, maxNodes int) *tpq.Pattern {
+	reachable := []string{g.Root}
+	for _, t := range g.Tags() {
+		if t != g.Root && g.Reachable(g.Root, t) {
+			reachable = append(reachable, t)
+		}
+	}
+	var p *tpq.Pattern
+	if rng.Intn(2) == 0 {
+		p = tpq.New(tpq.Child, g.Root)
+	} else {
+		p = tpq.New(tpq.Descendant, reachable[rng.Intn(len(reachable))])
+	}
+	nodes := []*tpq.Node{p.Root}
+	target := 1 + rng.Intn(maxNodes)
+	for attempts := 0; len(nodes) < target && attempts < 8*target; attempts++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		if rng.Intn(2) == 0 {
+			edges := g.Edges(parent.Tag)
+			if len(edges) == 0 {
+				continue
+			}
+			e := edges[rng.Intn(len(edges))]
+			nodes = append(nodes, parent.AddChild(tpq.Child, e.Child))
+		} else {
+			var below []string
+			for _, t := range g.Tags() {
+				if g.Reachable(parent.Tag, t) {
+					below = append(below, t)
+				}
+			}
+			if len(below) == 0 {
+				continue
+			}
+			nodes = append(nodes, parent.AddChild(tpq.Descendant, below[rng.Intn(len(below))]))
+		}
+	}
+	p.Output = nodes[rng.Intn(len(nodes))]
+	return p
+}
+
+// RandomDAGSchema builds a random DAG schema over n single-letter tags
+// (edges go from lower to higher indices) with the given edge density.
+func RandomDAGSchema(rng *rand.Rand, n int, density float64) *schema.Graph {
+	tags := make([]string, n)
+	for i := range tags {
+		tags[i] = fmt.Sprintf("t%d", i)
+	}
+	g := schema.New(tags[0])
+	quants := []schema.Quantifier{schema.One, schema.Plus, schema.Opt, schema.Star}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				g.MustAddEdge(tags[i], tags[j], quants[rng.Intn(len(quants))])
+			}
+		}
+	}
+	return g
+}
+
+// AuctionSchema returns the schema of Figure 2(a).
+func AuctionSchema() *schema.Graph {
+	return schema.MustParse(`
+root Auctions
+Auctions -> Auction*
+Auction  -> open_auction* closed_auction?
+open_auction -> item bids?
+closed_auction -> item person? buyer?
+bids  -> person+
+buyer -> person
+person -> name
+item  -> name
+`)
+}
+
+// DiamondSchema returns the Figure 12 family: levels stacked diamonds
+//
+//	x0 → {b0, c0} → x1 → {b1, c1} → x2 → ...
+//
+// with all edges mandatory ('1'), ending at leaf x<levels>. Exhaustive
+// chase of the view /x0 explodes exponentially in levels; levels = 1
+// reproduces Figure 12's 7-node diamond (plus leaves as drawn there).
+func DiamondSchema(levels int) *schema.Graph {
+	g := schema.New("x0")
+	for i := 0; i < levels; i++ {
+		x := fmt.Sprintf("x%d", i)
+		b := fmt.Sprintf("b%d", i)
+		c := fmt.Sprintf("c%d", i)
+		next := fmt.Sprintf("x%d", i+1)
+		g.MustAddEdge(x, b, schema.One)
+		g.MustAddEdge(x, c, schema.One)
+		g.MustAddEdge(b, next, schema.One)
+		g.MustAddEdge(c, next, schema.One)
+	}
+	return g
+}
+
+// Figure12Schema returns the exact 8-tag schema drawn in Figure 12:
+// a→{b,c}, b→d, c→d, d→{e,f}, e→g, f→g, all mandatory. Chasing the
+// view /a with sibling constraints alone yields the 13-node chased view
+// shown in the figure.
+func Figure12Schema() *schema.Graph {
+	return schema.MustParse(`
+root a
+a -> b c
+b -> d
+c -> d
+d -> e f
+e -> g
+f -> g
+`)
+}
+
+// Fig8Query builds the n-branch generalization of the Figure 8 query
+// (Example 1): a root //a carrying n branches //a/b/c[di] with distinct
+// tags di, the output being the c node of the first branch. Against the
+// Figure 8 view the MCR is a union of 2^n irredundant CRs. n = 2 with
+// tags d1, d2 is the exact query drawn in Figure 8 (there named d, e).
+func Fig8Query(n int) *tpq.Pattern {
+	p := tpq.New(tpq.Descendant, "a")
+	for i := 1; i <= n; i++ {
+		a := p.Root.AddChild(tpq.Descendant, "a")
+		b := a.AddChild(tpq.Child, "b")
+		c := b.AddChild(tpq.Child, "c")
+		c.AddChild(tpq.Child, fmt.Sprintf("d%d", i))
+		if i == 1 {
+			p.Output = c
+		}
+	}
+	return p
+}
+
+// Fig8View is the view of Figure 8: //a//a/b/c with the c node
+// distinguished.
+func Fig8View() *tpq.Pattern {
+	return tpq.MustParse("//a//a/b/c")
+}
+
+// Fig9Query is the query of Figure 9: a root //a with two ad-children
+// tagged b, the first carrying a pc-child c (and the output mark), the
+// second a pc-child d. Its MCR using Fig9View is the four-CR union
+// printed in Figure 9.
+func Fig9Query() *tpq.Pattern {
+	p := tpq.New(tpq.Descendant, "a")
+	b1 := p.Root.AddChild(tpq.Descendant, "b")
+	b1.AddChild(tpq.Child, "c")
+	b2 := p.Root.AddChild(tpq.Descendant, "b")
+	b2.AddChild(tpq.Child, "d")
+	p.Output = b1
+	return p
+}
+
+// Fig9View is the view of Figure 9: //a//b with output b.
+func Fig9View() *tpq.Pattern {
+	return tpq.MustParse("//a//b")
+}
+
+// ClinicalTrialsDoc generates a synthetic clinical-trials document in
+// the shape of Figure 1(a): a PharmaLab root with `groups` Trials
+// elements, each holding `trialsPer` Trial elements with Patient
+// children; a fraction statusFrac of Trials groups contains trials
+// carrying a Status element. Used by the savings/overhead experiments.
+func ClinicalTrialsDoc(rng *rand.Rand, groups, trialsPer int, statusFrac float64) *xmltree.Document {
+	root := xmltree.Build("PharmaLab")
+	for i := 0; i < groups; i++ {
+		trials := root.AddChild("Trials")
+		withStatus := rng.Float64() < statusFrac
+		for j := 0; j < trialsPer; j++ {
+			trial := trials.AddChild("Trial")
+			patient := trial.AddChild("Patient")
+			patient.Text = fmt.Sprintf("patient-%d-%d", i, j)
+			if withStatus && j%2 == 0 {
+				status := trial.AddChild("Status")
+				status.Text = "Complete"
+			}
+		}
+	}
+	return xmltree.NewDocument(root)
+}
+
+// Fig15Query generalizes the Figure 9/15 query to k branches: a root
+// //a with k ad-children tagged b, the i-th carrying a pc-child ci (the
+// first branch carries the output). Under the recursive Figure 15
+// schema the MCR grows exponentially in k, the §5 observation that
+// recursion restores the schemaless worst case.
+func Fig15Query(k int) *tpq.Pattern {
+	p := tpq.New(tpq.Descendant, "a")
+	for i := 1; i <= k; i++ {
+		b := p.Root.AddChild(tpq.Descendant, "b")
+		b.AddChild(tpq.Child, fmt.Sprintf("c%d", i))
+		if i == 1 {
+			p.Output = b
+		}
+	}
+	return p
+}
+
+// Fig15Schema returns a recursive schema in the shape of Figure 15,
+// parameterized by the number of distinct leaf tags: a → b*, b → b* and
+// every ci optional under b.
+func Fig15Schema(k int) *schema.Graph {
+	g := schema.New("a")
+	g.MustAddEdge("a", "b", schema.Star)
+	g.MustAddEdge("b", "b", schema.Star)
+	for i := 1; i <= k; i++ {
+		g.MustAddEdge("b", fmt.Sprintf("c%d", i), schema.Opt)
+	}
+	return g
+}

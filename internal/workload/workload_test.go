@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"qav/internal/schema"
+	"qav/internal/tpq"
+)
+
+func TestRandomPatternValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p := RandomPattern(rng, []string{"a", "b"}, 8)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if p.Size() > 8 {
+			t.Fatalf("size %d exceeds bound", p.Size())
+		}
+	}
+}
+
+func TestRandomSchemaPatternSatisfiable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		g := RandomDAGSchema(rng, 3+rng.Intn(5), 0.5)
+		p := RandomSchemaPattern(rng, g, 6)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !g.Satisfiable(p) {
+			t.Fatalf("generated pattern %s unsatisfiable for schema\n%s", p, g)
+		}
+	}
+}
+
+func TestRandomDAGSchemaIsDAG(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		g := RandomDAGSchema(rng, 2+rng.Intn(8), 0.6)
+		if g.IsRecursive() {
+			t.Fatalf("RandomDAGSchema produced a cycle:\n%s", g)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAuctionSchemaShape(t *testing.T) {
+	g := AuctionSchema()
+	if g.Root != "Auctions" || g.Size() != 9 || g.IsRecursive() {
+		t.Fatalf("auction schema malformed: root=%s size=%d", g.Root, g.Size())
+	}
+}
+
+func TestDiamondSchema(t *testing.T) {
+	g := DiamondSchema(3)
+	if g.IsRecursive() {
+		t.Fatal("diamond schema must be acyclic")
+	}
+	// 3 levels: x0..x3 plus b0..b2, c0..c2 = 4 + 6 nodes.
+	if g.Size() != 10 {
+		t.Fatalf("size = %d, want 10", g.Size())
+	}
+	if !g.Reachable("x0", "x3") {
+		t.Fatal("x3 unreachable")
+	}
+	// Every edge is mandatory.
+	for _, tag := range g.Tags() {
+		for _, e := range g.Edges(tag) {
+			if e.Quant != schema.One {
+				t.Fatalf("edge %s->%s has quantifier %s", tag, e.Child, e.Quant)
+			}
+		}
+	}
+}
+
+func TestFigure12Schema(t *testing.T) {
+	g := Figure12Schema()
+	if g.Size() != 7 {
+		t.Fatalf("size = %d, want 7 (a,b,c,d,e,f,g)", g.Size())
+	}
+	if g.IsRecursive() {
+		t.Fatal("must be acyclic")
+	}
+}
+
+func TestFig8Family(t *testing.T) {
+	v := Fig8View()
+	if v.String() != "//a//a/b/c" {
+		t.Errorf("view = %s", v)
+	}
+	for n := 1; n <= 4; n++ {
+		q := Fig8Query(n)
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// 1 root + n * (a, b, c, di).
+		if q.Size() != 1+4*n {
+			t.Errorf("n=%d: size = %d, want %d", n, q.Size(), 1+4*n)
+		}
+		if q.Output.Tag != "c" {
+			t.Errorf("output tag = %s", q.Output.Tag)
+		}
+	}
+}
+
+func TestFig9Fixtures(t *testing.T) {
+	q := Fig9Query()
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Size() != 5 || q.Output.Tag != "b" {
+		t.Fatalf("q = %s", q)
+	}
+	if Fig9View().String() != "//a//b" {
+		t.Errorf("view = %s", Fig9View())
+	}
+}
+
+func TestClinicalTrialsDoc(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := ClinicalTrialsDoc(rng, 50, 4, 0.5)
+	if d.Root.Tag != "PharmaLab" {
+		t.Fatalf("root = %s", d.Root.Tag)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Root.Children) != 50 {
+		t.Fatalf("groups = %d", len(d.Root.Children))
+	}
+	trials := tpq.MustParse("//Trials/Trial").Evaluate(d)
+	if len(trials) != 200 {
+		t.Fatalf("trials = %d, want 200", len(trials))
+	}
+	status := tpq.MustParse("//Trials[//Status]").Evaluate(d)
+	if len(status) == 0 || len(status) == 50 {
+		t.Fatalf("statusFrac=0.5 gave %d/50 groups with status", len(status))
+	}
+	// Every Trial has a Patient.
+	pat := tpq.MustParse("//Trial/Patient").Evaluate(d)
+	if len(pat) != 200 {
+		t.Fatalf("patients = %d", len(pat))
+	}
+}

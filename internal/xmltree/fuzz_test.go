@@ -1,0 +1,29 @@
+package xmltree
+
+import "testing"
+
+// FuzzParse checks the XML reader never panics and that accepted
+// documents round trip through the serializer.
+func FuzzParse(f *testing.F) {
+	f.Add("<a><b/><c>x</c></a>")
+	f.Add(`<a x="1"/>`)
+	f.Add("<a>&lt;</a>")
+	f.Add("<a><b></a>")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted invalid document: %v", err)
+		}
+		d2, err := ParseString(d.XMLString())
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v\n%s", err, d.XMLString())
+		}
+		if d2.String() != d.String() {
+			t.Fatalf("round trip changed structure: %s vs %s", d, d2)
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package xmltree
+
+import "math/rand"
+
+// GenSpec controls random document generation. Generated documents are
+// used by property tests and by the benchmark workloads.
+type GenSpec struct {
+	// Tags is the alphabet to draw element tags from; must be non-empty.
+	Tags []string
+	// MaxDepth bounds tree depth (root is depth 0).
+	MaxDepth int
+	// MaxFanout bounds the number of children per node.
+	MaxFanout int
+	// TargetSize stops growth once this many nodes exist (approximate).
+	TargetSize int
+}
+
+// Generate produces a random document according to the spec, using rng
+// for reproducibility.
+func Generate(rng *rand.Rand, spec GenSpec) *Document {
+	if len(spec.Tags) == 0 {
+		spec.Tags = []string{"a"}
+	}
+	if spec.MaxDepth <= 0 {
+		spec.MaxDepth = 6
+	}
+	if spec.MaxFanout <= 0 {
+		spec.MaxFanout = 4
+	}
+	if spec.TargetSize <= 0 {
+		spec.TargetSize = 64
+	}
+	size := 1
+	root := &Node{Tag: spec.Tags[rng.Intn(len(spec.Tags))]}
+	// Grow breadth-first so TargetSize caps the whole tree rather than
+	// the first branch.
+	queue := []*Node{root}
+	depth := map[*Node]int{root: 0}
+	for len(queue) > 0 && size < spec.TargetSize {
+		n := queue[0]
+		queue = queue[1:]
+		if depth[n] >= spec.MaxDepth {
+			continue
+		}
+		fanout := rng.Intn(spec.MaxFanout + 1)
+		for i := 0; i < fanout && size < spec.TargetSize; i++ {
+			c := n.AddChild(spec.Tags[rng.Intn(len(spec.Tags))])
+			depth[c] = depth[n] + 1
+			size++
+			queue = append(queue, c)
+		}
+	}
+	return NewDocument(root)
+}

@@ -1,0 +1,210 @@
+// Package xmltree implements the XML data model of the paper: a finite
+// rooted, labeled tree D = (N, E, r, λ). Document order is preserved for
+// reproducibility but is not semantically significant (the paper ignores
+// order). Attributes are modeled as child elements, as the paper does
+// ("we blur the distinction between elements and attributes").
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is a single element node in an XML database tree.
+type Node struct {
+	// Tag is the element tag (λ(n) in the paper).
+	Tag string
+	// Text is the concatenated character data directly under this
+	// element, if any. It plays no role in tree pattern matching but is
+	// kept so that answers can be rendered faithfully.
+	Text string
+	// Parent is nil for the root.
+	Parent *Node
+	// Children in document order.
+	Children []*Node
+
+	// Index is the preorder position of the node within its Document,
+	// assigned by Document.Reindex. It doubles as a stable node id
+	// (the paper numbers nodes the same way in Figure 1).
+	Index int
+	// end is the largest Index in this node's subtree; together with
+	// Index it gives O(1) ancestor/descendant tests.
+	end int
+	// Depth is the root's distance; the root has Depth 0.
+	Depth int
+}
+
+// AddChild appends a new child element with the given tag and returns it.
+func (n *Node) AddChild(tag string) *Node {
+	c := &Node{Tag: tag, Parent: n}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// SubtreeEnd returns the largest preorder Index within n's subtree;
+// (n.Index, n.SubtreeEnd()] is exactly the preorder interval of n's
+// proper descendants. Requires a reindexed Document.
+func (n *Node) SubtreeEnd() int { return n.end }
+
+// IsAncestorOf reports whether n is a proper ancestor of m. Both nodes
+// must belong to the same reindexed Document.
+func (n *Node) IsAncestorOf(m *Node) bool {
+	return n.Index < m.Index && m.Index <= n.end
+}
+
+// Subtree returns the nodes of n's subtree in preorder, including n.
+func (n *Node) Subtree() []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(x *Node) {
+		out = append(out, x)
+		for _, c := range x.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Path returns the tags from the root down to n, joined by '/'.
+func (n *Node) Path() string {
+	var tags []string
+	for x := n; x != nil; x = x.Parent {
+		tags = append(tags, x.Tag)
+	}
+	for i, j := 0, len(tags)-1; i < j; i, j = i+1, j-1 {
+		tags[i], tags[j] = tags[j], tags[i]
+	}
+	return "/" + strings.Join(tags, "/")
+}
+
+// Document is an XML database: a rooted tree with a preorder index over
+// its nodes.
+type Document struct {
+	Root *Node
+	// Nodes lists every node in preorder; Nodes[i].Index == i.
+	Nodes []*Node
+}
+
+// NewDocument wraps a root node into a Document and indexes it.
+func NewDocument(root *Node) *Document {
+	d := &Document{Root: root}
+	d.Reindex()
+	return d
+}
+
+// Reindex rebuilds the preorder Nodes slice and the Index/end/Depth
+// fields. It must be called after structural mutation and before using
+// Size, IsAncestorOf or pattern evaluation.
+func (d *Document) Reindex() {
+	d.Nodes = d.Nodes[:0]
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		n.Index = len(d.Nodes)
+		n.Depth = depth
+		d.Nodes = append(d.Nodes, n)
+		for _, c := range n.Children {
+			c.Parent = n
+			walk(c, depth+1)
+		}
+		n.end = len(d.Nodes) - 1
+	}
+	if d.Root != nil {
+		d.Root.Parent = nil
+		walk(d.Root, 0)
+	}
+}
+
+// Size returns the number of element nodes in the document.
+func (d *Document) Size() int { return len(d.Nodes) }
+
+// Tags returns the distinct element tags appearing in the document,
+// sorted.
+func (d *Document) Tags() []string {
+	seen := make(map[string]bool)
+	for _, n := range d.Nodes {
+		seen[n.Tag] = true
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the document.
+func (d *Document) Clone() *Document {
+	var cp func(*Node) *Node
+	cp = func(n *Node) *Node {
+		m := &Node{Tag: n.Tag, Text: n.Text}
+		for _, c := range n.Children {
+			cc := cp(c)
+			cc.Parent = m
+			m.Children = append(m.Children, cc)
+		}
+		return m
+	}
+	if d.Root == nil {
+		return &Document{}
+	}
+	return NewDocument(cp(d.Root))
+}
+
+// String renders a compact single-line summary, useful in test failures.
+func (d *Document) String() string {
+	if d.Root == nil {
+		return "<empty>"
+	}
+	var b strings.Builder
+	var walk func(*Node)
+	walk = func(n *Node) {
+		b.WriteString(n.Tag)
+		if len(n.Children) > 0 {
+			b.WriteByte('(')
+			for i, c := range n.Children {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				walk(c)
+			}
+			b.WriteByte(')')
+		}
+	}
+	walk(d.Root)
+	return b.String()
+}
+
+// Build constructs a tree from a tag and child subtrees; a convenience
+// for literals in tests and examples.
+func Build(tag string, children ...*Node) *Node {
+	n := &Node{Tag: tag}
+	for _, c := range children {
+		c.Parent = n
+		n.Children = append(n.Children, c)
+	}
+	return n
+}
+
+// Validate checks structural invariants (parent pointers, index order)
+// and returns a descriptive error on the first violation.
+func (d *Document) Validate() error {
+	if d.Root == nil {
+		return fmt.Errorf("xmltree: document has no root")
+	}
+	if d.Root.Parent != nil {
+		return fmt.Errorf("xmltree: root has a parent")
+	}
+	for i, n := range d.Nodes {
+		if n.Index != i {
+			return fmt.Errorf("xmltree: node %q has index %d at position %d", n.Tag, n.Index, i)
+		}
+		for _, c := range n.Children {
+			if c.Parent != n {
+				return fmt.Errorf("xmltree: child %q of %q has wrong parent", c.Tag, n.Tag)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildAndReindex(t *testing.T) {
+	d := NewDocument(Build("a",
+		Build("b", Build("d")),
+		Build("c"),
+	))
+	if d.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", d.Size())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "d", "c"}
+	for i, n := range d.Nodes {
+		if n.Tag != want[i] {
+			t.Errorf("Nodes[%d].Tag = %q, want %q", i, n.Tag, want[i])
+		}
+		if n.Index != i {
+			t.Errorf("Nodes[%d].Index = %d", i, n.Index)
+		}
+	}
+	a, b, dd, c := d.Nodes[0], d.Nodes[1], d.Nodes[2], d.Nodes[3]
+	if !a.IsAncestorOf(dd) || !b.IsAncestorOf(dd) {
+		t.Error("ancestor relation broken")
+	}
+	if a.IsAncestorOf(a) {
+		t.Error("IsAncestorOf must be proper")
+	}
+	if c.IsAncestorOf(dd) || b.IsAncestorOf(c) {
+		t.Error("unrelated nodes reported as ancestors")
+	}
+	if dd.Depth != 2 || a.Depth != 0 {
+		t.Errorf("depths wrong: a=%d d=%d", a.Depth, dd.Depth)
+	}
+}
+
+func TestAddChildAndMutation(t *testing.T) {
+	d := NewDocument(Build("a"))
+	d.Root.AddChild("b").AddChild("c")
+	d.Reindex()
+	if d.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", d.Size())
+	}
+	if got := d.Nodes[2].Path(); got != "/a/b/c" {
+		t.Errorf("Path = %q, want /a/b/c", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	const src = `<PharmaLab>
+  <Trials type="T1">
+    <Trial><Patient>John Doe</Patient><Status>Complete</Status></Trial>
+    <Trial><Patient>Jennifer Bloe</Patient></Trial>
+  </Trials>
+  <Trials type="T2">
+    <Trial><Patient>Mary Moore</Patient></Trial>
+  </Trials>
+</PharmaLab>`
+	d, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root.Tag != "PharmaLab" {
+		t.Fatalf("root = %q", d.Root.Tag)
+	}
+	// 1 root + 2 Trials + 2 type attrs + 3 Trial + 3 Patient + 1 Status.
+	if d.Size() != 12 {
+		t.Fatalf("Size = %d, want 12", d.Size())
+	}
+	var patients int
+	for _, n := range d.Nodes {
+		if n.Tag == "Patient" {
+			patients++
+		}
+	}
+	if patients != 3 {
+		t.Errorf("patients = %d, want 3", patients)
+	}
+	// Round-trip through the serializer.
+	d2, err := ParseString(d.XMLString())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if d2.String() != d.String() {
+		t.Errorf("round trip changed structure:\n%s\n%s", d.String(), d2.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{"", "<a><b></a>", "<a/><b/>"} {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseAttributesBecomeChildren(t *testing.T) {
+	d, err := ParseString(`<a x="1"><b y="2"/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.String(); got != "a(x,b(y))" {
+		t.Errorf("structure = %q, want a(x,b(y))", got)
+	}
+	if d.Nodes[1].Text != "1" {
+		t.Errorf("attribute value lost: %q", d.Nodes[1].Text)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := NewDocument(Build("a", Build("b")))
+	c := d.Clone()
+	c.Root.AddChild("z")
+	c.Reindex()
+	if d.Size() != 2 {
+		t.Errorf("mutating clone changed original (size %d)", d.Size())
+	}
+	if c.Size() != 3 {
+		t.Errorf("clone size = %d, want 3", c.Size())
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	d := NewDocument(Build("a", Build("b", Build("c")), Build("d")))
+	got := d.Nodes[1].Subtree()
+	if len(got) != 2 || got[0].Tag != "b" || got[1].Tag != "c" {
+		t.Errorf("Subtree = %v", got)
+	}
+}
+
+func TestGenerateRespectsBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	spec := GenSpec{Tags: []string{"a", "b", "c"}, MaxDepth: 4, MaxFanout: 3, TargetSize: 50}
+	for i := 0; i < 20; i++ {
+		d := Generate(rng, spec)
+		if d.Size() > spec.TargetSize {
+			t.Fatalf("size %d exceeds target %d", d.Size(), spec.TargetSize)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range d.Nodes {
+			if n.Depth > spec.MaxDepth {
+				t.Fatalf("depth %d exceeds max %d", n.Depth, spec.MaxDepth)
+			}
+			if len(n.Children) > spec.MaxFanout {
+				t.Fatalf("fanout %d exceeds max %d", len(n.Children), spec.MaxFanout)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GenSpec{Tags: []string{"a", "b"}, MaxDepth: 5, MaxFanout: 3, TargetSize: 40}
+	d1 := Generate(rand.New(rand.NewSource(7)), spec)
+	d2 := Generate(rand.New(rand.NewSource(7)), spec)
+	if d1.String() != d2.String() {
+		t.Error("same seed produced different documents")
+	}
+}
+
+// Property: ancestor tests agree with parent-chain walking.
+func TestQuickAncestorConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		d := Generate(rand.New(rand.NewSource(seed)), GenSpec{
+			Tags: []string{"a", "b", "c"}, MaxDepth: 5, MaxFanout: 3, TargetSize: 30,
+		})
+		for i := 0; i < 20; i++ {
+			n := d.Nodes[rng.Intn(d.Size())]
+			m := d.Nodes[rng.Intn(d.Size())]
+			walked := false
+			for x := m.Parent; x != nil; x = x.Parent {
+				if x == n {
+					walked = true
+					break
+				}
+			}
+			if n.IsAncestorOf(m) != walked {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEscape(t *testing.T) {
+	d := NewDocument(Build("a"))
+	d.Root.Text = `x < y & z`
+	s := d.XMLString()
+	if !strings.Contains(s, "x &lt; y &amp; z") {
+		t.Errorf("escaping failed: %s", s)
+	}
+	d2, err := ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Root.Text != "x < y & z" {
+		t.Errorf("text round trip = %q", d2.Root.Text)
+	}
+}
+
+func TestSubtreeEnd(t *testing.T) {
+	d := NewDocument(Build("a", Build("b", Build("c")), Build("d")))
+	if d.Root.SubtreeEnd() != 3 {
+		t.Errorf("root SubtreeEnd = %d", d.Root.SubtreeEnd())
+	}
+	b := d.Nodes[1]
+	if b.SubtreeEnd() != 2 {
+		t.Errorf("b SubtreeEnd = %d", b.SubtreeEnd())
+	}
+	leaf := d.Nodes[3]
+	if leaf.SubtreeEnd() != leaf.Index {
+		t.Errorf("leaf SubtreeEnd = %d", leaf.SubtreeEnd())
+	}
+}

@@ -1,0 +1,131 @@
+package qav_test
+
+// Heavier randomized cross-module checks, skipped under -short: they
+// push the property tests of the internal packages to larger sizes and
+// iteration counts, exercising the full pipeline end to end.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qav"
+	"qav/internal/rewrite"
+	"qav/internal/schema"
+	"qav/internal/stream"
+	"qav/internal/structjoin"
+	"qav/internal/tpq"
+	"qav/internal/workload"
+	"qav/internal/xmltree"
+)
+
+// Larger-instance agreement of MCRGen with the brute-force baseline.
+func TestSoakMCRMatchesNaiveLarger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(20260706))
+	alphabet := []string{"a", "b", "c"}
+	for i := 0; i < 400; i++ {
+		q := workload.RandomPattern(rng, alphabet, 5)
+		v := workload.RandomPattern(rng, alphabet, 5)
+		res, err := rewrite.MCR(q, v, rewrite.Options{MaxEmbeddings: 1 << 16})
+		if err != nil {
+			continue
+		}
+		naive := rewrite.NaiveMCR(q, v)
+		if !res.Union.SameAs(naive.Union) {
+			t.Fatalf("q=%s v=%s\n mcr=%s\n naive=%s", q, v, res.Union, naive.Union)
+		}
+	}
+}
+
+// End-to-end pipeline: random schema → conforming instance → rewriting
+// with schema → answers via view == subset of direct answers; plus
+// every evaluation engine agrees.
+func TestSoakEndToEndPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 120; i++ {
+		g := workload.RandomDAGSchema(rng, 4+rng.Intn(5), 0.4)
+		sc := rewrite.NewSchemaContext(g)
+		q := workload.RandomSchemaPattern(rng, g, 6)
+		v := workload.RandomSchemaPattern(rng, g, 5)
+		res, err := sc.MCRWithSchema(q, v)
+		if err != nil {
+			t.Fatalf("schema:\n%s\nq=%s v=%s: %v", g, q, v, err)
+		}
+		d, err := g.RandomInstance(rng, schema.InstanceSpec{MaxRepeat: 2})
+		if err != nil {
+			continue
+		}
+
+		// All three engines agree on both q and v.
+		ix := structjoin.Build(d)
+		xmlSrc := d.XMLString()
+		for _, p := range []*tpq.Pattern{q, v} {
+			mem := p.Evaluate(d)
+			sj := ix.Evaluate(p)
+			if len(mem) != len(sj) {
+				t.Fatalf("engines disagree on %s over schema instance", p)
+			}
+			sa, err := stream.Evaluate(strings.NewReader(xmlSrc), p)
+			if err != nil || len(sa) != len(mem) {
+				t.Fatalf("stream engine disagrees on %s: %d vs %d (%v)", p, len(sa), len(mem), err)
+			}
+		}
+
+		if res.Union.Empty() {
+			continue
+		}
+		inQ := make(map[*xmltree.Node]bool)
+		for _, n := range q.Evaluate(d) {
+			inQ[n] = true
+		}
+		for _, n := range rewrite.AnswerUsingView(res.CRs, v, d) {
+			if !inQ[n] {
+				t.Fatalf("unsound view answer for q=%s v=%s schema:\n%s", q, v, g)
+			}
+		}
+	}
+}
+
+// The facade functions compose: ship a view, serialize, read back,
+// rewrite against its expression and answer on the forest — sound
+// against direct evaluation by answer count.
+func TestSoakShipMediateRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []string{"a", "b", "c"}
+	for i := 0; i < 150; i++ {
+		d := xmltree.Generate(rng, xmltree.GenSpec{
+			Tags: alphabet, MaxDepth: 5, MaxFanout: 3, TargetSize: 30,
+		})
+		v := workload.RandomPattern(rng, alphabet, 4)
+		q := workload.RandomPattern(rng, alphabet, 4)
+		res, err := qav.Rewrite(q, v)
+		if err != nil || res.Union.Empty() {
+			continue
+		}
+		m := qav.ShipView(v, d)
+		var buf strings.Builder
+		if err := m.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		m2, err := qav.ReadShippedView(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		forestAnswers := m2.Answer(res.CRs)
+		sourceAnswers := rewrite.AnswerUsingView(res.CRs, v, d)
+		// Shape-set comparison (copies vs originals): sizes can differ
+		// only through overlapping view trees duplicating elements.
+		if len(forestAnswers) < len(sourceAnswers) {
+			t.Fatalf("forest lost answers: %d < %d (q=%s v=%s)", len(forestAnswers), len(sourceAnswers), q, v)
+		}
+	}
+}
