@@ -5,6 +5,7 @@ package qav_test
 // cmd/qavbench prints the same measurements as human-readable tables.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"qav"
 	"qav/internal/chase"
 	"qav/internal/constraints"
+	"qav/internal/engine"
 	"qav/internal/rewrite"
 	"qav/internal/structjoin"
 	"qav/internal/tpq"
@@ -83,7 +85,7 @@ func BenchmarkChase(b *testing.B) {
 		v := tpq.MustParse("/x0")
 		b.Run(fmt.Sprintf("exhaustive/levels%d", levels), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := chase.Exhaustive(v, scOnly, chase.Options{MaxSteps: 1 << 20}); err != nil {
+				if _, err := chase.Exhaustive(context.Background(), v, scOnly, chase.Options{MaxSteps: 1 << 20}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -188,7 +190,9 @@ func BenchmarkNaiveVsMCRGen(b *testing.B) {
 	})
 	b.Run("naive", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			rewrite.NaiveMCR(qs[i%len(qs)], vs[i%len(vs)])
+			if _, err := rewrite.NaiveMCR(context.Background(), qs[i%len(qs)], vs[i%len(vs)]); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }
@@ -260,6 +264,51 @@ func BenchmarkEngines(b *testing.B) {
 			}
 		})
 	}
+}
+
+// E13 (engine layer): the cost of a rewriting through the Engine front
+// door. "cold" bypasses the cache and measures the raw pipeline plus
+// engine overhead; "cached" measures a cache hit; "concurrentDup" has
+// every GOMAXPROCS worker request the same cold key — singleflight
+// collapses the duplicates into one computation per cache reset.
+func BenchmarkEngineRewrite(b *testing.B) {
+	ctx := context.Background()
+	q := workload.Fig8Query(5)
+	v := workload.Fig8View()
+	req := engine.Request{Query: q, View: v, MaxEmbeddings: 1 << 20}
+
+	b.Run("cold", func(b *testing.B) {
+		eng := engine.New(engine.Config{})
+		cold := req
+		cold.NoCache = true
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Rewrite(ctx, cold); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		eng := engine.New(engine.Config{})
+		if _, err := eng.Rewrite(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Rewrite(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("concurrentDup", func(b *testing.B) {
+		eng := engine.New(engine.Config{})
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := eng.Rewrite(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
 }
 
 // Pattern minimization (the Amer-Yahia et al. extension).

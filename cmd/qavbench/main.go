@@ -2,19 +2,30 @@
 // (see DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-
 // measured). Each experiment prints one table; -exp selects a comma-
 // separated subset, default "all".
+//
+// Rewriting-pipeline experiments run through internal/engine — the same
+// pipeline the server and CLI use — with caching disabled so timings
+// measure the raw algorithms; the "cache" experiment measures the
+// engine's cache and singleflight layers themselves. Ctrl-C cancels the
+// run's context, stopping in-flight enumerations.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
 	"qav/internal/chase"
 	"qav/internal/constraints"
+	"qav/internal/engine"
 	"qav/internal/rewrite"
 	"qav/internal/structjoin"
 	"qav/internal/tpq"
@@ -24,11 +35,15 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiments to run: useemb,mcrsize,inference,chase,schemamcr,savings,overhead,naive,recursive,engines or all")
+	expFlag := flag.String("exp", "all", "experiments to run: useemb,mcrsize,inference,chase,schemamcr,savings,overhead,naive,recursive,engines,cache,select or all")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	all := map[string]func(int64){
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	eng := engine.New(engine.Config{})
+
+	all := map[string]func(context.Context, *engine.Engine, int64){
 		"useemb":    expUseEmb,
 		"mcrsize":   expMCRSize,
 		"inference": expInference,
@@ -39,9 +54,10 @@ func main() {
 		"naive":     expNaive,
 		"recursive": expRecursive,
 		"engines":   expEngines,
+		"cache":     expCache,
 		"select":    expSelect,
 	}
-	order := []string{"useemb", "mcrsize", "inference", "chase", "schemamcr", "savings", "overhead", "naive", "recursive", "engines", "select"}
+	order := []string{"useemb", "mcrsize", "inference", "chase", "schemamcr", "savings", "overhead", "naive", "recursive", "engines", "cache", "select"}
 
 	selected := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
@@ -53,8 +69,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
 		}
-		f(*seed)
+		f(ctx, eng, *seed)
 		fmt.Println()
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "qavbench: interrupted")
+			os.Exit(130)
+		}
 	}
 }
 
@@ -75,7 +95,7 @@ func timeIt(reps int, f func()) time.Duration {
 }
 
 // E1 (Theorem 2): UseEmb existence-test scaling in |Q| and |V|.
-func expUseEmb(seed int64) {
+func expUseEmb(ctx context.Context, eng *engine.Engine, seed int64) {
 	w := table("E1 UseEmb existence test (Theorem 2: O(|Q|·|V|²))",
 		"|Q|", "|V|", "avg time", "answerable%")
 	rng := rand.New(rand.NewSource(seed))
@@ -101,14 +121,14 @@ func expUseEmb(seed int64) {
 }
 
 // E2 (§3.2, Example 1, Fig 8): MCR size is 2^n on the n-branch family.
-func expMCRSize(seed int64) {
+func expMCRSize(ctx context.Context, eng *engine.Engine, seed int64) {
 	w := table("E2 MCR size on the Figure 8 family (Example 1: 2^n irredundant CRs)",
 		"n", "embeddings", "irredundant CRs", "expected", "time")
 	v := workload.Fig8View()
 	for n := 1; n <= 9; n++ {
 		q := workload.Fig8Query(n)
 		start := time.Now()
-		res, err := rewrite.MCR(q, v, rewrite.Options{MaxEmbeddings: 1 << 22})
+		res, err := eng.Rewrite(ctx, engine.Request{Query: q, View: v, MaxEmbeddings: 1 << 22, NoCache: true})
 		if err != nil {
 			fmt.Fprintf(w, "%d\t-\t-\t%d\tERROR %v\n", n, 1<<n, err)
 			continue
@@ -124,7 +144,7 @@ func expMCRSize(seed int64) {
 }
 
 // E3 (Theorem 5): constraint inference scaling in |S|.
-func expInference(seed int64) {
+func expInference(ctx context.Context, eng *engine.Engine, seed int64) {
 	w := table("E3 constraint inference (Theorem 5: O(|S|³))",
 		"|S|", "constraints", "avg time")
 	rng := rand.New(rand.NewSource(seed))
@@ -139,7 +159,7 @@ func expInference(seed int64) {
 
 // E5/E8 (Fig 12, Lemma 4): exhaustive chase explodes on stacked
 // diamonds; intelligent chase stays query-sized.
-func expChase(seed int64) {
+func expChase(ctx context.Context, eng *engine.Engine, seed int64) {
 	w := table("E5/E8 exhaustive vs intelligent chase (Figure 12 diamonds)",
 		"levels", "exh size", "exh time", "intel size", "intel time")
 	q := tpq.MustParse("/x0[b0]")
@@ -149,7 +169,7 @@ func expChase(seed int64) {
 		scOnly := constraints.NewSet(sigma.OfKind(constraints.SC))
 		v := tpq.MustParse("/x0")
 		startEx := time.Now()
-		chased, err := chase.Exhaustive(v, scOnly, chase.Options{MaxSteps: 1 << 20})
+		chased, err := chase.Exhaustive(ctx, v, scOnly, chase.Options{MaxSteps: 1 << 20})
 		exTime := time.Since(startEx)
 		exSize := -1
 		if err == nil {
@@ -163,8 +183,10 @@ func expChase(seed int64) {
 	w.Flush()
 }
 
-// E4 (Theorem 9): end-to-end MCRGenSchema scaling.
-func expSchemaMCR(seed int64) {
+// E4 (Theorem 9): end-to-end MCRGenSchema scaling. Constraint inference
+// is pre-warmed via the engine's schema-context cache so the timed
+// section measures the rewriting algorithm, matching the paper's setup.
+func expSchemaMCR(ctx context.Context, eng *engine.Engine, seed int64) {
 	w := table("E4 MCRGenSchema end to end (Theorem 9: polynomial)",
 		"|S|", "|Q|,|V|≤", "avg time", "answerable%")
 	rng := rand.New(rand.NewSource(seed))
@@ -175,11 +197,11 @@ func expSchemaMCR(seed int64) {
 			answerable := 0
 			for i := 0; i < trials; i++ {
 				g := workload.RandomDAGSchema(rng, n, 0.3)
-				sc := rewrite.NewSchemaContext(g)
+				eng.SchemaContext(g)
 				q := workload.RandomSchemaPattern(rng, g, pq)
 				v := workload.RandomSchemaPattern(rng, g, pq)
 				start := time.Now()
-				res, err := sc.MCRWithSchema(q, v)
+				res, err := eng.Rewrite(ctx, engine.Request{Query: q, View: v, Schema: g, NoCache: true})
 				total += time.Since(start)
 				if err == nil && !res.Union.Empty() {
 					answerable++
@@ -193,13 +215,13 @@ func expSchemaMCR(seed int64) {
 
 // E6 ([14] "substantial savings"): answering via the materialized view
 // vs evaluating the query on the document.
-func expSavings(seed int64) {
+func expSavings(ctx context.Context, eng *engine.Engine, seed int64) {
 	w := table("E6 savings: direct evaluation vs compensation on materialized view",
 		"|D| nodes", "view subtree nodes", "t(direct)", "t(materialize)", "t(answer via view)", "speedup", "answers")
 	rng := rand.New(rand.NewSource(seed))
 	q := tpq.MustParse("//Trials[//Status]//Trial/Patient")
 	v := tpq.MustParse("//Trials[//Status]")
-	res, err := rewrite.MCR(q, v, rewrite.Options{})
+	res, err := eng.Rewrite(ctx, engine.Request{Query: q, View: v, NoCache: true})
 	if err != nil {
 		panic(err)
 	}
@@ -224,7 +246,7 @@ func expSavings(seed int64) {
 
 // E7 ([14] "minor overhead"): answerability testing plus rewriting
 // generation cost relative to one query evaluation.
-func expOverhead(seed int64) {
+func expOverhead(ctx context.Context, eng *engine.Engine, seed int64) {
 	w := table("E7 overhead: answerability test + MCR generation vs one evaluation",
 		"|D| nodes", "t(UseEmb)", "t(MCRGen)", "t(evaluate)", "overhead")
 	rng := rand.New(rand.NewSource(seed))
@@ -234,7 +256,7 @@ func expOverhead(seed int64) {
 		d := workload.ClinicalTrialsDoc(rng, groups, 10, 0.1)
 		tTest := timeIt(50, func() { rewrite.Answerable(q, v) })
 		tGen := timeIt(50, func() {
-			if _, err := rewrite.MCR(q, v, rewrite.Options{}); err != nil {
+			if _, err := eng.Rewrite(ctx, engine.Request{Query: q, View: v, NoCache: true}); err != nil {
 				panic(err)
 			}
 		})
@@ -246,7 +268,7 @@ func expOverhead(seed int64) {
 }
 
 // E9 (ablation): MCRGen vs the brute-force NaiveMCR baseline.
-func expNaive(seed int64) {
+func expNaive(ctx context.Context, eng *engine.Engine, seed int64) {
 	w := table("E9 ablation: MCRGen vs brute-force baseline (same MCRs)",
 		"|Q|,|V|≤", "t(MCRGen)", "t(naive)", "Σ useful embeddings", "Σ naive matchings kept", "agree%")
 	rng := rand.New(rand.NewSource(seed))
@@ -259,14 +281,17 @@ func expNaive(seed int64) {
 			q := workload.RandomPattern(rng, alphabet, size)
 			v := workload.RandomPattern(rng, alphabet, size)
 			start := time.Now()
-			res, err := rewrite.MCR(q, v, rewrite.Options{MaxEmbeddings: 1 << 18})
+			res, err := eng.Rewrite(ctx, engine.Request{Query: q, View: v, MaxEmbeddings: 1 << 18, NoCache: true})
 			tFast += time.Since(start)
 			if err != nil {
 				continue
 			}
 			start = time.Now()
-			naive := rewrite.NaiveMCR(q, v)
+			naive, err := rewrite.NaiveMCR(ctx, q, v)
 			tSlow += time.Since(start)
+			if err != nil {
+				continue
+			}
 			fastEmb += res.EmbeddingsConsidered
 			slowEmb += naive.EmbeddingsConsidered
 			if res.Union.SameAs(naive.Union) {
@@ -280,21 +305,21 @@ func expNaive(seed int64) {
 }
 
 // E10 (§5, Fig 15): recursive schemas restore the exponential MCR.
-func expRecursive(seed int64) {
+func expRecursive(ctx context.Context, eng *engine.Engine, seed int64) {
 	w := table("E10 recursive schemas: MCR size on the Figure 15 family (§5)",
 		"branches k", "CRs (recursive schema)", "CRs (schemaless)", "time")
 	for k := 1; k <= 6; k++ {
 		g := workload.Fig15Schema(k)
-		sc := rewrite.NewSchemaContext(g)
+		eng.SchemaContext(g)
 		q := workload.Fig15Query(k)
 		v := tpq.MustParse("//a//b")
 		start := time.Now()
-		res, err := sc.MCRRecursive(q, v, rewrite.Options{MaxEmbeddings: 1 << 20})
+		res, err := eng.Rewrite(ctx, engine.Request{Query: q, View: v, Schema: g, Recursive: true, MaxEmbeddings: 1 << 20, NoCache: true})
 		if err != nil {
 			fmt.Fprintf(w, "%d\tERROR %v\n", k, err)
 			continue
 		}
-		plain, err := rewrite.MCR(q, v, rewrite.Options{MaxEmbeddings: 1 << 20})
+		plain, err := eng.Rewrite(ctx, engine.Request{Query: q, View: v, MaxEmbeddings: 1 << 20, NoCache: true})
 		if err != nil {
 			fmt.Fprintf(w, "%d\tERROR %v\n", k, err)
 			continue
@@ -307,7 +332,7 @@ func expRecursive(seed int64) {
 
 // E11 (substrate): the two evaluation engines — tree-DP vs structural
 // joins over inverted tag lists — on selective and unselective queries.
-func expEngines(seed int64) {
+func expEngines(ctx context.Context, eng *engine.Engine, seed int64) {
 	w := table("E11 evaluation engines: tree-DP vs structural joins",
 		"|D| nodes", "query", "t(tree-DP)", "t(structjoin, indexed)", "t(index build)")
 	rng := rand.New(rand.NewSource(seed))
@@ -331,7 +356,7 @@ func expEngines(seed int64) {
 
 // E12 (view selection, paper's [27] direction): greedy selection
 // quality/time over random workloads.
-func expSelect(seed int64) {
+func expSelect(ctx context.Context, eng *engine.Engine, seed int64) {
 	w := table("E12 view selection: greedy coverage of random workloads",
 		"queries", "candidates", "k", "exact", "partial", "uncovered", "time")
 	rng := rand.New(rand.NewSource(seed))
@@ -364,6 +389,52 @@ func expSelect(seed int64) {
 			fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
 				nq, len(cands), k, exact, partial, useless, time.Since(start))
 		}
+	}
+	w.Flush()
+}
+
+// E13 (engine layer): what the cache and singleflight layers buy.
+// "cold" is the raw pipeline (cache bypassed), "cached" a hit on a warm
+// cache, "dup x8" eight goroutines requesting the same key at once —
+// singleflight computes once and the other seven wait on the flight.
+func expCache(ctx context.Context, eng *engine.Engine, seed int64) {
+	w := table("E13 engine cache and singleflight on the Figure 8 family",
+		"n", "t(cold)", "t(cached)", "t(dup x8 wall)", "computes for dup")
+	v := workload.Fig8View()
+	for _, n := range []int{4, 6, 8} {
+		q := workload.Fig8Query(n)
+		tCold := timeIt(5, func() {
+			if _, err := eng.Rewrite(ctx, engine.Request{Query: q, View: v, MaxEmbeddings: 1 << 20, NoCache: true}); err != nil {
+				panic(err)
+			}
+		})
+		// Warm a private engine, then time hits.
+		warm := engine.New(engine.Config{})
+		req := engine.Request{Query: q, View: v, MaxEmbeddings: 1 << 20}
+		if _, err := warm.Rewrite(ctx, req); err != nil {
+			panic(err)
+		}
+		tHit := timeIt(1000, func() {
+			if _, err := warm.Rewrite(ctx, req); err != nil {
+				panic(err)
+			}
+		})
+		// Eight concurrent identical requests against a cold engine.
+		cold := engine.New(engine.Config{})
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := cold.Rewrite(ctx, req); err != nil {
+					panic(err)
+				}
+			}()
+		}
+		wg.Wait()
+		tDup := time.Since(start)
+		fmt.Fprintf(w, "%d\t%v\t%v\t%v\t%d\n", n, tCold, tHit, tDup, cold.Stats().CacheMisses)
 	}
 	w.Flush()
 }

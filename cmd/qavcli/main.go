@@ -1,4 +1,4 @@
-// Command qavcli is the command-line front end to the QAV library:
+// Command qavcli is the command-line front end to the QAV engine:
 // rewriting tree pattern queries using views, evaluating them over XML
 // documents, deciding containment, and inspecting schema constraints
 // and chased views.
@@ -14,18 +14,25 @@
 //	qavcli ship    -v XPATH -doc FILE [-o FILE]
 //	qavcli mediate -q XPATH -view FILE
 //	qavcli select  -workload FILE -k N
+//
+// All rewriting-pipeline commands route through internal/engine, the
+// same pipeline the HTTP server runs, and honor Ctrl-C: an interrupted
+// exponential enumeration stops promptly via context cancellation.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"qav"
-	"qav/internal/chase"
-	"qav/internal/constraints"
+	"qav/internal/engine"
 	"qav/internal/rewrite"
 	"qav/internal/schema"
 	"qav/internal/tpq"
@@ -35,30 +42,40 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	// Ctrl-C cancels the pipeline context: exponential enumerations
+	// stop promptly instead of burning the whole embedding budget.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	eng := engine.New(engine.Config{})
+
 	var err error
 	switch os.Args[1] {
 	case "rewrite":
-		err = cmdRewrite(os.Args[2:])
+		err = cmdRewrite(ctx, eng, os.Args[2:])
 	case "answer":
-		err = cmdAnswer(os.Args[2:])
+		err = cmdAnswer(ctx, eng, os.Args[2:])
 	case "eval":
 		err = cmdEval(os.Args[2:])
 	case "contain":
-		err = cmdContain(os.Args[2:])
+		err = cmdContain(ctx, eng, os.Args[2:])
 	case "constraints":
-		err = cmdConstraints(os.Args[2:])
+		err = cmdConstraints(eng, os.Args[2:])
 	case "chase":
-		err = cmdChase(os.Args[2:])
+		err = cmdChase(ctx, eng, os.Args[2:])
 	case "ship":
 		err = cmdShip(os.Args[2:])
 	case "mediate":
-		err = cmdMediate(os.Args[2:])
+		err = cmdMediate(ctx, eng, os.Args[2:])
 	case "select":
 		err = cmdSelect(os.Args[2:])
 	default:
 		usage()
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "qavcli: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "qavcli:", err)
 		os.Exit(1)
 	}
@@ -87,7 +104,7 @@ func loadDoc(path string) (*qav.Document, error) {
 	return qav.ParseDocument(f)
 }
 
-func cmdRewrite(args []string) error {
+func cmdRewrite(ctx context.Context, eng *engine.Engine, args []string) error {
 	fs := flag.NewFlagSet("rewrite", flag.ExitOnError)
 	qExpr := fs.String("q", "", "query (XPath in XP{/,//,[]})")
 	vExpr := fs.String("v", "", "view (XPath in XP{/,//,[]})")
@@ -106,25 +123,15 @@ func cmdRewrite(args []string) error {
 	if err != nil {
 		return err
 	}
-	var res *qav.Result
+	var g *schema.Graph
 	if *schemaFile != "" {
-		s, err := loadSchema(*schemaFile)
-		if err != nil {
+		if g, err = loadSchema(*schemaFile); err != nil {
 			return err
 		}
-		rw := qav.NewSchemaRewriter(s)
-		if *recursive || s.IsRecursive() {
-			res, err = rw.RewriteRecursive(q, v, qav.Options{})
-		} else {
-			res, err = rw.Rewrite(q, v)
-		}
-		if err != nil {
-			return err
-		}
-	} else {
-		if res, err = qav.Rewrite(q, v); err != nil {
-			return err
-		}
+	}
+	res, err := eng.Rewrite(ctx, engine.Request{Query: q, View: v, Schema: g, Recursive: *recursive})
+	if err != nil {
+		return err
 	}
 	if res.Union.Empty() {
 		fmt.Println("not answerable: no contained rewriting exists")
@@ -141,7 +148,7 @@ func cmdRewrite(args []string) error {
 	return nil
 }
 
-func cmdAnswer(args []string) error {
+func cmdAnswer(ctx context.Context, eng *engine.Engine, args []string) error {
 	fs := flag.NewFlagSet("answer", flag.ExitOnError)
 	qExpr := fs.String("q", "", "query")
 	vExpr := fs.String("v", "", "view")
@@ -163,39 +170,28 @@ func cmdAnswer(args []string) error {
 	if err != nil {
 		return err
 	}
-	var res *qav.Result
+	var g *schema.Graph
 	if *schemaFile != "" {
-		s, err := loadSchema(*schemaFile)
-		if err != nil {
+		if g, err = loadSchema(*schemaFile); err != nil {
 			return err
 		}
-		if err := s.ValidateDocument(d); err != nil {
+		if err := g.ValidateDocument(d); err != nil {
 			fmt.Fprintln(os.Stderr, "warning: document does not conform to schema:", err)
 		}
-		rw := qav.NewSchemaRewriter(s)
-		if s.IsRecursive() {
-			res, err = rw.RewriteRecursive(q, v, qav.Options{})
-		} else {
-			res, err = rw.Rewrite(q, v)
-		}
-		if err != nil {
-			return err
-		}
-	} else if res, err = qav.Rewrite(q, v); err != nil {
-		return err
 	}
-	if res.Union.Empty() {
+	ans, err := eng.AnswerDoc(ctx, engine.Request{Query: q, View: v, Schema: g}, d)
+	if errors.Is(err, engine.ErrNotAnswerable) {
 		return fmt.Errorf("query is not answerable using the view")
 	}
-	views := qav.MaterializeView(v, d)
-	fmt.Printf("materialized view: %d nodes\n", len(views))
-	answers := qav.AnswerUsingView(res.CRs, v, d)
-	fmt.Printf("answers via view (%d):\n", len(answers))
-	for _, n := range answers {
+	if err != nil {
+		return err
+	}
+	fmt.Printf("materialized view: %d nodes\n", len(ans.ViewNodes))
+	fmt.Printf("answers via view (%d):\n", len(ans.Answers))
+	for _, n := range ans.Answers {
 		printAnswer(n)
 	}
-	direct := q.Evaluate(d)
-	fmt.Printf("direct evaluation of the query finds %d answers\n", len(direct))
+	fmt.Printf("direct evaluation of the query finds %d answers\n", len(ans.Direct))
 	return nil
 }
 
@@ -252,7 +248,7 @@ func printAnswer(n *qav.Node) {
 	}
 }
 
-func cmdContain(args []string) error {
+func cmdContain(ctx context.Context, eng *engine.Engine, args []string) error {
 	fs := flag.NewFlagSet("contain", flag.ExitOnError)
 	pExpr := fs.String("p", "", "candidate contained query")
 	qExpr := fs.String("q", "", "containing query")
@@ -269,22 +265,26 @@ func cmdContain(args []string) error {
 	if err != nil {
 		return err
 	}
+	var g *schema.Graph
 	if *schemaFile != "" {
-		s, err := loadSchema(*schemaFile)
-		if err != nil {
+		if g, err = loadSchema(*schemaFile); err != nil {
 			return err
 		}
-		rw := qav.NewSchemaRewriter(s)
-		fmt.Printf("%s ⊆_S %s : %v\n", p, q, rw.Contained(p, q))
-		fmt.Printf("%s ⊆_S %s : %v\n", q, p, rw.Contained(q, p))
-		return nil
 	}
-	fmt.Printf("%s ⊆ %s : %v\n", p, q, qav.Contained(p, q))
-	fmt.Printf("%s ⊆ %s : %v\n", q, p, qav.Contained(q, p))
+	pInQ, qInP, err := eng.Contain(ctx, p, q, g)
+	if err != nil {
+		return err
+	}
+	rel := "⊆"
+	if g != nil {
+		rel = "⊆_S"
+	}
+	fmt.Printf("%s %s %s : %v\n", p, rel, q, pInQ)
+	fmt.Printf("%s %s %s : %v\n", q, rel, p, qInP)
 	return nil
 }
 
-func cmdConstraints(args []string) error {
+func cmdConstraints(eng *engine.Engine, args []string) error {
 	fs := flag.NewFlagSet("constraints", flag.ExitOnError)
 	schemaFile := fs.String("schema", "", "schema file")
 	fs.Parse(args)
@@ -295,12 +295,12 @@ func cmdConstraints(args []string) error {
 	if err != nil {
 		return err
 	}
-	sigma := constraints.Infer(s)
+	sigma := eng.Constraints(s)
 	fmt.Printf("%d constraint(s) implied by the schema:\n%s\n", sigma.Len(), sigma)
 	return nil
 }
 
-func cmdChase(args []string) error {
+func cmdChase(ctx context.Context, eng *engine.Engine, args []string) error {
 	fs := flag.NewFlagSet("chase", flag.ExitOnError)
 	vExpr := fs.String("v", "", "view to chase")
 	qExpr := fs.String("q", "", "query guiding the intelligent chase (omit for exhaustive)")
@@ -317,21 +317,21 @@ func cmdChase(args []string) error {
 	if err != nil {
 		return err
 	}
-	sigma := constraints.Infer(s)
+	var q *tpq.Pattern
 	if *qExpr != "" {
-		q, err := tpq.Parse(*qExpr)
-		if err != nil {
+		if q, err = tpq.Parse(*qExpr); err != nil {
 			return err
 		}
-		out := chase.Intelligent(v, q, sigma)
-		fmt.Printf("intelligent chase (%d nodes): %s\n", out.Size(), out)
-		return nil
 	}
-	out, err := chase.Exhaustive(v, sigma, chase.Options{})
+	out, err := eng.Chase(ctx, v, q, s)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("exhaustive chase (%d nodes): %s\n", out.Size(), out)
+	kind := "exhaustive"
+	if q != nil {
+		kind = "intelligent"
+	}
+	fmt.Printf("%s chase (%d nodes): %s\n", kind, out.Size(), out)
 	return nil
 }
 
@@ -372,10 +372,11 @@ func cmdShip(args []string) error {
 }
 
 // cmdMediate answers a query at the mediator using only a shipped
-// materialized view: the maximal contained rewriting of the query using
-// the view expression recorded in the file is computed, and its
-// compensations run over the stored forest.
-func cmdMediate(args []string) error {
+// materialized view: the file's forest is registered with the engine,
+// the maximal contained rewriting of the query using the recorded view
+// expression is computed, and its compensations run over the stored
+// forest.
+func cmdMediate(ctx context.Context, eng *engine.Engine, args []string) error {
 	fs := flag.NewFlagSet("mediate", flag.ExitOnError)
 	qExpr := fs.String("q", "", "query")
 	viewFile := fs.String("view", "", "shipped view file (from qavcli ship)")
@@ -397,15 +398,15 @@ func cmdMediate(args []string) error {
 		return err
 	}
 	fmt.Printf("stored view %s: %d tree(s)\n", m.Expr, len(m.Forest))
-	res, err := qav.Rewrite(q, m.Expr)
+	eng.RegisterView(*viewFile, m)
+	res, answers, err := eng.AnswerStored(ctx, q, *viewFile)
+	if errors.Is(err, engine.ErrNotAnswerable) {
+		return fmt.Errorf("query is not answerable using the stored view")
+	}
 	if err != nil {
 		return err
 	}
-	if res.Union.Empty() {
-		return fmt.Errorf("query is not answerable using the stored view")
-	}
 	fmt.Println("rewriting:", res.Union)
-	answers := m.Answer(res.CRs)
 	fmt.Printf("answers (%d):\n", len(answers))
 	for _, n := range answers {
 		printAnswer(n)

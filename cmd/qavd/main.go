@@ -1,30 +1,71 @@
-// Command qavd serves the QAV library over HTTP: the mediator component
+// Command qavd serves the QAV engine over HTTP: the mediator component
 // of an information-integration deployment. See internal/server for the
 // endpoints.
 //
-//	qavd -addr :8080
+//	qavd -addr :8080 -rewrite-timeout 10s
 //	curl -s localhost:8080/v1/rewrite -d '{"query":"//Trials[//Status]//Trial","view":"//Trials//Trial"}'
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests drain (bounded by -drain), new connections are refused, and
+// cancelled request contexts stop any still-running enumerations.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"qav/internal/engine"
 	"qav/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	cacheSize := flag.Int("cache", 1024, "rewrite cache capacity (entries)")
+	rewriteTimeout := flag.Duration("rewrite-timeout", 30*time.Second, "per-request rewriting deadline (0 = none)")
+	maxEmbeddings := flag.Int("max-embeddings", 0, "enumeration budget per request (0 = library default)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
 	flag.Parse()
+
+	eng := engine.New(engine.Config{
+		CacheSize:     *cacheSize,
+		Timeout:       *rewriteTimeout,
+		MaxEmbeddings: *maxEmbeddings,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(),
+		Handler:           server.NewWith(eng),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("qavd listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("qavd: signal received, draining for up to %v", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("qavd: forced shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("qavd: %v", err)
+		}
+		log.Printf("qavd: stopped")
+	}
 }

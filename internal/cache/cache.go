@@ -7,6 +7,8 @@ package cache
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"sync"
 
 	"qav/internal/rewrite"
@@ -14,13 +16,15 @@ import (
 	"qav/internal/tpq"
 )
 
-// Cache is a bounded LRU of rewriting results. The zero value is not
+// Cache is a bounded LRU of rewriting results with singleflight
+// deduplication of in-flight computations. The zero value is not
 // usable; call New.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
 	order    *list.List // front = most recently used; values are *entry
 	byKey    map[string]*list.Element
+	inflight map[string]*flight
 
 	hits, misses int64
 }
@@ -29,6 +33,13 @@ type entry struct {
 	key string
 	res *rewrite.Result
 	err error
+}
+
+// flight is one in-progress computation; followers wait on done.
+type flight struct {
+	done chan struct{}
+	res  *rewrite.Result
+	err  error
 }
 
 // New creates a cache holding up to capacity results (minimum 1).
@@ -40,6 +51,7 @@ func New(capacity int) *Cache {
 		capacity: capacity,
 		order:    list.New(),
 		byKey:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
 	}
 }
 
@@ -56,25 +68,30 @@ func Key(q, v *tpq.Pattern, g *schema.Graph, recursive bool) string {
 	return k
 }
 
-// Get returns the cached result for key, if present.
-func (c *Cache) Get(key string) (*rewrite.Result, error, bool) {
+// Get returns the cached result for key, if present. The error is the
+// stored computation error and is meaningful only when ok is true.
+func (c *Cache) Get(key string) (res *rewrite.Result, ok bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.byKey[key]
-	if !ok {
+	el, found := c.byKey[key]
+	if !found {
 		c.misses++
-		return nil, nil, false
+		return nil, false, nil
 	}
 	c.hits++
 	c.order.MoveToFront(el)
 	e := el.Value.(*entry)
-	return e.res, e.err, true
+	return e.res, true, e.err
 }
 
 // Put stores a result (or the error computing it produced) under key.
 func (c *Cache) Put(key string, res *rewrite.Result, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putLocked(key, res, err)
+}
+
+func (c *Cache) putLocked(key string, res *rewrite.Result, err error) {
 	if el, ok := c.byKey[key]; ok {
 		c.order.MoveToFront(el)
 		el.Value.(*entry).res = res
@@ -90,15 +107,56 @@ func (c *Cache) Put(key string, res *rewrite.Result, err error) {
 }
 
 // GetOrCompute returns the cached result for key or computes, stores
-// and returns it. Concurrent callers may compute the same key
-// redundantly; the result is pure, so last-write-wins is harmless.
-func (c *Cache) GetOrCompute(key string, compute func() (*rewrite.Result, error)) (*rewrite.Result, error) {
-	if res, err, ok := c.Get(key); ok {
-		return res, err
+// and returns it. Concurrent callers for the same key are deduplicated
+// singleflight-style: one leader runs compute, the others wait for its
+// result (or their own ctx). Context cancellation errors are never
+// cached, and followers whose leader was cancelled retry with their
+// own context rather than inheriting the leader's failure.
+func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() (*rewrite.Result, error)) (*rewrite.Result, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.byKey[key]; ok {
+			c.hits++
+			c.order.MoveToFront(el)
+			e := el.Value.(*entry)
+			c.mu.Unlock()
+			return e.res, e.err
+		}
+		if f, ok := c.inflight[key]; ok {
+			c.hits++ // deduplicated: no second computation
+			c.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-f.done:
+			}
+			if isContextErr(f.err) {
+				continue // the leader was cancelled, not us: retry
+			}
+			return f.res, f.err
+		}
+		c.misses++
+		f := &flight{done: make(chan struct{})}
+		c.inflight[key] = f
+		c.mu.Unlock()
+
+		f.res, f.err = compute()
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if !isContextErr(f.err) {
+			c.putLocked(key, f.res, f.err)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		return f.res, f.err
 	}
-	res, err := compute()
-	c.Put(key, res, err)
-	return res, err
+}
+
+// isContextErr reports whether err stems from cancellation or a missed
+// deadline — failures of the request, not of the computation, which
+// must not poison the cache.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Stats returns the hit and miss counters.

@@ -1,9 +1,13 @@
 package cache
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"qav/internal/rewrite"
 	"qav/internal/schema"
@@ -17,15 +21,15 @@ func TestGetPutEvict(t *testing.T) {
 	r3 := &rewrite.Result{}
 	c.Put("a", r1, nil)
 	c.Put("b", r2, nil)
-	if got, _, ok := c.Get("a"); !ok || got != r1 {
+	if got, ok, _ := c.Get("a"); !ok || got != r1 {
 		t.Fatal("a missing")
 	}
 	// a is now most recent; inserting c evicts b.
 	c.Put("c", r3, nil)
-	if _, _, ok := c.Get("b"); ok {
+	if _, ok, _ := c.Get("b"); ok {
 		t.Error("b should have been evicted")
 	}
-	if _, _, ok := c.Get("a"); !ok {
+	if _, ok, _ := c.Get("a"); !ok {
 		t.Error("a should have survived")
 	}
 	if c.Len() != 2 {
@@ -82,11 +86,11 @@ func TestGetOrCompute(t *testing.T) {
 		return rewrite.MCR(tpq.MustParse("//a[b]"), tpq.MustParse("//a"), rewrite.Options{})
 	}
 	key := "k"
-	r1, err := c.GetOrCompute(key, compute)
+	r1, err := c.GetOrCompute(context.Background(), key, compute)
 	if err != nil || r1 == nil {
 		t.Fatal(err)
 	}
-	r2, _ := c.GetOrCompute(key, compute)
+	r2, _ := c.GetOrCompute(context.Background(), key, compute)
 	if calls != 1 {
 		t.Errorf("compute ran %d times", calls)
 	}
@@ -104,7 +108,7 @@ func TestConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				key := fmt.Sprintf("k%d", i%24)
-				c.GetOrCompute(key, func() (*rewrite.Result, error) {
+				c.GetOrCompute(context.Background(), key, func() (*rewrite.Result, error) {
 					return &rewrite.Result{}, nil
 				})
 			}
@@ -113,5 +117,95 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if c.Len() > 16 {
 		t.Errorf("capacity exceeded: %d", c.Len())
+	}
+}
+
+// Singleflight: concurrent callers for one key run compute exactly once
+// — the leader computes, followers wait and share the result.
+func TestSingleflightDedup(t *testing.T) {
+	c := New(4)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	want := &rewrite.Result{}
+	compute := func() (*rewrite.Result, error) {
+		calls.Add(1)
+		<-release // hold the flight open so every goroutine joins it
+		return want, nil
+	}
+	const workers = 12
+	results := make([]*rewrite.Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r, err := c.GetOrCompute(context.Background(), "k", compute)
+			if err != nil {
+				t.Error(err)
+			}
+			results[w] = r
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond) // let followers pile onto the flight
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+	for w, r := range results {
+		if r != want {
+			t.Errorf("worker %d got %p, want shared result", w, r)
+		}
+	}
+	if _, misses := c.Stats(); misses != 1 {
+		t.Errorf("misses = %d, want 1 (one leader)", misses)
+	}
+}
+
+// A follower whose own context is cancelled stops waiting immediately
+// instead of blocking on the leader.
+func TestFollowerHonorsOwnContext(t *testing.T) {
+	c := New(4)
+	release := make(chan struct{})
+	defer close(release)
+	go c.GetOrCompute(context.Background(), "k", func() (*rewrite.Result, error) {
+		<-release
+		return &rewrite.Result{}, nil
+	})
+	time.Sleep(10 * time.Millisecond) // leader is now in flight
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.GetOrCompute(ctx, "k", func() (*rewrite.Result, error) {
+		t.Error("follower must not compute")
+		return nil, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// Cancellation errors are never cached: the next caller recomputes.
+func TestCancellationNotCached(t *testing.T) {
+	c := New(4)
+	calls := 0
+	_, err := c.GetOrCompute(context.Background(), "k", func() (*rewrite.Result, error) {
+		calls++
+		return nil, context.Canceled
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	want := &rewrite.Result{}
+	got, err := c.GetOrCompute(context.Background(), "k", func() (*rewrite.Result, error) {
+		calls++
+		return want, nil
+	})
+	if err != nil || got != want {
+		t.Fatalf("got %p, %v", got, err)
+	}
+	if calls != 2 {
+		t.Errorf("compute ran %d times, want 2 (cancellation must not be cached)", calls)
+	}
+	if got, ok, _ := c.Get("k"); !ok || got != want {
+		t.Error("successful recompute was not cached")
 	}
 }

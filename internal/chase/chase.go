@@ -6,6 +6,7 @@
 package chase
 
 import (
+	"context"
 	"fmt"
 
 	"qav/internal/constraints"
@@ -23,8 +24,13 @@ type Options struct {
 
 // Exhaustive applies the five chase rules until fixpoint and returns the
 // chased pattern (the input is not modified). It fails if MaxSteps rule
-// applications do not reach a fixpoint.
-func Exhaustive(v *tpq.Pattern, sigma *constraints.Set, opt Options) (*tpq.Pattern, error) {
+// applications do not reach a fixpoint. The fixpoint loop polls ctx, so
+// a cancelled context aborts a diverging or exponential chase promptly
+// with the context's error.
+func Exhaustive(ctx context.Context, v *tpq.Pattern, sigma *constraints.Set, opt Options) (*tpq.Pattern, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	maxSteps := opt.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = 100000
@@ -32,6 +38,9 @@ func Exhaustive(v *tpq.Pattern, sigma *constraints.Set, opt Options) (*tpq.Patte
 	out, _ := v.Clone()
 	steps := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		changed := false
 		for _, apply := range []func(*tpq.Pattern, *constraints.Set) int{
 			applyPC, applyFC, applySC, applyIC, applyCC,

@@ -1,6 +1,7 @@
 package chase
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -16,7 +17,7 @@ func TestPCRuleConvertsEdges(t *testing.T) {
 	g := schema.MustParse("root a\na -> b\nb -> c")
 	sigma := constraints.Infer(g)
 	v := tpq.MustParse("//a//b")
-	out, err := Exhaustive(v, sigma, Options{})
+	out, err := Exhaustive(context.Background(), v, sigma, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestPCRuleConvertsEdges(t *testing.T) {
 func TestSCRuleAddsMandatoryChildren(t *testing.T) {
 	g := schema.MustParse("root a\na -> b c?\nb -> d+")
 	sigma := constraints.Infer(g)
-	out, err := Exhaustive(tpq.MustParse("/a"), sigma, Options{})
+	out, err := Exhaustive(context.Background(), tpq.MustParse("/a"), sigma, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestFCRuleMergesDuplicates(t *testing.T) {
 	b1.AddChild(tpq.Child, "c")
 	b2 := v.Root.AddChild(tpq.Child, "b")
 	b2.AddChild(tpq.Child, "d")
-	out, err := Exhaustive(v, sigma, Options{})
+	out, err := Exhaustive(context.Background(), v, sigma, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestFCRuleMovesOutputMarker(t *testing.T) {
 	b2 := v.Root.AddChild(tpq.Child, "b")
 	v.Output = b2
 	_ = b1
-	out, err := Exhaustive(v, sigma, Options{})
+	out, err := Exhaustive(context.Background(), v, sigma, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestFCRuleMovesOutputMarker(t *testing.T) {
 func TestICRuleInsertsIntermediate(t *testing.T) {
 	g := schema.MustParse("root a\na -> person?\nperson -> name?")
 	sigma := constraints.Infer(g)
-	out, err := Exhaustive(tpq.MustParse("//a//name"), sigma, Options{})
+	out, err := Exhaustive(context.Background(), tpq.MustParse("//a//name"), sigma, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestChaseFigure12ThirteenNodes(t *testing.T) {
 	g := workload.Figure12Schema()
 	sigma := constraints.Infer(g)
 	scOnly := constraints.NewSet(sigma.OfKind(constraints.SC))
-	out, err := Exhaustive(tpq.MustParse("/a"), scOnly, Options{})
+	out, err := Exhaustive(context.Background(), tpq.MustParse("/a"), scOnly, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestChaseFigure12ThirteenNodes(t *testing.T) {
 	// large — the paper notes the figure "does not even show all
 	// possible nodes that would be added by chasing with redundant
 	// constraints".
-	full, err := Exhaustive(tpq.MustParse("/a"), sigma, Options{})
+	full, err := Exhaustive(context.Background(), tpq.MustParse("/a"), sigma, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestChaseDiamondExplosionVsIntelligent(t *testing.T) {
 	for levels := 1; levels <= 4; levels++ {
 		g := workload.DiamondSchema(levels)
 		sigma := constraints.NewSet(constraints.Infer(g).OfKind(constraints.SC))
-		out, err := Exhaustive(tpq.MustParse("/x0"), sigma, Options{})
+		out, err := Exhaustive(context.Background(), tpq.MustParse("/x0"), sigma, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -189,7 +190,7 @@ func TestQuickChasePreservesEquivalence(t *testing.T) {
 		g := workload.RandomDAGSchema(rng, 2+rng.Intn(6), 0.4)
 		sigma := constraints.Infer(g)
 		v := workload.RandomSchemaPattern(rng, g, 5)
-		chased, err := Exhaustive(v, sigma, Options{MaxSteps: 20000})
+		chased, err := Exhaustive(context.Background(), v, sigma, Options{MaxSteps: 20000})
 		if err != nil {
 			return true // blown budget is acceptable for this property
 		}
@@ -223,7 +224,7 @@ func TestChaseDoesNotMutateInput(t *testing.T) {
 	sigma := constraints.Infer(workload.AuctionSchema())
 	v := tpq.MustParse("//Auction//person")
 	before := v.Canonical()
-	if _, err := Exhaustive(v, sigma, Options{}); err != nil {
+	if _, err := Exhaustive(context.Background(), v, sigma, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	Intelligent(v, tpq.MustParse("//Auction[//item]//name"), sigma)
@@ -240,7 +241,7 @@ func TestExhaustiveStepLimit(t *testing.T) {
 		{Kind: constraints.SC, A: "a", C: "b"},
 		{Kind: constraints.SC, A: "b", C: "a"},
 	})
-	if _, err := Exhaustive(tpq.MustParse("/a"), sigma, Options{MaxSteps: 500}); err == nil {
+	if _, err := Exhaustive(context.Background(), tpq.MustParse("/a"), sigma, Options{MaxSteps: 500}); err == nil {
 		t.Error("divergent chase did not error out")
 	}
 }
@@ -279,7 +280,7 @@ func TestConditionalRules(t *testing.T) {
 		{Kind: constraints.CC, A: "a", B: "x", C: "y"},
 	})
 	// SC premise not met: no pc-child b.
-	out, err := Exhaustive(tpq.MustParse("//a[//b]"), sigma, Options{})
+	out, err := Exhaustive(context.Background(), tpq.MustParse("//a[//b]"), sigma, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestConditionalRules(t *testing.T) {
 		t.Errorf("conditional SC fired without its premise: %s", out)
 	}
 	// SC premise met.
-	out, err = Exhaustive(tpq.MustParse("//a[b]"), sigma, Options{})
+	out, err = Exhaustive(context.Background(), tpq.MustParse("//a[b]"), sigma, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestConditionalRules(t *testing.T) {
 		t.Errorf("conditional SC did not fire: %s", out)
 	}
 	// CC premise met through a deep descendant.
-	out, err = Exhaustive(tpq.MustParse("//a[b/x]"), sigma, Options{})
+	out, err = Exhaustive(context.Background(), tpq.MustParse("//a[b/x]"), sigma, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +314,7 @@ func TestChasePreservesValidity(t *testing.T) {
 		"//closed_auction[buyer]//name",
 	} {
 		v := tpq.MustParse(expr)
-		out, err := Exhaustive(v, sigma, Options{})
+		out, err := Exhaustive(context.Background(), v, sigma, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

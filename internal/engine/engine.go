@@ -1,0 +1,419 @@
+// Package engine provides the one shared query-answering pipeline of
+// the system: parse → (chase) → MCR generation → compensation, behind
+// a concurrency-safe, budgeted, context-aware façade.
+//
+// The paper's mediator setting (§1, §3.2) answers many queries against
+// few views, and the MCR can be a union of exponentially many patterns
+// — so every entry point (HTTP server, CLI, benchmarks, the public qav
+// façade) routes through a single Engine rather than assembling the
+// pipeline ad hoc. The Engine owns:
+//
+//   - the rewrite cache (LRU + singleflight, see internal/cache), so N
+//     concurrent identical requests compute once;
+//   - the per-schema constraint contexts (inference is O(|S|³),
+//     Theorem 5, and query-independent — it runs once per schema, not
+//     once per request);
+//   - the registered materialized views (internal/viewstore), the
+//     artifacts autonomous sources ship to the mediator.
+//
+// Every method takes a context.Context that is threaded down into the
+// enumeration and chase hot loops: a client disconnect or deadline
+// stops an exponential enumeration instead of burning the budget.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"qav/internal/cache"
+	"qav/internal/chase"
+	"qav/internal/constraints"
+	"qav/internal/rewrite"
+	"qav/internal/schema"
+	"qav/internal/tpq"
+	"qav/internal/viewstore"
+	"qav/internal/xmltree"
+)
+
+// ErrNotAnswerable is returned by the Answer methods when the query has
+// no contained rewriting using the view.
+var ErrNotAnswerable = errors.New("engine: query is not answerable using the view")
+
+// ErrUnknownView is returned by AnswerStored for an unregistered view.
+var ErrUnknownView = errors.New("engine: no stored view with that name")
+
+// An InvalidRequestError reports an unparsable request input. Field
+// names the offending input: "query", "view", "schema", "document",
+// "p", or "q".
+type InvalidRequestError struct {
+	Field string
+	Err   error
+}
+
+func (e *InvalidRequestError) Error() string { return e.Field + ": " + e.Err.Error() }
+func (e *InvalidRequestError) Unwrap() error { return e.Err }
+
+// Config bounds an Engine.
+type Config struct {
+	// CacheSize is the rewrite-cache capacity in entries; <= 0 means
+	// 1024.
+	CacheSize int
+	// MaxEmbeddings is the default enumeration budget per request;
+	// <= 0 defers to the rewrite package's default (1 << 20).
+	MaxEmbeddings int
+	// Timeout, when positive, imposes a per-call deadline on requests
+	// whose context does not already carry one.
+	Timeout time.Duration
+	// MaxSchemaContexts bounds the per-schema constraint-context cache;
+	// <= 0 means 64. Mediators see few distinct schemas, so the bound
+	// only guards against adversarial schema churn.
+	MaxSchemaContexts int
+}
+
+// Engine is the shared rewriting pipeline. It is safe for concurrent
+// use by multiple goroutines.
+type Engine struct {
+	cfg   Config
+	cache *cache.Cache
+
+	mu      sync.RWMutex
+	schemas map[string]*rewrite.SchemaContext // keyed by canonical schema text
+	views   map[string]*viewstore.Materialized
+}
+
+// New creates an Engine with the given bounds.
+func New(cfg Config) *Engine {
+	size := cfg.CacheSize
+	if size <= 0 {
+		size = 1024
+	}
+	if cfg.MaxSchemaContexts <= 0 {
+		cfg.MaxSchemaContexts = 64
+	}
+	return &Engine{
+		cfg:     cfg,
+		cache:   cache.New(size),
+		schemas: make(map[string]*rewrite.SchemaContext),
+		views:   make(map[string]*viewstore.Materialized),
+	}
+}
+
+// withDeadline applies the engine's default timeout when the caller's
+// context has no deadline of its own.
+func (e *Engine) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.cfg.Timeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			return context.WithTimeout(ctx, e.cfg.Timeout)
+		}
+	}
+	return ctx, func() {}
+}
+
+// SchemaContext returns the engine's cached constraint-inference
+// context for g, inferring the constraint set on first use. Contexts
+// are shared across requests: inference is query-independent.
+func (e *Engine) SchemaContext(g *schema.Graph) *rewrite.SchemaContext {
+	key := g.String()
+	e.mu.RLock()
+	sc := e.schemas[key]
+	e.mu.RUnlock()
+	if sc != nil {
+		return sc
+	}
+	sc = rewrite.NewSchemaContext(g)
+	e.mu.Lock()
+	if cached, ok := e.schemas[key]; ok {
+		sc = cached
+	} else {
+		if len(e.schemas) >= e.cfg.MaxSchemaContexts {
+			// Cheap wholesale reset; a mediator sees few schemas, so
+			// this only fires under schema churn.
+			e.schemas = make(map[string]*rewrite.SchemaContext)
+		}
+		e.schemas[key] = sc
+	}
+	e.mu.Unlock()
+	return sc
+}
+
+// Constraints returns the constraint set the schema implies, via the
+// cached SchemaContext.
+func (e *Engine) Constraints(g *schema.Graph) *constraints.Set {
+	return e.SchemaContext(g).Sigma
+}
+
+// Request is a fully parsed rewriting request.
+type Request struct {
+	Query *tpq.Pattern
+	View  *tpq.Pattern
+	// Schema is optional; nil selects the schemaless algorithm (§3).
+	Schema *schema.Graph
+	// Recursive forces the §5 recursive-schema algorithm even when the
+	// schema itself is recursion-free. It is implied by a recursive
+	// schema.
+	Recursive bool
+	// MaxEmbeddings overrides the engine's default enumeration budget
+	// for this request when positive.
+	MaxEmbeddings int
+	// NoCache bypasses the rewrite cache (used by benchmarks measuring
+	// the raw pipeline, and by callers that will mutate the result).
+	NoCache bool
+}
+
+func (r Request) options(e *Engine, ctx context.Context) rewrite.Options {
+	limit := r.MaxEmbeddings
+	if limit <= 0 {
+		limit = e.cfg.MaxEmbeddings
+	}
+	return rewrite.Options{MaxEmbeddings: limit, Context: ctx}
+}
+
+// Rewrite computes the maximal contained rewriting of the request's
+// query using its view, selecting the schemaless (§3), schema (§4) or
+// recursive-schema (§5) algorithm, with caching and singleflight
+// deduplication. Cached results are shared: callers must not mutate
+// them (set NoCache to receive a private copy).
+func (e *Engine) Rewrite(ctx context.Context, req Request) (*rewrite.Result, error) {
+	ctx, cancel := e.withDeadline(ctx)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	recursive := req.Schema != nil && (req.Recursive || req.Schema.IsRecursive())
+	compute := func() (*rewrite.Result, error) {
+		opts := req.options(e, ctx)
+		if req.Schema == nil {
+			return rewrite.MCR(req.Query, req.View, opts)
+		}
+		sc := e.SchemaContext(req.Schema)
+		if recursive {
+			return sc.MCRRecursive(req.Query, req.View, opts)
+		}
+		return sc.MCRWithSchema(req.Query, req.View)
+	}
+	if req.NoCache {
+		return compute()
+	}
+	key := cache.Key(req.Query, req.View, req.Schema, recursive)
+	return e.cache.GetOrCompute(ctx, key, compute)
+}
+
+// RewriteRequest is a rewriting request in textual form, as received by
+// the HTTP API and the CLI.
+type RewriteRequest struct {
+	Query     string
+	View      string
+	Schema    string // optional schema DSL text
+	Recursive bool
+}
+
+// RewriteExpr parses the request's expressions and rewrites.
+func (e *Engine) RewriteExpr(ctx context.Context, req RewriteRequest) (*rewrite.Result, error) {
+	parsed, err := e.parseRewriteRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	return e.Rewrite(ctx, parsed)
+}
+
+func (e *Engine) parseRewriteRequest(req RewriteRequest) (Request, error) {
+	q, err := tpq.Parse(req.Query)
+	if err != nil {
+		return Request{}, &InvalidRequestError{Field: "query", Err: err}
+	}
+	v, err := tpq.Parse(req.View)
+	if err != nil {
+		return Request{}, &InvalidRequestError{Field: "view", Err: err}
+	}
+	var g *schema.Graph
+	if req.Schema != "" {
+		if g, err = schema.Parse(req.Schema); err != nil {
+			return Request{}, &InvalidRequestError{Field: "schema", Err: err}
+		}
+	}
+	return Request{Query: q, View: v, Schema: g, Recursive: req.Recursive}, nil
+}
+
+// Answer is the outcome of answering a query through a view over a
+// document: the rewriting used, the materialized view nodes, the
+// answers obtained by compensation, and the direct evaluation of the
+// query for comparison.
+type Answer struct {
+	Result    *rewrite.Result
+	ViewNodes []*xmltree.Node
+	Answers   []*xmltree.Node
+	Direct    []*xmltree.Node
+}
+
+// AnswerDoc answers the request's query over d strictly through the
+// view: the MCR's compensation queries run against the materialized
+// view nodes. Returns ErrNotAnswerable when no contained rewriting
+// exists.
+func (e *Engine) AnswerDoc(ctx context.Context, req Request, d *xmltree.Document) (*Answer, error) {
+	res, err := e.Rewrite(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if res.Union.Empty() {
+		return nil, ErrNotAnswerable
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	viewNodes := rewrite.MaterializeView(req.View, d)
+	return &Answer{
+		Result:    res,
+		ViewNodes: viewNodes,
+		Answers:   rewrite.AnswerMaterialized(res.CRs, d, viewNodes),
+		Direct:    req.Query.Evaluate(d),
+	}, nil
+}
+
+// AnswerRequest is an answering request in textual form.
+type AnswerRequest struct {
+	Query    string
+	View     string
+	Document string // XML text
+	Schema   string // optional schema DSL text
+}
+
+// AnswerExpr parses the request and answers the query through the view
+// over the document.
+func (e *Engine) AnswerExpr(ctx context.Context, req AnswerRequest) (*Answer, error) {
+	parsed, err := e.parseRewriteRequest(RewriteRequest{Query: req.Query, View: req.View, Schema: req.Schema})
+	if err != nil {
+		return nil, err
+	}
+	d, err := xmltree.ParseString(req.Document)
+	if err != nil {
+		return nil, &InvalidRequestError{Field: "document", Err: err}
+	}
+	return e.AnswerDoc(ctx, parsed, d)
+}
+
+// RegisterView stores a materialized view under name, replacing any
+// previous registration. This is the mediator's catalog of shipped
+// views.
+func (e *Engine) RegisterView(name string, m *viewstore.Materialized) {
+	e.mu.Lock()
+	e.views[name] = m
+	e.mu.Unlock()
+}
+
+// View returns the materialized view registered under name.
+func (e *Engine) View(name string) (*viewstore.Materialized, bool) {
+	e.mu.RLock()
+	m, ok := e.views[name]
+	e.mu.RUnlock()
+	return m, ok
+}
+
+// AnswerStored answers q using only the named stored view: the MCR of q
+// using the view's expression is computed (cached), and its
+// compensations run over the stored forest — the source database is
+// never touched.
+func (e *Engine) AnswerStored(ctx context.Context, q *tpq.Pattern, viewName string) (*rewrite.Result, []*xmltree.Node, error) {
+	m, ok := e.View(viewName)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownView, viewName)
+	}
+	res, err := e.Rewrite(ctx, Request{Query: q, View: m.Expr})
+	if err != nil {
+		return nil, nil, err
+	}
+	if res.Union.Empty() {
+		return nil, nil, ErrNotAnswerable
+	}
+	return res, m.Answer(res.CRs), nil
+}
+
+// Contain decides containment both ways between p and q, schema-
+// relative when g is non-nil.
+func (e *Engine) Contain(ctx context.Context, p, q *tpq.Pattern, g *schema.Graph) (pInQ, qInP bool, err error) {
+	ctx, cancel := e.withDeadline(ctx)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		return false, false, err
+	}
+	if g == nil {
+		return tpq.Contained(p, q), tpq.Contained(q, p), nil
+	}
+	sc := e.SchemaContext(g)
+	pInQ = sc.SContained(p, q)
+	if err := ctx.Err(); err != nil {
+		return false, false, err
+	}
+	return pInQ, sc.SContained(q, p), nil
+}
+
+// ContainRequest is a containment request in textual form.
+type ContainRequest struct {
+	P      string
+	Q      string
+	Schema string // optional schema DSL text
+}
+
+// ContainExpr parses the request and decides containment both ways.
+func (e *Engine) ContainExpr(ctx context.Context, req ContainRequest) (pInQ, qInP bool, err error) {
+	p, err := tpq.Parse(req.P)
+	if err != nil {
+		return false, false, &InvalidRequestError{Field: "p", Err: err}
+	}
+	q, err := tpq.Parse(req.Q)
+	if err != nil {
+		return false, false, &InvalidRequestError{Field: "q", Err: err}
+	}
+	var g *schema.Graph
+	if req.Schema != "" {
+		if g, err = schema.Parse(req.Schema); err != nil {
+			return false, false, &InvalidRequestError{Field: "schema", Err: err}
+		}
+	}
+	return e.Contain(ctx, p, q, g)
+}
+
+// Chase exposes the chase procedure as an inspection utility: the
+// goal-directed intelligent chase toward q when q is non-nil (Lemma 4),
+// the exhaustive fixpoint chase otherwise. The exhaustive chase can be
+// exponential, so it honors ctx cancellation.
+func (e *Engine) Chase(ctx context.Context, v, q *tpq.Pattern, g *schema.Graph) (*tpq.Pattern, error) {
+	ctx, cancel := e.withDeadline(ctx)
+	defer cancel()
+	sigma := e.Constraints(g)
+	if q != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return chase.Intelligent(v, q, sigma), nil
+	}
+	return chase.Exhaustive(ctx, v, sigma, chase.Options{})
+}
+
+// Stats is a point-in-time snapshot of the engine's shared state.
+type Stats struct {
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEntries   int
+	SchemaContexts int
+	StoredViews    int
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	hits, misses := e.cache.Stats()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return Stats{
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEntries:   e.cache.Len(),
+		SchemaContexts: len(e.schemas),
+		StoredViews:    len(e.views),
+	}
+}

@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"qav/internal/rewrite"
+	"qav/internal/schema"
+	"qav/internal/tpq"
+	"qav/internal/viewstore"
+	"qav/internal/workload"
+	"qav/internal/xmltree"
+)
+
+const auctionSchema = `root Auctions
+Auctions -> Auction*
+Auction -> open_auction* closed_auction?
+open_auction -> item bids?
+closed_auction -> item person? buyer?
+bids -> person+
+buyer -> person
+person -> name
+item -> name
+`
+
+func TestRewriteSchemaless(t *testing.T) {
+	e := New(Config{})
+	res, err := e.RewriteExpr(context.Background(), RewriteRequest{
+		Query: "//Trials[//Status]//Trial", View: "//Trials//Trial",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Union.Empty() {
+		t.Fatal("expected answerable")
+	}
+	// Must agree with the rewrite package called directly.
+	direct, err := rewrite.MCR(tpq.MustParse("//Trials[//Status]//Trial"), tpq.MustParse("//Trials//Trial"), rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Union.SameAs(direct.Union) {
+		t.Errorf("engine union %s != direct %s", res.Union, direct.Union)
+	}
+}
+
+func TestRewriteWithSchemaSelectsAlgorithm(t *testing.T) {
+	e := New(Config{})
+	res, err := e.RewriteExpr(context.Background(), RewriteRequest{
+		Query: "//Auction[//item]//name", View: "//Auction//person", Schema: auctionSchema,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Union.String(); got != "//Auction//person//name" {
+		t.Errorf("union = %s", got)
+	}
+	// A recursive schema must silently select the §5 algorithm.
+	if _, err := e.RewriteExpr(context.Background(), RewriteRequest{
+		Query: "//a//b", View: "//a//b", Schema: "root a\na -> a? b\nb -> c?\n",
+	}); err != nil {
+		t.Fatalf("recursive schema: %v", err)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	e := New(Config{})
+	var inv *InvalidRequestError
+	if _, err := e.RewriteExpr(context.Background(), RewriteRequest{Query: "///", View: "//a"}); !errors.As(err, &inv) || inv.Field != "query" {
+		t.Errorf("bad query: %v", err)
+	}
+	if _, err := e.RewriteExpr(context.Background(), RewriteRequest{Query: "//a", View: "//b", Schema: "not a schema"}); !errors.As(err, &inv) || inv.Field != "schema" {
+		t.Errorf("bad schema: %v", err)
+	}
+	if _, err := e.AnswerExpr(context.Background(), AnswerRequest{Query: "//a", View: "//a", Document: "<unclosed"}); !errors.As(err, &inv) || inv.Field != "document" {
+		t.Errorf("bad document: %v", err)
+	}
+}
+
+func TestAnswerExpr(t *testing.T) {
+	e := New(Config{})
+	ans, err := e.AnswerExpr(context.Background(), AnswerRequest{
+		Query:    "//Trials[//Status]//Trial/Patient",
+		View:     "//Trials//Trial",
+		Document: "<PharmaLab><Trials><Trial><Patient>John</Patient><Status/></Trial><Trial><Patient>Jen</Patient></Trial></Trials></PharmaLab>",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Answers) != 1 || ans.Answers[0].Text != "John" {
+		t.Errorf("answers = %v", ans.Answers)
+	}
+	if len(ans.ViewNodes) != 2 || len(ans.Direct) != 2 {
+		t.Errorf("viewNodes = %d, direct = %d", len(ans.ViewNodes), len(ans.Direct))
+	}
+	// Unanswerable pair.
+	if _, err := e.AnswerExpr(context.Background(), AnswerRequest{Query: "/b", View: "/a//c", Document: "<a/>"}); !errors.Is(err, ErrNotAnswerable) {
+		t.Errorf("err = %v, want ErrNotAnswerable", err)
+	}
+}
+
+func TestAnswerStored(t *testing.T) {
+	e := New(Config{})
+	d, err := xmltree.ParseString("<Trials><Trial><Patient>Ann</Patient><Status/></Trial></Trials>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RegisterView("src1", viewstore.Materialize(tpq.MustParse("//Trials//Trial"), d))
+	_, answers, err := e.AnswerStored(context.Background(), tpq.MustParse("//Trials//Trial/Patient"), "src1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 || answers[0].Text != "Ann" {
+		t.Errorf("answers = %v", answers)
+	}
+	if _, _, err := e.AnswerStored(context.Background(), tpq.MustParse("//x"), "nope"); !errors.Is(err, ErrUnknownView) {
+		t.Errorf("err = %v, want ErrUnknownView", err)
+	}
+}
+
+func TestContain(t *testing.T) {
+	e := New(Config{})
+	pInQ, qInP, err := e.ContainExpr(context.Background(), ContainRequest{P: "//a/b", Q: "//a//b"})
+	if err != nil || !pInQ || qInP {
+		t.Errorf("contain = %v %v %v", pInQ, qInP, err)
+	}
+	// Schema-relative: the Figure 2 pair holds only under the schema.
+	pInQ, _, err = e.ContainExpr(context.Background(), ContainRequest{
+		P: "//Auction//person//name", Q: "//Auction[//item]//name", Schema: auctionSchema,
+	})
+	if err != nil || !pInQ {
+		t.Errorf("S-containment = %v %v", pInQ, err)
+	}
+}
+
+func TestSchemaContextShared(t *testing.T) {
+	e := New(Config{})
+	g1 := schema.MustParse(auctionSchema)
+	g2 := schema.MustParse(auctionSchema)
+	if e.SchemaContext(g1) != e.SchemaContext(g2) {
+		t.Error("structurally equal schemas must share one inferred context")
+	}
+	if n := e.Stats().SchemaContexts; n != 1 {
+		t.Errorf("SchemaContexts = %d", n)
+	}
+}
+
+// A context cancelled before the call returns its error immediately.
+func TestRewriteCancelledUpfront(t *testing.T) {
+	e := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Rewrite(ctx, Request{Query: workload.Fig8Query(4), View: workload.Fig8View()}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// Cancellation mid-enumeration: the Figure 8 family has 2^n useful
+// embeddings and a quadratic redundancy-elimination phase on top, so an
+// uncancelled run at n=12 takes many seconds. A deadline must stop it
+// promptly with the context's error, well before the budget of
+// MaxEmbeddings is exhausted.
+func TestRewriteDeadlineStopsEnumeration(t *testing.T) {
+	e := New(Config{})
+	q, v := workload.Fig8Query(12), workload.Fig8View()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.Rewrite(ctx, Request{Query: q, View: v, MaxEmbeddings: 1 << 22})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; the deadline was not honored in the hot loop", elapsed)
+	}
+	// The cancelled result must not have been cached.
+	if s := e.Stats(); s.CacheEntries != 0 {
+		t.Errorf("cancelled computation was cached (%d entries)", s.CacheEntries)
+	}
+}
+
+// The engine timeout config applies when the caller's context has none.
+func TestConfigTimeout(t *testing.T) {
+	e := New(Config{Timeout: 20 * time.Millisecond})
+	_, err := e.Rewrite(context.Background(), Request{Query: workload.Fig8Query(12), View: workload.Fig8View(), MaxEmbeddings: 1 << 22})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// Singleflight: N concurrent identical requests compute once.
+func TestConcurrentDuplicatesComputeOnce(t *testing.T) {
+	e := New(Config{})
+	req := Request{Query: tpq.MustParse("//Trials[//Status]//Trial"), View: tpq.MustParse("//Trials//Trial")}
+	const workers = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, err := e.Rewrite(context.Background(), req); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if s := e.Stats(); s.CacheMisses != 1 {
+		t.Errorf("misses = %d, want 1 (singleflight dedup)", s.CacheMisses)
+	}
+}
+
+// Hammer one shared Engine from many goroutines across every entry
+// point; run with -race.
+func TestEngineConcurrentMixedUse(t *testing.T) {
+	e := New(Config{CacheSize: 8})
+	queries := []string{"//a[b]", "//a[c]", "//a//b", "//a/b[c]", "//x/y"}
+	doc := "<r><a><b>1</b><c/></a><x><y/></x></r>"
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				q := queries[(w+i)%len(queries)]
+				switch i % 4 {
+				case 0:
+					if _, err := e.RewriteExpr(context.Background(), RewriteRequest{Query: q, View: "//a"}); err != nil {
+						t.Error(err)
+					}
+				case 1:
+					if _, err := e.RewriteExpr(context.Background(), RewriteRequest{Query: q, View: "//a", Schema: auctionSchema}); err != nil {
+						t.Error(err)
+					}
+				case 2:
+					if _, _, err := e.ContainExpr(context.Background(), ContainRequest{P: q, Q: "//a"}); err != nil {
+						t.Error(err)
+					}
+				case 3:
+					ans, err := e.AnswerExpr(context.Background(), AnswerRequest{Query: "//a/b", View: "//a", Document: doc})
+					if err != nil {
+						t.Error(err)
+					} else if len(ans.Answers) != 1 {
+						t.Errorf("answers = %d", len(ans.Answers))
+					}
+				}
+				e.Stats()
+			}
+		}(w)
+	}
+	// Concurrent view registration and stored answering.
+	d, _ := xmltree.ParseString(doc)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("v%d", w)
+			e.RegisterView(name, viewstore.Materialize(tpq.MustParse("//a"), d))
+			for i := 0; i < 10; i++ {
+				if _, _, err := e.AnswerStored(context.Background(), tpq.MustParse("//a/b"), name); err != nil {
+					t.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -199,10 +200,10 @@ func TestLabelingEnumerateLimit(t *testing.T) {
 	q := tpq.MustParse("//a[//b][//b]//b")
 	v := tpq.MustParse("//a[//b][//b]//b")
 	l := ComputeLabels(q, v, nil)
-	if _, err := l.Enumerate(1); err == nil {
+	if _, err := l.Enumerate(context.Background(), 1); err == nil {
 		t.Error("limit 1 not enforced")
 	}
-	embs, err := l.Enumerate(1 << 16)
+	embs, err := l.Enumerate(context.Background(), 1 << 16)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -30,6 +31,19 @@ type Options struct {
 	// MaxEmbeddings bounds the number of useful embeddings enumerated;
 	// 0 means a generous default (1 << 20).
 	MaxEmbeddings int
+	// Context carries cancellation and deadlines into the exponential
+	// hot loops (embedding enumeration, CR construction, redundancy
+	// elimination): when it is cancelled, generation stops promptly and
+	// the context's error is returned. nil means context.Background().
+	Context context.Context
+}
+
+// ctx returns the configured context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Context == nil {
+		return context.Background()
+	}
+	return o.Context
 }
 
 // Result is the output of MCR generation.
@@ -57,16 +71,22 @@ func MCR(q, v *tpq.Pattern, opts Options) (*Result, error) {
 	if limit <= 0 {
 		limit = 1 << 20
 	}
+	ctx := opts.ctx()
 	labels := ComputeLabels(q, v, nil)
 	if !labels.Exists() {
 		return &Result{Union: &tpq.Union{}}, nil
 	}
-	embeddings, err := labels.Enumerate(limit)
+	embeddings, err := labels.Enumerate(ctx, limit)
 	if err != nil {
 		return nil, err
 	}
 	crs := make([]*ContainedRewriting, 0, len(embeddings))
-	for _, f := range embeddings {
+	for i, f := range embeddings {
+		if i&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		cr, err := BuildCR(f, v)
 		if err != nil {
 			return nil, fmt.Errorf("rewrite: embedding %s: %w", f, err)
@@ -78,12 +98,14 @@ func MCR(q, v *tpq.Pattern, opts Options) (*Result, error) {
 		}
 		crs = append(crs, cr)
 	}
-	return assembleResult(crs, len(embeddings)), nil
+	return assembleResult(ctx, crs, len(embeddings))
 }
 
 // assembleResult deduplicates CRs structurally, removes redundant ones
-// (contained in another CR), and packages the union.
-func assembleResult(crs []*ContainedRewriting, considered int) *Result {
+// (contained in another CR), and packages the union. Redundancy
+// elimination is quadratic in the number of CRs — the dominating cost
+// when the MCR is exponential — so it honors ctx cancellation.
+func assembleResult(ctx context.Context, crs []*ContainedRewriting, considered int) (*Result, error) {
 	// Structural dedup first: different embeddings frequently induce
 	// identical rewritings after grafting.
 	seen := make(map[string]*ContainedRewriting)
@@ -101,9 +123,12 @@ func assembleResult(crs []*ContainedRewriting, considered int) *Result {
 	// Redundancy elimination: drop CRs strictly contained in another,
 	// and keep one representative per equivalence class.
 	kept := make([]*ContainedRewriting, 0, len(uniq))
-	redundant := markRedundant(len(uniq), func(i, j int) bool {
+	redundant, err := markRedundant(ctx, len(uniq), func(i, j int) bool {
 		return tpq.Contained(uniq[i].Rewriting, uniq[j].Rewriting)
 	})
+	if err != nil {
+		return nil, err
+	}
 	u := &tpq.Union{}
 	for i, cr := range uniq {
 		if !redundant[i] {
@@ -111,7 +136,7 @@ func assembleResult(crs []*ContainedRewriting, considered int) *Result {
 			u.Patterns = append(u.Patterns, cr.Rewriting)
 		}
 	}
-	return &Result{Union: u, CRs: kept, EmbeddingsConsidered: considered}
+	return &Result{Union: u, CRs: kept, EmbeddingsConsidered: considered}, nil
 }
 
 // NaiveMCR is the brute-force baseline used as ground truth in tests
@@ -119,44 +144,55 @@ func assembleResult(crs []*ContainedRewriting, considered int) *Result {
 // structurally valid partial matching f : Q ⇝ V (upward closed, no
 // usefulness conditions), builds the graft-at-dV rewriting for each,
 // keeps exactly those contained in q, and removes redundant ones.
-// Exponential in |Q| and |V|; use only on small inputs.
-func NaiveMCR(q, v *tpq.Pattern) *Result {
+// Exponential in |Q| and |V|; use only on small inputs. The context is
+// checked periodically inside the matching recursion, so a cancelled
+// ctx stops the enumeration promptly.
+func NaiveMCR(ctx context.Context, q, v *tpq.Pattern) (*Result, error) {
 	qn := q.Nodes()
 	vn := v.Nodes()
 	var crs []*ContainedRewriting
 	considered := 0
+	steps := 0
 
 	cur := make(map[*tpq.Node]*tpq.Node)
-	var rec func(i int)
-	rec = func(i int) {
+	var rec func(i int) error
+	rec = func(i int) error {
+		steps++
+		if steps&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if i == len(qn) {
 			f := &Embedding{Q: q, V: v, M: copyMap(cur)}
 			// Expressibility: a mapped query output must be the view
 			// output, else E ∘ V cannot return it.
 			if img, ok := f.M[q.Output]; ok && img != v.Output {
-				return
+				return nil
 			}
 			if f.Empty() && q.Root.Axis != tpq.Descendant {
-				return
+				return nil
 			}
 			considered++
 			cr, err := buildUnchecked(f, v)
 			if err != nil {
-				return
+				return nil
 			}
 			if tpq.Contained(cr.Rewriting, q) {
 				crs = append(crs, cr)
 			}
-			return
+			return nil
 		}
 		x := qn[i]
 		// Option 1: leave x (and transitively its subtree) unmapped.
-		rec(i + 1)
+		if err := rec(i + 1); err != nil {
+			return err
+		}
 		// Option 2: map x to every structurally consistent view node.
 		if x.Parent != nil {
 			pimg, ok := cur[x.Parent]
 			if !ok {
-				return // upward closure: parent unmapped
+				return nil // upward closure: parent unmapped
 			}
 			for _, img := range vn {
 				if img.Tag != x.Tag {
@@ -173,10 +209,13 @@ func NaiveMCR(q, v *tpq.Pattern) *Result {
 					continue
 				}
 				cur[x] = img
-				rec(i + 1)
+				err := rec(i + 1)
 				delete(cur, x)
+				if err != nil {
+					return err
+				}
 			}
-			return
+			return nil
 		}
 		for _, img := range vn {
 			if img.Tag != x.Tag {
@@ -186,12 +225,18 @@ func NaiveMCR(q, v *tpq.Pattern) *Result {
 				continue
 			}
 			cur[x] = img
-			rec(i + 1)
+			err := rec(i + 1)
 			delete(cur, x)
+			if err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	rec(0)
-	return assembleResult(crs, considered)
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return assembleResult(ctx, crs, considered)
 }
 
 // markRedundant computes, for each CR index, whether it is strictly
@@ -199,8 +244,9 @@ func NaiveMCR(q, v *tpq.Pattern) *Result {
 // criterion is order-independent (containment is transitive, so a
 // witness that is itself redundant always leads to an irredundant one),
 // which lets the quadratic containment matrix run in parallel — the
-// dominating cost when the MCR is exponential (§3.2).
-func markRedundant(n int, contains func(i, j int) bool) []bool {
+// dominating cost when the MCR is exponential (§3.2). Workers poll ctx
+// between rows, so cancellation aborts the matrix promptly.
+func markRedundant(ctx context.Context, n int, contains func(i, j int) bool) ([]bool, error) {
 	redundant := make([]bool, n)
 	mark := func(i int) {
 		for j := 0; j < n; j++ {
@@ -220,9 +266,14 @@ func markRedundant(n int, contains func(i, j int) bool) []bool {
 	workers := runtime.GOMAXPROCS(0)
 	if n < 32 || workers <= 1 {
 		for i := 0; i < n; i++ {
+			if i&31 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			mark(i)
 		}
-		return redundant
+		return redundant, nil
 	}
 	var wg sync.WaitGroup
 	var next atomic.Int64
@@ -232,7 +283,7 @@ func markRedundant(n int, contains func(i, j int) bool) []bool {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n {
+				if i >= n || ctx.Err() != nil {
 					return
 				}
 				mark(i)
@@ -240,7 +291,10 @@ func markRedundant(n int, contains func(i, j int) bool) []bool {
 		}()
 	}
 	wg.Wait()
-	return redundant
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return redundant, nil
 }
 
 // sortCRs orders rewritings by size then canonical form, so redundancy

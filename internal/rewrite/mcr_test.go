@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -268,7 +269,10 @@ func TestQuickMCRMatchesNaive(t *testing.T) {
 		if err != nil {
 			return true
 		}
-		naive := NaiveMCR(q, v)
+		naive, err := NaiveMCR(context.Background(), q, v)
+		if err != nil {
+			return true
+		}
 		if !res.Union.SameAs(naive.Union) {
 			t.Logf("q=%s v=%s\n mcr=%s\n naive=%s", q, v, res.Union, naive.Union)
 			return false
@@ -350,7 +354,10 @@ func TestMarkRedundantParallelAgreesWithSequential(t *testing.T) {
 	contains := func(i, j int) bool {
 		return tpq.Contained(crs[i].Rewriting, crs[j].Rewriting)
 	}
-	parallel := markRedundant(len(crs), contains)
+	parallel, err := markRedundant(context.Background(), len(crs), contains)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Sequential reference.
 	seq := make([]bool, len(crs))
 	for i := range crs {

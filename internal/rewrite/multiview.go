@@ -44,6 +44,7 @@ func MCRMultiView(q *tpq.Pattern, views []ViewSource, opts Options) (*MultiViewR
 		cr   *ContainedRewriting
 		view int
 	}
+	ctx := opts.ctx()
 	var all []tagged
 	perView := make([]int, len(views))
 	for i, vs := range views {
@@ -74,9 +75,12 @@ func MCRMultiView(q *tpq.Pattern, views []ViewSource, opts Options) (*MultiViewR
 		}
 		return uniq[i].cr.Rewriting.Canonical() < uniq[j].cr.Rewriting.Canonical()
 	})
-	redundant := markRedundant(len(uniq), func(i, j int) bool {
+	redundant, err := markRedundant(ctx, len(uniq), func(i, j int) bool {
 		return tpq.Contained(uniq[i].cr.Rewriting, uniq[j].cr.Rewriting)
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := &MultiViewResult{Union: &tpq.Union{}, PerView: perView}
 	for i, t := range uniq {
 		if redundant[i] {

@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"context"
 	"fmt"
 
 	"qav/internal/chase"
@@ -201,6 +202,7 @@ func (sc *SchemaContext) MCRRecursive(q, v *tpq.Pattern, opts Options) (*Result,
 	if limit <= 0 {
 		limit = 1 << 20
 	}
+	ctx := opts.ctx()
 	if q.HasWildcard() || v.HasWildcard() {
 		return nil, fmt.Errorf("rewrite: wildcard patterns are outside XP{/,//,[]}; the MCR algorithms do not support them")
 	}
@@ -209,12 +211,17 @@ func (sc *SchemaContext) MCRRecursive(q, v *tpq.Pattern, opts Options) (*Result,
 	}
 	vPrime := chase.Intelligent(v, q, sc.Sigma)
 	labels := ComputeLabels(q, vPrime, sc.graftCut(vPrime.Output.Tag))
-	embeddings, err := labels.Enumerate(limit)
+	embeddings, err := labels.Enumerate(ctx, limit)
 	if err != nil {
 		return nil, err
 	}
 	var crs []*ContainedRewriting
-	for _, f := range embeddings {
+	for i, f := range embeddings {
+		if i&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		cr, err := BuildCR(f, v)
 		if err != nil {
 			return nil, err
@@ -227,12 +234,12 @@ func (sc *SchemaContext) MCRRecursive(q, v *tpq.Pattern, opts Options) (*Result,
 		}
 		crs = append(crs, cr)
 	}
-	return sc.assembleSchemaResult(crs, len(embeddings)), nil
+	return sc.assembleSchemaResult(ctx, crs, len(embeddings))
 }
 
 // assembleSchemaResult deduplicates and removes CRs that are S-contained
 // in another CR.
-func (sc *SchemaContext) assembleSchemaResult(crs []*ContainedRewriting, considered int) *Result {
+func (sc *SchemaContext) assembleSchemaResult(ctx context.Context, crs []*ContainedRewriting, considered int) (*Result, error) {
 	seen := make(map[string]*ContainedRewriting)
 	var uniq []*ContainedRewriting
 	for _, cr := range crs {
@@ -243,9 +250,12 @@ func (sc *SchemaContext) assembleSchemaResult(crs []*ContainedRewriting, conside
 		}
 	}
 	sortCRs(uniq)
-	redundant := markRedundant(len(uniq), func(i, j int) bool {
+	redundant, err := markRedundant(ctx, len(uniq), func(i, j int) bool {
 		return sc.SContained(uniq[i].Rewriting, uniq[j].Rewriting)
 	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Union: &tpq.Union{}, EmbeddingsConsidered: considered}
 	for i, cr := range uniq {
 		if !redundant[i] {
@@ -253,5 +263,5 @@ func (sc *SchemaContext) assembleSchemaResult(crs []*ContainedRewriting, conside
 			res.Union.Patterns = append(res.Union.Patterns, cr.Rewriting)
 		}
 	}
-	return res
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"context"
 	"fmt"
 
 	"qav/internal/tpq"
@@ -181,9 +182,12 @@ func (l *Labeling) Exists() bool {
 // (including the empty one when admissible), deduplicated. It stops
 // with an error if more than limit embeddings are produced — the MCR
 // can be exponential in |Q| (§3.2), so callers must bound the
-// enumeration explicitly.
-func (l *Labeling) Enumerate(limit int) ([]*Embedding, error) {
+// enumeration explicitly. The context is polled periodically inside
+// the branching recursion, so cancelling it stops an exponential
+// enumeration promptly with ctx's error.
+func (l *Labeling) Enumerate(ctx context.Context, limit int) ([]*Embedding, error) {
 	var out []*Embedding
+	steps := 0
 	emit := func(m map[*tpq.Node]*tpq.Node) error {
 		cp := make(map[*tpq.Node]*tpq.Node, len(m))
 		for k, v := range m {
@@ -200,6 +204,12 @@ func (l *Labeling) Enumerate(limit int) ([]*Embedding, error) {
 	// assign maps the subtree below x given x ∈ cur, then calls next.
 	var assign func(x *tpq.Node, next func() error) error
 	assign = func(x *tpq.Node, next func() error) error {
+		steps++
+		if steps&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		img := cur[x]
 		// Recursively branch over each child's choices.
 		var perChild func(k int) error
@@ -236,6 +246,9 @@ func (l *Labeling) Enumerate(limit int) ([]*Embedding, error) {
 		}
 	}
 	for _, rootImg := range l.RootImages() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cur[l.Q.Root] = rootImg
 		err := assign(l.Q.Root, func() error { return emit(cur) })
 		delete(cur, l.Q.Root)

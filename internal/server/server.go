@@ -1,34 +1,43 @@
-// Package server exposes the QAV library as a small JSON-over-HTTP
+// Package server exposes the QAV engine as a small JSON-over-HTTP
 // service: the mediator component of an integration deployment.
 // Endpoints:
 //
 //	POST /v1/rewrite  {query, view, schema?, recursive?}
 //	POST /v1/answer   {query, view, document, schema?}
 //	POST /v1/contain  {p, q, schema?}
+//	GET  /v1/stats
 //	GET  /healthz
 //
-// All state is per-request; the handler is safe for concurrent use.
+// The handlers are thin JSON adapters over internal/engine: one shared
+// Engine carries the rewrite cache (singleflight-deduplicated), the
+// per-schema constraint contexts, and the enumeration budget. Each
+// request's context is threaded into the pipeline, so a client
+// disconnect or server deadline stops an exponential enumeration.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
 
-	"qav/internal/cache"
+	"qav/internal/engine"
 	"qav/internal/rewrite"
-	"qav/internal/schema"
-	"qav/internal/tpq"
-	"qav/internal/xmltree"
 )
 
-// New returns the service's HTTP handler. Rewriting results are cached
-// (LRU, 1024 entries) keyed by the canonical query/view/schema forms —
-// mediators answer many queries against few views, and rewriting is
-// pure.
+// New returns the service's HTTP handler backed by a fresh Engine with
+// default bounds.
 func New() http.Handler {
-	s := &service{cache: cache.New(1024)}
+	return NewWith(engine.New(engine.Config{CacheSize: 1024}))
+}
+
+// NewWith returns the service's HTTP handler backed by eng, so a
+// deployment can share one Engine between the HTTP surface and other
+// entry points, or tune its bounds.
+func NewWith(eng *engine.Engine) http.Handler {
+	s := &service{eng: eng}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -37,17 +46,23 @@ func New() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/rewrite", s.handleRewrite)
 	mux.HandleFunc("POST /v1/answer", s.handleAnswer)
-	mux.HandleFunc("POST /v1/contain", handleContain)
+	mux.HandleFunc("POST /v1/contain", s.handleContain)
 	return mux
 }
 
 type service struct {
-	cache *cache.Cache
+	eng *engine.Engine
 }
 
 func (s *service) handleStats(w http.ResponseWriter, r *http.Request) {
-	hits, misses := s.cache.Stats()
-	writeJSON(w, map[string]int64{"cacheHits": hits, "cacheMisses": misses, "cacheEntries": int64(s.cache.Len())})
+	st := s.eng.Stats()
+	writeJSON(w, map[string]int64{
+		"cacheHits":      st.CacheHits,
+		"cacheMisses":    st.CacheMisses,
+		"cacheEntries":   int64(st.CacheEntries),
+		"schemaContexts": int64(st.SchemaContexts),
+		"storedViews":    int64(st.StoredViews),
+	})
 }
 
 type rewriteRequest struct {
@@ -74,40 +89,14 @@ func (s *service) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.doRewrite(req)
+	res, err := s.eng.RewriteExpr(r.Context(), engine.RewriteRequest{
+		Query: req.Query, View: req.View, Schema: req.Schema, Recursive: req.Recursive,
+	})
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err)
+		httpError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, buildRewriteResponse(res))
-}
-
-func (s *service) doRewrite(req rewriteRequest) (*rewrite.Result, error) {
-	q, err := tpq.Parse(req.Query)
-	if err != nil {
-		return nil, fmt.Errorf("query: %w", err)
-	}
-	v, err := tpq.Parse(req.View)
-	if err != nil {
-		return nil, fmt.Errorf("view: %w", err)
-	}
-	var g *schema.Graph
-	if req.Schema != "" {
-		if g, err = schema.Parse(req.Schema); err != nil {
-			return nil, fmt.Errorf("schema: %w", err)
-		}
-	}
-	recursive := g != nil && (req.Recursive || g.IsRecursive())
-	return s.cache.GetOrCompute(cache.Key(q, v, g, recursive), func() (*rewrite.Result, error) {
-		if g == nil {
-			return rewrite.MCR(q, v, rewrite.Options{})
-		}
-		sc := rewrite.NewSchemaContext(g)
-		if recursive {
-			return sc.MCRRecursive(q, v, rewrite.Options{})
-		}
-		return sc.MCRWithSchema(q, v)
-	})
 }
 
 func buildRewriteResponse(res *rewrite.Result) rewriteResponse {
@@ -149,30 +138,19 @@ func (s *service) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.doRewrite(rewriteRequest{Query: req.Query, View: req.View, Schema: req.Schema})
+	ans, err := s.eng.AnswerExpr(r.Context(), engine.AnswerRequest{
+		Query: req.Query, View: req.View, Document: req.Document, Schema: req.Schema,
+	})
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err)
+		httpError(w, statusFor(err), err)
 		return
 	}
-	if res.Union.Empty() {
-		httpError(w, http.StatusUnprocessableEntity, fmt.Errorf("query is not answerable using the view"))
-		return
-	}
-	d, err := xmltree.ParseString(req.Document)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("document: %w", err))
-		return
-	}
-	q, _ := tpq.Parse(req.Query)
-	v, _ := tpq.Parse(req.View)
-	viewNodes := rewrite.MaterializeView(v, d)
-	answers := rewrite.AnswerMaterialized(res.CRs, d, viewNodes)
 	resp := answerResponse{
-		Union:      res.Union.String(),
-		ViewNodes:  len(viewNodes),
-		DirectSize: len(q.Evaluate(d)),
+		Union:      ans.Result.Union.String(),
+		ViewNodes:  len(ans.ViewNodes),
+		DirectSize: len(ans.Direct),
 	}
-	for _, n := range answers {
+	for _, n := range ans.Answers {
 		resp.Answers = append(resp.Answers, answerJSON{Path: n.Path(), Text: n.Text})
 	}
 	writeJSON(w, resp)
@@ -189,35 +167,45 @@ type containResponse struct {
 	QInP bool `json:"qInP"`
 }
 
-func handleContain(w http.ResponseWriter, r *http.Request) {
+func (s *service) handleContain(w http.ResponseWriter, r *http.Request) {
 	var req containRequest
 	if err := decode(r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	p, err := tpq.Parse(req.P)
+	pInQ, qInP, err := s.eng.ContainExpr(r.Context(), engine.ContainRequest{P: req.P, Q: req.Q, Schema: req.Schema})
 	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("p: %w", err))
+		httpError(w, containStatusFor(err), err)
 		return
 	}
-	q, err := tpq.Parse(req.Q)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("q: %w", err))
-		return
+	writeJSON(w, containResponse{PInQ: pInQ, QInP: qInP})
+}
+
+// statusFor maps pipeline errors to HTTP statuses: malformed documents
+// are the client's fault (400), deadline overruns are reported as a
+// timeout (504), everything else — unparsable expressions, budget
+// overruns, unanswerable queries — is a semantically rejected request
+// (422).
+func statusFor(err error) int {
+	var inv *engine.InvalidRequestError
+	switch {
+	case errors.As(err, &inv) && inv.Field == "document":
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusUnprocessableEntity
 	}
-	var resp containResponse
-	if req.Schema != "" {
-		g, err := schema.Parse(req.Schema)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("schema: %w", err))
-			return
-		}
-		sc := rewrite.NewSchemaContext(g)
-		resp = containResponse{PInQ: sc.SContained(p, q), QInP: sc.SContained(q, p)}
-	} else {
-		resp = containResponse{PInQ: tpq.Contained(p, q), QInP: tpq.Contained(q, p)}
+}
+
+// containStatusFor preserves the contain endpoint's contract: its
+// inputs are plain expressions, so parse failures are 400s.
+func containStatusFor(err error) int {
+	var inv *engine.InvalidRequestError
+	if errors.As(err, &inv) {
+		return http.StatusBadRequest
 	}
-	writeJSON(w, resp)
+	return statusFor(err)
 }
 
 func decode(r *http.Request, v any) error {

@@ -1,8 +1,11 @@
 package qav
 
 import (
+	"context"
 	"io"
+	"sync"
 
+	"qav/internal/engine"
 	"qav/internal/rewrite"
 	"qav/internal/schema"
 	"qav/internal/stream"
@@ -92,16 +95,49 @@ func Equivalent(q, qPrime *Pattern) bool { return tpq.Equivalent(q, qPrime) }
 // (Theorem 2 of the paper).
 func Answerable(q, v *Pattern) bool { return rewrite.Answerable(q, v) }
 
+// Engine is the concurrency-safe front door to the whole pipeline: it
+// owns the rewrite cache (with singleflight deduplication of concurrent
+// identical requests), per-schema constraint contexts, and registered
+// materialized views, and threads a context.Context through rewriting
+// so callers can cancel exponential enumerations. The HTTP server, the
+// CLI, and the benchmarks all run on an Engine; use one directly for
+// long-lived embedding.
+type Engine = engine.Engine
+
+// EngineConfig bounds an Engine (cache capacity, per-request deadline,
+// enumeration budget).
+type EngineConfig = engine.Config
+
+// EngineRequest is a parsed rewriting request for Engine.Rewrite and
+// Engine.AnswerDoc.
+type EngineRequest = engine.Request
+
+// NewEngine returns an Engine with the given bounds; the zero Config
+// picks sensible defaults.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// defaultEngine backs the package-level convenience functions. NoCache
+// requests keep their fresh-result semantics: callers may mutate what
+// they get back.
+var defaultEngine = sync.OnceValue(func() *Engine { return engine.New(engine.Config{}) })
+
 // Rewrite computes the maximal contained rewriting of q using v without
 // a schema (Algorithm MCRGen). The result's Union is empty when q is
 // not answerable using v.
 func Rewrite(q, v *Pattern) (*Result, error) {
-	return rewrite.MCR(q, v, rewrite.Options{})
+	return defaultEngine().Rewrite(context.Background(), engine.Request{Query: q, View: v, NoCache: true})
 }
 
-// RewriteWithOptions is Rewrite with an explicit enumeration budget.
+// RewriteWithOptions is Rewrite with an explicit enumeration budget and
+// an optional Options.Context for cancellation.
 func RewriteWithOptions(q, v *Pattern, opts Options) (*Result, error) {
-	return rewrite.MCR(q, v, opts)
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return defaultEngine().Rewrite(ctx, engine.Request{
+		Query: q, View: v, MaxEmbeddings: opts.MaxEmbeddings, NoCache: true,
+	})
 }
 
 // MaterializeView evaluates v over d, returning the view result nodes
@@ -126,9 +162,10 @@ type SchemaRewriter struct {
 }
 
 // NewSchemaRewriter infers the schema's constraints and returns a
-// rewriter.
+// rewriter. Contexts are shared through the package's default engine,
+// so constructing two rewriters for equal schemas infers once.
 func NewSchemaRewriter(s *Schema) *SchemaRewriter {
-	return &SchemaRewriter{sc: rewrite.NewSchemaContext(s)}
+	return &SchemaRewriter{sc: defaultEngine().SchemaContext(s)}
 }
 
 // Answerable reports whether q is answerable using v under the schema

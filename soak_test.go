@@ -5,6 +5,7 @@ package qav_test
 // iteration counts, exercising the full pipeline end to end.
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -33,7 +34,10 @@ func TestSoakMCRMatchesNaiveLarger(t *testing.T) {
 		if err != nil {
 			continue
 		}
-		naive := rewrite.NaiveMCR(q, v)
+		naive, err := rewrite.NaiveMCR(context.Background(), q, v)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !res.Union.SameAs(naive.Union) {
 			t.Fatalf("q=%s v=%s\n mcr=%s\n naive=%s", q, v, res.Union, naive.Union)
 		}
