@@ -1,0 +1,40 @@
+GO ?= go
+QAVLINT := $(CURDIR)/bin/qavlint
+FUZZTIME ?= 10s
+
+.PHONY: all build test race lint qavlint fmt fuzz clean
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# qavlint builds the analyzer suite binary into ./bin.
+qavlint:
+	$(GO) build -o $(QAVLINT) ./cmd/qavlint
+
+# lint runs gofmt, go vet, and the qavlint suite through go vet's
+# -vettool protocol — the same gate CI applies.
+lint: qavlint
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(QAVLINT) ./...
+
+fmt:
+	gofmt -w .
+
+# fuzz smoke-runs every fuzz target for FUZZTIME each.
+fuzz:
+	$(GO) test ./internal/tpq -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/schema -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/xmltree -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/rewrite -run '^$$' -fuzz '^FuzzRewriteRoundTrip$$' -fuzztime $(FUZZTIME)
+
+clean:
+	rm -rf bin

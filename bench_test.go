@@ -130,7 +130,10 @@ func BenchmarkViewAnswering(b *testing.B) {
 		b.Fatal(err)
 	}
 	for _, groups := range []int{1000, 10000} {
-		d := workload.ClinicalTrialsDoc(rand.New(rand.NewSource(1)), groups, 10, 0.02)
+		d, err := workload.ClinicalTrialsDoc(context.Background(), rand.New(rand.NewSource(1)), groups, 10, 0.02)
+		if err != nil {
+			b.Fatal(err)
+		}
 		viewNodes := rewrite.MaterializeView(v, d)
 		b.Run(fmt.Sprintf("direct/groups%d", groups), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -144,7 +147,7 @@ func BenchmarkViewAnswering(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("viaView/groups%d", groups), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rewrite.AnswerMaterialized(res.CRs, d, viewNodes)
+				rewrite.AnswerMaterialized(context.Background(), res.CRs, d, viewNodes)
 			}
 		})
 	}
@@ -201,7 +204,10 @@ func BenchmarkNaiveVsMCRGen(b *testing.B) {
 func BenchmarkEvaluate(b *testing.B) {
 	q := qav.MustParseQuery("//Trials[//Status]//Trial/Patient")
 	for _, groups := range []int{100, 1000} {
-		d := workload.ClinicalTrialsDoc(rand.New(rand.NewSource(1)), groups, 10, 0.1)
+		d, err := workload.ClinicalTrialsDoc(context.Background(), rand.New(rand.NewSource(1)), groups, 10, 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.Run(fmt.Sprintf("groups%d", groups), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				q.Evaluate(d)
@@ -249,7 +255,10 @@ func BenchmarkMCRRecursive(b *testing.B) {
 // E11 (substrate ablation): the tree-DP evaluator vs the structural-join
 // engine on a selective query.
 func BenchmarkEngines(b *testing.B) {
-	d := workload.ClinicalTrialsDoc(rand.New(rand.NewSource(1)), 5000, 10, 0.05)
+	d, err := workload.ClinicalTrialsDoc(context.Background(), rand.New(rand.NewSource(1)), 5000, 10, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
 	ix := structjoin.Build(d)
 	for _, expr := range []string{"//Trials[//Status]//Trial/Patient", "//Status"} {
 		q := tpq.MustParse(expr)
@@ -260,7 +269,7 @@ func BenchmarkEngines(b *testing.B) {
 		})
 		b.Run("structjoin/"+expr, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				ix.Evaluate(q)
+				ix.Evaluate(context.Background(), q)
 			}
 		})
 	}

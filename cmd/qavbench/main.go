@@ -226,7 +226,10 @@ func expSavings(ctx context.Context, eng *engine.Engine, seed int64) {
 		panic(err)
 	}
 	for _, groups := range []int{500, 1000, 5000, 20000} {
-		d := workload.ClinicalTrialsDoc(rng, groups, 10, 0.02)
+		d, err := workload.ClinicalTrialsDoc(ctx, rng, groups, 10, 0.02)
+		if err != nil {
+			panic(err)
+		}
 		var direct []*xmltree.Node
 		tDirect := timeIt(3, func() { direct = q.Evaluate(d) })
 		var viewNodes []*xmltree.Node
@@ -236,7 +239,12 @@ func expSavings(ctx context.Context, eng *engine.Engine, seed int64) {
 			viewSize += len(vn.Subtree())
 		}
 		var via []*xmltree.Node
-		tVia := timeIt(3, func() { via = rewrite.AnswerMaterialized(res.CRs, d, viewNodes) })
+		tVia := timeIt(3, func() {
+			var err error
+			if via, err = rewrite.AnswerMaterialized(ctx, res.CRs, d, viewNodes); err != nil {
+				panic(err)
+			}
+		})
 		speedup := float64(tDirect) / float64(tVia)
 		fmt.Fprintf(w, "%d\t%d\t%v\t%v\t%v\t%.1fx\t%d=%d\n",
 			d.Size(), viewSize, tDirect, tMat, tVia, speedup, len(via), len(direct))
@@ -253,7 +261,10 @@ func expOverhead(ctx context.Context, eng *engine.Engine, seed int64) {
 	q := tpq.MustParse("//Trials[//Status]//Trial/Patient")
 	v := tpq.MustParse("//Trials//Trial")
 	for _, groups := range []int{100, 1000, 5000} {
-		d := workload.ClinicalTrialsDoc(rng, groups, 10, 0.1)
+		d, err := workload.ClinicalTrialsDoc(ctx, rng, groups, 10, 0.1)
+		if err != nil {
+			panic(err)
+		}
 		tTest := timeIt(50, func() { rewrite.Answerable(q, v) })
 		tGen := timeIt(50, func() {
 			if _, err := eng.Rewrite(ctx, engine.Request{Query: q, View: v, NoCache: true}); err != nil {
@@ -337,7 +348,10 @@ func expEngines(ctx context.Context, eng *engine.Engine, seed int64) {
 		"|D| nodes", "query", "t(tree-DP)", "t(structjoin, indexed)", "t(index build)")
 	rng := rand.New(rand.NewSource(seed))
 	for _, groups := range []int{1000, 10000} {
-		d := workload.ClinicalTrialsDoc(rng, groups, 10, 0.05)
+		d, err := workload.ClinicalTrialsDoc(ctx, rng, groups, 10, 0.05)
+		if err != nil {
+			panic(err)
+		}
 		var ix *structjoin.Index
 		tBuild := timeIt(3, func() { ix = structjoin.Build(d) })
 		for _, expr := range []string{
@@ -347,7 +361,11 @@ func expEngines(ctx context.Context, eng *engine.Engine, seed int64) {
 		} {
 			q := tpq.MustParse(expr)
 			tDP := timeIt(3, func() { q.Evaluate(d) })
-			tSJ := timeIt(3, func() { ix.Evaluate(q) })
+			tSJ := timeIt(3, func() {
+				if _, err := ix.Evaluate(ctx, q); err != nil {
+					panic(err)
+				}
+			})
 			fmt.Fprintf(w, "%d\t%s\t%v\t%v\t%v\n", d.Size(), expr, tDP, tSJ, tBuild)
 		}
 	}
@@ -370,7 +388,7 @@ func expSelect(ctx context.Context, eng *engine.Engine, seed int64) {
 			}
 			cands := viewselect.Candidates(qs)
 			start := time.Now()
-			sel, err := viewselect.Greedy(viewselect.Workload{Queries: qs}, cands, k)
+			sel, err := viewselect.Greedy(ctx, viewselect.Workload{Queries: qs}, cands, k)
 			if err != nil {
 				fmt.Fprintf(w, "%d\tERROR %v\n", nq, err)
 				continue

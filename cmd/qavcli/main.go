@@ -55,7 +55,7 @@ func main() {
 	case "answer":
 		err = cmdAnswer(ctx, eng, os.Args[2:])
 	case "eval":
-		err = cmdEval(os.Args[2:])
+		err = cmdEval(ctx, os.Args[2:])
 	case "contain":
 		err = cmdContain(ctx, eng, os.Args[2:])
 	case "constraints":
@@ -67,7 +67,7 @@ func main() {
 	case "mediate":
 		err = cmdMediate(ctx, eng, os.Args[2:])
 	case "select":
-		err = cmdSelect(os.Args[2:])
+		err = cmdSelect(ctx, os.Args[2:])
 	default:
 		usage()
 	}
@@ -195,7 +195,7 @@ func cmdAnswer(ctx context.Context, eng *engine.Engine, args []string) error {
 	return nil
 }
 
-func cmdEval(args []string) error {
+func cmdEval(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	qExpr := fs.String("q", "", "query")
 	docFile := fs.String("doc", "", "XML document")
@@ -214,7 +214,7 @@ func cmdEval(args []string) error {
 			return err
 		}
 		defer f.Close()
-		answers, err := qav.EvaluateStream(f, q)
+		answers, err := qav.EvaluateStream(ctx, f, q)
 		if err != nil {
 			return err
 		}
@@ -416,7 +416,7 @@ func cmdMediate(ctx context.Context, eng *engine.Engine, args []string) error {
 
 // cmdSelect picks views to materialize for a workload file (one XPath
 // query per line, optionally prefixed "WEIGHT<TAB>").
-func cmdSelect(args []string) error {
+func cmdSelect(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("select", flag.ExitOnError)
 	workloadFile := fs.String("workload", "", "file with one query per line (optional 'weight<TAB>query')")
 	k := fs.Int("k", 3, "maximum number of views to select")
@@ -453,7 +453,7 @@ func cmdSelect(args []string) error {
 	}
 	cands := qav.CandidateViews(w.Queries)
 	fmt.Printf("%d queries, %d candidate views, budget %d\n", len(w.Queries), len(cands), *k)
-	sel, err := qav.SelectViews(w, cands, *k)
+	sel, err := qav.SelectViews(ctx, w, cands, *k)
 	if err != nil {
 		return err
 	}

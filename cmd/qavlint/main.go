@@ -1,0 +1,22 @@
+// Command qavlint runs the project's analyzer suite: ctxpoll,
+// lockguard, patmut and errwrap (see internal/lint and DESIGN.md).
+//
+// Standalone:
+//
+//	qavlint ./...
+//
+// As a vet tool, which integrates with go vet's per-package caching:
+//
+//	go build -o "$(go env GOPATH)/bin/qavlint" ./cmd/qavlint
+//	go vet -vettool="$(which qavlint)" ./...
+package main
+
+import (
+	"os"
+
+	"qav/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], lint.Suite))
+}

@@ -1,6 +1,7 @@
 package qav_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -65,7 +66,8 @@ func ExampleAnswerUsingView() {
 	q := qav.MustParseQuery("//Trials[//Status]//Trial/Patient")
 	v := qav.MustParseQuery("//Trials//Trial")
 	res, _ := qav.Rewrite(q, v)
-	for _, n := range qav.AnswerUsingView(res.CRs, v, d) {
+	answers, _ := qav.AnswerUsingView(context.Background(), res.CRs, v, d)
+	for _, n := range answers {
 		fmt.Println(n.Path(), n.Text)
 	}
 	// Output:
@@ -76,7 +78,7 @@ func ExampleAnswerUsingView() {
 func ExampleEvaluateStream() {
 	src := `<log><entry level="error"><msg>boom</msg></entry><entry level="info"><msg>ok</msg></entry></log>`
 	q := qav.MustParseQuery("//entry[level]/msg")
-	answers, _ := qav.EvaluateStream(strings.NewReader(src), q)
+	answers, _ := qav.EvaluateStream(context.Background(), strings.NewReader(src), q)
 	for _, a := range answers {
 		fmt.Println(a.Path, a.Text)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -46,7 +47,10 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ngenerated a conforming instance with %d elements\n", d.Size())
-	answers := qav.AnswerUsingView(res.CRs, v, d)
+	answers, err := qav.AnswerUsingView(context.Background(), res.CRs, v, d)
+	if err != nil {
+		panic(err)
+	}
 	direct := q.Evaluate(d)
 	fmt.Printf("answers via view: %d, direct query answers: %d\n", len(answers), len(direct))
 	inQ := make(map[*qav.Node]bool)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -58,7 +59,10 @@ func main() {
 	// own subtree witnesses the Status. Q on the full database would
 	// also return Jennifer Bloe's trial (the Status lives on a sibling),
 	// but that knowledge is not derivable from the view.
-	answers := qav.AnswerUsingView(res.CRs, v, d)
+	answers, err := qav.AnswerUsingView(context.Background(), res.CRs, v, d)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("\nanswers using the view (%d):\n", len(answers))
 	for _, n := range answers {
 		fmt.Printf("  %s (patient %q)\n", n.Path(), n.Children[0].Text)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,7 +58,10 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println("  MCR:", res.Union)
-		answers := qav.AnswerUsingView(res.CRs, src.view, d)
+		answers, err := qav.AnswerUsingView(context.Background(), res.CRs, src.view, d)
+		if err != nil {
+			panic(err)
+		}
 		for _, n := range answers {
 			fmt.Printf("  contributes %s (%s)\n", n.Path(), n.Text)
 			combined[n] = true
@@ -81,7 +85,10 @@ func main() {
 	for i := range multi.Union.Patterns {
 		fmt.Printf("  disjunct %d contributed by %s\n", i+1, viewSources[multi.Contributions[i]].Name)
 	}
-	multiAnswers := multi.AnswerMultiView(viewSources, d)
+	multiAnswers, err := multi.AnswerMultiView(context.Background(), viewSources, d)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("multi-view answers: %d\n", len(multiAnswers))
 
 	direct := q.Evaluate(d)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,7 +48,10 @@ func main() {
 	// compensation query over the view forest.
 	views := qav.MaterializeView(v, doc)
 	fmt.Printf("materialized view: %d section subtrees\n", len(views))
-	answers := qav.AnswerUsingView(res.CRs, v, doc)
+	answers, err := qav.AnswerUsingView(context.Background(), res.CRs, v, doc)
+	if err != nil {
+		panic(err)
+	}
 	for _, n := range answers {
 		fmt.Println("answer:", n.Path(), "-", n.Children[0].Text)
 	}

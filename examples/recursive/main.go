@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -30,14 +31,12 @@ func main() {
 
 	// The Figure 9/15 query: sections (b) holding a c, in documents that
 	// also have a b holding a d.
-	q := &qav.Pattern{}
-	root := &qav.PatternNode{Tag: "a", Axis: qav.Descendant}
-	q.Root = root
-	b1 := root.AddChild(qav.Descendant, "b")
+	q := qav.New(qav.Descendant, "a")
+	b1 := q.Root.AddChild(qav.Descendant, "b")
 	b1.AddChild(qav.Child, "c")
-	b2 := root.AddChild(qav.Descendant, "b")
+	b2 := q.Root.AddChild(qav.Descendant, "b")
 	b2.AddChild(qav.Child, "d")
-	q.Output = b1
+	q.SetOutput(b1)
 	v := qav.MustParseQuery("//a//b")
 	fmt.Println("\nquery:", q)
 	fmt.Println("view :", v)
@@ -75,7 +74,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	answers := qav.AnswerUsingView(res.CRs, v, d)
+	answers, err := qav.AnswerUsingView(context.Background(), res.CRs, v, d)
+	if err != nil {
+		panic(err)
+	}
 	direct := q.Evaluate(d)
 	fmt.Printf("\non a %d-node conforming instance: %d answers via the view, %d direct\n",
 		d.Size(), len(answers), len(direct))

@@ -22,11 +22,11 @@ import (
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
-	order    *list.List // front = most recently used; values are *entry
-	byKey    map[string]*list.Element
-	inflight map[string]*flight
+	order    *list.List               // front = most recently used; values are *entry; guarded by mu
+	byKey    map[string]*list.Element // guarded by mu
+	inflight map[string]*flight       // guarded by mu
 
-	hits, misses int64
+	hits, misses int64 // guarded by mu
 }
 
 type entry struct {

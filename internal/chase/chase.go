@@ -68,6 +68,8 @@ func Exhaustive(ctx context.Context, v *tpq.Pattern, sigma *constraints.Set, opt
 // constraint application (Lemma 4), so the loop runs at most |q - v|
 // times and the result grows by at most |q| nodes: total time
 // O(|Q-V| · |V|²).
+//
+//qavlint:ignore ctxpoll the fixpoint loops are bounded: each round either introduces a query tag absent from the view (at most |q| rounds, Lemma 4) or merges/contracts nodes, so no ctx is threaded through the SContained call chain
 func Intelligent(v, q *tpq.Pattern, sigma *constraints.Set) *tpq.Pattern {
 	out, _ := v.Clone()
 	applyPC(out, sigma)
@@ -165,7 +167,7 @@ func applyPC(p *tpq.Pattern, sigma *constraints.Set) int {
 				continue
 			}
 			if sigma.Has(constraints.Constraint{Kind: constraints.PC, A: n.Tag, B: c.Tag}) {
-				c.Axis = tpq.Child
+				c.SetAxis(tpq.Child)
 				count++
 			}
 		}
@@ -196,14 +198,11 @@ func applyFC(p *tpq.Pattern, sigma *constraints.Set) int {
 				}
 				// Merge c into first: move children, fix output marker,
 				// remove c from n.
-				for _, gc := range c.Children {
-					gc.Parent = first
-					first.Children = append(first.Children, gc)
-				}
+				first.AdoptChildren(c)
 				if p.Output == c {
-					p.Output = first
+					p.SetOutput(first)
 				}
-				n.Children = append(n.Children[:i], n.Children[i+1:]...)
+				n.RemoveChildAt(i)
 				i--
 				count++
 				merged = true
@@ -300,11 +299,7 @@ func applyICAt(p *tpq.Pattern, c constraints.Constraint, once bool) int {
 			if ch.Axis != tpq.Descendant || n.Tag != c.A || ch.Tag != c.B {
 				continue
 			}
-			mid := &tpq.Node{Tag: c.C, Axis: tpq.Descendant, Parent: n}
-			n.Children[i] = mid
-			ch.Parent = mid
-			ch.Axis = tpq.Descendant
-			mid.Children = append(mid.Children, ch)
+			n.SpliceAbove(i, tpq.Descendant, c.C)
 			count++
 			if once {
 				return count

@@ -78,10 +78,13 @@ type Config struct {
 type Engine struct {
 	cfg   Config
 	cache *cache.Cache
+	views *viewstore.Catalog
 
-	mu      sync.RWMutex
-	schemas map[string]*rewrite.SchemaContext // keyed by canonical schema text
-	views   map[string]*viewstore.Materialized
+	mu sync.RWMutex
+	// schemas caches constraint-inference contexts, keyed by canonical
+	// schema text.
+	// guarded by mu
+	schemas map[string]*rewrite.SchemaContext
 }
 
 // New creates an Engine with the given bounds.
@@ -96,8 +99,8 @@ func New(cfg Config) *Engine {
 	return &Engine{
 		cfg:     cfg,
 		cache:   cache.New(size),
+		views:   viewstore.NewCatalog(),
 		schemas: make(map[string]*rewrite.SchemaContext),
-		views:   make(map[string]*viewstore.Materialized),
 	}
 }
 
@@ -267,10 +270,14 @@ func (e *Engine) AnswerDoc(ctx context.Context, req Request, d *xmltree.Document
 		return nil, err
 	}
 	viewNodes := rewrite.MaterializeView(req.View, d)
+	answers, err := rewrite.AnswerMaterialized(ctx, res.CRs, d, viewNodes)
+	if err != nil {
+		return nil, err
+	}
 	return &Answer{
 		Result:    res,
 		ViewNodes: viewNodes,
-		Answers:   rewrite.AnswerMaterialized(res.CRs, d, viewNodes),
+		Answers:   answers,
 		Direct:    req.Query.Evaluate(d),
 	}, nil
 }
@@ -301,17 +308,12 @@ func (e *Engine) AnswerExpr(ctx context.Context, req AnswerRequest) (*Answer, er
 // previous registration. This is the mediator's catalog of shipped
 // views.
 func (e *Engine) RegisterView(name string, m *viewstore.Materialized) {
-	e.mu.Lock()
-	e.views[name] = m
-	e.mu.Unlock()
+	e.views.Register(name, m)
 }
 
 // View returns the materialized view registered under name.
 func (e *Engine) View(name string) (*viewstore.Materialized, bool) {
-	e.mu.RLock()
-	m, ok := e.views[name]
-	e.mu.RUnlock()
-	return m, ok
+	return e.views.Get(name)
 }
 
 // AnswerStored answers q using only the named stored view: the MCR of q
@@ -414,6 +416,6 @@ func (e *Engine) Stats() Stats {
 		CacheMisses:    misses,
 		CacheEntries:   e.cache.Len(),
 		SchemaContexts: len(e.schemas),
-		StoredViews:    len(e.views),
+		StoredViews:    e.views.Len(),
 	}
 }

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap enforces the error-chaining contract at package boundaries:
+// when fmt.Errorf is given an error argument, the format must wrap it
+// with %w (or the code should use a sentinel), never flatten it with
+// %v/%s. Flattened errors break errors.Is/As, which the HTTP layer
+// relies on to map pipeline failures (parse errors, deadline overruns,
+// unsatisfiable schemas) to the right statuses.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "errors passed to fmt.Errorf must be wrapped with %w, not flattened with %v\n" +
+		"Flattening severs the error chain, so errors.Is/errors.As stop seeing the\n" +
+		"sentinels the server and CLI branch on.",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+				return true
+			}
+			format, ok := literalString(call.Args[0])
+			if !ok || strings.Contains(format, "%w") {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				t := pass.Info.TypeOf(arg)
+				if t == nil || !types.AssignableTo(t, errType) {
+					continue
+				}
+				if isNilExpr(pass, arg) {
+					continue
+				}
+				pass.Reportf(arg.Pos(),
+					"error flattened by fmt.Errorf without %%w; wrap it so errors.Is/As keep working (errwrap)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// literalString evaluates expr when it is a compile-time string
+// constant (a literal or a concatenation of literals).
+func literalString(expr ast.Expr) (string, bool) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.BasicLit:
+		s, err := strconv.Unquote(e.Value)
+		return s, err == nil
+	case *ast.BinaryExpr:
+		l, okl := literalString(e.X)
+		r, okr := literalString(e.Y)
+		return l + r, okl && okr
+	}
+	return "", false
+}
+
+func isNilExpr(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	return ok && tv.IsNil()
+}

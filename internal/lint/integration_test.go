@@ -1,0 +1,76 @@
+package lint_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qav/internal/lint"
+)
+
+// moduleRoot walks up from the test's working directory to the qav
+// module root.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil && strings.HasPrefix(strings.TrimSpace(string(data)), "module qav") {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("qav module root not found")
+		}
+		dir = parent
+	}
+}
+
+// TestSuiteCleanOnRepo runs the full suite over the repository in
+// standalone mode: the invariants the analyzers enforce must hold on
+// the codebase that defines them.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	root := moduleRoot(t)
+	pkgs, err := lint.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg, lint.Suite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestVettool builds the qavlint binary and drives it through go vet's
+// -vettool protocol over the whole repository — the exact CI
+// invocation.
+func TestVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and vets the whole module")
+	}
+	root := moduleRoot(t)
+	tool := filepath.Join(t.TempDir(), "qavlint")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/qavlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building qavlint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=qavlint: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,200 @@
+// Package lint is a small static-analysis framework plus the qavlint
+// analyzer suite that enforces this repository's concurrency and
+// immutability invariants (see DESIGN.md, "The lint layer").
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis —
+// an Analyzer with a Run(*Pass) hook reporting position-anchored
+// diagnostics — but is built on the standard library only (go/ast,
+// go/types, go/importer), because the module's runtime packages are
+// stdlib-only and the build environment must not fetch dependencies.
+// The driver understands both a standalone mode (load packages via
+// `go list -export`) and the `go vet -vettool=` unitchecker protocol,
+// so `go vet -vettool=$(which qavlint) ./...` works exactly like an
+// x/tools-based tool would. If x/tools ever becomes available, the
+// analyzers port over mechanically.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// An Analyzer is one named check over a single type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //qavlint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run performs the check, reporting findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s", d.Pos, d.Message)
+}
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	ModulePath string
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// ModulePath is the module containing the package under analysis;
+	// analyzers use it to tell first-party callees from stdlib ones.
+	ModulePath string
+
+	diags    *[]Diagnostic
+	ignores  map[ignoreKey]bool
+	funcDocs []ignoreSpan
+}
+
+// Reportf records a diagnostic at pos unless an ignore directive
+// suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(pos, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// IsTestFile reports whether f is a _test.go file. The suite's
+// analyzers enforce invariants on production code; tests may build
+// fixtures in ways the invariants forbid.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go")
+}
+
+// PathHasSuffix reports whether the import path ends in the given
+// slash-separated suffix (e.g. "qav/internal/tpq" has suffix
+// "internal/tpq"). Suffix matching keeps the analyzers testable from
+// stub modules whose paths only share the tail.
+func PathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// ignoreKey addresses one //qavlint:ignore directive by file, line and
+// analyzer name.
+type ignoreKey struct {
+	file string
+	line int
+	name string
+}
+
+// ignoreSpan is a declaration-level directive: any diagnostic of the
+// named analyzer inside [start, end] is suppressed.
+type ignoreSpan struct {
+	start, end token.Pos
+	name       string
+}
+
+var ignoreRe = regexp.MustCompile(`^//qavlint:ignore\s+([a-z]+)`)
+
+// collectIgnores scans the package once for //qavlint:ignore
+// directives. A directive suppresses the named analyzer on its own
+// line and the next line; placed in a declaration's doc comment it
+// covers the whole declaration.
+func collectIgnores(fset *token.FileSet, files []*ast.File) (map[ignoreKey]bool, []ignoreSpan) {
+	ignores := make(map[ignoreKey]bool)
+	var spans []ignoreSpan
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ignores[ignoreKey{pos.Filename, pos.Line, m[1]}] = true
+				ignores[ignoreKey{pos.Filename, pos.Line + 1, m[1]}] = true
+			}
+		}
+		for _, decl := range f.Decls {
+			doc := declDoc(decl)
+			if doc == nil {
+				continue
+			}
+			for _, c := range doc.List {
+				if m := ignoreRe.FindStringSubmatch(c.Text); m != nil {
+					spans = append(spans, ignoreSpan{decl.Pos(), decl.End(), m[1]})
+				}
+			}
+		}
+	}
+	return ignores, spans
+}
+
+func declDoc(decl ast.Decl) *ast.CommentGroup {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		return d.Doc
+	case *ast.GenDecl:
+		return d.Doc
+	}
+	return nil
+}
+
+func (p *Pass) suppressed(pos token.Pos, position token.Position) bool {
+	if p.ignores[ignoreKey{position.Filename, position.Line, p.Analyzer.Name}] {
+		return true
+	}
+	for _, s := range p.funcDocs {
+		if s.name == p.Analyzer.Name && s.start <= pos && pos <= s.end {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies the analyzers to one package and returns the
+// surviving diagnostics in source order.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	ignores, spans := collectIgnores(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			ModulePath: pkg.ModulePath,
+			diags:      &diags,
+			ignores:    ignores,
+			funcDocs:   spans,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Types.Path(), err)
+		}
+	}
+	return diags, nil
+}
+
+// Suite is the full qavlint analyzer suite, in reporting order.
+var Suite = []*Analyzer{CtxPoll, LockGuard, PatMut, ErrWrap}

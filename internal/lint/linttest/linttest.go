@@ -1,0 +1,117 @@
+// Package linttest runs one analyzer over a self-contained testdata
+// module and checks its diagnostics against the module's // want
+// comments, in the style of x/tools' analysistest: a comment
+//
+//	total += v // want "never polls its context"
+//
+// demands a diagnostic on that line whose message matches the quoted
+// regular expression, and every diagnostic must be demanded by some
+// want comment. Each testdata module carries its own go.mod so the
+// loader sees realistic package paths (the analyzers match on path
+// suffixes like internal/tpq) without the fixtures joining the real
+// build.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"qav/internal/lint"
+)
+
+// expectation is one parsed want comment.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads every package under dir (a module root relative to the
+// test's working directory), applies the analyzer, and matches the
+// diagnostics against the module's want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages under %s", dir)
+	}
+	var diags []lint.Diagnostic
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		ds, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags = append(diags, ds...)
+		ws, err := collectWants(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+	}
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRe matches one Go-quoted or backquoted string; a want comment
+// may carry several, each demanding its own diagnostic on the line.
+var quotedRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants scans the package's comments (the loader parses with
+// comments retained) for want expectations.
+func collectWants(pkg *lint.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := quotedRe.FindAllString(m[1], -1)
+				if len(quoted) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment with no quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, q := range quoted {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %s: %w", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: want pattern %s: %w", pos.Filename, pos.Line, q, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: q,
+					})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

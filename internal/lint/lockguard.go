@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// LockGuard checks the `// guarded by mu` annotations on struct
+// fields: every read or write of an annotated field must happen while
+// the named mutex of the same struct value is held. The check is a
+// pragmatic flow-free approximation — within the enclosing function, a
+// Lock/RLock call on the same base object's named mutex must precede
+// the access in source order, or the function's name must end in
+// "Locked" (the repository's convention for helpers whose contract is
+// "caller holds the lock"). It will not catch a Lock on one branch and
+// an access on another, but it reliably catches the common regression:
+// a new method touching guarded state with no locking at all.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated `// guarded by mu` are only accessed with the named mutex held\n" +
+		"Satisfied by a preceding x.mu.Lock()/RLock() on the same receiver in the\n" +
+		"enclosing function, or by the *Locked naming convention.",
+	Run: runLockGuard,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func runLockGuard(pass *Pass) error {
+	guards := collectGuards(pass) // guarded field object -> guard field name
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedAccesses(pass, fd, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuards finds annotated struct fields and resolves both the
+// field objects and their guards. An annotation naming a non-existent
+// or non-mutex guard is itself reported — a misspelled guard silently
+// checks nothing.
+func collectGuards(pass *Pass) map[types.Object]string {
+	guards := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				name := guardAnnotation(field)
+				if name == "" {
+					continue
+				}
+				if !structHasMutexField(pass, st, name) {
+					pass.Reportf(field.Pos(),
+						"field is annotated `guarded by %s` but the struct has no sync.Mutex/RWMutex field %q (lockguard)",
+						name, name)
+					continue
+				}
+				for _, id := range field.Names {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						guards[obj] = name
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func structHasMutexField(pass *Pass, st *ast.StructType, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, id := range field.Names {
+			if id.Name != name {
+				continue
+			}
+			if t := pass.Info.TypeOf(field.Type); t != nil && isMutexType(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockEvent is one x.<guard>.Lock()/RLock() call inside a function.
+type lockEvent struct {
+	base  types.Object // object of x
+	guard string
+	pos   token.Pos
+}
+
+func checkGuardedAccesses(pass *Pass, fd *ast.FuncDecl, guards map[types.Object]string) {
+	const lockedSuffix = "Locked"
+	name := fd.Name.Name
+	if len(name) >= len(lockedSuffix) && name[len(name)-len(lockedSuffix):] == lockedSuffix {
+		return
+	}
+
+	var locks []lockEvent
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		guardSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if base := baseIdentObj(pass.Info, guardSel.X); base != nil {
+			locks = append(locks, lockEvent{base: base, guard: guardSel.Sel.Name, pos: call.Pos()})
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		guard, ok := guards[selection.Obj()]
+		if !ok {
+			return true
+		}
+		base := baseIdentObj(pass.Info, sel.X)
+		held := false
+		for _, l := range locks {
+			if l.guard == guard && l.pos < sel.Pos() && (base != nil && l.base == base) {
+				held = true
+				break
+			}
+		}
+		if !held {
+			pass.Reportf(sel.Sel.Pos(),
+				"%s is guarded by %q but accessed without a preceding %s.Lock/RLock in %s (lockguard)",
+				selection.Obj().Name(), guard, guard, fd.Name.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Main is the qavlint entry point, shared by `cmd/qavlint`. It serves
+// three calling conventions:
+//
+//   - `qavlint -V=full` and `qavlint -flags`: the handshake `go vet`
+//     performs with a -vettool before dispatching work;
+//   - `qavlint <file>.cfg`: one unit of `go vet` work (the unitchecker
+//     protocol);
+//   - `qavlint [packages]`: standalone mode, loading the packages via
+//     `go list` (defaulting to ./...).
+//
+// The exit code is 0 when clean, 1 on operational errors, 2 when the
+// suite found violations.
+func Main(args []string, analyzers []*Analyzer) int {
+	return run(args, analyzers, os.Stdout, os.Stderr)
+}
+
+func run(args []string, analyzers []*Analyzer, stdout, stderr io.Writer) int {
+	// The go command probes `-V=full` (and `go version` probes `-V`)
+	// before trusting a vettool; the reply must be a single line whose
+	// second field is "version".
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Fprintf(stdout, "qavlint version %s\n", Version)
+		return 0
+	}
+	// `go vet` asks for the tool's flags as a JSON array to merge them
+	// into its own flag set. The suite is deliberately knob-free.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runUnitchecker(args[0], analyzers, stderr)
+	}
+
+	fs := flag.NewFlagSet("qavlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers in the suite and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: qavlint [-list] [packages]\n\n")
+		fmt.Fprintf(stderr, "Runs the qav analyzer suite on the packages (default ./...).\n")
+		fmt.Fprintf(stderr, "Also usable as a vet tool: go vet -vettool=$(which qavlint) ./...\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+
+	pkgs, err := Load(".", fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "qavlint: %v\n", err)
+		return 1
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "qavlint: %v\n", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s\n", d)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PatMut enforces the immutability contract on tree patterns: outside
+// internal/tpq, no code assigns to the fields of tpq.Pattern or
+// tpq.Node. Patterns flow through the engine's cache and are shared
+// between concurrent requests, so in-place edits corrupt other
+// readers; callers must Clone and use tpq's structured mutation API
+// (SetOutput, SetAxis, SpliceAbove, ...), which maintains the
+// parent/child invariants Validate checks. Composite literals remain
+// allowed — construction of a fresh pattern is not mutation.
+var PatMut = &Analyzer{
+	Name: "patmut",
+	Doc: "no assignment to tpq.Pattern/tpq.Node fields outside internal/tpq\n" +
+		"Clone first, then use the tpq mutation API; direct field writes bypass the\n" +
+		"invariants and race with the engine's shared, cached patterns.",
+	Run: runPatMut,
+}
+
+func runPatMut(pass *Pass) error {
+	if PathHasSuffix(pass.Pkg.Path(), "internal/tpq") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkPatternWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkPatternWrite(pass, n.X)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkPatternWrite reports lhs when it is a selector writing a field
+// of a tpq.Pattern or tpq.Node.
+func checkPatternWrite(pass *Pass, lhs ast.Expr) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		default:
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			selection, ok := pass.Info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return
+			}
+			recv := selection.Recv()
+			if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			named, ok := recv.(*types.Named)
+			if !ok {
+				return
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil || !PathHasSuffix(obj.Pkg().Path(), "internal/tpq") {
+				return
+			}
+			if obj.Name() != "Pattern" && obj.Name() != "Node" {
+				return
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"assignment to tpq.%s.%s outside internal/tpq; clone the pattern and use the tpq mutation API (patmut)",
+				obj.Name(), sel.Sel.Name)
+			return
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package lint_test
+
+import (
+	"testing"
+
+	"qav/internal/lint"
+	"qav/internal/lint/linttest"
+)
+
+// Each testdata module is a self-contained Go module with passing and
+// failing cases for one analyzer; linttest matches the diagnostics
+// against its // want comments.
+
+func TestCtxPoll(t *testing.T) {
+	linttest.Run(t, lint.CtxPoll, "testdata/ctxpoll")
+}
+
+func TestLockGuard(t *testing.T) {
+	linttest.Run(t, lint.LockGuard, "testdata/lockguard")
+}
+
+func TestPatMut(t *testing.T) {
+	linttest.Run(t, lint.PatMut, "testdata/patmut")
+}
+
+func TestErrWrap(t *testing.T) {
+	linttest.Run(t, lint.ErrWrap, "testdata/errwrap")
+}
+
+// TestSuiteNames pins the analyzer names: //qavlint:ignore directives
+// and CI reporting key off them.
+func TestSuiteNames(t *testing.T) {
+	want := map[string]bool{"ctxpoll": true, "lockguard": true, "patmut": true, "errwrap": true}
+	if len(lint.Suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(lint.Suite), len(want))
+	}
+	for _, a := range lint.Suite {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q", a.Name)
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q lacks doc or run", a.Name)
+		}
+	}
+}

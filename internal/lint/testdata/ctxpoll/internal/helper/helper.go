@@ -1,0 +1,28 @@
+// Package helper provides first-party cancellable callees for the
+// cancellable-callee obligation: calling one of these from a loop in a
+// target package demands that the caller's context reaches it.
+package helper
+
+import "context"
+
+// Expand is a cancellable first-party API (context parameter).
+func Expand(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n * 2
+}
+
+// Options is the carrier struct variant: cancellation threads through
+// a field instead of a parameter.
+type Options struct {
+	Ctx context.Context
+}
+
+// Run is cancellable through its Options carrier.
+func Run(opts Options) error {
+	if opts.Ctx != nil {
+		return opts.Ctx.Err()
+	}
+	return nil
+}

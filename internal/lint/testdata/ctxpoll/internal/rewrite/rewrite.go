@@ -1,0 +1,165 @@
+// Package rewrite exercises every ctxpoll obligation: the package
+// path ends in internal/rewrite, one of the suffixes the discipline
+// applies to.
+package rewrite
+
+import (
+	"context"
+
+	"lintexample/internal/helper"
+	"lintexample/internal/xmltree"
+)
+
+// SpinForever blocks on an unbounded loop and offers callers no way
+// to cancel it.
+func SpinForever(done chan struct{}) { // want "cannot receive a context.Context"
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}
+
+// SpinPolled is the fixed shape: a context parameter polled inside
+// the unbounded loop.
+func SpinPolled(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if step() {
+			return nil
+		}
+	}
+}
+
+// Converge iterates to a fixpoint with no syntactic bound and no
+// context.
+func Converge(eps float64) float64 { // want "cannot receive a context.Context"
+	x := 1.0
+	for x > eps {
+		x /= 2
+	}
+	return x
+}
+
+// Drain accepts a context but never consults it while ranging over an
+// unbounded channel.
+func Drain(ctx context.Context, ch chan int) int { // want "never polls its context"
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// Walk sweeps document-scale xmltree data (nested loop over the node
+// set) without accepting a context.
+func Walk(d *xmltree.Document) int { // want "cannot receive a context.Context"
+	n := 0
+	for _, node := range d.Nodes {
+		for _, c := range node.Children {
+			_ = c
+			n++
+		}
+	}
+	return n
+}
+
+// WalkCtx is Walk with the obligation discharged.
+func WalkCtx(ctx context.Context, d *xmltree.Document) (int, error) {
+	n := 0
+	for _, node := range d.Nodes {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		for _, c := range node.Children {
+			_ = c
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Enumerate calls a cancellable first-party callee from its loop but
+// hands it a fresh root context, severing the caller's cancellation.
+func Enumerate(ctx context.Context, xs []int) int { // want "never polls its context"
+	total := 0
+	for _, x := range xs {
+		total += helper.Expand(context.Background(), x)
+	}
+	return total
+}
+
+// EnumerateCtx forwards the live context each iteration.
+func EnumerateCtx(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += helper.Expand(ctx, x)
+	}
+	return total
+}
+
+// RunAll threads cancellation through the Options carrier — both the
+// signature (carrier parameter) and the in-loop poll (carrier
+// composite literal propagating the field) come from the struct.
+func RunAll(opts helper.Options, xs []int) error {
+	for range xs {
+		if err := helper.Run(helper.Options{Ctx: opts.Ctx}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Search delegates to an unexported helper whose loop polls; the
+// obligation and its discharge are both transitive.
+func Search(ctx context.Context, limit int) int {
+	return scan(ctx, limit)
+}
+
+// Bounded loops to a fixpoint the analyzer cannot see a bound for,
+// but the iteration count is bounded by limit; the directive records
+// the argument.
+//
+//qavlint:ignore ctxpoll each round strictly increases n toward limit
+func Bounded(limit int) int {
+	n := 0
+	changed := true
+	for changed {
+		changed = false
+		if n < limit {
+			n++
+			changed = true
+		}
+	}
+	return n
+}
+
+type inner struct{ n int }
+
+// Spin is exported but hangs off an unexported receiver, so it is not
+// part of the package's exported surface.
+func (in *inner) Spin() {
+	for {
+		if in.n > 0 {
+			return
+		}
+	}
+}
+
+// scan is unexported: the polling obligation rests with its exported
+// callers.
+func scan(ctx context.Context, limit int) int {
+	i := 0
+	for {
+		if ctx.Err() != nil || i >= limit {
+			return i
+		}
+		i++
+	}
+}
+
+func step() bool { return true }

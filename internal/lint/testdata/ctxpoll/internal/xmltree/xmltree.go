@@ -1,0 +1,18 @@
+// Package xmltree is a minimal stand-in for the real document tree:
+// the ctxpoll analyzer matches on the package-path suffix, so the
+// fixture only needs the names, not the behavior.
+package xmltree
+
+// Node is one element of a document tree.
+type Node struct {
+	Tag      string
+	Children []*Node
+}
+
+// Document is a rooted labeled tree.
+type Document struct {
+	Nodes []*Node
+}
+
+// Size reports the node count.
+func (d *Document) Size() int { return len(d.Nodes) }

@@ -1,0 +1,43 @@
+// Package errex exercises the errwrap chaining check on fmt.Errorf.
+package errex
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is a sentinel callers branch on with errors.Is.
+var ErrBad = errors.New("bad")
+
+// Flatten severs the chain with %v.
+func Flatten(err error) error {
+	return fmt.Errorf("loading config: %v", err) // want "error flattened"
+}
+
+// FlattenString is just as broken with %s.
+func FlattenString(err error) error {
+	return fmt.Errorf("saving state: %s", err) // want "error flattened"
+}
+
+// Wrap keeps the chain.
+func Wrap(err error) error {
+	return fmt.Errorf("loading config: %w", err)
+}
+
+// WrapBoth chains a sentinel and a cause; multiple %w verbs are fine.
+func WrapBoth(err error) error {
+	return fmt.Errorf("%w: %w", ErrBad, err)
+}
+
+// Message formats no error values at all.
+func Message(path string) error {
+	return fmt.Errorf("no such profile %q", path)
+}
+
+// Split flattens one error while wrapping another. The check is
+// format-level — any %w in the format satisfies it — so this passes;
+// the deliberate approximation keeps sentinel-plus-cause chains like
+// WrapBoth quiet.
+func Split(cause, detail error) error {
+	return fmt.Errorf("%w (detail: %v)", cause, detail)
+}

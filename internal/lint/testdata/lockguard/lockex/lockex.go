@@ -1,0 +1,71 @@
+// Package lockex exercises the lockguard annotation check: fields
+// carrying a `guarded by <mu>` comment must only be touched with the
+// named mutex of the same struct value held.
+package lockex
+
+import "sync"
+
+// Counter is a mutex-guarded counter.
+type Counter struct {
+	mu sync.Mutex
+	// n is the current count.
+	// guarded by mu
+	n int
+}
+
+// Add increments under the lock.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Peek reads n with no locking at all.
+func (c *Counter) Peek() int {
+	return c.n // want "accessed without a preceding"
+}
+
+// bumpLocked relies on the caller holding mu — the naming convention
+// exempts it.
+func (c *Counter) bumpLocked() {
+	c.n++
+}
+
+// Transfer locks one counter but reads the other: holding a's lock
+// says nothing about b's fields.
+func Transfer(a, b *Counter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n += b.n // want "accessed without a preceding"
+}
+
+// Stats shows the read-lock variant on an RWMutex guard.
+type Stats struct {
+	mu sync.RWMutex
+	// hits counts cache hits.
+	// guarded by mu
+	hits int
+}
+
+// Hits reads under the read lock.
+func (s *Stats) Hits() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.hits
+}
+
+// Reset writes hits with no lock.
+func (s *Stats) Reset() {
+	s.hits = 0 // want "accessed without a preceding"
+}
+
+// Broken names a guard field that does not exist, which would
+// silently check nothing; the annotation itself is the finding.
+type Broken struct {
+	// v is shared state.
+	// guarded by lock
+	v int // want "no sync.Mutex/RWMutex field"
+}
+
+// Touch is unchecked: v never made it into the guard table.
+func (b *Broken) Touch() { b.v++ }

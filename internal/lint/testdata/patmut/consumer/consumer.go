@@ -1,0 +1,34 @@
+// Package consumer exercises the patmut immutability check from
+// outside internal/tpq.
+package consumer
+
+import "lintexample/internal/tpq"
+
+// Retarget writes the output field directly instead of using
+// SetOutput.
+func Retarget(p *tpq.Pattern, n *tpq.Node) {
+	p.Output = n // want "assignment to tpq.Pattern.Output"
+}
+
+// Relabel rewrites a node tag in place.
+func Relabel(n *tpq.Node) {
+	n.Tag = "renamed" // want "assignment to tpq.Node.Tag"
+}
+
+// Detach clears a child slot through the slice — still a write into
+// the pattern's structure.
+func Detach(n *tpq.Node) {
+	n.Children[0] = nil // want "assignment to tpq.Node.Children"
+}
+
+// Build constructs a fresh pattern; composite literals are
+// construction, not mutation, and stay allowed.
+func Build() *tpq.Pattern {
+	root := &tpq.Node{Tag: "a", Axis: tpq.Descendant}
+	return &tpq.Pattern{Root: root, Output: root}
+}
+
+// Move goes through the sanctioned mutation API.
+func Move(p *tpq.Pattern, n *tpq.Node) {
+	p.SetOutput(n)
+}

@@ -1,0 +1,30 @@
+// Package tpq is a minimal stand-in for the real pattern package; the
+// patmut analyzer matches on the path suffix. Field assignments in
+// this file are the sanctioned mutation API and must not be reported.
+package tpq
+
+// Axis is a pattern edge type.
+type Axis int
+
+// Pattern edge types.
+const (
+	Child Axis = iota
+	Descendant
+)
+
+// Node is one pattern node.
+type Node struct {
+	Tag      string
+	Axis     Axis
+	Children []*Node
+}
+
+// Pattern is a tree pattern with a distinguished output node.
+type Pattern struct {
+	Root   *Node
+	Output *Node
+}
+
+// SetOutput moves the distinguished node — an in-package write, which
+// is exactly where the invariant allows it.
+func (p *Pattern) SetOutput(n *Node) { p.Output = n }

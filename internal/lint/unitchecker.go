@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Version is reported to `go vet`, which requires a stamped version
+// string from vettools to key its action cache.
+const Version = "v0.1.0"
+
+// vetConfig is the JSON configuration `go vet` writes for each package
+// and hands to the -vettool as its single argument. Only the fields
+// the checker needs are decoded; unknown fields are ignored.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	ModulePath                string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker executes one `go vet` unit of work: parse the
+// package described by the config file, type-check it against the
+// export data the go command already built, run the analyzers, and
+// print findings to stderr in file:line:col form. Exit status follows
+// the vet convention: 0 clean, 1 operational error, 2 findings.
+func runUnitchecker(cfgPath string, analyzers []*Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "qavlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "qavlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Dependency packages are visited only so a facts-exchanging tool
+	// could export them; this suite keeps no cross-package facts, so
+	// an empty facts file satisfies the protocol.
+	if cfg.VetxOnly {
+		writeVetx(cfg.VetxOutput)
+		return 0
+	}
+
+	pkg, err := typecheck(cfg.ImportPath, cfg.Dir, cfg.GoFiles, cfg.ModulePath, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg.VetxOutput)
+			return 0
+		}
+		fmt.Fprintf(stderr, "qavlint: %v\n", err)
+		return 1
+	}
+
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "qavlint: %v\n", err)
+		return 1
+	}
+	writeVetx(cfg.VetxOutput)
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s\n", d)
+	}
+	return 2
+}
+
+func writeVetx(path string) {
+	if path != "" {
+		// Best effort: the go command only caches the run when the
+		// facts file exists.
+		_ = os.WriteFile(path, []byte{}, 0o666)
+	}
+}

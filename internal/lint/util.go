@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// structHasContextField reports whether t (after pointer unwrapping)
+// is a struct with a context.Context field — the Options-style carrier
+// this codebase uses to thread cancellation through variadic-free
+// APIs.
+func structHasContextField(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// signatureIsCancellable reports whether sig can receive a
+// cancellation signal: a context.Context parameter or an Options-style
+// struct parameter carrying one.
+func signatureIsCancellable(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		t := params.At(i).Type()
+		if isContextType(t) || structHasContextField(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the static callee of call, or nil for builtins,
+// function-typed variables and other dynamic calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// inModule reports whether pkg belongs to the module being analyzed.
+func inModule(modPath string, pkg *types.Package) bool {
+	if pkg == nil || modPath == "" {
+		return false
+	}
+	p := pkg.Path()
+	return p == modPath || len(p) > len(modPath) && p[:len(modPath)] == modPath && p[len(modPath)] == '/'
+}
+
+// baseIdentObj walks a selector/index/deref chain (e.g. `(*e.cfg).x`,
+// `c.byKey[k]`) to its base identifier and returns that identifier's
+// object, or nil when the chain is rooted in something else (a call,
+// a literal, ...).
+func baseIdentObj(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				return obj
+			}
+			return info.Defs[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}

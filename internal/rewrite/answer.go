@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"context"
 	"sort"
 
 	"qav/internal/tpq"
@@ -17,20 +18,20 @@ func MaterializeView(v *tpq.Pattern, d *xmltree.Document) []*xmltree.Node {
 // ApplyCompensation runs a compensation query E over a materialized
 // view forest: E's root is pinned to each view node in turn and the
 // answers are unioned. The document provides the node storage backing
-// the forest (the subtrees of the view nodes).
-func ApplyCompensation(e *tpq.Pattern, d *xmltree.Document, viewNodes []*xmltree.Node) []*xmltree.Node {
+// the forest (the subtrees of the view nodes). The context is polled
+// once per view node, so answering over a large materialization stops
+// promptly when the caller cancels.
+func ApplyCompensation(ctx context.Context, e *tpq.Pattern, d *xmltree.Document, viewNodes []*xmltree.Node) ([]*xmltree.Node, error) {
 	seen := make(map[*xmltree.Node]bool)
 	for _, vn := range viewNodes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, n := range e.EvaluateAt(d, vn) {
 			seen[n] = true
 		}
 	}
-	out := make([]*xmltree.Node, 0, len(seen))
-	for n := range seen {
-		out = append(out, n)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
-	return out
+	return sortedByIndex(seen), nil
 }
 
 // AnswerUsingView answers a query through its contained rewritings:
@@ -38,24 +39,33 @@ func ApplyCompensation(e *tpq.Pattern, d *xmltree.Document, viewNodes []*xmltree
 // applied to the view forest (E ∘ V evaluated as the paper prescribes,
 // footnote 1 of §2). The result equals evaluating the union of the
 // rewritings directly, without ever running the query itself.
-func AnswerUsingView(crs []*ContainedRewriting, v *tpq.Pattern, d *xmltree.Document) []*xmltree.Node {
-	return AnswerMaterialized(crs, d, MaterializeView(v, d))
+func AnswerUsingView(ctx context.Context, crs []*ContainedRewriting, v *tpq.Pattern, d *xmltree.Document) ([]*xmltree.Node, error) {
+	return AnswerMaterialized(ctx, crs, d, MaterializeView(v, d))
 }
 
 // AnswerMaterialized answers through an already-materialized view
 // forest: only the compensation queries run, in time proportional to
 // the total size of the view subtrees — the source of the paper's
-// reported savings when the view is selective.
-func AnswerMaterialized(crs []*ContainedRewriting, d *xmltree.Document, viewNodes []*xmltree.Node) []*xmltree.Node {
+// reported savings when the view is selective. The context is polled
+// once per (rewriting, view node) pair.
+func AnswerMaterialized(ctx context.Context, crs []*ContainedRewriting, d *xmltree.Document, viewNodes []*xmltree.Node) ([]*xmltree.Node, error) {
 	seen := make(map[*xmltree.Node]bool)
 	for _, cr := range crs {
 		comp := cr.Compensation.Prepare()
 		for _, vn := range viewNodes {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for _, n := range comp.EvaluateAt(d, vn) {
 				seen[n] = true
 			}
 		}
 	}
+	return sortedByIndex(seen), nil
+}
+
+// sortedByIndex flattens an answer set into document order.
+func sortedByIndex(seen map[*xmltree.Node]bool) []*xmltree.Node {
 	out := make([]*xmltree.Node, 0, len(seen))
 	for n := range seen {
 		out = append(out, n)

@@ -50,7 +50,7 @@ func extractCompensation(r *tpq.Pattern, dVc *tpq.Node) *tpq.Pattern {
 	m := make(map[*tpq.Node]*tpq.Node)
 	cp := tpq.CloneSubtree(dVc)
 	recordClones(dVc, cp, m)
-	cp.Axis = tpq.Descendant // the compensation root is a context node
+	cp.SetAxis(tpq.Descendant) // the compensation root is a context node
 	e := &tpq.Pattern{Root: cp, Output: m[r.Output]}
 	return e
 }

@@ -203,7 +203,7 @@ func TestLabelingEnumerateLimit(t *testing.T) {
 	if _, err := l.Enumerate(context.Background(), 1); err == nil {
 		t.Error("limit 1 not enforced")
 	}
-	embs, err := l.Enumerate(context.Background(), 1 << 16)
+	embs, err := l.Enumerate(context.Background(), 1<<16)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,67 @@
+package rewrite
+
+import (
+	"testing"
+
+	"qav/internal/tpq"
+)
+
+// FuzzRewriteRoundTrip drives MCR generation with fuzzer-chosen
+// query/view expressions and checks the structural contracts of every
+// contained rewriting it emits: the rewriting and compensation
+// patterns are valid, survive a print/parse round trip, and each
+// rewriting is contained in the query (the soundness half of
+// Theorem 1 — an MCR may drop answers, never invent them).
+func FuzzRewriteRoundTrip(f *testing.F) {
+	seeds := [][2]string{
+		{"//Trials[//Status]//Trial", "//Trials//Trial"}, // Figure 1
+		{"//a//a/b/c[d1][//a/b/c/d2]", "//a//a/b/c"},     // Figure 8
+		{"//a//b[c]", "//a//b"},                          // Figure 9 core
+		{"/a/b", "//b"},
+		{"//a/b", "/a"},
+		{"//a[b][c]//d", "//a//d"},
+		{"//a", "//b"}, // unanswerable
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, qExpr, vExpr string) {
+		q, err := tpq.Parse(qExpr)
+		if err != nil {
+			return
+		}
+		v, err := tpq.Parse(vExpr)
+		if err != nil {
+			return
+		}
+		res, err := MCR(q, v, Options{MaxEmbeddings: 64})
+		if err != nil {
+			return // budget exhausted on an adversarial input is fine
+		}
+		if len(res.CRs) != len(res.Union.Patterns) {
+			t.Fatalf("q=%s v=%s: %d CRs but %d union patterns", q, v, len(res.CRs), len(res.Union.Patterns))
+		}
+		for i, cr := range res.CRs {
+			for _, p := range []*tpq.Pattern{cr.Rewriting, cr.Compensation} {
+				if err := p.Validate(); err != nil {
+					t.Fatalf("q=%s v=%s CR %d: invalid pattern %s: %v", q, v, i, p, err)
+				}
+				s := p.String()
+				p2, err := tpq.Parse(s)
+				if err != nil {
+					t.Fatalf("q=%s v=%s CR %d: %q not reparsable: %v", q, v, i, s, err)
+				}
+				if !p.StructuralEqual(p2) {
+					t.Fatalf("q=%s v=%s CR %d: round trip changed %q", q, v, i, s)
+				}
+			}
+			if !tpq.Contained(cr.Rewriting, q) {
+				t.Fatalf("q=%s v=%s CR %d: rewriting %s not contained in the query", q, v, i, cr.Rewriting)
+			}
+			if cr.Compensation.Root.Tag != v.Output.Tag {
+				t.Fatalf("q=%s v=%s CR %d: compensation rooted at %q, view output is %q",
+					q, v, i, cr.Compensation.Root.Tag, v.Output.Tag)
+			}
+		}
+	})
+}

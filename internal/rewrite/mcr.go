@@ -342,13 +342,13 @@ func buildUnchecked(f *Embedding, base *tpq.Pattern) (*ContainedRewriting, error
 		}
 	}
 	if f.Defined(f.Q.Output) {
-		r.Output = dVc
+		r.SetOutput(dVc)
 	} else {
 		out, ok := grafts[f.Q.Output]
 		if !ok {
 			return nil, fmt.Errorf("rewrite: query output neither mapped nor grafted")
 		}
-		r.Output = out
+		r.SetOutput(out)
 	}
 	return &ContainedRewriting{Rewriting: r, Compensation: extractCompensation(r, dVc), Embedding: f}, nil
 }

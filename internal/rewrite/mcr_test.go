@@ -248,7 +248,10 @@ func TestCompensationComposition(t *testing.T) {
 				MaxDepth: 6, MaxFanout: 3, TargetSize: 40,
 			})
 			direct := res.Union.Evaluate(d)
-			viaView := AnswerUsingView(res.CRs, v, d)
+			viaView, err := AnswerUsingView(context.Background(), res.CRs, v, d)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if !sameNodeSet(direct, viaView) {
 				t.Fatalf("q=%s v=%s: direct answers != view-based answers", tc.q, tc.v)
 			}

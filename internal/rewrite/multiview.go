@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -95,8 +96,10 @@ func MCRMultiView(q *tpq.Pattern, views []ViewSource, opts Options) (*MultiViewR
 
 // AnswerMultiView answers the query against a document through the
 // views only: each kept CR's compensation runs over its own view's
-// materialization; the answers are unioned.
-func (r *MultiViewResult) AnswerMultiView(views []ViewSource, d *xmltree.Document) []*xmltree.Node {
+// materialization; the answers are unioned. The context is polled once
+// per (rewriting, view node) pair, so a cancelled ctx aborts a large
+// multi-source answering run promptly.
+func (r *MultiViewResult) AnswerMultiView(ctx context.Context, views []ViewSource, d *xmltree.Document) ([]*xmltree.Node, error) {
 	materialized := make(map[int][]*xmltree.Node)
 	seen := make(map[*xmltree.Node]bool)
 	var out []*xmltree.Node
@@ -108,8 +111,11 @@ func (r *MultiViewResult) AnswerMultiView(views []ViewSource, d *xmltree.Documen
 			materialized[vi] = vn
 		}
 		comp := cr.Compensation.Prepare()
-		for _, ctx := range vn {
-			for _, n := range comp.EvaluateAt(d, ctx) {
+		for _, cn := range vn {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			for _, n := range comp.EvaluateAt(d, cn) {
 				if !seen[n] {
 					seen[n] = true
 					out = append(out, n)
@@ -118,5 +124,5 @@ func (r *MultiViewResult) AnswerMultiView(views []ViewSource, d *xmltree.Documen
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
-	return out
+	return out, nil
 }

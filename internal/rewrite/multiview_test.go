@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -61,7 +62,10 @@ func TestMCRMultiViewAnswering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := res.AnswerMultiView(views, d)
+	got, err := res.AnswerMultiView(context.Background(), views, d)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := q.Evaluate(d) // view B makes the rewriting exact here
 	if !sameNodeSet(got, want) {
 		t.Fatalf("multi-view answers %d != query answers %d", len(got), len(want))

@@ -1,9 +1,14 @@
 package schema
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
+
+// ErrParse is the sentinel wrapped by every error returned from Parse;
+// callers can test for it with errors.Is without matching message text.
+var ErrParse = errors.New("schema: parse error")
 
 // Parse reads a schema graph from a small text DSL:
 //
@@ -29,37 +34,40 @@ func Parse(src string) (*Graph, error) {
 		if g == nil {
 			rest, ok := strings.CutPrefix(line, "root ")
 			if !ok {
-				return nil, fmt.Errorf("schema: line %d: expected 'root <tag>' first", lineNo+1)
+				return nil, fmt.Errorf("%w: line %d: expected 'root <tag>' first", ErrParse, lineNo+1)
 			}
 			tag := strings.TrimSpace(rest)
 			if tag == "" || strings.ContainsAny(tag, " \t") {
-				return nil, fmt.Errorf("schema: line %d: bad root tag %q", lineNo+1, rest)
+				return nil, fmt.Errorf("%w: line %d: bad root tag %q", ErrParse, lineNo+1, rest)
 			}
 			g = New(tag)
 			continue
 		}
 		parent, rhs, ok := strings.Cut(line, "->")
 		if !ok {
-			return nil, fmt.Errorf("schema: line %d: expected '<tag> -> children'", lineNo+1)
+			return nil, fmt.Errorf("%w: line %d: expected '<tag> -> children'", ErrParse, lineNo+1)
 		}
 		parent = strings.TrimSpace(parent)
 		if parent == "" {
-			return nil, fmt.Errorf("schema: line %d: empty parent tag", lineNo+1)
+			return nil, fmt.Errorf("%w: line %d: empty parent tag", ErrParse, lineNo+1)
 		}
 		for _, field := range strings.Fields(rhs) {
 			child, q, err := splitQuant(field)
 			if err != nil {
-				return nil, fmt.Errorf("schema: line %d: %w", lineNo+1, err)
+				return nil, fmt.Errorf("%w: line %d: %w", ErrParse, lineNo+1, err)
 			}
 			if err := g.AddEdge(parent, child, q); err != nil {
-				return nil, fmt.Errorf("schema: line %d: %w", lineNo+1, err)
+				return nil, fmt.Errorf("%w: line %d: %w", ErrParse, lineNo+1, err)
 			}
 		}
 	}
 	if g == nil {
-		return nil, fmt.Errorf("schema: empty input")
+		return nil, fmt.Errorf("%w: empty input", ErrParse)
 	}
-	return g, g.Validate()
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrParse, err)
+	}
+	return g, nil
 }
 
 // MustParse is Parse panicking on error, for static literals in tests

@@ -1,10 +1,15 @@
 package schema
 
 import (
+	"errors"
 	"fmt"
 
 	"qav/internal/tpq"
 )
+
+// ErrUnsatisfiable is the sentinel wrapped by every error returned from
+// ExplainUnsatisfiable; callers can test for it with errors.Is.
+var ErrUnsatisfiable = errors.New("schema: unsatisfiable pattern")
 
 // Satisfiable reports whether the pattern has a total embedding into the
 // schema graph (Theorem 7(ii) of the paper): each pattern node maps to
@@ -28,31 +33,31 @@ func (g *Graph) ExplainUnsatisfiable(p *tpq.Pattern) error {
 
 func (g *Graph) explainUnsatisfiable(p *tpq.Pattern) error {
 	if p.Root == nil {
-		return fmt.Errorf("schema: empty pattern")
+		return fmt.Errorf("%w: empty pattern", ErrUnsatisfiable)
 	}
 	root := p.Root
 	if root.Axis == tpq.Child {
 		if root.Tag != g.Root {
-			return fmt.Errorf("schema: pattern root /%s but schema root is %s", root.Tag, g.Root)
+			return fmt.Errorf("%w: pattern root /%s but schema root is %s", ErrUnsatisfiable, root.Tag, g.Root)
 		}
 	} else {
 		if root.Tag != g.Root && !g.Reachable(g.Root, root.Tag) {
-			return fmt.Errorf("schema: no %s element can occur in instances", root.Tag)
+			return fmt.Errorf("%w: no %s element can occur in instances", ErrUnsatisfiable, root.Tag)
 		}
 	}
 	for _, n := range p.Nodes() {
 		if !g.HasTag(n.Tag) {
-			return fmt.Errorf("schema: tag %q not declared", n.Tag)
+			return fmt.Errorf("%w: tag %q not declared", ErrUnsatisfiable, n.Tag)
 		}
 		for _, c := range n.Children {
 			switch c.Axis {
 			case tpq.Child:
 				if _, ok := g.EdgeBetween(n.Tag, c.Tag); !ok {
-					return fmt.Errorf("schema: %q cannot be a child of %q", c.Tag, n.Tag)
+					return fmt.Errorf("%w: %q cannot be a child of %q", ErrUnsatisfiable, c.Tag, n.Tag)
 				}
 			case tpq.Descendant:
 				if !g.Reachable(n.Tag, c.Tag) {
-					return fmt.Errorf("schema: %q cannot be a descendant of %q", c.Tag, n.Tag)
+					return fmt.Errorf("%w: %q cannot be a descendant of %q", ErrUnsatisfiable, c.Tag, n.Tag)
 				}
 			}
 		}

@@ -1,6 +1,7 @@
 package schema
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -63,6 +64,8 @@ func TestParseErrors(t *testing.T) {
 	for _, src := range cases {
 		if _, err := Parse(src); err == nil {
 			t.Errorf("Parse(%q) succeeded, want error", src)
+		} else if !errors.Is(err, ErrParse) {
+			t.Errorf("Parse(%q) error %v does not wrap ErrParse", src, err)
 		}
 	}
 }
@@ -209,6 +212,11 @@ func TestSatisfiable(t *testing.T) {
 		p := tpq.MustParse(c.expr)
 		if got := g.Satisfiable(p); got != c.want {
 			t.Errorf("Satisfiable(%s) = %v, want %v (%v)", c.expr, got, c.want, g.ExplainUnsatisfiable(p))
+		}
+		if err := g.ExplainUnsatisfiable(p); (err == nil) != c.want {
+			t.Errorf("ExplainUnsatisfiable(%s) = %v, want nil=%v", c.expr, err, c.want)
+		} else if err != nil && !errors.Is(err, ErrUnsatisfiable) {
+			t.Errorf("ExplainUnsatisfiable(%s) error %v does not wrap ErrUnsatisfiable", c.expr, err)
 		}
 	}
 }

@@ -12,6 +12,7 @@
 package stream
 
 import (
+	"context"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -33,14 +34,21 @@ type Answer struct {
 }
 
 // Evaluate runs the pattern over the XML stream and returns the
-// answers in document (preorder) order.
-func Evaluate(r io.Reader, p *tpq.Pattern) ([]Answer, error) {
+// answers in document (preorder) order. The stream can be unbounded
+// (that is the point of this package), so the context is polled every
+// 1024 tokens and a cancelled ctx aborts the pass with its error.
+func Evaluate(ctx context.Context, r io.Reader, p *tpq.Pattern) ([]Answer, error) {
 	ev, err := newEvaluator(p)
 	if err != nil {
 		return nil, err
 	}
 	dec := xml.NewDecoder(r)
-	for {
+	for tokens := 0; ; tokens++ {
+		if tokens&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		tok, err := dec.Token()
 		if err == io.EOF {
 			break

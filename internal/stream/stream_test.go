@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -36,7 +37,7 @@ func TestStreamBasics(t *testing.T) {
 		{"//*[Status]", 1},
 	}
 	for _, tc := range cases {
-		got, err := Evaluate(strings.NewReader(pharmaXML), tpq.MustParse(tc.expr))
+		got, err := Evaluate(context.Background(), strings.NewReader(pharmaXML), tpq.MustParse(tc.expr))
 		if err != nil {
 			t.Fatalf("%s: %v", tc.expr, err)
 		}
@@ -47,7 +48,7 @@ func TestStreamBasics(t *testing.T) {
 }
 
 func TestStreamAnswerDetails(t *testing.T) {
-	got, err := Evaluate(strings.NewReader(pharmaXML), tpq.MustParse("//Trial[//Status]/Patient"))
+	got, err := Evaluate(context.Background(), strings.NewReader(pharmaXML), tpq.MustParse("//Trial[//Status]/Patient"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,14 +71,14 @@ func TestStreamAnswerDetails(t *testing.T) {
 }
 
 func TestStreamErrors(t *testing.T) {
-	if _, err := Evaluate(strings.NewReader(""), tpq.MustParse("//a")); err == nil {
+	if _, err := Evaluate(context.Background(), strings.NewReader(""), tpq.MustParse("//a")); err == nil {
 		t.Error("empty stream accepted")
 	}
-	if _, err := Evaluate(strings.NewReader("<a><b></a>"), tpq.MustParse("//a")); err == nil {
+	if _, err := Evaluate(context.Background(), strings.NewReader("<a><b></a>"), tpq.MustParse("//a")); err == nil {
 		t.Error("malformed stream accepted")
 	}
 	bad := &tpq.Pattern{}
-	if _, err := Evaluate(strings.NewReader("<a/>"), bad); err == nil {
+	if _, err := Evaluate(context.Background(), strings.NewReader("<a/>"), bad); err == nil {
 		t.Error("invalid pattern accepted")
 	}
 }
@@ -92,14 +93,14 @@ func TestStreamDeepRecursion(t *testing.T) {
 	for i := 0; i < depth; i++ {
 		b.WriteString("</b>")
 	}
-	got, err := Evaluate(strings.NewReader(b.String()), tpq.MustParse("//b[//c]"))
+	got, err := Evaluate(context.Background(), strings.NewReader(b.String()), tpq.MustParse("//b[//c]"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != depth {
 		t.Errorf("answers = %d, want %d", len(got), depth)
 	}
-	got, err = Evaluate(strings.NewReader(b.String()), tpq.MustParse("//b/b//c"))
+	got, err = Evaluate(context.Background(), strings.NewReader(b.String()), tpq.MustParse("//b/b//c"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestQuickStreamAgreesWithMemory(t *testing.T) {
 			for _, n := range mem {
 				memIdx[n.Index] = true
 			}
-			got, err := Evaluate(strings.NewReader(xmlSrc), p)
+			got, err := Evaluate(context.Background(), strings.NewReader(xmlSrc), p)
 			if err != nil {
 				t.Logf("stream error: %v", err)
 				return false
@@ -150,7 +151,7 @@ func TestQuickStreamAgreesWithMemory(t *testing.T) {
 
 // Wildcards work in the streaming engine too.
 func TestStreamWildcard(t *testing.T) {
-	got, err := Evaluate(strings.NewReader(pharmaXML), tpq.MustParse("//Trials/*[Patient]"))
+	got, err := Evaluate(context.Background(), strings.NewReader(pharmaXML), tpq.MustParse("//Trials/*[Patient]"))
 	if err != nil {
 		t.Fatal(err)
 	}

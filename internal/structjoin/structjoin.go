@@ -11,6 +11,7 @@
 package structjoin
 
 import (
+	"context"
 	"sort"
 
 	"qav/internal/tpq"
@@ -40,16 +41,21 @@ func (ix *Index) Cardinality(tag string) int { return len(ix.byTag[tag]) }
 
 // Evaluate computes p(doc) using bottom-up structural semi-joins over
 // the tag lists followed by a top-down pass along the distinguished
-// path. The answers equal tpq's Pattern.Evaluate.
-func (ix *Index) Evaluate(p *tpq.Pattern) []*xmltree.Node {
+// path. The answers equal tpq's Pattern.Evaluate. Each join scans tag
+// lists proportional to the document, so the context is polled once
+// per pattern node and a cancelled ctx aborts with its error.
+func (ix *Index) Evaluate(ctx context.Context, p *tpq.Pattern) ([]*xmltree.Node, error) {
 	if p.Root == nil {
-		return nil
+		return nil, nil
 	}
 	qnodes := p.Nodes()
 	lists := make(map[*tpq.Node][]*xmltree.Node, len(qnodes))
 
 	// Bottom-up: lists[q] = nodes where q's subtree embeds.
 	for i := len(qnodes) - 1; i >= 0; i-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		q := qnodes[i]
 		cand := ix.byTag[q.Tag]
 		for _, c := range q.Children {
@@ -76,9 +82,12 @@ func (ix *Index) Evaluate(p *tpq.Pattern) []*xmltree.Node {
 	path := p.DistinguishedPath()
 	cur := roots
 	for _, q := range path[1:] {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cur = downJoin(cur, lists[q], q.Axis)
 	}
-	return cur
+	return cur, nil
 }
 
 // semiJoin keeps the parents ∈ upper that have a witness in lower via

@@ -1,6 +1,7 @@
 package structjoin
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -38,7 +39,7 @@ func TestEvaluateBasics(t *testing.T) {
 	}
 	for _, tc := range cases {
 		p := tpq.MustParse(tc.expr)
-		got := ix.Evaluate(p)
+		got := evalIx(t, ix, p)
 		if len(got) != tc.want {
 			t.Errorf("%s: %d answers, want %d", tc.expr, len(got), tc.want)
 		}
@@ -61,7 +62,7 @@ func TestQuickEnginesAgree(t *testing.T) {
 		ix := Build(d)
 		for i := 0; i < 5; i++ {
 			p := workload.RandomPattern(rng, alphabet, 6)
-			if !sameNodes(ix.Evaluate(p), p.Evaluate(d)) {
+			if !sameNodes(evalIx(t, ix, p), p.Evaluate(d)) {
 				t.Logf("disagree on %s over %s", p, d)
 				return false
 			}
@@ -92,7 +93,7 @@ func TestEvaluateDeepChains(t *testing.T) {
 		{"//b/b", 10},
 		{"//b[b]", 10},
 	} {
-		if got := len(ix.Evaluate(tpq.MustParse(tc.expr))); got != tc.want {
+		if got := len(evalIx(t, ix, tpq.MustParse(tc.expr))); got != tc.want {
 			t.Errorf("%s: %d answers, want %d", tc.expr, got, tc.want)
 		}
 	}
@@ -105,10 +106,10 @@ func TestEvaluateSiblingIntervals(t *testing.T) {
 		xmltree.Build("a", xmltree.Build("y")),
 	))
 	ix := Build(d)
-	if got := len(ix.Evaluate(tpq.MustParse("//a[//x]//y"))); got != 0 {
+	if got := len(evalIx(t, ix, tpq.MustParse("//a[//x]//y"))); got != 0 {
 		t.Errorf("//a[//x]//y leaked across sibling subtrees: %d answers", got)
 	}
-	if got := len(ix.Evaluate(tpq.MustParse("//r[//x]//y"))); got != 1 {
+	if got := len(evalIx(t, ix, tpq.MustParse("//r[//x]//y"))); got != 1 {
 		t.Errorf("//r[//x]//y = %d answers, want 1", got)
 	}
 }
@@ -127,4 +128,15 @@ func sameNodes(a, b []*xmltree.Node) bool {
 		}
 	}
 	return true
+}
+
+// evalIx runs the indexed evaluator with a background context, failing
+// the test on error.
+func evalIx(tb testing.TB, ix *Index, p *tpq.Pattern) []*xmltree.Node {
+	tb.Helper()
+	out, err := ix.Evaluate(context.Background(), p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return out
 }

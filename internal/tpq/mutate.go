@@ -1,0 +1,53 @@
+package tpq
+
+// This file is the structured mutation API: the only sanctioned way to
+// edit a pattern in place. Everywhere else in the module, patterns are
+// treated as immutable once built — they flow through the engine's
+// cache and are shared between concurrent requests — and the patmut
+// analyzer (internal/lint) rejects direct field assignments outside
+// this package. Algorithms that need to edit (the chase's rule
+// applications, compensation assembly) Clone first and then use these
+// operations, which keep the Parent/Children/Output invariants that
+// Validate checks.
+
+// SetOutput marks n as the pattern's distinguished node. n must belong
+// to the tree rooted at p.Root (Validate reports a violation).
+func (p *Pattern) SetOutput(n *Node) { p.Output = n }
+
+// SetAxis changes the axis connecting n to its parent (or, for the
+// root, to the virtual document root).
+func (n *Node) SetAxis(a Axis) { n.Axis = a }
+
+// RemoveChildAt detaches and returns the i-th child of n. The returned
+// subtree is self-contained: its root has no parent.
+func (n *Node) RemoveChildAt(i int) *Node {
+	c := n.Children[i]
+	n.Children = append(n.Children[:i], n.Children[i+1:]...)
+	c.Parent = nil
+	return c
+}
+
+// AdoptChildren moves every child of donor under n, preserving each
+// child's axis, and leaves donor childless. It is the merge step of
+// the chase's FC rule: two duplicate siblings collapse by one adopting
+// the other's subtrees.
+func (n *Node) AdoptChildren(donor *Node) {
+	for _, c := range donor.Children {
+		c.Parent = n
+		n.Children = append(n.Children, c)
+	}
+	donor.Children = nil
+}
+
+// SpliceAbove inserts a fresh node with the given axis and tag between
+// n and its i-th child, and returns the new node: n -axis-> new -> c,
+// with c keeping its own axis below the new node. It is the edge-split
+// step of the chase's IC rule (a⇝b becomes a⇝c⇝b).
+func (n *Node) SpliceAbove(i int, axis Axis, tag string) *Node {
+	ch := n.Children[i]
+	mid := &Node{Tag: tag, Axis: axis, Parent: n}
+	n.Children[i] = mid
+	ch.Parent = mid
+	mid.Children = append(mid.Children, ch)
+	return mid
+}

@@ -1,9 +1,14 @@
 package tpq
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
+
+// ErrParse is the sentinel wrapped by every error returned from Parse;
+// callers can test for it with errors.Is without matching message text.
+var ErrParse = errors.New("tpq: parse error")
 
 // Parse parses an XPath expression in the fragment XP{/,//,[]} into a
 // Pattern. The expression is a main path of steps, each "/tag" or
@@ -15,7 +20,7 @@ func Parse(expr string) (*Pattern, error) {
 	p := &parser{src: expr}
 	pat, err := p.pattern()
 	if err != nil {
-		return nil, fmt.Errorf("tpq: parse %q: %w", expr, err)
+		return nil, fmt.Errorf("%w: %q: %w", ErrParse, expr, err)
 	}
 	return pat, nil
 }

@@ -1,6 +1,7 @@
 package tpq
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -104,6 +105,8 @@ func TestParseErrors(t *testing.T) {
 	} {
 		if _, err := Parse(expr); err == nil {
 			t.Errorf("Parse(%q) succeeded, want error", expr)
+		} else if !errors.Is(err, ErrParse) {
+			t.Errorf("Parse(%q) error %v does not wrap ErrParse", expr, err)
 		}
 	}
 }

@@ -7,6 +7,7 @@
 package viewselect
 
 import (
+	"context"
 	"sort"
 
 	"qav/internal/rewrite"
@@ -77,11 +78,11 @@ func Candidates(queries []*tpq.Pattern) []*tpq.Pattern {
 			for _, n := range path[1 : i+1] {
 				cur = cur.AddChild(n.Axis, n.Tag)
 			}
-			bare.Output = cur
+			bare.SetOutput(cur)
 			add(bare)
 			// The query itself with the output moved up to the prefix.
 			full, m := q.Clone()
-			full.Output = m[path[i]]
+			full.SetOutput(m[path[i]])
 			add(full)
 		}
 	}
@@ -111,17 +112,23 @@ type Selection struct {
 // view with the largest marginal workload gain; it stops early when no
 // candidate improves the score. Benefits are decided with the paper's
 // machinery: answerability for Partial, an equivalent rewriting for
-// Exact.
-func Greedy(w Workload, candidates []*tpq.Pattern, k int) (*Selection, error) {
+// Exact. The precompute pass runs one rewriting per (query, candidate)
+// pair — quadratic in the workload — so ctx is forwarded into each
+// rewriting and a cancelled ctx aborts selection with its error.
+func Greedy(ctx context.Context, w Workload, candidates []*tpq.Pattern, k int) (*Selection, error) {
 	// Precompute each (query, candidate) benefit once.
 	benefit := make([][]Benefit, len(w.Queries))
 	for qi, q := range w.Queries {
 		benefit[qi] = make([]Benefit, len(candidates))
 		for ci, v := range candidates {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			b := Useless
 			if rewrite.Answerable(q, v) {
 				b = Partial
-				if _, ok, err := rewrite.EquivalentRewriting(q, v, rewrite.Options{MaxEmbeddings: 1 << 14}); err == nil && ok {
+				opts := rewrite.Options{MaxEmbeddings: 1 << 14, Context: ctx}
+				if _, ok, err := rewrite.EquivalentRewriting(q, v, opts); err == nil && ok {
 					b = Exact
 				}
 			}

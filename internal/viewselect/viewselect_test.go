@@ -1,6 +1,7 @@
 package viewselect
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -52,7 +53,7 @@ func TestGreedyPrefersExactCoverage(t *testing.T) {
 	q2 := tpq.MustParse("//Trials//Trial/Patient")
 	w := Workload{Queries: []*tpq.Pattern{q1, q2}}
 	cands := Candidates(w.Queries)
-	sel, err := Greedy(w, cands, 1)
+	sel, err := Greedy(context.Background(), w, cands, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestGreedyPrefersExactCoverage(t *testing.T) {
 		}
 	}
 	// With budget 2 both queries are answered exactly.
-	sel2, err := Greedy(w, cands, 2)
+	sel2, err := Greedy(context.Background(), w, cands, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestGreedyPrefersExactCoverage(t *testing.T) {
 func TestGreedyStopsWhenNoGain(t *testing.T) {
 	q := tpq.MustParse("//a")
 	w := Workload{Queries: []*tpq.Pattern{q}}
-	sel, err := Greedy(w, Candidates(w.Queries), 5)
+	sel, err := Greedy(context.Background(), w, Candidates(w.Queries), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestGreedyRespectsWeights(t *testing.T) {
 	q1 := tpq.MustParse("//x/y")
 	q2 := tpq.MustParse("//v/w")
 	w := Workload{Queries: []*tpq.Pattern{q1, q2}, Weights: []float64{1, 10}}
-	sel, err := Greedy(w, Candidates(w.Queries), 1)
+	sel, err := Greedy(context.Background(), w, Candidates(w.Queries), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestQuickBenefitsAreReal(t *testing.T) {
 			qs = append(qs, workload.RandomPattern(rng, []string{"a", "b", "c"}, 4))
 		}
 		w := Workload{Queries: qs}
-		sel, err := Greedy(w, Candidates(qs), 2)
+		sel, err := Greedy(context.Background(), w, Candidates(qs), 2)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,40 @@
+package viewstore
+
+import "sync"
+
+// Catalog is the mediator's registry of shipped materialized views,
+// safe for concurrent use: sources register views while query threads
+// look them up.
+type Catalog struct {
+	mu sync.RWMutex
+	// views is keyed by registration name.
+	// guarded by mu
+	views map[string]*Materialized
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{views: make(map[string]*Materialized)}
+}
+
+// Register stores m under name, replacing any previous registration.
+func (c *Catalog) Register(name string, m *Materialized) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.views[name] = m
+}
+
+// Get returns the view registered under name.
+func (c *Catalog) Get(name string) (*Materialized, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.views[name]
+	return m, ok
+}
+
+// Len returns the number of registered views.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.views)
+}

@@ -1,6 +1,7 @@
 package viewstore
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"strings"
@@ -55,7 +56,10 @@ func TestAnswerOnForestMatchesSource(t *testing.T) {
 	}
 	m := Materialize(v, d)
 	got := m.Answer(res.CRs)
-	want := rewrite.AnswerUsingView(res.CRs, v, d)
+	want, err := rewrite.AnswerUsingView(context.Background(), res.CRs, v, d)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !samePathsShape(got, want) {
 		t.Fatalf("forest answers %v != source answers %v", shapes(got), shapes(want))
 	}
@@ -141,7 +145,10 @@ func TestQuickForestAnswering(t *testing.T) {
 			})
 			m := Materialize(v, d)
 			got := m.Answer(res.CRs)
-			want := rewrite.AnswerUsingView(res.CRs, v, d)
+			want, err := rewrite.AnswerUsingView(context.Background(), res.CRs, v, d)
+			if err != nil {
+				return false
+			}
 			if !samePathsShape(got, want) {
 				t.Logf("q=%s v=%s d=%s:\nforest %v\nsource %v", q, v, d, shapes(got), shapes(want))
 				return false

@@ -5,6 +5,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -20,12 +21,13 @@ func RandomPattern(rng *rand.Rand, alphabet []string, maxNodes int) *tpq.Pattern
 	n := 1 + rng.Intn(maxNodes)
 	p := tpq.New(tpq.Axis(rng.Intn(2)), alphabet[rng.Intn(len(alphabet))])
 	nodes := []*tpq.Node{p.Root}
-	for len(nodes) < n {
+	// Each round attaches exactly one node, so the build is bounded by n.
+	for i := 1; i < n; i++ {
 		parent := nodes[rng.Intn(len(nodes))]
 		c := parent.AddChild(tpq.Axis(rng.Intn(2)), alphabet[rng.Intn(len(alphabet))])
 		nodes = append(nodes, c)
 	}
-	p.Output = nodes[rng.Intn(len(nodes))]
+	p.SetOutput(nodes[rng.Intn(len(nodes))])
 	return p
 }
 
@@ -70,7 +72,7 @@ func RandomSchemaPattern(rng *rand.Rand, g *schema.Graph, maxNodes int) *tpq.Pat
 			nodes = append(nodes, parent.AddChild(tpq.Descendant, below[rng.Intn(len(below))]))
 		}
 	}
-	p.Output = nodes[rng.Intn(len(nodes))]
+	p.SetOutput(nodes[rng.Intn(len(nodes))])
 	return p
 }
 
@@ -159,7 +161,7 @@ func Fig8Query(n int) *tpq.Pattern {
 		c := b.AddChild(tpq.Child, "c")
 		c.AddChild(tpq.Child, fmt.Sprintf("d%d", i))
 		if i == 1 {
-			p.Output = c
+			p.SetOutput(c)
 		}
 	}
 	return p
@@ -181,7 +183,7 @@ func Fig9Query() *tpq.Pattern {
 	b1.AddChild(tpq.Child, "c")
 	b2 := p.Root.AddChild(tpq.Descendant, "b")
 	b2.AddChild(tpq.Child, "d")
-	p.Output = b1
+	p.SetOutput(b1)
 	return p
 }
 
@@ -195,9 +197,15 @@ func Fig9View() *tpq.Pattern {
 // elements, each holding `trialsPer` Trial elements with Patient
 // children; a fraction statusFrac of Trials groups contains trials
 // carrying a Status element. Used by the savings/overhead experiments.
-func ClinicalTrialsDoc(rng *rand.Rand, groups, trialsPer int, statusFrac float64) *xmltree.Document {
+// The experiments scale groups×trialsPer into the millions, so the
+// context is polled once per group and a cancelled ctx aborts the
+// build with its error.
+func ClinicalTrialsDoc(ctx context.Context, rng *rand.Rand, groups, trialsPer int, statusFrac float64) (*xmltree.Document, error) {
 	root := xmltree.Build("PharmaLab")
 	for i := 0; i < groups; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		trials := root.AddChild("Trials")
 		withStatus := rng.Float64() < statusFrac
 		for j := 0; j < trialsPer; j++ {
@@ -210,7 +218,7 @@ func ClinicalTrialsDoc(rng *rand.Rand, groups, trialsPer int, statusFrac float64
 			}
 		}
 	}
-	return xmltree.NewDocument(root)
+	return xmltree.NewDocument(root), nil
 }
 
 // Fig15Query generalizes the Figure 9/15 query to k branches: a root
@@ -224,7 +232,7 @@ func Fig15Query(k int) *tpq.Pattern {
 		b := p.Root.AddChild(tpq.Descendant, "b")
 		b.AddChild(tpq.Child, fmt.Sprintf("c%d", i))
 		if i == 1 {
-			p.Output = b
+			p.SetOutput(b)
 		}
 	}
 	return p

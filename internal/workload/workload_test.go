@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -122,7 +123,10 @@ func TestFig9Fixtures(t *testing.T) {
 
 func TestClinicalTrialsDoc(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	d := ClinicalTrialsDoc(rng, 50, 4, 0.5)
+	d, err := ClinicalTrialsDoc(context.Background(), rng, 50, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d.Root.Tag != "PharmaLab" {
 		t.Fatalf("root = %s", d.Root.Tag)
 	}

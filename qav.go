@@ -59,6 +59,11 @@ type Result = rewrite.Result
 // exponentially many patterns).
 type Options = rewrite.Options
 
+// New constructs a single-node pattern rooted at tag with the given
+// axis. The root starts as the output node; build the tree with
+// PatternNode.AddChild and move the output with Pattern.SetOutput.
+func New(axis Axis, tag string) *Pattern { return tpq.New(axis, tag) }
+
 // ParseQuery parses an XPath expression in XP{/,//,[]} into a Pattern,
 // e.g. "//Auction[//item]//name". The final step of the main path is
 // the distinguished (answer) node.
@@ -149,9 +154,10 @@ func MaterializeView(v *Pattern, d *Document) []*Node {
 // AnswerUsingView answers a query through its contained rewritings by
 // materializing the view once and applying each compensation query to
 // the view forest. The result equals evaluating the rewriting union on
-// the document directly.
-func AnswerUsingView(crs []*ContainedRewriting, v *Pattern, d *Document) []*Node {
-	return rewrite.AnswerUsingView(crs, v, d)
+// the document directly. The context cancels answering over a large
+// materialization.
+func AnswerUsingView(ctx context.Context, crs []*ContainedRewriting, v *Pattern, d *Document) ([]*Node, error) {
+	return rewrite.AnswerUsingView(ctx, crs, v, d)
 }
 
 // SchemaRewriter answers queries using views in the presence of a
@@ -245,9 +251,11 @@ type StreamAnswer = stream.Answer
 // EvaluateStream runs a pattern over an XML byte stream in a single
 // SAX-style pass, without materializing the document: memory is
 // proportional to document depth, not size. Answer indexes agree with
-// the in-memory parser's preorder node indexes.
-func EvaluateStream(r io.Reader, p *Pattern) ([]StreamAnswer, error) {
-	return stream.Evaluate(r, p)
+// the in-memory parser's preorder node indexes. The context is polled
+// as the stream is consumed, so evaluation over an unbounded input can
+// be cancelled.
+func EvaluateStream(ctx context.Context, r io.Reader, p *Pattern) ([]StreamAnswer, error) {
+	return stream.Evaluate(ctx, r, p)
 }
 
 // ViewWorkload is a weighted set of queries used for view selection.
@@ -264,9 +272,10 @@ func CandidateViews(queries []*Pattern) []*Pattern {
 
 // SelectViews greedily picks up to k views to materialize for the
 // workload, preferring views that answer queries equivalently over
-// merely-contained coverage.
-func SelectViews(w ViewWorkload, candidates []*Pattern, k int) (*ViewSelection, error) {
-	return viewselect.Greedy(w, candidates, k)
+// merely-contained coverage. Selection runs one rewriting check per
+// (query, candidate) pair, so the context bounds a large workload.
+func SelectViews(ctx context.Context, w ViewWorkload, candidates []*Pattern, k int) (*ViewSelection, error) {
+	return viewselect.Greedy(ctx, w, candidates, k)
 }
 
 // Minimize returns the unique minimal pattern equivalent to p

@@ -1,6 +1,7 @@
 package qav_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -47,7 +48,10 @@ func TestPublicAPISchemaless(t *testing.T) {
 		t.Fatal(err)
 	}
 	direct := res.Union.Evaluate(d)
-	viaView := qav.AnswerUsingView(res.CRs, v, d)
+	viaView, err := qav.AnswerUsingView(context.Background(), res.CRs, v, d)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(direct) != 1 || len(viaView) != 1 || direct[0] != viaView[0] {
 		t.Fatalf("direct=%d viaView=%d answers", len(direct), len(viaView))
 	}
@@ -95,11 +99,9 @@ func TestPublicAPIContainment(t *testing.T) {
 }
 
 func TestPublicAPIBuildPatternsProgrammatically(t *testing.T) {
-	p := &qav.Pattern{}
-	root := &qav.PatternNode{Tag: "a", Axis: qav.Descendant}
-	p.Root = root
-	c := root.AddChild(qav.Child, "b")
-	p.Output = c
+	p := qav.New(qav.Descendant, "a")
+	c := p.Root.AddChild(qav.Child, "b")
+	p.SetOutput(c)
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +177,10 @@ func TestPublicAPIIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	ix := qav.BuildIndex(d)
-	got := ix.Evaluate(qav.MustParseQuery("//Trials//Trial"))
+	got, err := ix.Evaluate(context.Background(), qav.MustParseQuery("//Trials//Trial"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 3 {
 		t.Fatalf("indexed evaluation found %d, want 3", len(got))
 	}

@@ -71,11 +71,14 @@ func TestSoakEndToEndPipeline(t *testing.T) {
 		xmlSrc := d.XMLString()
 		for _, p := range []*tpq.Pattern{q, v} {
 			mem := p.Evaluate(d)
-			sj := ix.Evaluate(p)
+			sj, err := ix.Evaluate(context.Background(), p)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if len(mem) != len(sj) {
 				t.Fatalf("engines disagree on %s over schema instance", p)
 			}
-			sa, err := stream.Evaluate(strings.NewReader(xmlSrc), p)
+			sa, err := stream.Evaluate(context.Background(), strings.NewReader(xmlSrc), p)
 			if err != nil || len(sa) != len(mem) {
 				t.Fatalf("stream engine disagrees on %s: %d vs %d (%v)", p, len(sa), len(mem), err)
 			}
@@ -88,7 +91,11 @@ func TestSoakEndToEndPipeline(t *testing.T) {
 		for _, n := range q.Evaluate(d) {
 			inQ[n] = true
 		}
-		for _, n := range rewrite.AnswerUsingView(res.CRs, v, d) {
+		viaView, err := rewrite.AnswerUsingView(context.Background(), res.CRs, v, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range viaView {
 			if !inQ[n] {
 				t.Fatalf("unsound view answer for q=%s v=%s schema:\n%s", q, v, g)
 			}
@@ -125,7 +132,10 @@ func TestSoakShipMediateRandom(t *testing.T) {
 			t.Fatalf("round trip: %v", err)
 		}
 		forestAnswers := m2.Answer(res.CRs)
-		sourceAnswers := rewrite.AnswerUsingView(res.CRs, v, d)
+		sourceAnswers, err := rewrite.AnswerUsingView(context.Background(), res.CRs, v, d)
+		if err != nil {
+			t.Fatal(err)
+		}
 		// Shape-set comparison (copies vs originals): sizes can differ
 		// only through overlapping view trees duplicating elements.
 		if len(forestAnswers) < len(sourceAnswers) {
