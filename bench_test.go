@@ -240,7 +240,7 @@ func BenchmarkMCRRecursive(b *testing.B) {
 		q := workload.Fig15Query(k)
 		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := sc.MCRRecursive(q, v, rewrite.Options{MaxEmbeddings: 1 << 20})
+				res, err := sc.MCRRecursive(q, v, rewrite.Options{MaxEmbeddings: rewrite.DefaultMaxEmbeddings})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -284,7 +284,7 @@ func BenchmarkEngineRewrite(b *testing.B) {
 	ctx := context.Background()
 	q := workload.Fig8Query(5)
 	v := workload.Fig8View()
-	req := engine.Request{Query: q, View: v, MaxEmbeddings: 1 << 20}
+	req := engine.Request{Query: q, View: v, MaxEmbeddings: rewrite.DefaultMaxEmbeddings}
 
 	b.Run("cold", func(b *testing.B) {
 		eng := engine.New(engine.Config{})

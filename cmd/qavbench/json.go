@@ -1,0 +1,162 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"qav/internal/rewrite"
+	"qav/internal/tpq"
+	"qav/internal/workload"
+)
+
+// The -json mode measures the hot kernels the performance work targets
+// and emits one machine-readable document, suitable for archiving in
+// BENCH_PR*.json records and for the CI benchmark artifact. Kernel
+// setups mirror the corresponding benchmarks in bench_test.go
+// (BenchmarkContainment, BenchmarkMCRGenExponential,
+// BenchmarkNaiveVsMCRGen, BenchmarkUseEmbExistence, BenchmarkEvaluate)
+// so the numbers are directly comparable with `go test -bench`.
+
+// kernelResult is one measured kernel of the -json report.
+type kernelResult struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	GOOS    string         `json:"goos"`
+	GOARCH  string         `json:"goarch"`
+	NumCPU  int            `json:"num_cpu"`
+	Seed    int64          `json:"seed"`
+	Kernels []kernelResult `json:"kernels"`
+}
+
+// measure runs f iters times and reports per-op wall time and heap
+// allocation deltas. A GC before the loop keeps earlier garbage from
+// being attributed to the kernel; ReadMemStats deltas count every
+// allocation inside the loop, matching -benchmem's accounting.
+func measure(name string, iters int, f func()) kernelResult {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	return kernelResult{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+	}
+}
+
+// runJSON measures every kernel and writes the report to stdout.
+func runJSON(ctx context.Context, seed int64) error {
+	report := jsonReport{
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+		Seed:   seed,
+	}
+	add := func(r kernelResult) { report.Kernels = append(report.Kernels, r) }
+
+	// Containment over random size-12 patterns (BenchmarkContainment).
+	{
+		rng := rand.New(rand.NewSource(3))
+		alphabet := []string{"a", "b", "c"}
+		ps := make([]*tpq.Pattern, 64)
+		for i := range ps {
+			ps[i] = workload.RandomPattern(rng, alphabet, 12)
+		}
+		i := 0
+		add(measure("containment", 200000, func() {
+			tpq.Contained(ps[i%len(ps)], ps[(i+1)%len(ps)])
+			i++
+		}))
+	}
+
+	// MCR generation on the exponential Figure 8 family at n=7
+	// (BenchmarkMCRGenExponential/n7).
+	{
+		v := workload.Fig8View()
+		q := workload.Fig8Query(7)
+		add(measure("mcr_fig8_n7", 20, func() {
+			if _, err := rewrite.MCR(q, v, rewrite.Options{MaxEmbeddings: 1 << 22}); err != nil {
+				panic(err)
+			}
+		}))
+	}
+
+	// MCRGen vs the brute-force baseline on random size-6 pairs
+	// (BenchmarkNaiveVsMCRGen).
+	{
+		rng := rand.New(rand.NewSource(7))
+		alphabet := []string{"a", "b", "c"}
+		qs := make([]*tpq.Pattern, 32)
+		vs := make([]*tpq.Pattern, 32)
+		for i := range qs {
+			qs[i] = workload.RandomPattern(rng, alphabet, 6)
+			vs[i] = workload.RandomPattern(rng, alphabet, 6)
+		}
+		i := 0
+		add(measure("mcrgen_random6", 50000, func() {
+			if _, err := rewrite.MCR(qs[i%len(qs)], vs[i%len(vs)], rewrite.Options{MaxEmbeddings: 1 << 18}); err != nil {
+				panic(err)
+			}
+			i++
+		}))
+		i = 0
+		add(measure("naive_random6", 50000, func() {
+			if _, err := rewrite.NaiveMCR(ctx, qs[i%len(qs)], vs[i%len(vs)]); err != nil {
+				panic(err)
+			}
+			i++
+		}))
+	}
+
+	// UseEmb answerability on random Q128/V64 pairs
+	// (BenchmarkUseEmbExistence's largest cell).
+	{
+		rng := rand.New(rand.NewSource(1))
+		alphabet := []string{"a", "b", "c", "d"}
+		qs := make([]*tpq.Pattern, 16)
+		vs := make([]*tpq.Pattern, 16)
+		for i := range qs {
+			qs[i] = workload.RandomPattern(rng, alphabet, 128)
+			vs[i] = workload.RandomPattern(rng, alphabet, 64)
+		}
+		i := 0
+		add(measure("useemb_q128_v64", 5000, func() {
+			rewrite.Answerable(qs[i%len(qs)], vs[i%len(vs)])
+			i++
+		}))
+	}
+
+	// Pattern evaluation on a 100-group clinical-trials document
+	// (BenchmarkEvaluate/groups100).
+	{
+		q := tpq.MustParse("//Trials[//Status]//Trial/Patient")
+		d, err := workload.ClinicalTrialsDoc(ctx, rand.New(rand.NewSource(1)), 100, 10, 0.1)
+		if err != nil {
+			return err
+		}
+		add(measure("evaluate_groups100", 2000, func() { q.Evaluate(d) }))
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -17,6 +17,8 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"syscall"
@@ -37,10 +39,50 @@ import (
 func main() {
 	expFlag := flag.String("exp", "all", "experiments to run: useemb,mcrsize,inference,chase,schemamcr,savings,overhead,naive,recursive,engines,cache,select or all")
 	seed := flag.Int64("seed", 1, "random seed")
+	jsonFlag := flag.Bool("json", false, "measure the hot kernels and emit one JSON report instead of the experiment tables")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qavbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "qavbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qavbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "qavbench: %v\n", err)
+			}
+		}()
+	}
+
+	if *jsonFlag {
+		if err := runJSON(ctx, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "qavbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	eng := engine.New(engine.Config{})
 
 	all := map[string]func(context.Context, *engine.Engine, int64){
@@ -325,12 +367,12 @@ func expRecursive(ctx context.Context, eng *engine.Engine, seed int64) {
 		q := workload.Fig15Query(k)
 		v := tpq.MustParse("//a//b")
 		start := time.Now()
-		res, err := eng.Rewrite(ctx, engine.Request{Query: q, View: v, Schema: g, Recursive: true, MaxEmbeddings: 1 << 20, NoCache: true})
+		res, err := eng.Rewrite(ctx, engine.Request{Query: q, View: v, Schema: g, Recursive: true, MaxEmbeddings: rewrite.DefaultMaxEmbeddings, NoCache: true})
 		if err != nil {
 			fmt.Fprintf(w, "%d\tERROR %v\n", k, err)
 			continue
 		}
-		plain, err := eng.Rewrite(ctx, engine.Request{Query: q, View: v, MaxEmbeddings: 1 << 20, NoCache: true})
+		plain, err := eng.Rewrite(ctx, engine.Request{Query: q, View: v, MaxEmbeddings: rewrite.DefaultMaxEmbeddings, NoCache: true})
 		if err != nil {
 			fmt.Fprintf(w, "%d\tERROR %v\n", k, err)
 			continue
@@ -422,13 +464,13 @@ func expCache(ctx context.Context, eng *engine.Engine, seed int64) {
 	for _, n := range []int{4, 6, 8} {
 		q := workload.Fig8Query(n)
 		tCold := timeIt(5, func() {
-			if _, err := eng.Rewrite(ctx, engine.Request{Query: q, View: v, MaxEmbeddings: 1 << 20, NoCache: true}); err != nil {
+			if _, err := eng.Rewrite(ctx, engine.Request{Query: q, View: v, MaxEmbeddings: rewrite.DefaultMaxEmbeddings, NoCache: true}); err != nil {
 				panic(err)
 			}
 		})
 		// Warm a private engine, then time hits.
 		warm := engine.New(engine.Config{})
-		req := engine.Request{Query: q, View: v, MaxEmbeddings: 1 << 20}
+		req := engine.Request{Query: q, View: v, MaxEmbeddings: rewrite.DefaultMaxEmbeddings}
 		if _, err := warm.Rewrite(ctx, req); err != nil {
 			panic(err)
 		}

@@ -62,7 +62,7 @@ type Config struct {
 	// 1024.
 	CacheSize int
 	// MaxEmbeddings is the default enumeration budget per request;
-	// <= 0 defers to the rewrite package's default (1 << 20).
+	// <= 0 defers to rewrite.DefaultMaxEmbeddings.
 	MaxEmbeddings int
 	// Timeout, when positive, imposes a per-call deadline on requests
 	// whose context does not already carry one.

@@ -15,6 +15,20 @@ type ContainedRewriting struct {
 	Compensation *tpq.Pattern
 	// Embedding is the useful embedding the CR was induced by.
 	Embedding *Embedding
+
+	// dVc is the clone of the view output inside Rewriting, kept so the
+	// compensation can be extracted lazily (see ensureCompensation).
+	dVc *tpq.Node
+}
+
+// ensureCompensation fills Compensation for a CR built by
+// buildUnchecked. CR producers call it once a candidate has passed the
+// containment filter, so rejected candidates never pay for the
+// extraction; every CR that reaches a Result carries its compensation.
+func (cr *ContainedRewriting) ensureCompensation() {
+	if cr.Compensation == nil && cr.dVc != nil {
+		cr.Compensation = extractCompensation(cr.Rewriting, cr.dVc)
+	}
 }
 
 // BuildCR materializes the contained rewriting induced by a useful
@@ -32,27 +46,21 @@ func BuildCR(f *Embedding, base *tpq.Pattern) (*ContainedRewriting, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
-	return buildUnchecked(f, base)
-}
-
-// recordClones records the node correspondence of CloneSubtree into m.
-func recordClones(orig, clone *tpq.Node, m map[*tpq.Node]*tpq.Node) {
-	m[orig] = clone
-	for i := range orig.Children {
-		recordClones(orig.Children[i], clone.Children[i], m)
+	cr, err := buildUnchecked(f, base)
+	if err != nil {
+		return nil, err
 	}
+	cr.ensureCompensation()
+	return cr, nil
 }
 
 // extractCompensation copies the subtree of R rooted at the dV clone
 // into a standalone pattern E. R's output is inside that subtree by
-// construction.
+// construction. The copy is indexed on construction — compensations are
+// shared read-only with answer evaluation — and its root axis is '//'
+// because the compensation root is a context node.
 func extractCompensation(r *tpq.Pattern, dVc *tpq.Node) *tpq.Pattern {
-	m := make(map[*tpq.Node]*tpq.Node)
-	cp := tpq.CloneSubtree(dVc)
-	recordClones(dVc, cp, m)
-	cp.SetAxis(tpq.Descendant) // the compensation root is a context node
-	e := &tpq.Pattern{Root: cp, Output: m[r.Output]}
-	return e
+	return tpq.SubtreePattern(dVc, tpq.Descendant, r.Output)
 }
 
 // VerifyContained reports whether the CR's rewriting is contained in

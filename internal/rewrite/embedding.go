@@ -21,6 +21,7 @@ package rewrite
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"qav/internal/tpq"
@@ -46,7 +47,7 @@ func (e *Embedding) Empty() bool { return len(e.M) == 0 }
 // child (the paper's terminal nodes), in preorder.
 func (e *Embedding) Terminals() []*tpq.Node {
 	var out []*tpq.Node
-	for _, x := range e.Q.Nodes() {
+	for _, x := range e.Q.PreorderNodes() {
 		if !e.Defined(x) {
 			continue
 		}
@@ -61,29 +62,30 @@ func (e *Embedding) Terminals() []*tpq.Node {
 }
 
 // Signature returns a canonical string identifying the embedding's
-// mapping, used to deduplicate enumerations.
+// mapping, used to deduplicate enumerations. View images are identified
+// by their O(1) preorder positions (interval labels), so no index map
+// is built.
 func (e *Embedding) Signature() string {
-	qn := e.Q.Nodes()
-	vi := make(map[*tpq.Node]int)
-	for i, n := range e.V.Nodes() {
-		vi[n] = i
-	}
-	parts := make([]string, len(qn))
+	qn := e.Q.PreorderNodes()
+	sig := make([]byte, 0, 4*len(qn))
 	for i, x := range qn {
+		if i > 0 {
+			sig = append(sig, ',')
+		}
 		if img, ok := e.M[x]; ok {
-			parts[i] = fmt.Sprint(vi[img])
+			sig = strconv.AppendInt(sig, int64(e.V.Preorder(img)), 10)
 		} else {
-			parts[i] = "_"
+			sig = append(sig, '_')
 		}
 	}
-	return strings.Join(parts, ",")
+	return string(sig)
 }
 
 // String renders the embedding as query-node paths mapped to view-node
 // paths.
 func (e *Embedding) String() string {
 	var parts []string
-	for _, x := range e.Q.Nodes() {
+	for _, x := range e.Q.PreorderNodes() {
 		if img, ok := e.M[x]; ok {
 			parts = append(parts, nodePath(x)+"->"+nodePath(img))
 		}
@@ -117,9 +119,8 @@ func (e *Embedding) Validate() error {
 		}
 		return nil
 	}
-	pv := pathSet(e.V)
 	dV := e.V.Output
-	for _, x := range e.Q.Nodes() {
+	for _, x := range e.Q.PreorderNodes() {
 		img, ok := e.M[x]
 		if !ok {
 			continue
@@ -155,7 +156,7 @@ func (e *Embedding) Validate() error {
 		if x == e.Q.Output && img != dV {
 			return fmt.Errorf("rewrite: query output mapped to %s, not the view output", nodePath(img))
 		}
-		if e.Q.OnDistinguishedPath(x) && !pv[img] {
+		if e.Q.OnDistinguishedPath(x) && !e.V.OnDistinguishedPath(img) {
 			return fmt.Errorf("rewrite: distinguished-path node %s mapped off the view's distinguished path", nodePath(x))
 		}
 	}
@@ -172,20 +173,11 @@ func (e *Embedding) Validate() error {
 					return fmt.Errorf("rewrite: pc-child %s cut below %s which is not the view output", nodePath(y), nodePath(x))
 				}
 			case tpq.Descendant:
-				if !pv[img] {
+				if !e.V.OnDistinguishedPath(img) {
 					return fmt.Errorf("rewrite: ad-child %s cut below %s which is off the distinguished path", nodePath(y), nodePath(x))
 				}
 			}
 		}
 	}
 	return nil
-}
-
-// pathSet returns the set of nodes on the pattern's distinguished path.
-func pathSet(p *tpq.Pattern) map[*tpq.Node]bool {
-	out := make(map[*tpq.Node]bool)
-	for _, n := range p.DistinguishedPath() {
-		out[n] = true
-	}
-	return out
 }

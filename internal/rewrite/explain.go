@@ -21,7 +21,7 @@ func (l *Labeling) Dump() string {
 		fmt.Fprintf(&b, "%-24s ->", strings.Repeat("  ", depth(x))+x.Axis.String()+x.Tag)
 		any := false
 		for j, img := range l.vn {
-			if l.ok[i][j] {
+			if l.okAt(i, j) {
 				fmt.Fprintf(&b, " %s", nodePath(img))
 				any = true
 			}

@@ -24,12 +24,18 @@ func Answerable(q, v *tpq.Pattern) bool {
 	return ComputeLabels(q, v, nil).Exists()
 }
 
+// DefaultMaxEmbeddings is the embedding-enumeration budget applied when
+// Options.MaxEmbeddings is zero. The MCR can be a union of exponentially
+// many tree patterns (§3.2, Example 1), so every entry point bounds the
+// enumeration; this is the shared generous default.
+const DefaultMaxEmbeddings = 1 << 20
+
 // Options bounds MCR generation. The MCR can be a union of
 // exponentially many tree patterns (§3.2, Example 1), so generation is
 // explicitly budgeted.
 type Options struct {
 	// MaxEmbeddings bounds the number of useful embeddings enumerated;
-	// 0 means a generous default (1 << 20).
+	// 0 means DefaultMaxEmbeddings.
 	MaxEmbeddings int
 	// Context carries cancellation and deadlines into the exponential
 	// hot loops (embedding enumeration, CR construction, redundancy
@@ -63,30 +69,59 @@ type Result struct {
 // schema (Algorithm MCRGen, Fig 10). It returns an empty-union result
 // when q is not answerable using v. Every returned CR is verified
 // contained in q by homomorphism.
+//
+// Internally the Enumerate → BuildCR → verify chain runs as a streaming
+// pipeline (generateCRs): embeddings are consumed as the enumeration
+// produces them, so the embedding set is never fully materialized and,
+// on large enumerations, CR construction overlaps enumeration across a
+// bounded worker pool. Results are identical to the serial order.
 func MCR(q, v *tpq.Pattern, opts Options) (*Result, error) {
 	if q.HasWildcard() || v.HasWildcard() {
 		return nil, fmt.Errorf("rewrite: wildcard patterns are outside XP{/,//,[]}; the MCR algorithms do not support them")
 	}
 	limit := opts.MaxEmbeddings
 	if limit <= 0 {
-		limit = 1 << 20
+		limit = DefaultMaxEmbeddings
 	}
 	ctx := opts.ctx()
 	labels := ComputeLabels(q, v, nil)
 	if !labels.Exists() {
 		return &Result{Union: &tpq.Union{}}, nil
 	}
-	embeddings, err := labels.Enumerate(ctx, limit)
+	crs, considered, err := generateCRs(ctx, labels, q, v, limit)
 	if err != nil {
 		return nil, err
 	}
-	crs := make([]*ContainedRewriting, 0, len(embeddings))
-	for i, f := range embeddings {
-		if i&255 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
+	return assembleResult(ctx, crs, considered)
+}
+
+// crPipelineBatch is the streaming pipeline's serial threshold: an
+// enumeration that finishes within this many embeddings is processed
+// inline (no goroutines, no channels); anything larger spills into the
+// bounded worker pool.
+const crPipelineBatch = 16
+
+// seqEmb tags an embedding with its enumeration sequence number so the
+// pipeline can restore deterministic order.
+type seqEmb struct {
+	seq int
+	f   *Embedding
+}
+
+type seqCR struct {
+	seq int
+	cr  *ContainedRewriting
+}
+
+// generateCRs fuses embedding enumeration with CR construction and
+// containment verification. The first crPipelineBatch embeddings are
+// buffered: a short stream is then handled serially, while a longer one
+// starts GOMAXPROCS workers that build and verify CRs concurrently with
+// the ongoing enumeration, over a bounded channel. Output order (and
+// thus every downstream result, including which embedding represents a
+// structurally duplicated CR) matches the serial enumeration order.
+func generateCRs(ctx context.Context, labels *Labeling, q, v *tpq.Pattern, limit int) ([]*ContainedRewriting, int, error) {
+	buildVerify := func(f *Embedding) (*ContainedRewriting, error) {
 		cr, err := BuildCR(f, v)
 		if err != nil {
 			return nil, fmt.Errorf("rewrite: embedding %s: %w", f, err)
@@ -96,9 +131,119 @@ func MCR(q, v *tpq.Pattern, opts Options) (*Result, error) {
 			// construction; reaching this indicates a bug upstream.
 			return nil, fmt.Errorf("rewrite: internal error: CR %s not contained in %s (embedding %s)", cr.Rewriting, q, f)
 		}
-		crs = append(crs, cr)
+		return cr, nil
 	}
-	return assembleResult(ctx, crs, len(embeddings))
+
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		head []*Embedding // buffered prefix; stays serial if the stream ends early
+		in   chan seqEmb
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		out  []seqCR
+		werr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if werr == nil {
+			werr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	worker := func() {
+		defer wg.Done()
+		for e := range in {
+			if pctx.Err() != nil {
+				continue // drain after cancellation
+			}
+			cr, err := buildVerify(e.f)
+			if err != nil {
+				fail(err)
+				continue
+			}
+			mu.Lock()
+			out = append(out, seqCR{e.seq, cr})
+			mu.Unlock()
+		}
+	}
+	seq := 0
+	send := func(f *Embedding) error {
+		select {
+		case in <- seqEmb{seq, f}:
+			seq++
+			return nil
+		case <-pctx.Done():
+			return pctx.Err()
+		}
+	}
+	emit := func(f *Embedding) error {
+		if in == nil {
+			head = append(head, f)
+			if len(head) < crPipelineBatch {
+				return nil
+			}
+			// The enumeration is large enough to amortize the pipeline:
+			// start the workers and spill the buffered prefix.
+			workers := runtime.GOMAXPROCS(0)
+			in = make(chan seqEmb, 2*workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go worker()
+			}
+			for _, h := range head {
+				if err := send(h); err != nil {
+					return err
+				}
+			}
+			head = nil
+			return nil
+		}
+		return send(f)
+	}
+
+	streamErr := labels.Stream(ctx, limit, emit)
+
+	if in == nil {
+		// Serial path: the whole enumeration fit in the head buffer.
+		if streamErr != nil {
+			return nil, 0, streamErr
+		}
+		crs := make([]*ContainedRewriting, 0, len(head))
+		for _, f := range head {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+			cr, err := buildVerify(f)
+			if err != nil {
+				return nil, 0, err
+			}
+			crs = append(crs, cr)
+		}
+		return crs, len(head), nil
+	}
+
+	close(in)
+	wg.Wait()
+	mu.Lock()
+	err := werr
+	mu.Unlock()
+	switch {
+	case err != nil:
+		return nil, 0, err
+	case streamErr != nil:
+		return nil, 0, streamErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	crs := make([]*ContainedRewriting, len(out))
+	for i, s := range out {
+		crs[i] = s.cr
+	}
+	return crs, seq, nil
 }
 
 // assembleResult deduplicates CRs structurally, removes redundant ones
@@ -132,6 +277,7 @@ func assembleResult(ctx context.Context, crs []*ContainedRewriting, considered i
 	u := &tpq.Union{}
 	for i, cr := range uniq {
 		if !redundant[i] {
+			cr.ensureCompensation()
 			kept = append(kept, cr)
 			u.Patterns = append(u.Patterns, cr.Rewriting)
 		}
@@ -148,13 +294,30 @@ func assembleResult(ctx context.Context, crs []*ContainedRewriting, considered i
 // checked periodically inside the matching recursion, so a cancelled
 // ctx stops the enumeration promptly.
 func NaiveMCR(ctx context.Context, q, v *tpq.Pattern) (*Result, error) {
-	qn := q.Nodes()
-	vn := v.Nodes()
+	qn := q.PreorderNodes()
+	vn := v.PreorderNodes()
+	// Candidate images per tag, in view preorder: same iteration order
+	// as scanning vn with a tag filter, without the scan.
+	vByTag := make(map[string][]*tpq.Node)
+	for _, img := range vn {
+		vByTag[img.Tag] = append(vByTag[img.Tag], img)
+	}
+	// The partial matching is a slice indexed by query preorder position
+	// (nil = unmapped): assignment, undo and the upward-closure lookup
+	// are plain array stores, no hashing. Only accepted matchings are
+	// converted to an Embedding map.
+	cur := make([]*tpq.Node, len(qn))
+	mapped := 0
+	parentIdx := make([]int, len(qn))
+	for i, x := range qn {
+		parentIdx[i] = q.Preorder(x.Parent) // -1 for the root
+	}
+	outIdx := q.Preorder(q.Output)
+
 	var crs []*ContainedRewriting
 	considered := 0
 	steps := 0
 
-	cur := make(map[*tpq.Node]*tpq.Node)
 	var rec func(i int) error
 	rec = func(i int) error {
 		steps++
@@ -164,15 +327,22 @@ func NaiveMCR(ctx context.Context, q, v *tpq.Pattern) (*Result, error) {
 			}
 		}
 		if i == len(qn) {
-			f := &Embedding{Q: q, V: v, M: copyMap(cur)}
 			// Expressibility: a mapped query output must be the view
-			// output, else E ∘ V cannot return it.
-			if img, ok := f.M[q.Output]; ok && img != v.Output {
+			// output, else E ∘ V cannot return it. Checked before any
+			// allocation so rejected matchings cost nothing.
+			if img := cur[outIdx]; img != nil && img != v.Output {
 				return nil
 			}
-			if f.Empty() && q.Root.Axis != tpq.Descendant {
+			if mapped == 0 && q.Root.Axis != tpq.Descendant {
 				return nil
 			}
+			m := make(map[*tpq.Node]*tpq.Node, mapped)
+			for j, img := range cur {
+				if img != nil {
+					m[qn[j]] = img
+				}
+			}
+			f := &Embedding{Q: q, V: v, M: m}
 			considered++
 			cr, err := buildUnchecked(f, v)
 			if err != nil {
@@ -189,15 +359,12 @@ func NaiveMCR(ctx context.Context, q, v *tpq.Pattern) (*Result, error) {
 			return err
 		}
 		// Option 2: map x to every structurally consistent view node.
-		if x.Parent != nil {
-			pimg, ok := cur[x.Parent]
-			if !ok {
+		if pi := parentIdx[i]; pi >= 0 {
+			pimg := cur[pi]
+			if pimg == nil {
 				return nil // upward closure: parent unmapped
 			}
-			for _, img := range vn {
-				if img.Tag != x.Tag {
-					continue
-				}
+			for _, img := range vByTag[x.Tag] {
 				valid := false
 				switch x.Axis {
 				case tpq.Child:
@@ -208,25 +375,26 @@ func NaiveMCR(ctx context.Context, q, v *tpq.Pattern) (*Result, error) {
 				if !valid {
 					continue
 				}
-				cur[x] = img
+				cur[i] = img
+				mapped++
 				err := rec(i + 1)
-				delete(cur, x)
+				cur[i] = nil
+				mapped--
 				if err != nil {
 					return err
 				}
 			}
 			return nil
 		}
-		for _, img := range vn {
-			if img.Tag != x.Tag {
-				continue
-			}
+		for _, img := range vByTag[x.Tag] {
 			if x.Axis == tpq.Child && (img != v.Root || v.Root.Axis != tpq.Child) {
 				continue
 			}
-			cur[x] = img
+			cur[i] = img
+			mapped++
 			err := rec(i + 1)
-			delete(cur, x)
+			cur[i] = nil
+			mapped--
 			if err != nil {
 				return err
 			}
@@ -322,12 +490,13 @@ func copyMap(m map[*tpq.Node]*tpq.Node) map[*tpq.Node]*tpq.Node {
 // matching without requiring usefulness; the caller filters by
 // containment.
 func buildUnchecked(f *Embedding, base *tpq.Pattern) (*ContainedRewriting, error) {
-	r, baseMap := base.Clone()
-	dVc := baseMap[base.Output]
-	grafts := make(map[*tpq.Node]*tpq.Node)
+	r, dVc := base.CloneTrack(base.Output)
+	var outClone *tpq.Node
 	graft := func(y *tpq.Node) {
-		cp := tpq.CloneSubtree(y)
-		recordClones(y, cp, grafts)
+		cp, oc := tpq.CloneSubtreeTrack(y, f.Q.Output)
+		if oc != nil {
+			outClone = oc
+		}
 		dVc.Attach(y.Axis, cp)
 	}
 	if f.Empty() {
@@ -344,11 +513,16 @@ func buildUnchecked(f *Embedding, base *tpq.Pattern) (*ContainedRewriting, error
 	if f.Defined(f.Q.Output) {
 		r.SetOutput(dVc)
 	} else {
-		out, ok := grafts[f.Q.Output]
-		if !ok {
+		if outClone == nil {
 			return nil, fmt.Errorf("rewrite: query output neither mapped nor grafted")
 		}
-		r.SetOutput(out)
+		r.SetOutput(outClone)
 	}
-	return &ContainedRewriting{Rewriting: r, Compensation: extractCompensation(r, dVc), Embedding: f}, nil
+	// Index the finished rewriting before it escapes: CRs flow into
+	// parallel redundancy elimination, where concurrent readers must
+	// never trigger a lazy relabel.
+	r.Reindex()
+	// The compensation is extracted on demand (ensureCompensation):
+	// candidate CRs rejected by the containment filter never pay for it.
+	return &ContainedRewriting{Rewriting: r, Embedding: f, dVc: dVc}, nil
 }

@@ -156,11 +156,12 @@ func (l *Labeling) greedyMaximal() *Embedding {
 	var assign func(x *tpq.Node) bool
 	assign = func(x *tpq.Node) bool {
 		img := m[x]
+		j := l.vpos(img)
 		for _, y := range x.Children {
-			yi := l.qi[y]
+			yi := l.qpos(y)
 			mapped := false
-			for _, cand := range l.candidates(y, img, l.vi[img]) {
-				if l.ok[yi][l.vi[cand]] {
+			for _, cand := range l.candidates(y, j) {
+				if l.okAt(yi, l.vpos(cand)) {
 					m[y] = cand
 					if assign(y) {
 						mapped = true
@@ -172,7 +173,7 @@ func (l *Labeling) greedyMaximal() *Embedding {
 			if mapped {
 				continue
 			}
-			if !l.cutAllowed(y, img) {
+			if !l.cutAllowed(y, img, j) {
 				return false
 			}
 		}
@@ -200,7 +201,7 @@ func (l *Labeling) greedyMaximal() *Embedding {
 func (sc *SchemaContext) MCRRecursive(q, v *tpq.Pattern, opts Options) (*Result, error) {
 	limit := opts.MaxEmbeddings
 	if limit <= 0 {
-		limit = 1 << 20
+		limit = DefaultMaxEmbeddings
 	}
 	ctx := opts.ctx()
 	if q.HasWildcard() || v.HasWildcard() {

@@ -3,6 +3,7 @@ package rewrite
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"qav/internal/tpq"
 )
@@ -18,67 +19,76 @@ type CutCheck func(y *tpq.Node) bool
 // UseEmb (Fig 6): for every query node the set of admissible view
 // images, taking into account the distinguished-path discipline and the
 // cut conditions. It is a compact encoding of all useful embeddings.
+//
+// Internally everything is addressed by preorder position (the
+// patterns' interval labels, see tpq's index), so the hot loops perform
+// no map lookups and no per-call allocations.
 type Labeling struct {
 	Q, V *tpq.Pattern
 
 	qn, vn []*tpq.Node
-	qi, vi map[*tpq.Node]int
 
-	// ok[i][j]: query node qn[i] can map to view node vn[j] such that
-	// the whole query subtree below qn[i] is handled (mapped or
-	// admissibly cut).
-	ok [][]bool
+	// ok is the flattened label matrix: ok[i*len(vn)+j] reports that
+	// query node qn[i] can map to view node vn[j] such that the whole
+	// query subtree below qn[i] is handled (mapped or admissibly cut).
+	ok []bool
 
-	pv      map[*tpq.Node]bool
-	vDesc   [][]*tpq.Node
+	pv      []bool        // view position lies on the view's distinguished path
+	onPQ    []bool        // query position lies on the query's distinguished path
+	vDesc   [][]*tpq.Node // per view position: proper descendants (shared views)
+	vKidsC  [][]*tpq.Node // per view position: children reached by a pc-edge
 	cut     CutCheck
-	onPQ    map[*tpq.Node]bool
-	canCutQ []bool // cached cut admissibility per query node
+	canCutQ []bool // cached cut admissibility per query position
 }
+
+// qpos and vpos are the O(1) preorder positions of query and view nodes.
+func (l *Labeling) qpos(n *tpq.Node) int { return l.Q.Preorder(n) }
+func (l *Labeling) vpos(n *tpq.Node) int { return l.V.Preorder(n) }
+
+func (l *Labeling) okAt(i, j int) bool { return l.ok[i*len(l.vn)+j] }
 
 // ComputeLabels runs the polynomial labeling pass of Algorithm UseEmb:
 // O(|Q|·|V|²) as stated by Theorem 2. cut may be nil (always allowed).
 func ComputeLabels(q, v *tpq.Pattern, cut CutCheck) *Labeling {
 	l := &Labeling{
 		Q: q, V: v,
-		qn: q.Nodes(), vn: v.Nodes(),
-		qi: make(map[*tpq.Node]int), vi: make(map[*tpq.Node]int),
-		pv:   pathSet(v),
-		onPQ: pathSet(q),
-		cut:  cut,
+		qn: q.PreorderNodes(), vn: v.PreorderNodes(),
+		cut: cut,
+	}
+	nq, nv := len(l.qn), len(l.vn)
+	// All boolean state shares one backing allocation.
+	buf := make([]bool, nq*nv+nv+2*nq)
+	l.ok, buf = buf[:nq*nv], buf[nq*nv:]
+	l.pv, buf = buf[:nv], buf[nv:]
+	l.onPQ, l.canCutQ = buf[:nq], buf[nq:]
+	for j, n := range l.vn {
+		l.pv[j] = v.OnDistinguishedPath(n)
 	}
 	for i, n := range l.qn {
-		l.qi[n] = i
-	}
-	for j, n := range l.vn {
-		l.vi[n] = j
-	}
-	l.vDesc = make([][]*tpq.Node, len(l.vn))
-	var collect func(anc int, n *tpq.Node)
-	collect = func(anc int, n *tpq.Node) {
-		for _, c := range n.Children {
-			l.vDesc[anc] = append(l.vDesc[anc], c)
-			collect(anc, c)
-		}
-	}
-	for j, n := range l.vn {
-		collect(j, n)
-	}
-	l.canCutQ = make([]bool, len(l.qn))
-	for i, n := range l.qn {
+		l.onPQ[i] = q.OnDistinguishedPath(n)
 		l.canCutQ[i] = cut == nil || cut(n)
 	}
-
-	l.ok = make([][]bool, len(l.qn))
-	for i := range l.ok {
-		l.ok[i] = make([]bool, len(l.vn))
+	l.vDesc = make([][]*tpq.Node, nv)
+	l.vKidsC = make([][]*tpq.Node, nv)
+	kidsBuf := make([]*tpq.Node, 0, nv) // one backing array for all pc-child lists
+	for j, n := range l.vn {
+		l.vDesc[j] = v.Descendants(n)
+		start := len(kidsBuf)
+		for _, c := range n.Children {
+			if c.Axis == tpq.Child {
+				kidsBuf = append(kidsBuf, c)
+			}
+		}
+		l.vKidsC[j] = kidsBuf[start:len(kidsBuf):len(kidsBuf)]
 	}
+
 	// Post-order: children of qn[i] have larger preorder indexes, so
 	// iterate in reverse preorder.
-	for i := len(l.qn) - 1; i >= 0; i-- {
+	for i := nq - 1; i >= 0; i-- {
 		x := l.qn[i]
+		row := l.ok[i*nv:]
 		for j, img := range l.vn {
-			l.ok[i][j] = l.feasible(x, img, j)
+			row[j] = l.feasible(x, img, j)
 		}
 	}
 	return l
@@ -94,7 +104,7 @@ func (l *Labeling) feasible(x *tpq.Node, img *tpq.Node, j int) bool {
 		if img != l.V.Output {
 			return false
 		}
-	} else if l.onPQ[x] && !l.pv[img] {
+	} else if l.onPQ[l.qpos(x)] && !l.pv[j] {
 		return false
 	}
 	if x.Parent == nil && x.Axis == tpq.Child {
@@ -104,13 +114,13 @@ func (l *Labeling) feasible(x *tpq.Node, img *tpq.Node, j int) bool {
 		}
 	}
 	for _, y := range x.Children {
-		if l.cutAllowed(y, img) {
+		if l.cutAllowed(y, img, j) {
 			continue
 		}
-		yi := l.qi[y]
+		yi := l.qpos(y)
 		found := false
-		for _, cand := range l.candidates(y, img, j) {
-			if l.ok[yi][l.vi[cand]] {
+		for _, cand := range l.candidates(y, j) {
+			if l.okAt(yi, l.vpos(cand)) {
 				found = true
 				break
 			}
@@ -123,32 +133,27 @@ func (l *Labeling) feasible(x *tpq.Node, img *tpq.Node, j int) bool {
 }
 
 // candidates lists the view nodes y may map to when its parent maps to
-// img.
-func (l *Labeling) candidates(y *tpq.Node, img *tpq.Node, j int) []*tpq.Node {
+// the view node at position j. The returned slice is a shared
+// precomputed view — never modified, never reallocated per call.
+func (l *Labeling) candidates(y *tpq.Node, j int) []*tpq.Node {
 	if y.Axis == tpq.Child {
-		var out []*tpq.Node
-		for _, c := range img.Children {
-			if c.Axis == tpq.Child {
-				out = append(out, c)
-			}
-		}
-		return out
+		return l.vKidsC[j]
 	}
 	return l.vDesc[j]
 }
 
 // cutAllowed reports whether the subtree at y may be left unmapped when
-// y's parent maps to img: ad-edges cut below distinguished-path nodes,
-// pc-edges only below the view output itself (Def 1 (ii)(b)), plus the
-// caller's CutCheck.
-func (l *Labeling) cutAllowed(y *tpq.Node, img *tpq.Node) bool {
-	if !l.canCutQ[l.qi[y]] {
+// y's parent maps to img (at view position j): ad-edges cut below
+// distinguished-path nodes, pc-edges only below the view output itself
+// (Def 1 (ii)(b)), plus the caller's CutCheck.
+func (l *Labeling) cutAllowed(y *tpq.Node, img *tpq.Node, j int) bool {
+	if !l.canCutQ[l.qpos(y)] {
 		return false
 	}
 	if y.Axis == tpq.Child {
 		return img == l.V.Output
 	}
-	return l.pv[img]
+	return l.pv[j]
 }
 
 // emptyAllowed reports whether the empty embedding is useful: the query
@@ -161,7 +166,7 @@ func (l *Labeling) emptyAllowed() bool {
 func (l *Labeling) RootImages() []*tpq.Node {
 	var out []*tpq.Node
 	for j := range l.vn {
-		if l.ok[0][j] {
+		if l.okAt(0, j) {
 			out = append(out, l.vn[j])
 		}
 	}
@@ -178,29 +183,52 @@ func (l *Labeling) Exists() bool {
 	return len(l.RootImages()) > 0
 }
 
-// Enumerate yields every useful embedding encoded by the labeling
-// (including the empty one when admissible), deduplicated. It stops
-// with an error if more than limit embeddings are produced — the MCR
-// can be exponential in |Q| (§3.2), so callers must bound the
-// enumeration explicitly. The context is polled periodically inside
-// the branching recursion, so cancelling it stops an exponential
-// enumeration promptly with ctx's error.
-func (l *Labeling) Enumerate(ctx context.Context, limit int) ([]*Embedding, error) {
-	var out []*Embedding
+// Stream enumerates every useful embedding encoded by the labeling
+// (including the empty one when admissible), deduplicated on the fly,
+// calling emit for each without ever materializing the full set — MCR
+// generation consumes this to overlap CR construction with enumeration.
+// Enumeration stops with an error if more than limit embeddings are
+// produced (counting duplicates) — the MCR can be exponential in |Q|
+// (§3.2), so callers must bound the enumeration explicitly. The context
+// is polled periodically inside the branching recursion, so cancelling
+// it stops an exponential enumeration promptly with ctx's error. An
+// error returned by emit aborts the enumeration and is returned as-is.
+func (l *Labeling) Stream(ctx context.Context, limit int, emit func(*Embedding) error) error {
+	produced := 0
 	steps := 0
-	emit := func(m map[*tpq.Node]*tpq.Node) error {
-		cp := make(map[*tpq.Node]*tpq.Node, len(m))
-		for k, v := range m {
-			cp[k] = v
-		}
-		out = append(out, &Embedding{Q: l.Q, V: l.V, M: cp})
-		if len(out) > limit {
+	seen := make(map[string]bool)
+	sig := make([]byte, 0, 4*len(l.qn))
+	cur := make(map[*tpq.Node]*tpq.Node, len(l.qn))
+
+	// yield hands the current assignment to emit unless its signature
+	// was already seen (different branches can coincide after cuts).
+	yield := func() error {
+		produced++
+		if produced > limit {
 			return fmt.Errorf("rewrite: more than %d useful embeddings", limit)
 		}
-		return nil
+		sig = sig[:0]
+		for i, x := range l.qn {
+			if i > 0 {
+				sig = append(sig, ',')
+			}
+			if img, ok := cur[x]; ok {
+				sig = strconv.AppendInt(sig, int64(l.vpos(img)), 10)
+			} else {
+				sig = append(sig, '_')
+			}
+		}
+		if seen[string(sig)] {
+			return nil
+		}
+		seen[string(sig)] = true
+		cp := make(map[*tpq.Node]*tpq.Node, len(cur))
+		for k, v := range cur {
+			cp[k] = v
+		}
+		return emit(&Embedding{Q: l.Q, V: l.V, M: cp})
 	}
 
-	cur := make(map[*tpq.Node]*tpq.Node)
 	// assign maps the subtree below x given x ∈ cur, then calls next.
 	var assign func(x *tpq.Node, next func() error) error
 	assign = func(x *tpq.Node, next func() error) error {
@@ -211,6 +239,7 @@ func (l *Labeling) Enumerate(ctx context.Context, limit int) ([]*Embedding, erro
 			}
 		}
 		img := cur[x]
+		j := l.vpos(img)
 		// Recursively branch over each child's choices.
 		var perChild func(k int) error
 		perChild = func(k int) error {
@@ -218,14 +247,14 @@ func (l *Labeling) Enumerate(ctx context.Context, limit int) ([]*Embedding, erro
 				return next()
 			}
 			y := x.Children[k]
-			yi := l.qi[y]
-			if l.cutAllowed(y, img) {
+			yi := l.qpos(y)
+			if l.cutAllowed(y, img, j) {
 				if err := perChild(k + 1); err != nil {
 					return err
 				}
 			}
-			for _, cand := range l.candidates(y, img, l.vi[img]) {
-				if !l.ok[yi][l.vi[cand]] {
+			for _, cand := range l.candidates(y, j) {
+				if !l.okAt(yi, l.vpos(cand)) {
 					continue
 				}
 				cur[y] = cand
@@ -241,30 +270,33 @@ func (l *Labeling) Enumerate(ctx context.Context, limit int) ([]*Embedding, erro
 	}
 
 	if l.emptyAllowed() {
-		if err := emit(nil); err != nil {
-			return nil, err
+		if err := yield(); err != nil {
+			return err
 		}
 	}
 	for _, rootImg := range l.RootImages() {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		cur[l.Q.Root] = rootImg
-		err := assign(l.Q.Root, func() error { return emit(cur) })
+		err := assign(l.Q.Root, yield)
 		delete(cur, l.Q.Root)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	// Deduplicate (different branches can coincide after cuts).
-	seen := make(map[string]bool, len(out))
-	uniq := out[:0]
-	for _, e := range out {
-		sig := e.Signature()
-		if !seen[sig] {
-			seen[sig] = true
-			uniq = append(uniq, e)
-		}
+	return nil
+}
+
+// Enumerate collects every useful embedding from Stream into a slice.
+// Prefer Stream in pipelines that can process embeddings incrementally.
+func (l *Labeling) Enumerate(ctx context.Context, limit int) ([]*Embedding, error) {
+	var out []*Embedding
+	if err := l.Stream(ctx, limit, func(e *Embedding) error {
+		out = append(out, e)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	return uniq, nil
+	return out, nil
 }

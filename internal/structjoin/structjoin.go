@@ -49,7 +49,9 @@ func (ix *Index) Evaluate(ctx context.Context, p *tpq.Pattern) ([]*xmltree.Node,
 		return nil, nil
 	}
 	qnodes := p.Nodes()
-	lists := make(map[*tpq.Node][]*xmltree.Node, len(qnodes))
+	// lists[i] holds the candidates of the pattern node at preorder
+	// position i (the pattern's interval labels give O(1) positions).
+	lists := make([][]*xmltree.Node, len(qnodes))
 
 	// Bottom-up: lists[q] = nodes where q's subtree embeds.
 	for i := len(qnodes) - 1; i >= 0; i-- {
@@ -62,16 +64,16 @@ func (ix *Index) Evaluate(ctx context.Context, p *tpq.Pattern) ([]*xmltree.Node,
 			if len(cand) == 0 {
 				break
 			}
-			cand = semiJoin(cand, lists[c], c.Axis)
+			cand = semiJoin(cand, lists[p.Preorder(c)], c.Axis)
 		}
-		lists[q] = cand
+		lists[i] = cand
 	}
 
 	// Root axis.
-	roots := lists[p.Root]
+	roots := lists[0]
 	if p.Root.Axis == tpq.Child {
 		roots = nil
-		for _, n := range lists[p.Root] {
+		for _, n := range lists[0] {
 			if n == ix.doc.Root {
 				roots = append(roots, n)
 			}
@@ -85,7 +87,7 @@ func (ix *Index) Evaluate(ctx context.Context, p *tpq.Pattern) ([]*xmltree.Node,
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		cur = downJoin(cur, lists[q], q.Axis)
+		cur = downJoin(cur, lists[p.Preorder(q)], q.Axis)
 	}
 	return cur, nil
 }

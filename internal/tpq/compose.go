@@ -28,6 +28,7 @@ func Compose(e, v *Pattern) (*Pattern, error) {
 	} else {
 		r.Output = em[e.Output]
 	}
+	r.Reindex()
 	return r, nil
 }
 

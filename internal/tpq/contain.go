@@ -1,6 +1,10 @@
 package tpq
 
-import "qav/internal/xmltree"
+import (
+	"sync"
+
+	"qav/internal/xmltree"
+)
 
 // Contains reports whether q' contains q, i.e. q ⊆ q' (q'(D) ⊇ q(D) on
 // every database D). For XP{/,//,[]} the existence of a homomorphism
@@ -11,17 +15,49 @@ import "qav/internal/xmltree"
 // maps ad-edges to proper ancestor/descendant pairs, maps the output of
 // q' to the output of q, and respects the root axes via the implicit
 // virtual document root.
+//
+// Before searching for the homomorphism, Contained applies cheap
+// necessary conditions that reject most non-containments outright:
+//
+//   - tag-set subsumption: every concrete tag of q' must occur in q (a
+//     set test, not a multiset one — homomorphisms may map many q'
+//     nodes onto one q node);
+//   - height: any root-to-leaf path of q' maps onto a strictly
+//     descending path of q, so height(q') ≤ height(q);
+//   - output depth: the root-to-output path of q' maps onto a
+//     descending path ending at q's output, so outDepth(q') ≤
+//     outDepth(q).
+//
+// The homomorphism search itself runs on the preorder interval index
+// (index.go): node positions come from the labels, descendant lists are
+// contiguous windows of the preorder node list, and the memo table is
+// recycled through a sync.Pool.
 func Contained(q, qPrime *Pattern) bool {
-	h := &homChecker{
-		src: qPrime.Nodes(),
-		dst: q.Nodes(),
+	src, dst := qPrime.index(), q.index()
+	if src.height > dst.height {
+		return false
 	}
-	h.init(qPrime, q)
+	if src.outDepth >= 0 && dst.outDepth >= 0 && src.outDepth > dst.outDepth {
+		return false
+	}
+	for tag := range src.tags {
+		if tag != Wildcard && dst.tags[tag] == 0 {
+			return false
+		}
+	}
 	root := qPrime.Root
 	if root.Axis == Child {
 		// The virtual root's pc-edge forces q' root onto q's root, and
 		// q's root must itself be the document root.
-		return q.Root.Axis == Child && h.hom(root, q.Root)
+		if q.Root.Axis != Child || !homTagMatches(root.Tag, q.Root.Tag) {
+			return false
+		}
+	}
+	h := homPool.Get().(*homChecker)
+	h.init(src, dst, qPrime.Output, q.Output)
+	defer h.release()
+	if root.Axis == Child {
+		return h.hom(root, q.Root)
 	}
 	for _, x := range h.dst {
 		if h.hom(root, x) {
@@ -41,51 +77,50 @@ func ProperlyContained(q, qPrime *Pattern) bool {
 	return Contained(q, qPrime) && !Contained(qPrime, q)
 }
 
+// homPool recycles homomorphism checkers (and their memo tables) across
+// Contained calls; containment is invoked O(n²) times per redundancy-
+// elimination pass, from many goroutines.
+var homPool = sync.Pool{New: func() any { return new(homChecker) }}
+
+// homChecker decides homomorphism existence from src (q') to dst (q).
+// Both node slices are the patterns' preorder lists, so a node's
+// position is its interval label and the proper descendants of dst[i]
+// are the contiguous window dst[i+1:end(i)+1].
 type homChecker struct {
-	src, dst   []*Node
-	srcIdx     map[*Node]int
-	dstIdx     map[*Node]int
-	srcOut     *Node
-	dstOut     *Node
-	memo       []int8 // 0 unknown, 1 yes, -1 no; indexed src*|dst|+dst
-	descendant [][]*Node
+	src, dst []*Node
+	srcOut   *Node
+	dstOut   *Node
+	memo     []int8 // 0 unknown, 1 yes, -1 no; indexed src*|dst|+dst
 }
 
-func (h *homChecker) init(qPrime, q *Pattern) {
-	h.srcIdx = make(map[*Node]int, len(h.src))
-	for i, n := range h.src {
-		h.srcIdx[n] = i
+func (h *homChecker) init(src, dst *patternInfo, srcOut, dstOut *Node) {
+	h.src, h.dst = src.nodes, dst.nodes
+	h.srcOut, h.dstOut = srcOut, dstOut
+	need := len(h.src) * len(h.dst)
+	if cap(h.memo) < need {
+		h.memo = make([]int8, need)
+	} else {
+		h.memo = h.memo[:need]
+		clear(h.memo)
 	}
-	h.dstIdx = make(map[*Node]int, len(h.dst))
-	for i, n := range h.dst {
-		h.dstIdx[n] = i
-	}
-	h.srcOut = qPrime.Output
-	h.dstOut = q.Output
-	h.memo = make([]int8, len(h.src)*len(h.dst))
-	// Precompute proper-descendant lists in q.
-	h.descendant = make([][]*Node, len(h.dst))
-	var collect func(anc int, n *Node)
-	collect = func(anc int, n *Node) {
-		for _, c := range n.Children {
-			h.descendant[anc] = append(h.descendant[anc], c)
-			collect(anc, c)
-		}
-	}
-	for i, n := range h.dst {
-		collect(i, n)
-	}
+}
+
+// release returns the checker to the pool, dropping node references so
+// pooled checkers never pin pattern trees.
+func (h *homChecker) release() {
+	h.src, h.dst = nil, nil
+	h.srcOut, h.dstOut = nil, nil
+	homPool.Put(h)
 }
 
 // hom reports whether the subtree of q' rooted at x can map to q with
 // h(x) = y.
 func (h *homChecker) hom(x, y *Node) bool {
-	xi, yi := h.srcIdx[x], h.dstIdx[y]
-	k := xi*len(h.dst) + yi
+	k := int(x.pre)*len(h.dst) + int(y.pre)
 	if v := h.memo[k]; v != 0 {
 		return v == 1
 	}
-	ok := h.homCompute(x, y, yi)
+	ok := h.homCompute(x, y)
 	if ok {
 		h.memo[k] = 1
 	} else {
@@ -94,7 +129,7 @@ func (h *homChecker) hom(x, y *Node) bool {
 	return ok
 }
 
-func (h *homChecker) homCompute(x, y *Node, yi int) bool {
+func (h *homChecker) homCompute(x, y *Node) bool {
 	if !homTagMatches(x.Tag, y.Tag) {
 		return false
 	}
@@ -113,7 +148,7 @@ func (h *homChecker) homCompute(x, y *Node, yi int) bool {
 				}
 			}
 		case Descendant:
-			for _, cy := range h.descendant[yi] {
+			for _, cy := range descendantsIn(h.dst, int(y.pre)) {
 				if h.hom(cx, cy) {
 					found = true
 					break

@@ -1,0 +1,117 @@
+package tpq
+
+// This file retains the pre-optimization containment checker verbatim
+// as a reference implementation. It exists solely so the differential
+// tests (contain_diff_test.go) can assert that the pooled, prefiltered,
+// interval-based fast path in contain.go returns identical verdicts on
+// randomized inputs. It must stay semantically frozen; performance work
+// goes into contain.go.
+
+// containedReference is the original Contained: map-indexed memo table
+// and explicitly materialized descendant lists, no pre-filters, no
+// pooling.
+func containedReference(q, qPrime *Pattern) bool {
+	h := &homCheckerRef{
+		src: qPrime.Nodes(),
+		dst: q.Nodes(),
+	}
+	h.init(qPrime, q)
+	root := qPrime.Root
+	if root.Axis == Child {
+		// The virtual root's pc-edge forces q' root onto q's root, and
+		// q's root must itself be the document root.
+		return q.Root.Axis == Child && h.hom(root, q.Root)
+	}
+	for _, x := range h.dst {
+		if h.hom(root, x) {
+			return true
+		}
+	}
+	return false
+}
+
+type homCheckerRef struct {
+	src, dst   []*Node
+	srcIdx     map[*Node]int
+	dstIdx     map[*Node]int
+	srcOut     *Node
+	dstOut     *Node
+	memo       []int8 // 0 unknown, 1 yes, -1 no; indexed src*|dst|+dst
+	descendant [][]*Node
+}
+
+func (h *homCheckerRef) init(qPrime, q *Pattern) {
+	h.srcIdx = make(map[*Node]int, len(h.src))
+	for i, n := range h.src {
+		h.srcIdx[n] = i
+	}
+	h.dstIdx = make(map[*Node]int, len(h.dst))
+	for i, n := range h.dst {
+		h.dstIdx[n] = i
+	}
+	h.srcOut = qPrime.Output
+	h.dstOut = q.Output
+	h.memo = make([]int8, len(h.src)*len(h.dst))
+	// Precompute proper-descendant lists in q.
+	h.descendant = make([][]*Node, len(h.dst))
+	var collect func(anc int, n *Node)
+	collect = func(anc int, n *Node) {
+		for _, c := range n.Children {
+			h.descendant[anc] = append(h.descendant[anc], c)
+			collect(anc, c)
+		}
+	}
+	for i, n := range h.dst {
+		collect(i, n)
+	}
+}
+
+// hom reports whether the subtree of q' rooted at x can map to q with
+// h(x) = y.
+func (h *homCheckerRef) hom(x, y *Node) bool {
+	xi, yi := h.srcIdx[x], h.dstIdx[y]
+	k := xi*len(h.dst) + yi
+	if v := h.memo[k]; v != 0 {
+		return v == 1
+	}
+	ok := h.homCompute(x, y, yi)
+	if ok {
+		h.memo[k] = 1
+	} else {
+		h.memo[k] = -1
+	}
+	return ok
+}
+
+func (h *homCheckerRef) homCompute(x, y *Node, yi int) bool {
+	if !homTagMatches(x.Tag, y.Tag) {
+		return false
+	}
+	// The output of q' must land exactly on the output of q.
+	if x == h.srcOut && y != h.dstOut {
+		return false
+	}
+	for _, cx := range x.Children {
+		found := false
+		switch cx.Axis {
+		case Child:
+			for _, cy := range y.Children {
+				if cy.Axis == Child && h.hom(cx, cy) {
+					found = true
+					break
+				}
+			}
+		case Descendant:
+			for _, cy := range h.descendant[yi] {
+				if h.hom(cx, cy) {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

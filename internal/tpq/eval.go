@@ -15,24 +15,23 @@ func (p *Pattern) Evaluate(d *xmltree.Document) []*xmltree.Node {
 	if p.Root == nil || d.Root == nil {
 		return nil
 	}
-	e := &evaluator{doc: d}
-	e.index(p)
+	qnodes := p.index().nodes
 
 	// Bottom-up: sat[qi][di] == true iff the pattern subtree rooted at
 	// node qi embeds at document node di.
-	nQ, nD := len(e.qnodes), d.Size()
+	nQ, nD := len(qnodes), d.Size()
 	sat := make([][]bool, nQ)
 	buf := make([]bool, nQ*nD)
 	for i := range sat {
 		sat[i], buf = buf[:nD], buf[nD:]
 	}
 	for qi := nQ - 1; qi >= 0; qi-- {
-		q := e.qnodes[qi]
+		q := qnodes[qi]
 		for di, dn := range d.Nodes {
 			sat[qi][di] = tagMatches(q.Tag, dn.Tag)
 		}
 		for _, c := range q.Children {
-			ci := e.qindex[c]
+			ci := int(c.pre)
 			switch c.Axis {
 			case Child:
 				for di, dn := range d.Nodes {
@@ -62,7 +61,7 @@ func (p *Pattern) Evaluate(d *xmltree.Document) []*xmltree.Node {
 	// path node can be the image of di in some complete matching.
 	path := p.DistinguishedPath()
 	reach := make([]bool, nD)
-	rootIdx := e.qindex[p.Root]
+	rootIdx := int(p.Root.pre)
 	if p.Root.Axis == Child {
 		reach[d.Root.Index] = sat[rootIdx][d.Root.Index]
 	} else {
@@ -71,7 +70,7 @@ func (p *Pattern) Evaluate(d *xmltree.Document) []*xmltree.Node {
 		}
 	}
 	for _, q := range path[1:] {
-		qi := e.qindex[q]
+		qi := int(q.pre)
 		next := make([]bool, nD)
 		switch q.Axis {
 		case Child:
@@ -146,36 +145,22 @@ func underReachable(d *xmltree.Document, reach []bool) []bool {
 	return out
 }
 
-type evaluator struct {
-	doc    *xmltree.Document
-	qnodes []*Node
-	qindex map[*Node]int
-}
-
-func (e *evaluator) index(p *Pattern) {
-	e.qnodes = p.Nodes()
-	e.qindex = make(map[*Node]int, len(e.qnodes))
-	for i, n := range e.qnodes {
-		e.qindex[n] = i
-	}
-}
-
 // Prepared is a pattern compiled for repeated EvaluateAt calls: the
 // node indexing is done once, so evaluating a compensation query over
 // thousands of materialized view nodes pays only per-subtree work.
+// Positions come from the pattern's preorder interval labels
+// (index.go), so no per-node map is needed.
 type Prepared struct {
 	p      *Pattern
 	qnodes []*Node
-	qindex map[*Node]int
 	path   []*Node
 }
 
 // Prepare compiles the pattern for repeated evaluation.
 func (p *Pattern) Prepare() *Prepared {
-	pp := &Prepared{p: p, qnodes: p.Nodes(), path: p.DistinguishedPath()}
-	pp.qindex = make(map[*Node]int, len(pp.qnodes))
-	for i, n := range pp.qnodes {
-		pp.qindex[n] = i
+	pp := &Prepared{p: p, path: p.DistinguishedPath()}
+	if pi := p.index(); pi != nil {
+		pp.qnodes = pi.nodes
 	}
 	return pp
 }
@@ -197,7 +182,7 @@ func (pp *Prepared) EvaluateAt(d *xmltree.Document, ctx *xmltree.Node) []*xmltre
 	if p.Root == nil || ctx == nil || !tagMatches(p.Root.Tag, ctx.Tag) {
 		return nil
 	}
-	window := ctx.Subtree() // contiguous preorder slice of the subtree
+	window := d.Window(ctx) // contiguous preorder view of the subtree
 	base := ctx.Index
 	nQ, nD := len(pp.qnodes), len(window)
 	sat := make([][]bool, nQ)
@@ -211,7 +196,7 @@ func (pp *Prepared) EvaluateAt(d *xmltree.Document, ctx *xmltree.Node) []*xmltre
 			sat[qi][wi] = tagMatches(q.Tag, dn.Tag)
 		}
 		for _, c := range q.Children {
-			ci := pp.qindex[c]
+			ci := int(c.pre)
 			switch c.Axis {
 			case Child:
 				for wi, dn := range window {
@@ -235,14 +220,14 @@ func (pp *Prepared) EvaluateAt(d *xmltree.Document, ctx *xmltree.Node) []*xmltre
 			}
 		}
 	}
-	rootIdx := pp.qindex[p.Root]
+	rootIdx := int(p.Root.pre)
 	if !sat[rootIdx][0] {
 		return nil
 	}
 	reach := make([]bool, nD)
 	reach[0] = true
 	for _, q := range pp.path[1:] {
-		qi := pp.qindex[q]
+		qi := int(q.pre)
 		next := make([]bool, nD)
 		switch q.Axis {
 		case Child:

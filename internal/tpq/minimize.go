@@ -64,4 +64,5 @@ func detach(x *Node) {
 		}
 	}
 	x.Parent = nil
+	parent.invalidate()
 }

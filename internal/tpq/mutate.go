@@ -10,13 +10,26 @@ package tpq
 // operations, which keep the Parent/Children/Output invariants that
 // Validate checks.
 
+// Every operation here additionally invalidates the tree's interval
+// labels and cached derived forms (see index.go) in O(1), so stale
+// labels are never consulted; the next indexed read re-labels.
+
 // SetOutput marks n as the pattern's distinguished node. n must belong
 // to the tree rooted at p.Root (Validate reports a violation).
-func (p *Pattern) SetOutput(n *Node) { p.Output = n }
+func (p *Pattern) SetOutput(n *Node) {
+	p.Output = n
+	if p.Root != nil {
+		// The canonical form and output-derived metadata changed.
+		p.Root.invalidate()
+	}
+}
 
 // SetAxis changes the axis connecting n to its parent (or, for the
 // root, to the virtual document root).
-func (n *Node) SetAxis(a Axis) { n.Axis = a }
+func (n *Node) SetAxis(a Axis) {
+	n.Axis = a
+	n.invalidate()
+}
 
 // RemoveChildAt detaches and returns the i-th child of n. The returned
 // subtree is self-contained: its root has no parent.
@@ -24,6 +37,7 @@ func (n *Node) RemoveChildAt(i int) *Node {
 	c := n.Children[i]
 	n.Children = append(n.Children[:i], n.Children[i+1:]...)
 	c.Parent = nil
+	n.invalidate()
 	return c
 }
 
@@ -37,6 +51,8 @@ func (n *Node) AdoptChildren(donor *Node) {
 		n.Children = append(n.Children, c)
 	}
 	donor.Children = nil
+	n.invalidate()
+	donor.invalidate()
 }
 
 // SpliceAbove inserts a fresh node with the given axis and tag between
@@ -49,5 +65,6 @@ func (n *Node) SpliceAbove(i int, axis Axis, tag string) *Node {
 	n.Children[i] = mid
 	ch.Parent = mid
 	mid.Children = append(mid.Children, ch)
+	n.invalidate()
 	return mid
 }

@@ -121,6 +121,7 @@ func (p *parser) pattern() (*Pattern, error) {
 		}
 	}
 	pat.Output = cur
+	pat.Reindex()
 	return pat, nil
 }
 

@@ -43,12 +43,22 @@ type Node struct {
 	Parent *Node
 	// Children of the node; order is not semantically significant.
 	Children []*Node
+
+	// pre and end are the node's preorder interval labels: pre is the
+	// preorder position within the tree, end the largest position inside
+	// the subtree, so "n is a proper ancestor of m" is the O(1) test
+	// n.pre < m.pre && m.pre <= n.end. Valid only while stamp is fresh
+	// (see index.go); maintained by Reindex and invalidated by the
+	// structured mutation API.
+	pre, end int32
+	stamp    *treeStamp
 }
 
 // AddChild appends a new child connected by the given axis and returns it.
 func (n *Node) AddChild(axis Axis, tag string) *Node {
 	c := &Node{Tag: tag, Axis: axis, Parent: n}
 	n.Children = append(n.Children, c)
+	n.invalidate()
 	return c
 }
 
@@ -57,10 +67,24 @@ func (n *Node) Attach(axis Axis, sub *Node) {
 	sub.Axis = axis
 	sub.Parent = n
 	n.Children = append(n.Children, sub)
+	n.invalidate()
+	sub.invalidate()
 }
 
-// IsAncestorOf reports whether n is a proper ancestor of m in the pattern.
+// IsAncestorOf reports whether n is a proper ancestor of m in the
+// pattern. On an indexed pattern (see Reindex) this is an O(1) interval
+// comparison; otherwise it falls back to walking m's parent chain.
 func (n *Node) IsAncestorOf(m *Node) bool {
+	if s := n.stamp; s != nil && s == m.stamp && s.valid {
+		return n.pre < m.pre && m.pre <= n.end
+	}
+	return isAncestorOfWalk(n, m)
+}
+
+// isAncestorOfWalk is the reference parent-chain implementation of
+// IsAncestorOf; the differential tests check the interval fast path
+// against it.
+func isAncestorOfWalk(n, m *Node) bool {
 	for x := m.Parent; x != nil; x = x.Parent {
 		if x == n {
 			return true
@@ -76,6 +100,12 @@ type Pattern struct {
 	// Output is the distinguished node (marked '*' in the paper's
 	// figures). It must be a node of the tree rooted at Root.
 	Output *Node
+
+	// info and canon cache derived read-only metadata per indexing pass
+	// (see index.go). Zero values are valid; both are keyed by the
+	// tree's stamp, so stale entries are ignored rather than consulted.
+	info  infoCache
+	canon canonCache
 }
 
 // New builds a pattern from a root node; the root is the output unless
@@ -85,24 +115,26 @@ func New(rootAxis Axis, rootTag string) *Pattern {
 	return &Pattern{Root: r, Output: r}
 }
 
-// Nodes returns all pattern nodes in preorder.
+// Nodes returns all pattern nodes in preorder. The returned slice is a
+// fresh copy the caller may modify.
 func (p *Pattern) Nodes() []*Node {
-	var out []*Node
-	var walk func(*Node)
-	walk = func(n *Node) {
-		out = append(out, n)
-		for _, c := range n.Children {
-			walk(c)
-		}
+	pi := p.index()
+	if pi == nil {
+		return nil
 	}
-	if p.Root != nil {
-		walk(p.Root)
-	}
+	out := make([]*Node, len(pi.nodes))
+	copy(out, pi.nodes)
 	return out
 }
 
 // Size is the number of pattern nodes (|Q| in the paper).
-func (p *Pattern) Size() int { return len(p.Nodes()) }
+func (p *Pattern) Size() int {
+	pi := p.index()
+	if pi == nil {
+		return 0
+	}
+	return len(pi.nodes)
+}
 
 // DistinguishedPath returns the nodes on the path from the root to the
 // output node, inclusive (P_Q in the paper).
@@ -118,11 +150,14 @@ func (p *Pattern) DistinguishedPath() []*Node {
 }
 
 // OnDistinguishedPath reports whether n lies on the root-to-output path.
+// O(1) on an indexed pattern.
 func (p *Pattern) OnDistinguishedPath(n *Node) bool {
-	for x := p.Output; x != nil; x = x.Parent {
-		if x == n {
-			return true
-		}
+	pi := p.index()
+	if pi == nil || n == nil {
+		return false
+	}
+	if i := int(n.pre); i >= 0 && i < len(pi.nodes) && pi.nodes[i] == n {
+		return pi.onPath[i]
 	}
 	return false
 }
@@ -162,35 +197,122 @@ func (p *Pattern) Validate() error {
 
 // Clone deep-copies the pattern. The second return value maps original
 // nodes to their copies, which rewriting algorithms use to carry node
-// correspondences across copies.
+// correspondences across copies. The copy is indexed (see Reindex)
+// regardless of the state of the original, which is only read.
 func (p *Pattern) Clone() (*Pattern, map[*Node]*Node) {
-	m := make(map[*Node]*Node, p.Size())
-	var cp func(*Node) *Node
-	cp = func(n *Node) *Node {
-		c := &Node{Tag: n.Tag, Axis: n.Axis}
+	m := make(map[*Node]*Node)
+	st := &treeStamp{valid: true}
+	var cp func(n *Node, next int32) (*Node, int32)
+	cp = func(n *Node, next int32) (*Node, int32) {
+		c := &Node{Tag: n.Tag, Axis: n.Axis, pre: next, stamp: st}
+		next++
 		m[n] = c
-		for _, k := range n.Children {
-			kc := cp(k)
-			kc.Parent = c
-			c.Children = append(c.Children, kc)
+		if len(n.Children) > 0 {
+			c.Children = make([]*Node, len(n.Children))
+			for i, k := range n.Children {
+				var kc *Node
+				kc, next = cp(k, next)
+				kc.Parent = c
+				c.Children[i] = kc
+			}
 		}
-		return c
+		c.end = next - 1
+		return c, next
 	}
-	out := &Pattern{Root: cp(p.Root)}
-	out.Output = m[p.Output]
-	return out, m
+	root, _ := cp(p.Root, 0)
+	return &Pattern{Root: root, Output: m[p.Output]}, m
+}
+
+// CloneTrack deep-copies the pattern like Clone but, instead of the full
+// correspondence map, returns only the copy of target (nil when target
+// is not a node of p). Rewriting construction uses this to follow one
+// distinguished node through a copy without allocating the map.
+func (p *Pattern) CloneTrack(target *Node) (*Pattern, *Node) {
+	st := &treeStamp{valid: true}
+	var outc, tc *Node
+	var cp func(n *Node, next int32) (*Node, int32)
+	cp = func(n *Node, next int32) (*Node, int32) {
+		c := &Node{Tag: n.Tag, Axis: n.Axis, pre: next, stamp: st}
+		next++
+		if n == p.Output {
+			outc = c
+		}
+		if n == target {
+			tc = c
+		}
+		if len(n.Children) > 0 {
+			c.Children = make([]*Node, len(n.Children))
+			for i, k := range n.Children {
+				var kc *Node
+				kc, next = cp(k, next)
+				kc.Parent = c
+				c.Children[i] = kc
+			}
+		}
+		c.end = next - 1
+		return c, next
+	}
+	root, _ := cp(p.Root, 0)
+	return &Pattern{Root: root, Output: outc}, tc
 }
 
 // CloneSubtree deep-copies the subtree rooted at n (detached: the copy's
 // root has no parent and keeps n's axis).
 func CloneSubtree(n *Node) *Node {
+	c, _ := CloneSubtreeTrack(n, nil)
+	return c
+}
+
+// CloneSubtreeTrack deep-copies the subtree rooted at n like
+// CloneSubtree and additionally returns the copy of target (nil when
+// target does not occur in the subtree).
+func CloneSubtreeTrack(n, target *Node) (clone, targetClone *Node) {
 	c := &Node{Tag: n.Tag, Axis: n.Axis}
+	var tc *Node
+	if n == target && target != nil {
+		tc = c
+	}
 	for _, k := range n.Children {
-		kc := CloneSubtree(k)
+		kc, ktc := CloneSubtreeTrack(k, target)
 		kc.Parent = c
 		c.Children = append(c.Children, kc)
+		if ktc != nil {
+			tc = ktc
+		}
 	}
-	return c
+	return c, tc
+}
+
+// SubtreePattern deep-copies the subtree rooted at n into a standalone
+// indexed pattern: the copy's root takes rootAxis, and the pattern's
+// output is the copy of output (nil when output lies outside the
+// subtree). The copy is labeled during the single construction walk, so
+// no separate Reindex pass is needed.
+func SubtreePattern(n *Node, rootAxis Axis, output *Node) *Pattern {
+	st := &treeStamp{valid: true}
+	var outc *Node
+	var cp func(x *Node, next int32) (*Node, int32)
+	cp = func(x *Node, next int32) (*Node, int32) {
+		c := &Node{Tag: x.Tag, Axis: x.Axis, pre: next, stamp: st}
+		next++
+		if x == output {
+			outc = c
+		}
+		if len(x.Children) > 0 {
+			c.Children = make([]*Node, len(x.Children))
+			for i, k := range x.Children {
+				var kc *Node
+				kc, next = cp(k, next)
+				kc.Parent = c
+				c.Children[i] = kc
+			}
+		}
+		c.end = next - 1
+		return c, next
+	}
+	root, _ := cp(n, 0)
+	root.Axis = rootAxis // a field rewrite, not a structural edit: labels stay valid
+	return &Pattern{Root: root, Output: outc}
 }
 
 // canonical returns a canonical string for the subtree rooted at n,
@@ -211,8 +333,15 @@ func canonical(n *Node, output *Node) string {
 
 // Canonical returns an order-insensitive canonical form of the pattern.
 // Two patterns are structurally identical (isomorphic respecting axes,
-// tags and the output mark) iff their canonical forms are equal.
-func (p *Pattern) Canonical() string { return canonical(p.Root, p.Output) }
+// tags and the output mark) iff their canonical forms are equal. The
+// form is cached on indexed patterns (see Reindex) and recomputed after
+// every structural mutation.
+func (p *Pattern) Canonical() string {
+	if p.Root == nil {
+		return ""
+	}
+	return p.cachedCanonical()
+}
 
 // StructuralEqual reports whether p and q are identical up to sibling
 // reordering. (Semantic equivalence is Equivalent in contain.go.)

@@ -19,12 +19,8 @@ const Wildcard = "*"
 
 // HasWildcard reports whether any node of the pattern is a wildcard.
 func (p *Pattern) HasWildcard() bool {
-	for _, n := range p.Nodes() {
-		if n.Tag == Wildcard {
-			return true
-		}
-	}
-	return false
+	pi := p.index()
+	return pi != nil && pi.hasWildcard
 }
 
 // tagMatches is the single point deciding whether a pattern node's tag

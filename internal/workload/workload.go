@@ -28,6 +28,7 @@ func RandomPattern(rng *rand.Rand, alphabet []string, maxNodes int) *tpq.Pattern
 		nodes = append(nodes, c)
 	}
 	p.SetOutput(nodes[rng.Intn(len(nodes))])
+	p.Reindex() // generated patterns are shared across benchmark goroutines
 	return p
 }
 
@@ -73,6 +74,7 @@ func RandomSchemaPattern(rng *rand.Rand, g *schema.Graph, maxNodes int) *tpq.Pat
 		}
 	}
 	p.SetOutput(nodes[rng.Intn(len(nodes))])
+	p.Reindex() // generated patterns are shared across benchmark goroutines
 	return p
 }
 
@@ -164,6 +166,7 @@ func Fig8Query(n int) *tpq.Pattern {
 			p.SetOutput(c)
 		}
 	}
+	p.Reindex()
 	return p
 }
 
@@ -184,6 +187,7 @@ func Fig9Query() *tpq.Pattern {
 	b2 := p.Root.AddChild(tpq.Descendant, "b")
 	b2.AddChild(tpq.Child, "d")
 	p.SetOutput(b1)
+	p.Reindex()
 	return p
 }
 
@@ -235,6 +239,7 @@ func Fig15Query(k int) *tpq.Pattern {
 			p.SetOutput(b)
 		}
 	}
+	p.Reindex()
 	return p
 }
 

@@ -119,6 +119,18 @@ func (d *Document) Reindex() {
 // Size returns the number of element nodes in the document.
 func (d *Document) Size() int { return len(d.Nodes) }
 
+// Window returns n's subtree in preorder (n first) as a slice view into
+// d.Nodes — O(1) and allocation-free on an indexed document. Callers
+// must not modify the returned slice. If n is not indexed in d (the
+// document was mutated without Reindex), it falls back to materializing
+// the subtree with a walk.
+func (d *Document) Window(n *Node) []*Node {
+	if i := n.Index; i >= 0 && i < len(d.Nodes) && d.Nodes[i] == n {
+		return d.Nodes[i : n.end+1]
+	}
+	return n.Subtree()
+}
+
 // Tags returns the distinct element tags appearing in the document,
 // sorted.
 func (d *Document) Tags() []string {
