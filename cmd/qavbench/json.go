@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"time"
 
+	"qav/internal/obs"
 	"qav/internal/rewrite"
 	"qav/internal/tpq"
 	"qav/internal/workload"
@@ -30,13 +31,18 @@ type kernelResult struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// jsonReport is the top-level -json document.
+// jsonReport is the top-level -json document. Stages carries pipeline
+// stage timings aggregated across the rewriting kernels, in the exact
+// schema the server's GET /metrics emits for its "stages" section, so
+// bench artifacts and production metrics can be compared field for
+// field.
 type jsonReport struct {
-	GOOS    string         `json:"goos"`
-	GOARCH  string         `json:"goarch"`
-	NumCPU  int            `json:"num_cpu"`
-	Seed    int64          `json:"seed"`
-	Kernels []kernelResult `json:"kernels"`
+	GOOS    string                       `json:"goos"`
+	GOARCH  string                       `json:"goarch"`
+	NumCPU  int                          `json:"num_cpu"`
+	Seed    int64                        `json:"seed"`
+	Kernels []kernelResult               `json:"kernels"`
+	Stages  map[string]obs.StageSnapshot `json:"stages,omitempty"`
 }
 
 // measure runs f iters times and reports per-op wall time and heap
@@ -73,6 +79,18 @@ func runJSON(ctx context.Context, seed int64) error {
 	}
 	add := func(r kernelResult) { report.Kernels = append(report.Kernels, r) }
 
+	// Rewriting kernels run with a per-op stage span folded into this
+	// registry, producing the same per-stage counts, totals and latency
+	// quantiles that qavd's /metrics reports.
+	reg := obs.NewRegistry()
+	spanned := func(run func(ctx context.Context)) func() {
+		return func() {
+			sp := obs.NewSpan()
+			run(obs.WithSpan(context.Background(), sp))
+			reg.ObserveSpan(sp)
+		}
+	}
+
 	// Containment over random size-12 patterns (BenchmarkContainment).
 	{
 		rng := rand.New(rand.NewSource(3))
@@ -93,11 +111,11 @@ func runJSON(ctx context.Context, seed int64) error {
 	{
 		v := workload.Fig8View()
 		q := workload.Fig8Query(7)
-		add(measure("mcr_fig8_n7", 20, func() {
-			if _, err := rewrite.MCR(q, v, rewrite.Options{MaxEmbeddings: 1 << 22}); err != nil {
+		add(measure("mcr_fig8_n7", 20, spanned(func(ctx context.Context) {
+			if _, err := rewrite.MCR(q, v, rewrite.Options{MaxEmbeddings: 1 << 22, Context: ctx}); err != nil {
 				panic(err)
 			}
-		}))
+		})))
 	}
 
 	// MCRGen vs the brute-force baseline on random size-6 pairs
@@ -112,12 +130,12 @@ func runJSON(ctx context.Context, seed int64) error {
 			vs[i] = workload.RandomPattern(rng, alphabet, 6)
 		}
 		i := 0
-		add(measure("mcrgen_random6", 50000, func() {
-			if _, err := rewrite.MCR(qs[i%len(qs)], vs[i%len(vs)], rewrite.Options{MaxEmbeddings: 1 << 18}); err != nil {
+		add(measure("mcrgen_random6", 50000, spanned(func(ctx context.Context) {
+			if _, err := rewrite.MCR(qs[i%len(qs)], vs[i%len(vs)], rewrite.Options{MaxEmbeddings: 1 << 18, Context: ctx}); err != nil {
 				panic(err)
 			}
 			i++
-		}))
+		})))
 		i = 0
 		add(measure("naive_random6", 50000, func() {
 			if _, err := rewrite.NaiveMCR(ctx, qs[i%len(qs)], vs[i%len(vs)]); err != nil {
@@ -155,6 +173,8 @@ func runJSON(ctx context.Context, seed int64) error {
 		}
 		add(measure("evaluate_groups100", 2000, func() { q.Evaluate(d) }))
 	}
+
+	report.Stages = reg.Snapshot().Stages
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

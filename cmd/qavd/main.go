@@ -4,6 +4,16 @@
 //
 //	qavd -addr :8080 -rewrite-timeout 10s
 //	curl -s localhost:8080/v1/rewrite -d '{"query":"//Trials[//Status]//Trial","view":"//Trials//Trial"}'
+//	curl -s localhost:8080/metrics       # endpoint/stage/cache metrics
+//	curl -s localhost:8080/v1/slowlog    # recent slow queries
+//
+// Besides the API the daemon serves operational surfaces: GET /metrics
+// (JSON snapshot of per-endpoint request/status/latency metrics,
+// pipeline stage timings, cache counters and the slow-query log),
+// /debug/vars (the same snapshot under the "qav" expvar key) and
+// /debug/pprof. Queries slower than -slow-query land in a bounded
+// in-memory ring served by /v1/slowlog and are echoed to the process
+// log.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests drain (bounded by -drain), new connections are refused, and
@@ -13,14 +23,17 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"qav/internal/engine"
+	"qav/internal/obs"
 	"qav/internal/server"
 )
 
@@ -30,16 +43,37 @@ func main() {
 	rewriteTimeout := flag.Duration("rewrite-timeout", 30*time.Second, "per-request rewriting deadline (0 = none)")
 	maxEmbeddings := flag.Int("max-embeddings", 0, "enumeration budget per request (0 = library default)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
+	slowQuery := flag.Duration("slow-query", 100*time.Millisecond, "slow-query log threshold (0 = disabled)")
+	slowLogSize := flag.Int("slow-log-size", 128, "slow-query log ring capacity")
 	flag.Parse()
 
 	eng := engine.New(engine.Config{
-		CacheSize:     *cacheSize,
-		Timeout:       *rewriteTimeout,
-		MaxEmbeddings: *maxEmbeddings,
+		CacheSize:          *cacheSize,
+		Timeout:            *rewriteTimeout,
+		MaxEmbeddings:      *maxEmbeddings,
+		SlowQueryThreshold: *slowQuery,
+		SlowLogSize:        *slowLogSize,
 	})
+	eng.SlowLog().SetLogger(log.Default())
+	// The metrics snapshot is also published through expvar so any
+	// expvar-aware scraper can read it from /debug/vars.
+	obs.Publish("qav", func() any { return eng.MetricsSnapshot() })
+
+	mux := http.NewServeMux()
+	mux.Handle("/", server.NewWith(eng))
+	// Profiling endpoints are wired explicitly (rather than importing
+	// net/http/pprof for its DefaultServeMux side effect) so they exist
+	// regardless of what the default mux holds.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.NewWith(eng),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,

@@ -26,7 +26,12 @@ type Cache struct {
 	byKey    map[string]*list.Element // guarded by mu
 	inflight map[string]*flight       // guarded by mu
 
-	hits, misses int64 // guarded by mu
+	// Disjoint lookup-outcome counters: a lookup is exactly one of a
+	// completed-entry hit, a miss (the caller becomes the computing
+	// leader), or a dedup (a follower wait collapsed onto an in-flight
+	// leader). Keeping dedups out of hits keeps the hit rate honest:
+	// followers wait for a computation, they do not avoid one.
+	hits, misses, dedups int64 // guarded by mu
 }
 
 type entry struct {
@@ -85,6 +90,13 @@ func (c *Cache) Get(key string) (res *rewrite.Result, ok bool, err error) {
 }
 
 // Put stores a result (or the error computing it produced) under key.
+// Storing an error is deliberate negative caching: rewriting is a pure
+// function of the key, so a deterministic failure (parse rejection,
+// enumeration budget overrun) would fail identically on every retry.
+// Error entries occupy ordinary LRU slots and age out like results;
+// they are never pinned. Callers must not Put context cancellation
+// errors — those describe the request, not the computation
+// (GetOrCompute filters them automatically).
 func (c *Cache) Put(key string, res *rewrite.Result, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -112,6 +124,14 @@ func (c *Cache) putLocked(key string, res *rewrite.Result, err error) {
 // result (or their own ctx). Context cancellation errors are never
 // cached, and followers whose leader was cancelled retry with their
 // own context rather than inheriting the leader's failure.
+//
+// Deterministic computation errors are cached (see Put): the stored
+// error is returned on subsequent hits until the entry ages out of the
+// LRU. Counter policy: the leader's computation is a miss, a follower
+// wait is a dedup (not a hit — no computation was avoided, only
+// duplicated work), and only completed-entry lookups are hits. A
+// follower that retries after a cancelled leader counts one dedup per
+// wait it joins.
 func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() (*rewrite.Result, error)) (*rewrite.Result, error) {
 	for {
 		c.mu.Lock()
@@ -123,7 +143,7 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() (*r
 			return e.res, e.err
 		}
 		if f, ok := c.inflight[key]; ok {
-			c.hits++ // deduplicated: no second computation
+			c.dedups++ // deduplicated follower: no second computation started
 			c.mu.Unlock()
 			select {
 			case <-ctx.Done():
@@ -159,11 +179,14 @@ func isContextErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// Stats returns the hit and miss counters.
-func (c *Cache) Stats() (hits, misses int64) {
+// Stats returns the disjoint lookup-outcome counters: completed-entry
+// hits, leader computations (misses), and follower waits deduplicated
+// onto an in-flight leader. hits+misses+dedups equals the number of
+// lookups.
+func (c *Cache) Stats() (hits, misses, dedups int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits, c.misses, c.dedups
 }
 
 // Len returns the number of cached results.

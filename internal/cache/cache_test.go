@@ -35,9 +35,9 @@ func TestGetPutEvict(t *testing.T) {
 	if c.Len() != 2 {
 		t.Errorf("Len = %d", c.Len())
 	}
-	hits, misses := c.Stats()
-	if hits != 2 || misses != 1 {
-		t.Errorf("stats = %d/%d", hits, misses)
+	hits, misses, dedups := c.Stats()
+	if hits != 2 || misses != 1 || dedups != 0 {
+		t.Errorf("stats = %d/%d/%d", hits, misses, dedups)
 	}
 }
 
@@ -146,7 +146,17 @@ func TestSingleflightDedup(t *testing.T) {
 			results[w] = r
 		}(w)
 	}
-	time.Sleep(20 * time.Millisecond) // let followers pile onto the flight
+	// The leader is parked on release, so every other worker must join
+	// the flight as a dedup before we let the computation finish.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if _, _, dedups := c.Stats(); dedups == workers-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("followers never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
 	close(release)
 	wg.Wait()
 	if n := calls.Load(); n != 1 {
@@ -157,8 +167,15 @@ func TestSingleflightDedup(t *testing.T) {
 			t.Errorf("worker %d got %p, want shared result", w, r)
 		}
 	}
-	if _, misses := c.Stats(); misses != 1 {
+	hits, misses, dedups := c.Stats()
+	if misses != 1 {
 		t.Errorf("misses = %d, want 1 (one leader)", misses)
+	}
+	if hits != 0 {
+		t.Errorf("hits = %d, want 0 (follower waits are dedups, not hits)", hits)
+	}
+	if dedups != workers-1 {
+		t.Errorf("dedups = %d, want %d (every follower joined the flight)", dedups, workers-1)
 	}
 }
 
@@ -207,5 +224,96 @@ func TestCancellationNotCached(t *testing.T) {
 	}
 	if got, ok, _ := c.Get("k"); !ok || got != want {
 		t.Error("successful recompute was not cached")
+	}
+}
+
+// A follower whose leader is cancelled retries with its own (live)
+// context and becomes the new leader; the counters record exactly one
+// dedup (the wait that failed) and two misses (two computations led).
+func TestFollowerRetryAfterLeaderCancelStats(t *testing.T) {
+	c := New(4)
+	joined := make(chan struct{})
+	want := &rewrite.Result{}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, err := c.GetOrCompute(context.Background(), "k", func() (*rewrite.Result, error) {
+			<-joined // hold the flight until the follower has piled on
+			return nil, context.Canceled
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("leader err = %v, want context.Canceled", err)
+		}
+	}()
+	// Wait for the leader to take the flight.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if _, misses, _ := c.Stats(); misses == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leader never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		defer wg.Done()
+		got, err := c.GetOrCompute(context.Background(), "k", func() (*rewrite.Result, error) {
+			return want, nil
+		})
+		if err != nil || got != want {
+			t.Errorf("follower got %p, %v; want retried result", got, err)
+		}
+	}()
+	// Wait for the follower to join the flight, then let the leader fail.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if _, _, dedups := c.Stats(); dedups == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("follower never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(joined)
+	wg.Wait()
+
+	hits, misses, dedups := c.Stats()
+	if hits != 0 || misses != 2 || dedups != 1 {
+		t.Errorf("stats = %d/%d/%d, want 0/2/1 (hits/misses/dedups)", hits, misses, dedups)
+	}
+	if got, ok, _ := c.Get("k"); !ok || got != want {
+		t.Error("retried result was not cached")
+	}
+}
+
+// Deterministic computation errors are negative-cached in ordinary LRU
+// slots: repeated lookups return the stored error without recomputing,
+// and eviction clears the way for a retry like any other entry.
+func TestDeterministicErrorsCached(t *testing.T) {
+	c := New(1)
+	boom := errors.New("boom")
+	calls := 0
+	compute := func() (*rewrite.Result, error) {
+		calls++
+		return nil, boom
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.GetOrCompute(context.Background(), "k", compute); !errors.Is(err, boom) {
+			t.Fatalf("call %d: err = %v, want boom", i, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1 (error entry must be cached)", calls)
+	}
+	// The error entry lives in a normal LRU slot: filling the cache
+	// evicts it, and the next lookup recomputes.
+	c.Put("other", &rewrite.Result{}, nil)
+	if _, err := c.GetOrCompute(context.Background(), "k", compute); !errors.Is(err, boom) {
+		t.Fatalf("post-evict err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Errorf("compute ran %d times after eviction, want 2", calls)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"qav/internal/cache"
 	"qav/internal/chase"
 	"qav/internal/constraints"
+	"qav/internal/obs"
 	"qav/internal/rewrite"
 	"qav/internal/schema"
 	"qav/internal/tpq"
@@ -71,14 +72,27 @@ type Config struct {
 	// <= 0 means 64. Mediators see few distinct schemas, so the bound
 	// only guards against adversarial schema churn.
 	MaxSchemaContexts int
+	// Metrics receives the engine's observations (per-stage pipeline
+	// timings; the HTTP layer adds per-endpoint metrics to the same
+	// registry). nil means a private registry — metrics are always on;
+	// the instrumentation is cheap enough for the hot kernels.
+	Metrics *obs.Registry
+	// SlowQueryThreshold, when positive, records every computed
+	// rewriting at or above this duration into the slow-query log with
+	// its canonical query/view and stage breakdown. 0 disables.
+	SlowQueryThreshold time.Duration
+	// SlowLogSize bounds the slow-query ring buffer; <= 0 means 128.
+	SlowLogSize int
 }
 
 // Engine is the shared rewriting pipeline. It is safe for concurrent
 // use by multiple goroutines.
 type Engine struct {
-	cfg   Config
-	cache *cache.Cache
-	views *viewstore.Catalog
+	cfg     Config
+	cache   *cache.Cache
+	views   *viewstore.Catalog
+	metrics *obs.Registry
+	slow    *obs.SlowLog
 
 	mu sync.RWMutex
 	// schemas caches constraint-inference contexts, keyed by canonical
@@ -96,13 +110,30 @@ func New(cfg Config) *Engine {
 	if cfg.MaxSchemaContexts <= 0 {
 		cfg.MaxSchemaContexts = 64
 	}
+	if cfg.SlowLogSize <= 0 {
+		cfg.SlowLogSize = 128
+	}
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
 	return &Engine{
 		cfg:     cfg,
 		cache:   cache.New(size),
 		views:   viewstore.NewCatalog(),
+		metrics: metrics,
+		slow:    obs.NewSlowLog(cfg.SlowQueryThreshold, cfg.SlowLogSize),
 		schemas: make(map[string]*rewrite.SchemaContext),
 	}
 }
+
+// Metrics returns the engine's observation registry; the HTTP layer
+// records its per-endpoint metrics here so GET /metrics is one
+// document.
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
+
+// SlowLog returns the engine's slow-query log.
+func (e *Engine) SlowLog() *obs.SlowLog { return e.slow }
 
 // withDeadline applies the engine's default timeout when the caller's
 // context has no deadline of its own.
@@ -182,6 +213,13 @@ func (r Request) options(e *Engine, ctx context.Context) rewrite.Options {
 // recursive-schema (§5) algorithm, with caching and singleflight
 // deduplication. Cached results are shared: callers must not mutate
 // them (set NoCache to receive a private copy).
+//
+// Every computed (non-cache-hit) request runs under a fresh obs.Span:
+// the pipeline credits its parse/chase/enumerate/buildcr/contain time,
+// the span folds into the engine's metrics registry, and requests at or
+// above Config.SlowQueryThreshold land in the slow-query log. Cache
+// hits bypass all of it — a hit stays a lock, a map probe and nothing
+// else.
 func (e *Engine) Rewrite(ctx context.Context, req Request) (*rewrite.Result, error) {
 	ctx, cancel := e.withDeadline(ctx)
 	defer cancel()
@@ -190,21 +228,59 @@ func (e *Engine) Rewrite(ctx context.Context, req Request) (*rewrite.Result, err
 	}
 	recursive := req.Schema != nil && (req.Recursive || req.Schema.IsRecursive())
 	compute := func() (*rewrite.Result, error) {
-		opts := req.options(e, ctx)
-		if req.Schema == nil {
-			return rewrite.MCR(req.Query, req.View, opts)
-		}
-		sc := e.SchemaContext(req.Schema)
-		if recursive {
-			return sc.MCRRecursive(req.Query, req.View, opts)
-		}
-		return sc.MCRWithSchema(req.Query, req.View)
+		sp := obs.NewSpan()
+		cctx := obs.WithSpan(ctx, sp)
+		start := time.Now()
+		res, err := e.runPipeline(cctx, req, recursive)
+		e.observeRewrite(req, recursive, sp, time.Since(start), err)
+		return res, err
 	}
 	if req.NoCache {
 		return compute()
 	}
 	key := cache.Key(req.Query, req.View, req.Schema, recursive)
 	return e.cache.GetOrCompute(ctx, key, compute)
+}
+
+// runPipeline dispatches to the paper's three rewriting algorithms.
+func (e *Engine) runPipeline(ctx context.Context, req Request, recursive bool) (*rewrite.Result, error) {
+	opts := req.options(e, ctx)
+	if req.Schema == nil {
+		return rewrite.MCR(req.Query, req.View, opts)
+	}
+	sc := e.SchemaContext(req.Schema)
+	if recursive {
+		return sc.MCRRecursive(req.Query, req.View, opts)
+	}
+	return sc.MCRWithSchemaCtx(ctx, req.Query, req.View)
+}
+
+// observeRewrite folds one computed request into the metrics registry
+// and, when it crossed the slow-query threshold, into the slow log.
+// Canonicalization is cached on the patterns, so even slow-path entries
+// are cheap to build.
+func (e *Engine) observeRewrite(req Request, recursive bool, sp *obs.Span, d time.Duration, err error) {
+	e.metrics.ObserveSpan(sp)
+	th := e.slow.Threshold()
+	if th <= 0 || d < th {
+		return
+	}
+	entry := obs.SlowEntry{
+		Time:       time.Now(),
+		Op:         "rewrite",
+		Query:      req.Query.Canonical(),
+		View:       req.View.Canonical(),
+		Recursive:  recursive,
+		DurationNs: int64(d),
+		StageNs:    sp.StageNs(),
+	}
+	if req.Schema != nil {
+		entry.Schema = req.Schema.String()
+	}
+	if err != nil {
+		entry.Err = err.Error()
+	}
+	e.slow.Record(entry)
 }
 
 // RewriteRequest is a rewriting request in textual form, as received by
@@ -226,6 +302,8 @@ func (e *Engine) RewriteExpr(ctx context.Context, req RewriteRequest) (*rewrite.
 }
 
 func (e *Engine) parseRewriteRequest(req RewriteRequest) (Request, error) {
+	start := time.Now()
+	defer func() { e.metrics.ObserveStage(obs.StageParse, time.Since(start)) }()
 	q, err := tpq.Parse(req.Query)
 	if err != nil {
 		return Request{}, &InvalidRequestError{Field: "query", Err: err}
@@ -343,6 +421,8 @@ func (e *Engine) Contain(ctx context.Context, p, q *tpq.Pattern, g *schema.Graph
 	if err := ctx.Err(); err != nil {
 		return false, false, err
 	}
+	start := time.Now()
+	defer func() { e.metrics.ObserveStage(obs.StageContain, time.Since(start)) }()
 	if g == nil {
 		return tpq.Contained(p, q), tpq.Contained(q, p), nil
 	}
@@ -363,21 +443,28 @@ type ContainRequest struct {
 
 // ContainExpr parses the request and decides containment both ways.
 func (e *Engine) ContainExpr(ctx context.Context, req ContainRequest) (pInQ, qInP bool, err error) {
-	p, err := tpq.Parse(req.P)
+	p, q, g, err := e.parseContainRequest(req)
 	if err != nil {
-		return false, false, &InvalidRequestError{Field: "p", Err: err}
-	}
-	q, err := tpq.Parse(req.Q)
-	if err != nil {
-		return false, false, &InvalidRequestError{Field: "q", Err: err}
-	}
-	var g *schema.Graph
-	if req.Schema != "" {
-		if g, err = schema.Parse(req.Schema); err != nil {
-			return false, false, &InvalidRequestError{Field: "schema", Err: err}
-		}
+		return false, false, err
 	}
 	return e.Contain(ctx, p, q, g)
+}
+
+func (e *Engine) parseContainRequest(req ContainRequest) (p, q *tpq.Pattern, g *schema.Graph, err error) {
+	start := time.Now()
+	defer func() { e.metrics.ObserveStage(obs.StageParse, time.Since(start)) }()
+	if p, err = tpq.Parse(req.P); err != nil {
+		return nil, nil, nil, &InvalidRequestError{Field: "p", Err: err}
+	}
+	if q, err = tpq.Parse(req.Q); err != nil {
+		return nil, nil, nil, &InvalidRequestError{Field: "q", Err: err}
+	}
+	if req.Schema != "" {
+		if g, err = schema.Parse(req.Schema); err != nil {
+			return nil, nil, nil, &InvalidRequestError{Field: "schema", Err: err}
+		}
+	}
+	return p, q, g, nil
 }
 
 // Chase exposes the chase procedure as an inspection utility: the
@@ -387,6 +474,8 @@ func (e *Engine) ContainExpr(ctx context.Context, req ContainRequest) (pInQ, qIn
 func (e *Engine) Chase(ctx context.Context, v, q *tpq.Pattern, g *schema.Graph) (*tpq.Pattern, error) {
 	ctx, cancel := e.withDeadline(ctx)
 	defer cancel()
+	start := time.Now()
+	defer func() { e.metrics.ObserveStage(obs.StageChase, time.Since(start)) }()
 	sigma := e.Constraints(g)
 	if q != nil {
 		if err := ctx.Err(); err != nil {
@@ -398,9 +487,13 @@ func (e *Engine) Chase(ctx context.Context, v, q *tpq.Pattern, g *schema.Graph) 
 }
 
 // Stats is a point-in-time snapshot of the engine's shared state.
+// CacheHits, CacheMisses and CacheDedups are disjoint: a lookup is
+// exactly one of a completed-entry hit, a leader computation, or a
+// follower wait deduplicated onto an in-flight leader.
 type Stats struct {
 	CacheHits      int64
 	CacheMisses    int64
+	CacheDedups    int64
 	CacheEntries   int
 	SchemaContexts int
 	StoredViews    int
@@ -408,14 +501,38 @@ type Stats struct {
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
-	hits, misses := e.cache.Stats()
+	hits, misses, dedups := e.cache.Stats()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return Stats{
 		CacheHits:      hits,
 		CacheMisses:    misses,
+		CacheDedups:    dedups,
 		CacheEntries:   e.cache.Len(),
 		SchemaContexts: len(e.schemas),
 		StoredViews:    e.views.Len(),
 	}
+}
+
+// MetricsSnapshot returns the full observability document: endpoint and
+// stage metrics from the registry, the cache counters, engine-level
+// gauges, and the slow-query log. GET /metrics serves exactly this
+// value, qavd republishes it through expvar, and qavbench -json embeds
+// its Stages section — one schema for offline and live reporting.
+func (e *Engine) MetricsSnapshot() obs.Snapshot {
+	snap := e.metrics.Snapshot()
+	st := e.Stats()
+	snap.Cache = &obs.CacheSnapshot{
+		Hits:    st.CacheHits,
+		Misses:  st.CacheMisses,
+		Dedups:  st.CacheDedups,
+		Entries: st.CacheEntries,
+	}
+	snap.Engine = map[string]int64{
+		"schemaContexts": int64(st.SchemaContexts),
+		"storedViews":    int64(st.StoredViews),
+	}
+	slow := e.slow.Snapshot()
+	snap.SlowLog = &slow
+	return snap
 }

@@ -194,6 +194,97 @@ func TestConfigTimeout(t *testing.T) {
 }
 
 // Singleflight: N concurrent identical requests compute once.
+// A computed rewrite credits its pipeline stages into the metrics
+// registry; a cache hit credits nothing (the hit path must stay a map
+// probe).
+func TestMetricsSnapshotStages(t *testing.T) {
+	e := New(Config{})
+	req := RewriteRequest{Query: "//Trials[//Status]//Trial", View: "//Trials//Trial"}
+	if _, err := e.RewriteExpr(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.MetricsSnapshot()
+	for _, st := range []string{"parse", "enumerate", "buildcr", "contain"} {
+		if snap.Stages[st].Count == 0 || snap.Stages[st].TotalNs == 0 {
+			t.Errorf("stage %s not recorded: %+v", st, snap.Stages[st])
+		}
+	}
+	if snap.Cache == nil || snap.Cache.Misses != 1 || snap.Cache.Hits != 0 {
+		t.Fatalf("cache = %+v", snap.Cache)
+	}
+
+	// The same request again is a hit: parse runs (expression decoding
+	// is outside the cache), the pipeline stages must not.
+	enumBefore := snap.Stages["enumerate"].Count
+	if _, err := e.RewriteExpr(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	snap = e.MetricsSnapshot()
+	if snap.Cache.Hits != 1 {
+		t.Errorf("cache = %+v, want one hit", snap.Cache)
+	}
+	if got := snap.Stages["enumerate"].Count; got != enumBefore {
+		t.Errorf("enumerate count grew on a cache hit: %d -> %d", enumBefore, got)
+	}
+}
+
+// The schema pipeline credits the chase stage too.
+func TestMetricsSnapshotSchemaStages(t *testing.T) {
+	e := New(Config{})
+	_, err := e.RewriteExpr(context.Background(), RewriteRequest{
+		Query: "//Auction[//item]//name", View: "//Auction//person", Schema: auctionSchema,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := e.MetricsSnapshot()
+	if snap.Stages["chase"].Count == 0 {
+		t.Errorf("chase stage not recorded: %+v", snap.Stages)
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	e := New(Config{SlowQueryThreshold: time.Nanosecond})
+	if _, err := e.RewriteExpr(context.Background(), RewriteRequest{
+		Query: "//Trials[//Status]//Trial", View: "//Trials//Trial",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.SlowLog().Snapshot()
+	if snap.Total != 1 || len(snap.Entries) != 1 {
+		t.Fatalf("slowlog = %+v", snap)
+	}
+	entry := snap.Entries[0]
+	if entry.Op != "rewrite" || entry.Query == "" || entry.DurationNs <= 0 {
+		t.Errorf("entry = %+v", entry)
+	}
+	if len(entry.StageNs) == 0 {
+		t.Error("entry has no stage breakdown")
+	}
+	// A repeat of the same request is a cache hit and must not be
+	// logged again, no matter how low the threshold.
+	if _, err := e.RewriteExpr(context.Background(), RewriteRequest{
+		Query: "//Trials[//Status]//Trial", View: "//Trials//Trial",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.SlowLog().Snapshot().Total; got != 1 {
+		t.Errorf("total = %d after cache hit, want 1", got)
+	}
+}
+
+func TestSlowQueryLogDisabledByDefault(t *testing.T) {
+	e := New(Config{})
+	if _, err := e.RewriteExpr(context.Background(), RewriteRequest{
+		Query: "//Trials[//Status]//Trial", View: "//Trials//Trial",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if snap := e.SlowLog().Snapshot(); snap.Total != 0 {
+		t.Errorf("slowlog recorded %d entries with a zero threshold", snap.Total)
+	}
+}
+
 func TestConcurrentDuplicatesComputeOnce(t *testing.T) {
 	e := New(Config{})
 	req := Request{Query: tpq.MustParse("//Trials[//Status]//Trial"), View: tpq.MustParse("//Trials//Trial")}

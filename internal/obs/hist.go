@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets is the fixed size of every latency histogram: bucket i
+// covers durations up to 1µs<<i (1µs, 2µs, 4µs, … ≈134s), plus one
+// overflow bucket. The memory cost is constant (~240 bytes), which is
+// what makes per-endpoint and per-stage histograms free to keep
+// forever.
+const numBuckets = 28
+
+// bucketBound returns the inclusive upper bound of bucket i.
+func bucketBound(i int) time.Duration {
+	return time.Microsecond << i
+}
+
+// A Histogram is a bounded latency histogram with exponential buckets.
+// All updates are atomic; the zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+	buckets [numBuckets + 1]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	i := 0
+	for i < numBuckets && d > bucketBound(i) {
+		i++
+	}
+	h.buckets[i].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram. The
+// quantiles are upper-bound estimates: the bound of the bucket the
+// quantile falls in, clamped to the observed maximum.
+type HistogramSnapshot struct {
+	Count  int64 `json:"count"`
+	MeanNs int64 `json:"mean_ns"`
+	P50Ns  int64 `json:"p50_ns"`
+	P90Ns  int64 `json:"p90_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	MaxNs  int64 `json:"max_ns"`
+}
+
+// Snapshot summarizes the histogram. Concurrent Observe calls may or
+// may not be included; the snapshot is internally consistent enough for
+// monitoring (count, sum and buckets are read once each).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	count := h.count.Load()
+	if count == 0 {
+		return HistogramSnapshot{}
+	}
+	var counts [numBuckets + 1]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	max := h.max.Load()
+	quantile := func(q float64) int64 {
+		if total == 0 {
+			return 0
+		}
+		rank := int64(math.Ceil(q * float64(total)))
+		if rank < 1 {
+			rank = 1
+		}
+		var cum int64
+		for i := range counts {
+			cum += counts[i]
+			if cum >= rank {
+				if i == numBuckets {
+					return max // overflow bucket: only the max is known
+				}
+				bound := int64(bucketBound(i))
+				if bound > max {
+					return max
+				}
+				return bound
+			}
+		}
+		return max
+	}
+	return HistogramSnapshot{
+		Count:  count,
+		MeanNs: h.sum.Load() / count,
+		P50Ns:  quantile(0.50),
+		P90Ns:  quantile(0.90),
+		P99Ns:  quantile(0.99),
+		MaxNs:  max,
+	}
+}

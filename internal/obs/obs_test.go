@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStageNames(t *testing.T) {
+	want := map[Stage]string{
+		StageParse:     "parse",
+		StageChase:     "chase",
+		StageEnumerate: "enumerate",
+		StageBuildCR:   "buildcr",
+		StageContain:   "contain",
+	}
+	for st, name := range want {
+		if st.String() != name {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), name)
+		}
+	}
+	if Stage(99).String() != "unknown" {
+		t.Errorf("out-of-range stage = %q", Stage(99).String())
+	}
+}
+
+// A nil span must be a valid recorder that records nothing and never
+// reads the clock via Start.
+func TestNilSpanIsNoop(t *testing.T) {
+	var sp *Span
+	start := sp.Start()
+	if !start.IsZero() {
+		t.Error("nil Start() should return the zero time")
+	}
+	sp.Observe(StageEnumerate, start) // must not panic
+	sp.Add(StageEnumerate, time.Second)
+	if n, ns := sp.Load(StageEnumerate); n != 0 || ns != 0 {
+		t.Errorf("nil span recorded %d/%d", n, ns)
+	}
+	if sp.StageNs() != nil {
+		t.Error("nil span StageNs should be nil")
+	}
+}
+
+// A live span with a zero start (as produced by a nil span's Start)
+// must also ignore the observation: the pair is what hot paths emit.
+func TestSpanZeroStartIgnored(t *testing.T) {
+	sp := NewSpan()
+	sp.Observe(StageBuildCR, time.Time{})
+	if n, _ := sp.Load(StageBuildCR); n != 0 {
+		t.Errorf("zero start recorded %d credits", n)
+	}
+}
+
+func TestSpanAccumulates(t *testing.T) {
+	sp := NewSpan()
+	sp.Add(StageEnumerate, 3*time.Millisecond)
+	sp.Add(StageEnumerate, 2*time.Millisecond)
+	sp.Add(StageContain, time.Millisecond)
+	if n, ns := sp.Load(StageEnumerate); n != 2 || ns != int64(5*time.Millisecond) {
+		t.Errorf("enumerate = %d credits / %dns", n, ns)
+	}
+	m := sp.StageNs()
+	if len(m) != 2 || m["enumerate"] != int64(5*time.Millisecond) || m["contain"] != int64(time.Millisecond) {
+		t.Errorf("StageNs = %v", m)
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	if SpanFrom(context.Background()) != nil {
+		t.Error("empty context should carry no span")
+	}
+	sp := NewSpan()
+	ctx := WithSpan(context.Background(), sp)
+	if SpanFrom(ctx) != sp {
+		t.Error("span lost in context round-trip")
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.MaxNs != 0 {
+		t.Errorf("empty histogram snapshot = %+v", s)
+	}
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Millisecond) // falls in the ≤1.024ms bucket
+	}
+	h.Observe(10 * time.Second)
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.MaxNs != int64(10*time.Second) {
+		t.Errorf("max = %d", s.MaxNs)
+	}
+	// p50/p90 land in the millisecond bucket (upper bound 1.024ms); p99
+	// must not exceed the observed max.
+	if s.P50Ns > int64(2*time.Millisecond) || s.P90Ns > int64(2*time.Millisecond) {
+		t.Errorf("p50/p90 = %d/%d, want ≲1ms bucket bound", s.P50Ns, s.P90Ns)
+	}
+	if s.P99Ns > s.MaxNs {
+		t.Errorf("p99 %d exceeds max %d", s.P99Ns, s.MaxNs)
+	}
+	if got := s.MeanNs; got < int64(50*time.Millisecond) || got > int64(200*time.Millisecond) {
+		t.Errorf("mean = %d, want ~101ms", got)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Duration(1) << 62) // beyond the last bound
+	h.Observe(-time.Second)           // clamped to zero
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P99Ns != s.MaxNs {
+		t.Errorf("overflow p99 = %d, want max %d", s.P99Ns, s.MaxNs)
+	}
+}
+
+func TestEndpointObserve(t *testing.T) {
+	r := NewRegistry()
+	ep := r.Endpoint("rewrite")
+	if r.Endpoint("rewrite") != ep {
+		t.Fatal("Endpoint must return the same aggregate per name")
+	}
+	ep.Observe(200, time.Millisecond)
+	ep.Observe(200, time.Millisecond)
+	ep.Observe(422, time.Microsecond)
+	ep.Observe(700, time.Microsecond) // out of range → "other"
+	snap := r.Snapshot()
+	es, ok := snap.Endpoints["rewrite"]
+	if !ok {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if es.Requests != 4 {
+		t.Errorf("requests = %d", es.Requests)
+	}
+	if es.Status["2xx"] != 2 || es.Status["4xx"] != 1 || es.Status["other"] != 1 {
+		t.Errorf("status = %v", es.Status)
+	}
+	if es.Latency.Count != 4 {
+		t.Errorf("latency count = %d", es.Latency.Count)
+	}
+}
+
+func TestRegistryObserveSpan(t *testing.T) {
+	r := NewRegistry()
+	sp := NewSpan()
+	sp.Add(StageEnumerate, 2*time.Millisecond)
+	sp.Add(StageEnumerate, time.Millisecond)
+	sp.Add(StageContain, time.Millisecond)
+	r.ObserveSpan(sp)
+	r.ObserveSpan(nil) // no-op
+	r.ObserveStage(StageParse, time.Microsecond)
+	snap := r.Snapshot()
+	enum := snap.Stages["enumerate"]
+	if enum.Count != 2 || enum.TotalNs != int64(3*time.Millisecond) {
+		t.Errorf("enumerate = %+v", enum)
+	}
+	// The stage histogram sees the span's per-request total, not the
+	// individual credits.
+	if enum.Latency.Count != 1 {
+		t.Errorf("enumerate latency count = %d, want 1 request", enum.Latency.Count)
+	}
+	if snap.Stages["parse"].Count != 1 {
+		t.Errorf("parse = %+v", snap.Stages["parse"])
+	}
+	if _, ok := snap.Stages["chase"]; ok {
+		t.Error("untouched stage should be omitted from the snapshot")
+	}
+}
+
+// Span credits and registry folds must be race-free: the MCR pipeline
+// credits stages from parallel workers while the server snapshots.
+func TestConcurrentSpansAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	ep := r.Endpoint("rewrite")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := NewSpan()
+				sp.Add(StageBuildCR, time.Microsecond)
+				sp.Add(StageContain, time.Microsecond)
+				r.ObserveSpan(sp)
+				ep.Observe(200, time.Microsecond)
+				if i%50 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := snap.Stages["buildcr"].Count; got != 8*200 {
+		t.Errorf("buildcr count = %d, want %d", got, 8*200)
+	}
+	if got := snap.Endpoints["rewrite"].Requests; got != 8*200 {
+		t.Errorf("requests = %d, want %d", got, 8*200)
+	}
+}
+
+func TestSlowLogDisabledByDefaultThreshold(t *testing.T) {
+	l := NewSlowLog(0, 4)
+	if l.Threshold() != 0 {
+		t.Errorf("threshold = %v", l.Threshold())
+	}
+	l.SetThreshold(time.Second)
+	if l.Threshold() != time.Second {
+		t.Errorf("threshold = %v", l.Threshold())
+	}
+}
+
+func TestSlowLogRingEviction(t *testing.T) {
+	l := NewSlowLog(time.Millisecond, 3)
+	for i := 0; i < 5; i++ {
+		l.Record(SlowEntry{Op: "rewrite", Query: fmt.Sprintf("q%d", i)})
+	}
+	snap := l.Snapshot()
+	if snap.Total != 5 {
+		t.Errorf("total = %d", snap.Total)
+	}
+	if len(snap.Entries) != 3 {
+		t.Fatalf("retained %d entries", len(snap.Entries))
+	}
+	// Newest first: q4, q3, q2 survive.
+	for i, want := range []string{"q4", "q3", "q2"} {
+		if snap.Entries[i].Query != want {
+			t.Errorf("entry %d = %q, want %q", i, snap.Entries[i].Query, want)
+		}
+	}
+}
+
+func TestSlowLogConcurrentRecord(t *testing.T) {
+	l := NewSlowLog(time.Millisecond, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Record(SlowEntry{Op: "rewrite"})
+				if i%25 == 0 {
+					l.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if snap := l.Snapshot(); snap.Total != 800 || len(snap.Entries) != 8 {
+		t.Errorf("total=%d retained=%d", snap.Total, len(snap.Entries))
+	}
+}
+
+func TestPublishTwiceIsNoop(t *testing.T) {
+	Publish("obs_test_var", func() any { return 1 })
+	Publish("obs_test_var", func() any { return 2 }) // must not panic
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A Registry aggregates observations across requests: per-endpoint
+// request/status/latency metrics and per-stage pipeline timings. One
+// Registry backs one Engine (and the HTTP surface in front of it); its
+// Snapshot is the document GET /metrics serves and expvar republishes.
+type Registry struct {
+	mu        sync.Mutex
+	endpoints map[string]*Endpoint // guarded by mu
+
+	stages [NumStages]stageAgg
+}
+
+// stageAgg accumulates one pipeline stage across requests.
+type stageAgg struct {
+	count atomic.Int64
+	ns    atomic.Int64
+	hist  Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{endpoints: make(map[string]*Endpoint)}
+}
+
+// An Endpoint holds the request metrics of one HTTP endpoint: request
+// count, status-class counts, and a latency histogram. All updates are
+// atomic.
+type Endpoint struct {
+	requests atomic.Int64
+	status   [6]atomic.Int64 // status/100; index 0 collects out-of-range codes
+	latency  Histogram
+}
+
+// Endpoint returns the named endpoint's metrics, creating them on first
+// use. Handlers should capture the result at mux construction time so
+// the per-request path never takes the registry lock.
+func (r *Registry) Endpoint(name string) *Endpoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ep := r.endpoints[name]
+	if ep == nil {
+		ep = &Endpoint{}
+		r.endpoints[name] = ep
+	}
+	return ep
+}
+
+// Observe records one served request with its HTTP status and duration.
+func (e *Endpoint) Observe(status int, d time.Duration) {
+	e.requests.Add(1)
+	class := status / 100
+	if class < 1 || class > 5 {
+		class = 0
+	}
+	e.status[class].Add(1)
+	e.latency.Observe(d)
+}
+
+// ObserveStage records one direct stage observation (used for stages
+// measured outside a span, like request parsing).
+func (r *Registry) ObserveStage(st Stage, d time.Duration) {
+	a := &r.stages[st]
+	a.count.Add(1)
+	a.ns.Add(int64(d))
+	a.hist.Observe(d)
+}
+
+// ObserveSpan folds one finished request span into the per-stage
+// aggregates: stage credit counts and nanoseconds accumulate, and each
+// stage's per-request total feeds that stage's latency histogram.
+func (r *Registry) ObserveSpan(sp *Span) {
+	if sp == nil {
+		return
+	}
+	for st := Stage(0); st < NumStages; st++ {
+		n, ns := sp.Load(st)
+		if n == 0 {
+			continue
+		}
+		a := &r.stages[st]
+		a.count.Add(n)
+		a.ns.Add(ns)
+		a.hist.Observe(time.Duration(ns))
+	}
+}
+
+// EndpointSnapshot is the /metrics view of one endpoint.
+type EndpointSnapshot struct {
+	Requests int64             `json:"requests"`
+	Status   map[string]int64  `json:"status,omitempty"`
+	Latency  HistogramSnapshot `json:"latency"`
+}
+
+// StageSnapshot is the /metrics view of one pipeline stage. Count is
+// the number of stage credits (per-embedding credits included, so it
+// can exceed the request count); TotalNs their summed duration; Latency
+// summarizes the per-request stage totals.
+type StageSnapshot struct {
+	Count   int64             `json:"count"`
+	TotalNs int64             `json:"total_ns"`
+	Latency HistogramSnapshot `json:"latency"`
+}
+
+// CacheSnapshot is the /metrics view of the rewrite cache. Hits are
+// completed-entry lookups, Misses leader computations, Dedups follower
+// waits collapsed onto an in-flight leader — the three are disjoint, so
+// hits+misses+dedups equals the number of cache lookups.
+type CacheSnapshot struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Dedups  int64 `json:"dedups"`
+	Entries int   `json:"entries"`
+}
+
+// Snapshot is the full observability document: what GET /metrics
+// serves, what expvar republishes, and (for the Stages section) what
+// qavbench -json embeds, so offline benchmarks and live serving report
+// through one schema. Endpoints and Stages come from the Registry;
+// Cache, Engine and SlowLog are filled by the engine.
+type Snapshot struct {
+	Endpoints map[string]EndpointSnapshot `json:"endpoints,omitempty"`
+	Stages    map[string]StageSnapshot    `json:"stages,omitempty"`
+	Cache     *CacheSnapshot              `json:"cache,omitempty"`
+	Engine    map[string]int64            `json:"engine,omitempty"`
+	SlowLog   *SlowLogSnapshot            `json:"slowLog,omitempty"`
+}
+
+// Snapshot returns the registry's endpoint and stage aggregates.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{Stages: make(map[string]StageSnapshot, int(NumStages))}
+	for st := Stage(0); st < NumStages; st++ {
+		a := &r.stages[st]
+		count := a.count.Load()
+		if count == 0 {
+			continue
+		}
+		snap.Stages[st.String()] = StageSnapshot{
+			Count:   count,
+			TotalNs: a.ns.Load(),
+			Latency: a.hist.Snapshot(),
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.endpoints) > 0 {
+		snap.Endpoints = make(map[string]EndpointSnapshot, len(r.endpoints))
+		for name, ep := range r.endpoints {
+			es := EndpointSnapshot{
+				Requests: ep.requests.Load(),
+				Latency:  ep.latency.Snapshot(),
+			}
+			for class := range ep.status {
+				if n := ep.status[class].Load(); n > 0 {
+					if es.Status == nil {
+						es.Status = make(map[string]int64, 2)
+					}
+					es.Status[statusClassName(class)] = n
+				}
+			}
+			snap.Endpoints[name] = es
+		}
+	}
+	return snap
+}
+
+func statusClassName(class int) string {
+	switch class {
+	case 1, 2, 3, 4, 5:
+		return string(rune('0'+class)) + "xx"
+	default:
+		return "other"
+	}
+}
+
+// Publish registers fn's value under name in the process-wide expvar
+// namespace, so /debug/vars exposes the same document as /metrics.
+// Publishing a name twice is a no-op (expvar itself would panic).
+func Publish(name string, fn func() any) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(fn))
+}

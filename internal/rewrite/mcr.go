@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"qav/internal/obs"
 	"qav/internal/tpq"
 )
 
@@ -84,7 +85,10 @@ func MCR(q, v *tpq.Pattern, opts Options) (*Result, error) {
 		limit = DefaultMaxEmbeddings
 	}
 	ctx := opts.ctx()
+	sp := obs.SpanFrom(ctx)
+	t := sp.Start()
 	labels := ComputeLabels(q, v, nil)
+	sp.Observe(obs.StageEnumerate, t)
 	if !labels.Exists() {
 		return &Result{Union: &tpq.Union{}}, nil
 	}
@@ -121,12 +125,21 @@ type seqCR struct {
 // thus every downstream result, including which embedding represents a
 // structurally duplicated CR) matches the serial enumeration order.
 func generateCRs(ctx context.Context, labels *Labeling, q, v *tpq.Pattern, limit int) ([]*ContainedRewriting, int, error) {
+	// Stage accounting: a nil span costs a nil check per credit and no
+	// clock reads. Span credits are atomic, so the parallel workers
+	// below record into it directly.
+	sp := obs.SpanFrom(ctx)
 	buildVerify := func(f *Embedding) (*ContainedRewriting, error) {
+		t := sp.Start()
 		cr, err := BuildCR(f, v)
+		sp.Observe(obs.StageBuildCR, t)
 		if err != nil {
 			return nil, fmt.Errorf("rewrite: embedding %s: %w", f, err)
 		}
-		if !cr.VerifyContained(q) {
+		t = sp.Start()
+		contained := cr.VerifyContained(q)
+		sp.Observe(obs.StageContain, t)
+		if !contained {
 			// Useful embeddings induce contained rewritings by
 			// construction; reaching this indicates a bug upstream.
 			return nil, fmt.Errorf("rewrite: internal error: CR %s not contained in %s (embedding %s)", cr.Rewriting, q, f)
@@ -203,7 +216,12 @@ func generateCRs(ctx context.Context, labels *Labeling, q, v *tpq.Pattern, limit
 		return send(f)
 	}
 
+	// The Stream call is the enumeration driver; in pipeline mode its
+	// wall time overlaps the workers' buildcr/contain time, so stage
+	// totals may sum past the request's duration.
+	t := sp.Start()
 	streamErr := labels.Stream(ctx, limit, emit)
+	sp.Observe(obs.StageEnumerate, t)
 
 	if in == nil {
 		// Serial path: the whole enumeration fit in the head buffer.
@@ -266,11 +284,16 @@ func assembleResult(ctx context.Context, crs []*ContainedRewriting, considered i
 	// compact representative.
 	sortCRs(uniq)
 	// Redundancy elimination: drop CRs strictly contained in another,
-	// and keep one representative per equivalence class.
+	// and keep one representative per equivalence class. This quadratic
+	// containment matrix is the dominating phase on exponential MCRs, so
+	// it is credited to the contain stage.
+	sp := obs.SpanFrom(ctx)
+	t := sp.Start()
 	kept := make([]*ContainedRewriting, 0, len(uniq))
 	redundant, err := markRedundant(ctx, len(uniq), func(i, j int) bool {
 		return tpq.Contained(uniq[i].Rewriting, uniq[j].Rewriting)
 	})
+	sp.Observe(obs.StageContain, t)
 	if err != nil {
 		return nil, err
 	}

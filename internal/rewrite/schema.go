@@ -6,6 +6,7 @@ import (
 
 	"qav/internal/chase"
 	"qav/internal/constraints"
+	"qav/internal/obs"
 	"qav/internal/schema"
 	"qav/internal/tpq"
 )
@@ -83,7 +84,7 @@ func (sc *SchemaContext) graftCut(dVTag string) CutCheck {
 // intelligently chased view exists whose induced rewriting is
 // satisfiable w.r.t. the schema. Runs in polynomial time (Theorem 9).
 func (sc *SchemaContext) AnswerableWithSchema(q, v *tpq.Pattern) bool {
-	cr, err := sc.mcrSingle(q, v)
+	cr, err := sc.mcrSingle(nil, q, v)
 	return err == nil && cr != nil
 }
 
@@ -93,10 +94,18 @@ func (sc *SchemaContext) AnswerableWithSchema(q, v *tpq.Pattern) bool {
 // is a single tree pattern; the result union carries zero or one CR.
 // For recursive schemas use MCRRecursive.
 func (sc *SchemaContext) MCRWithSchema(q, v *tpq.Pattern) (*Result, error) {
+	return sc.MCRWithSchemaCtx(context.Background(), q, v)
+}
+
+// MCRWithSchemaCtx is MCRWithSchema with a context carrying stage
+// instrumentation (obs.WithSpan). The recursion-free pipeline is
+// polynomial, so the context is not consulted for cancellation — only
+// for its span.
+func (sc *SchemaContext) MCRWithSchemaCtx(ctx context.Context, q, v *tpq.Pattern) (*Result, error) {
 	if sc.Schema.IsRecursive() {
 		return nil, fmt.Errorf("rewrite: schema is recursive; use MCRRecursive")
 	}
-	cr, err := sc.mcrSingle(q, v)
+	cr, err := sc.mcrSingle(obs.SpanFrom(ctx), q, v)
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +126,7 @@ func (sc *SchemaContext) MCRWithSchema(q, v *tpq.Pattern) (*Result, error) {
 // schema-guaranteed nodes need not be re-checked, per Example 3), and
 // validate satisfiability and schema-relative containment. Returns
 // (nil, nil) when no MCR exists.
-func (sc *SchemaContext) mcrSingle(q, v *tpq.Pattern) (*ContainedRewriting, error) {
+func (sc *SchemaContext) mcrSingle(sp *obs.Span, q, v *tpq.Pattern) (*ContainedRewriting, error) {
 	if q.HasWildcard() || v.HasWildcard() {
 		return nil, fmt.Errorf("rewrite: wildcard patterns are outside XP{/,//,[]}; the MCR algorithms do not support them")
 	}
@@ -126,22 +135,32 @@ func (sc *SchemaContext) mcrSingle(q, v *tpq.Pattern) (*ContainedRewriting, erro
 		// instances admits no rewriting with a non-empty instance.
 		return nil, nil
 	}
+	t := sp.Start()
 	vPrime := chase.Intelligent(v, q, sc.Sigma)
+	sp.Observe(obs.StageChase, t)
+	t = sp.Start()
 	labels := ComputeLabels(q, vPrime, sc.graftCut(vPrime.Output.Tag))
 	f := labels.greedyMaximal()
+	sp.Observe(obs.StageEnumerate, t)
 	if f == nil {
 		return nil, nil
 	}
+	t = sp.Start()
 	cr, err := BuildCR(f, v)
+	sp.Observe(obs.StageBuildCR, t)
 	if err != nil {
 		return nil, err
 	}
+	t = sp.Start()
 	if !sc.Schema.Satisfiable(cr.Rewriting) {
 		// Theorem 7(ii): the rewriting must totally embed into the
 		// schema graph.
+		sp.Observe(obs.StageContain, t)
 		return nil, nil
 	}
-	if !sc.SContained(cr.Rewriting, q) {
+	ok := sc.SContained(cr.Rewriting, q)
+	sp.Observe(obs.StageContain, t)
+	if !ok {
 		return nil, fmt.Errorf("rewrite: internal error: CR %s not S-contained in %s", cr.Rewriting, q)
 	}
 	return cr, nil
@@ -210,9 +229,14 @@ func (sc *SchemaContext) MCRRecursive(q, v *tpq.Pattern, opts Options) (*Result,
 	if !sc.Schema.Satisfiable(v) || !sc.Schema.Satisfiable(q) {
 		return &Result{Union: &tpq.Union{}}, nil
 	}
+	sp := obs.SpanFrom(ctx)
+	t := sp.Start()
 	vPrime := chase.Intelligent(v, q, sc.Sigma)
+	sp.Observe(obs.StageChase, t)
+	t = sp.Start()
 	labels := ComputeLabels(q, vPrime, sc.graftCut(vPrime.Output.Tag))
 	embeddings, err := labels.Enumerate(ctx, limit)
+	sp.Observe(obs.StageEnumerate, t)
 	if err != nil {
 		return nil, err
 	}
@@ -223,14 +247,20 @@ func (sc *SchemaContext) MCRRecursive(q, v *tpq.Pattern, opts Options) (*Result,
 				return nil, err
 			}
 		}
+		t = sp.Start()
 		cr, err := BuildCR(f, v)
+		sp.Observe(obs.StageBuildCR, t)
 		if err != nil {
 			return nil, err
 		}
-		if !sc.Schema.Satisfiable(cr.Rewriting) {
+		t = sp.Start()
+		sat := sc.Schema.Satisfiable(cr.Rewriting)
+		contained := sat && sc.SContained(cr.Rewriting, q)
+		sp.Observe(obs.StageContain, t)
+		if !sat {
 			continue
 		}
-		if !sc.SContained(cr.Rewriting, q) {
+		if !contained {
 			return nil, fmt.Errorf("rewrite: internal error: CR %s not S-contained in %s", cr.Rewriting, q)
 		}
 		crs = append(crs, cr)
@@ -251,9 +281,12 @@ func (sc *SchemaContext) assembleSchemaResult(ctx context.Context, crs []*Contai
 		}
 	}
 	sortCRs(uniq)
+	sp := obs.SpanFrom(ctx)
+	t := sp.Start()
 	redundant, err := markRedundant(ctx, len(uniq), func(i, j int) bool {
 		return sc.SContained(uniq[i].Rewriting, uniq[j].Rewriting)
 	})
+	sp.Observe(obs.StageContain, t)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,8 @@
 //	POST /v1/answer   {query, view, document, schema?}
 //	POST /v1/contain  {p, q, schema?}
 //	GET  /v1/stats
+//	GET  /v1/slowlog
+//	GET  /metrics
 //	GET  /healthz
 //
 // The handlers are thin JSON adapters over internal/engine: one shared
@@ -13,19 +15,31 @@
 // per-schema constraint contexts, and the enumeration budget. Each
 // request's context is threaded into the pipeline, so a client
 // disconnect or server deadline stops an exponential enumeration.
+//
+// Every endpoint is wrapped in a metrics middleware that records
+// request counts, status classes and latency into the Engine's
+// obs.Registry; GET /metrics serves the combined snapshot (endpoint,
+// stage, cache and slow-query-log sections) as JSON.
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
-	"strings"
+	"time"
 
 	"qav/internal/engine"
+	"qav/internal/obs"
 	"qav/internal/rewrite"
 )
+
+// maxBodyBytes bounds request bodies; anything larger is refused with
+// 413 before the decoder buffers it.
+const maxBodyBytes = 16 << 20
 
 // New returns the service's HTTP handler backed by a fresh Engine with
 // default bounds.
@@ -38,15 +52,23 @@ func New() http.Handler {
 // entry points, or tune its bounds.
 func NewWith(eng *engine.Engine) http.Handler {
 	s := &service{eng: eng}
+	reg := eng.Metrics()
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		// The endpoint label is the route pattern, not the raw URL, so
+		// cardinality stays bounded no matter what clients send.
+		mux.Handle(pattern, instrument(reg.Endpoint(pattern), h))
+	}
+	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/rewrite", s.handleRewrite)
-	mux.HandleFunc("POST /v1/answer", s.handleAnswer)
-	mux.HandleFunc("POST /v1/contain", s.handleContain)
+	handle("GET /v1/stats", s.handleStats)
+	handle("GET /v1/slowlog", s.handleSlowLog)
+	handle("GET /metrics", s.handleMetrics)
+	handle("POST /v1/rewrite", s.handleRewrite)
+	handle("POST /v1/answer", s.handleAnswer)
+	handle("POST /v1/contain", s.handleContain)
 	return mux
 }
 
@@ -54,15 +76,60 @@ type service struct {
 	eng *engine.Engine
 }
 
+// statusWriter remembers the first status code written so the metrics
+// middleware can classify the response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler to record request count, status class and
+// latency into ep.
+func instrument(ep *obs.Endpoint, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		ep.Observe(status, time.Since(start))
+	})
+}
+
 func (s *service) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	writeJSON(w, map[string]int64{
 		"cacheHits":      st.CacheHits,
 		"cacheMisses":    st.CacheMisses,
+		"cacheDedups":    st.CacheDedups,
 		"cacheEntries":   int64(st.CacheEntries),
 		"schemaContexts": int64(st.SchemaContexts),
 		"storedViews":    int64(st.StoredViews),
 	})
+}
+
+func (s *service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.eng.MetricsSnapshot())
+}
+
+func (s *service) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.eng.SlowLog().Snapshot())
 }
 
 type rewriteRequest struct {
@@ -85,8 +152,8 @@ type rewriteResponse struct {
 
 func (s *service) handleRewrite(w http.ResponseWriter, r *http.Request) {
 	var req rewriteRequest
-	if err := decode(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if err := decode(w, r, &req); err != nil {
+		httpError(w, decodeStatus(err), err)
 		return
 	}
 	res, err := s.eng.RewriteExpr(r.Context(), engine.RewriteRequest{
@@ -134,8 +201,8 @@ type answerResponse struct {
 
 func (s *service) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	var req answerRequest
-	if err := decode(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if err := decode(w, r, &req); err != nil {
+		httpError(w, decodeStatus(err), err)
 		return
 	}
 	ans, err := s.eng.AnswerExpr(r.Context(), engine.AnswerRequest{
@@ -169,8 +236,8 @@ type containResponse struct {
 
 func (s *service) handleContain(w http.ResponseWriter, r *http.Request) {
 	var req containRequest
-	if err := decode(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if err := decode(w, r, &req); err != nil {
+		httpError(w, decodeStatus(err), err)
 		return
 	}
 	pInQ, qInP, err := s.eng.ContainExpr(r.Context(), engine.ContainRequest{P: req.P, Q: req.Q, Schema: req.Schema})
@@ -208,28 +275,56 @@ func containStatusFor(err error) int {
 	return statusFor(err)
 }
 
-func decode(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 16<<20))
+// decode parses exactly one JSON object from the request body. A body
+// with trailing garbage after the object ("{}{}", "{} extra") is
+// rejected: a second Decode must report io.EOF, otherwise the request
+// is ambiguous and refusing it beats silently ignoring half of it.
+// Oversized bodies surface as *http.MaxBytesError, which decodeStatus
+// maps to 413.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("bad request body: %w", err)
 	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return fmt.Errorf("bad request body: unexpected data after JSON object")
+	}
 	return nil
 }
 
+// decodeStatus maps a decode failure to its HTTP status: an oversized
+// body is 413 Content Too Large, anything else is the client's 400.
+func decodeStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// writeJSON marshals v fully before touching the ResponseWriter, so an
+// encoding failure can still become a clean 500 instead of a 200 with
+// half a body and a second JSON object glued on.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		// Too late for a status change; best effort.
-		fmt.Fprintln(w, `{"error":"encoding failure"}`)
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("encoding response: %w", err))
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {
+	// json.Marshal of a string cannot fail and escapes quotes properly,
+	// so the message survives round-tripping instead of having its
+	// quotes rewritten to apostrophes.
+	msg, _ := json.Marshal(err.Error())
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	msg := strings.ReplaceAll(err.Error(), `"`, `'`)
-	fmt.Fprintf(w, "{\n  \"error\": %q\n}\n", msg)
+	fmt.Fprintf(w, "{\n  \"error\": %s\n}\n", msg)
 }

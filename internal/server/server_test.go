@@ -2,11 +2,15 @@ package server
 
 import (
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"qav/internal/engine"
 )
 
 func post(t *testing.T, h http.Handler, path, body string) (*httptest.ResponseRecorder, map[string]any) {
@@ -179,6 +183,171 @@ func TestCacheStats(t *testing.T) {
 	}
 	if out["cacheHits"] < 1 || out["cacheMisses"] < 1 || out["cacheEntries"] < 1 {
 		t.Errorf("stats = %v", out)
+	}
+}
+
+// A body is exactly one JSON object: trailing garbage after it is
+// rejected instead of silently ignored, while trailing whitespace is
+// fine.
+func TestDecodeTrailingGarbage(t *testing.T) {
+	h := New()
+	valid := `{"query":"//a[b]","view":"//a"}`
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"clean", valid, http.StatusOK},
+		{"trailing whitespace", valid + "\n  \t", http.StatusOK},
+		{"second object", valid + `{"query":"//x","view":"//y"}`, http.StatusBadRequest},
+		{"empty second object", valid + `{}`, http.StatusBadRequest},
+		{"trailing token", valid + ` true`, http.StatusBadRequest},
+		{"trailing text", valid + ` garbage`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		rec, out := post(t, h, "/v1/rewrite", tc.body)
+		if rec.Code != tc.code {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, rec.Code, tc.code, rec.Body.String())
+		}
+		if tc.code != http.StatusOK && out["error"] == nil {
+			t.Errorf("%s: no error field", tc.name)
+		}
+	}
+}
+
+// Oversized bodies are refused with 413, not a generic 400.
+func TestBodyTooLarge(t *testing.T) {
+	h := New()
+	body := `{"query":"` + strings.Repeat("a", maxBodyBytes+1) + `","view":"//a"}`
+	rec, out := post(t, h, "/v1/rewrite", body)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", rec.Code)
+	}
+	if out["error"] == nil {
+		t.Error("no error field")
+	}
+}
+
+// writeJSON must not write a 200 header (or half a body) when encoding
+// fails; the client gets one well-formed error object with a 500.
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, math.NaN()) // NaN has no JSON encoding
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("response is not one JSON object: %q", rec.Body.String())
+	}
+	if out["error"] == nil {
+		t.Error("no error field")
+	}
+}
+
+// Error messages keep their double quotes: JSON escaping handles them,
+// so `unknown field "bogus"` must not arrive as 'bogus'.
+func TestErrorMessagePreservesQuotes(t *testing.T) {
+	h := New()
+	rec, out := post(t, h, "/v1/rewrite", `{"query":"//a","view":"//b","bogus":1}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+	msg, _ := out["error"].(string)
+	if !strings.Contains(msg, `"bogus"`) {
+		t.Errorf("error %q lost its quoted field name", msg)
+	}
+	if strings.Contains(msg, "'bogus'") {
+		t.Errorf("error %q had its quotes mangled to apostrophes", msg)
+	}
+}
+
+// GET /metrics reports per-endpoint request/status/latency counters and
+// per-stage pipeline timings after traffic has flowed.
+func TestMetricsEndpoint(t *testing.T) {
+	h := New()
+	post(t, h, "/v1/rewrite", `{"query":"//a[b]","view":"//a"}`) // 200, cold: stages run
+	post(t, h, "/v1/rewrite", `{bad`)                            // 400
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Endpoints map[string]struct {
+			Requests int64            `json:"requests"`
+			Status   map[string]int64 `json:"status"`
+			Latency  struct {
+				Count int64 `json:"count"`
+			} `json:"latency"`
+		} `json:"endpoints"`
+		Stages map[string]struct {
+			Count   int64 `json:"count"`
+			TotalNs int64 `json:"total_ns"`
+		} `json:"stages"`
+		Cache map[string]int64 `json:"cache"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	ep, ok := out.Endpoints["POST /v1/rewrite"]
+	if !ok {
+		t.Fatalf("no POST /v1/rewrite endpoint section: %s", rec.Body.String())
+	}
+	if ep.Requests != 2 || ep.Status["2xx"] != 1 || ep.Status["4xx"] != 1 {
+		t.Errorf("rewrite endpoint = %+v", ep)
+	}
+	if ep.Latency.Count != 2 {
+		t.Errorf("latency count = %d, want 2", ep.Latency.Count)
+	}
+	for _, st := range []string{"parse", "enumerate", "buildcr", "contain"} {
+		if out.Stages[st].Count == 0 || out.Stages[st].TotalNs == 0 {
+			t.Errorf("stage %s not recorded: %+v", st, out.Stages[st])
+		}
+	}
+	if out.Cache["misses"] != 1 {
+		t.Errorf("cache = %v", out.Cache)
+	}
+}
+
+// GET /v1/slowlog returns queries over the threshold with their stage
+// breakdown, newest first.
+func TestSlowLogEndpoint(t *testing.T) {
+	eng := engine.New(engine.Config{CacheSize: 16, SlowQueryThreshold: time.Nanosecond})
+	h := NewWith(eng)
+	post(t, h, "/v1/rewrite", `{"query":"//a[b]","view":"//a"}`) // any miss exceeds 1ns
+
+	req := httptest.NewRequest("GET", "/v1/slowlog", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Total   int64 `json:"total"`
+		Entries []struct {
+			Query      string           `json:"query"`
+			View       string           `json:"view"`
+			DurationNs int64            `json:"duration_ns"`
+			StageNs    map[string]int64 `json:"stage_ns"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Total != 1 || len(out.Entries) != 1 {
+		t.Fatalf("slowlog = %s", rec.Body.String())
+	}
+	// The log stores canonical forms so identical queries collate
+	// regardless of how the client spelled them.
+	e := out.Entries[0]
+	if e.Query == "" || e.View == "" || e.DurationNs <= 0 {
+		t.Errorf("entry = %+v", e)
+	}
+	if len(e.StageNs) == 0 {
+		t.Error("entry has no stage breakdown")
 	}
 }
 
