@@ -2,7 +2,7 @@ GO ?= go
 QAVLINT := $(CURDIR)/bin/qavlint
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint qavlint fmt fuzz clean
+.PHONY: all build test race lint qavlint fmt fuzz chaos clean
 
 all: build test lint
 
@@ -28,6 +28,15 @@ lint: qavlint
 
 fmt:
 	gofmt -w .
+
+# chaos runs the randomized fault-injection suite under the race
+# detector: CHAOS_SEED/CHAOS_RUNS override the fixed defaults.
+CHAOS_SEED ?= 20260806
+CHAOS_RUNS ?= 200
+chaos:
+	QAV_CHAOS_SEED=$(CHAOS_SEED) QAV_CHAOS_RUNS=$(CHAOS_RUNS) \
+		$(GO) test -race -run '^TestChaos' -v .
+	$(GO) test -race -run '^TestSoakMixedLoadWithFaults$$' .
 
 # fuzz smoke-runs every fuzz target for FUZZTIME each.
 fuzz:

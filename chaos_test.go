@@ -1,0 +1,198 @@
+package qav_test
+
+// Chaos suite: randomized fault injection over the full serving path.
+// Each run arms a random plan on the registered injection points
+// (internal/fault) and pushes requests through the HTTP handler; the
+// assertions are survival properties — every request returns a JSON
+// response with some status, the process neither crashes nor
+// deadlocks, and no goroutines outlive the storm. A companion test
+// pins that with every point disarmed the serving path is
+// byte-identical across repeated cold runs, so the probes themselves
+// cannot perturb results.
+//
+// The plan sequence is deterministic: seed and run count come from
+// QAV_CHAOS_SEED / QAV_CHAOS_RUNS when set (the CI chaos job runs a
+// small seed matrix), defaulting to a fixed seed and 200 runs.
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"qav/internal/engine"
+	"qav/internal/fault"
+	"qav/internal/leaktest"
+	"qav/internal/server"
+	"qav/internal/workload"
+)
+
+const chaosSchema = `root Trials
+Trials -> Trial*
+Trial -> Status? Site*
+Site -> Status?
+`
+
+// chaosEnvInt reads an integer override from the environment.
+func chaosEnvInt(t *testing.T, key string, def int64) int64 {
+	t.Helper()
+	s := os.Getenv(key)
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("%s=%q: %v", key, s, err)
+	}
+	return v
+}
+
+// chaosBodies is the request mix: schemaless rewrites (exercising
+// enumerate/buildcr/contain/worker/compute/singleflight), a schema
+// rewrite (exercising chase.step), and a containment check. Every
+// request passes through server.handler.
+func chaosBodies(rng *rand.Rand) []struct{ path, body string } {
+	alphabet := []string{"a", "b", "c"}
+	rq := workload.RandomPattern(rng, alphabet, 4).String()
+	rv := workload.RandomPattern(rng, alphabet, 4).String()
+	esc := func(s string) string {
+		b, _ := json.Marshal(s)
+		return string(b)
+	}
+	return []struct{ path, body string }{
+		{"/v1/rewrite", `{"query":` + esc(workload.Fig8Query(6).String()) + `,"view":` + esc(workload.Fig8View().String()) + `}`},
+		{"/v1/rewrite", `{"query":"//Trials[//Status]//Trial","view":"//Trials//Trial","schema":` + esc(chaosSchema) + `}`},
+		{"/v1/rewrite", `{"query":` + esc(rq) + `,"view":` + esc(rv) + `}`},
+		{"/v1/contain", `{"p":"//Trials//Trial[Status]","q":"//Trials//Trial","schema":` + esc(chaosSchema) + `}`},
+	}
+}
+
+// TestChaosRandomFaultsSurviveServing is the storm: ≥200 randomized
+// plans, each arming one guaranteed-rotating point (so every
+// registered point is exercised) plus random extras, with random
+// actions and firing probabilities, while requests flow. Survival =
+// every response is JSON with an HTTP status, the suite terminates
+// (no deadlock), and the deferred leak check sees every goroutine
+// gone. Run under -race.
+func TestChaosRandomFaultsSurviveServing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	defer leaktest.Check(t)()
+	defer fault.Disable()
+
+	seed := chaosEnvInt(t, "QAV_CHAOS_SEED", 20260806)
+	runs := int(chaosEnvInt(t, "QAV_CHAOS_RUNS", 200))
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("chaos: seed=%d runs=%d", seed, runs)
+
+	// Every point the serving path registers must be present: a rename
+	// must fail the chaos suite, not silently stop testing a stage.
+	names := fault.Names()
+	registered := make(map[string]bool, len(names))
+	for _, n := range names {
+		registered[n] = true
+	}
+	for _, want := range []string{
+		"cache.singleflight", "chase.step", "engine.compute",
+		"rewrite.buildcr", "rewrite.contain", "rewrite.enumerate",
+		"rewrite.worker", "server.handler",
+	} {
+		if !registered[want] {
+			t.Fatalf("injection point %q not registered (have %v)", want, names)
+		}
+	}
+
+	eng := engine.New(engine.Config{
+		CacheSize:     64,
+		Timeout:       2 * time.Second,
+		MaxEmbeddings: 1 << 16,
+	})
+	h := server.NewWith(eng)
+	actions := []fault.Action{fault.ActError, fault.ActPanic, fault.ActDelay, fault.ActCancel}
+	probs := []float64{1, 0.5, 0.05}
+
+	for run := 0; run < runs; run++ {
+		// Rotate the guaranteed point so all points fire regardless of
+		// run count; add up to two random extras for interaction
+		// coverage (e.g. delay in enumerate + panic in the worker).
+		plan := &fault.Plan{Seed: rng.Int63()}
+		pick := map[string]bool{names[run%len(names)]: true}
+		for i := rng.Intn(3); i > 0; i-- {
+			pick[names[rng.Intn(len(names))]] = true
+		}
+		for name := range pick {
+			plan.Injections = append(plan.Injections, fault.Injection{
+				Point:  name,
+				Action: actions[rng.Intn(len(actions))],
+				Prob:   probs[rng.Intn(len(probs))],
+				Delay:  time.Millisecond,
+			})
+		}
+		if err := fault.Enable(plan); err != nil {
+			t.Fatal(err)
+		}
+
+		bodies := chaosBodies(rng)
+		for j := 0; j < 2; j++ {
+			reqSpec := bodies[rng.Intn(len(bodies))]
+			req := httptest.NewRequest("POST", reqSpec.path, strings.NewReader(reqSpec.body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req) // must not crash or hang
+			if rec.Code == 0 {
+				t.Fatalf("run %d: no status written for %s", run, reqSpec.path)
+			}
+			var out map[string]any
+			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+				t.Fatalf("run %d: non-JSON response %d %q", run, rec.Code, rec.Body.String())
+			}
+		}
+	}
+	fault.Disable()
+
+	// After the storm the path must serve normally: drills leave no
+	// poisoned cache entries or wedged state behind.
+	req := httptest.NewRequest("POST", "/v1/rewrite", strings.NewReader(
+		`{"query":"//Trials[//Status]//Trial","view":"//Trials//Trial"}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-chaos rewrite = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out["answerable"] != true {
+		t.Fatalf("post-chaos rewrite unhealthy: %s", rec.Body.String())
+	}
+}
+
+// TestChaosDisabledByteIdentical pins the zero-perturbation property:
+// with every injection point disarmed, repeated cold runs (fresh
+// engine, empty cache) of a fixed request set produce byte-identical
+// response bodies. This is what licenses leaving the probes compiled
+// into production binaries.
+func TestChaosDisabledByteIdentical(t *testing.T) {
+	fault.Disable()
+	fixed := chaosBodies(rand.New(rand.NewSource(1)))
+	var reference []string
+	for round := 0; round < 3; round++ {
+		h := server.NewWith(engine.New(engine.Config{CacheSize: 64, MaxEmbeddings: 1 << 16}))
+		for i, spec := range fixed {
+			req := httptest.NewRequest("POST", spec.path, strings.NewReader(spec.body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("round %d request %d: status %d: %s", round, i, rec.Code, rec.Body.String())
+			}
+			if round == 0 {
+				reference = append(reference, rec.Body.String())
+			} else if got := rec.Body.String(); got != reference[i] {
+				t.Fatalf("round %d request %d diverged:\n got %s\nwant %s", round, i, got, reference[i])
+			}
+		}
+	}
+}

@@ -134,10 +134,18 @@ func cmdRewrite(ctx context.Context, eng *engine.Engine, args []string) error {
 		return err
 	}
 	if res.Union.Empty() {
+		if res.Partial {
+			fmt.Printf("PARTIAL (%s): generation stopped before finding any contained rewriting\n", res.PartialReason)
+			return nil
+		}
 		fmt.Println("not answerable: no contained rewriting exists")
 		return nil
 	}
-	fmt.Printf("maximal contained rewriting (%d CR(s)):\n", len(res.CRs))
+	if res.Partial {
+		fmt.Printf("PARTIAL (%s): sound but possibly non-maximal rewriting (%d CR(s)):\n", res.PartialReason, len(res.CRs))
+	} else {
+		fmt.Printf("maximal contained rewriting (%d CR(s)):\n", len(res.CRs))
+	}
 	for _, cr := range res.CRs {
 		fmt.Printf("  %-50s compensation: %s\n", cr.Rewriting, cr.Compensation)
 	}
@@ -185,6 +193,9 @@ func cmdAnswer(ctx context.Context, eng *engine.Engine, args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+	if ans.Result.Partial {
+		fmt.Printf("PARTIAL (%s): answers come from a sound but possibly non-maximal rewriting\n", ans.Result.PartialReason)
 	}
 	fmt.Printf("materialized view: %d nodes\n", len(ans.ViewNodes))
 	fmt.Printf("answers via view (%d):\n", len(ans.Answers))
@@ -405,6 +416,9 @@ func cmdMediate(ctx context.Context, eng *engine.Engine, args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+	if res.Partial {
+		fmt.Printf("PARTIAL (%s): sound but possibly non-maximal rewriting\n", res.PartialReason)
 	}
 	fmt.Println("rewriting:", res.Union)
 	fmt.Printf("answers (%d):\n", len(answers))

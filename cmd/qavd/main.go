@@ -29,10 +29,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"qav/internal/engine"
+	"qav/internal/limits"
 	"qav/internal/obs"
 	"qav/internal/server"
 )
@@ -45,7 +47,26 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
 	slowQuery := flag.Duration("slow-query", 100*time.Millisecond, "slow-query log threshold (0 = disabled)")
 	slowLogSize := flag.Int("slow-log-size", 128, "slow-query log ring capacity")
+	maxInFlight := flag.Int("max-inflight", 4*runtime.GOMAXPROCS(0), "concurrent rewriting computations admitted (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 128, "computations waiting for an admission slot before shedding")
+	queueTimeout := flag.Duration("queue-timeout", time.Second, "longest a computation may wait for admission before shedding")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 	flag.Parse()
+
+	// Admission control in front of Engine compute: cache hits and
+	// deduplicated followers bypass the gate; overflowing computations
+	// shed with 429 + Retry-After instead of piling up goroutines.
+	var gate *limits.Gate
+	if *maxInFlight > 0 {
+		gate = limits.New(limits.Config{
+			MaxInFlight:  *maxInFlight,
+			MaxQueue:     *maxQueue,
+			QueueTimeout: *queueTimeout,
+		})
+	}
 
 	eng := engine.New(engine.Config{
 		CacheSize:          *cacheSize,
@@ -53,6 +74,7 @@ func main() {
 		MaxEmbeddings:      *maxEmbeddings,
 		SlowQueryThreshold: *slowQuery,
 		SlowLogSize:        *slowLogSize,
+		Gate:               gate,
 	})
 	eng.SlowLog().SetLogger(log.Default())
 	// The metrics snapshot is also published through expvar so any
@@ -74,9 +96,10 @@ func main() {
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      60 * time.Second,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

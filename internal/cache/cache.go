@@ -11,10 +11,16 @@ import (
 	"errors"
 	"sync"
 
+	"qav/internal/fault"
+	"qav/internal/guard"
 	"qav/internal/rewrite"
 	"qav/internal/schema"
 	"qav/internal/tpq"
 )
+
+// faultFlight fires in the singleflight leader just before it runs the
+// computation (no-op unless a chaos plan arms it; see internal/fault).
+var faultFlight = fault.Register("cache.singleflight")
 
 // Cache is a bounded LRU of rewriting results with singleflight
 // deduplication of in-flight computations. The zero value is not
@@ -95,8 +101,9 @@ func (c *Cache) Get(key string) (res *rewrite.Result, ok bool, err error) {
 // enumeration budget overrun) would fail identically on every retry.
 // Error entries occupy ordinary LRU slots and age out like results;
 // they are never pinned. Callers must not Put context cancellation
-// errors — those describe the request, not the computation
-// (GetOrCompute filters them automatically).
+// errors, transient errors, or Partial results — those describe the
+// request or a momentary condition, not the computation (GetOrCompute
+// filters all of them automatically, see cacheable).
 func (c *Cache) Put(key string, res *rewrite.Result, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -160,16 +167,57 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() (*r
 		c.inflight[key] = f
 		c.mu.Unlock()
 
-		f.res, f.err = compute()
+		c.runLeader(ctx, key, f, compute)
+		return f.res, f.err
+	}
+}
+
+// runLeader executes the singleflight computation with panic isolation:
+// a panic inside compute becomes a typed ErrInternal for the leader AND
+// every follower, and the deferred cleanup guarantees the flight is
+// removed and its done channel closed on every path — a panicking
+// leader must never strand followers on a channel nobody will close.
+func (c *Cache) runLeader(ctx context.Context, key string, f *flight, compute func() (*rewrite.Result, error)) {
+	defer func() {
 		c.mu.Lock()
 		delete(c.inflight, key)
-		if !isContextErr(f.err) {
+		if cacheable(f.res, f.err) {
 			c.putLocked(key, f.res, f.err)
 		}
 		c.mu.Unlock()
 		close(f.done)
-		return f.res, f.err
+	}()
+	defer guard.Recover(&f.err, "cache.singleflight")
+	if err := faultFlight.Hit(ctx); err != nil {
+		f.err = err
+		return
 	}
+	f.res, f.err = compute()
+}
+
+// transient matches errors that mark themselves as one-off conditions
+// (recovered panics, injected faults, load shedding). Declared locally
+// so the cache needs no import of the packages producing them.
+type transient interface{ Transient() bool }
+
+// cacheable decides whether a flight's outcome may be stored. Context
+// errors describe the request, transient errors describe a momentary
+// condition, and partial results describe where one deadline happened
+// to land — none are properties of the (query, view, schema) key, so
+// caching any of them would serve a degraded answer to callers with
+// healthy budgets.
+func cacheable(res *rewrite.Result, err error) bool {
+	if err != nil {
+		if isContextErr(err) {
+			return false
+		}
+		var t transient
+		if errors.As(err, &t) && t.Transient() {
+			return false
+		}
+		return true
+	}
+	return res == nil || !res.Partial
 }
 
 // isContextErr reports whether err stems from cancellation or a missed

@@ -9,6 +9,8 @@ import (
 	"testing"
 	"time"
 
+	"qav/internal/fault"
+	"qav/internal/guard"
 	"qav/internal/rewrite"
 	"qav/internal/schema"
 	"qav/internal/tpq"
@@ -315,5 +317,151 @@ func TestDeterministicErrorsCached(t *testing.T) {
 	}
 	if calls != 2 {
 		t.Errorf("compute ran %d times after eviction, want 2", calls)
+	}
+}
+
+// A panic in the singleflight leader must not strand followers: the
+// flight fails with a typed internal error, every follower observes it,
+// and nothing is cached (the condition is transient).
+func TestLeaderPanicReleasesFollowers(t *testing.T) {
+	c := New(4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrCompute(context.Background(), "k", func() (*rewrite.Result, error) {
+			close(started)
+			<-release
+			panic("leader exploded")
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	const followers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.GetOrCompute(context.Background(), "k", func() (*rewrite.Result, error) {
+				t.Error("follower must not compute while the leader's flight is resolving")
+				return nil, nil
+			})
+		}(i)
+	}
+	// Give followers time to join the flight, then let the leader blow up.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if err := <-leaderDone; !errors.Is(err, guard.ErrInternal) {
+		t.Fatalf("leader err = %v, want ErrInternal", err)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, guard.ErrInternal) {
+			t.Errorf("follower %d err = %v, want ErrInternal", i, err)
+		}
+	}
+	// The recovered panic is transient: nothing may be cached, and the
+	// next computation runs afresh.
+	if _, ok, _ := c.Get("k"); ok {
+		t.Error("panicked flight was cached")
+	}
+	want := &rewrite.Result{}
+	got, err := c.GetOrCompute(context.Background(), "k", func() (*rewrite.Result, error) {
+		return want, nil
+	})
+	if err != nil || got != want {
+		t.Errorf("retry after panic: got %v, %v", got, err)
+	}
+}
+
+// Partial results are never cached: a deadline landing mid-computation
+// is a property of that request, and the next caller with a healthy
+// budget must get a chance at the full answer.
+func TestPartialResultsNotCached(t *testing.T) {
+	c := New(4)
+	calls := 0
+	partial := &rewrite.Result{Partial: true, PartialReason: rewrite.PartialDeadline}
+	full := &rewrite.Result{}
+	compute := func() (*rewrite.Result, error) {
+		calls++
+		if calls == 1 {
+			return partial, nil
+		}
+		return full, nil
+	}
+	got, err := c.GetOrCompute(context.Background(), "k", compute)
+	if err != nil || got != partial {
+		t.Fatalf("first call: got %v, %v", got, err)
+	}
+	got, err = c.GetOrCompute(context.Background(), "k", compute)
+	if err != nil || got != full {
+		t.Fatalf("second call: got %v, %v (partial must not be served from cache)", got, err)
+	}
+	if calls != 2 {
+		t.Errorf("compute ran %d times, want 2", calls)
+	}
+	// The full result, by contrast, is cached.
+	if _, err := c.GetOrCompute(context.Background(), "k", compute); err != nil || calls != 2 {
+		t.Errorf("full result was not cached (calls = %d)", calls)
+	}
+}
+
+// Transient errors (load shedding, injected faults) age out immediately:
+// they are returned to the waiters of the flight but never stored.
+func TestTransientErrorsNotCached(t *testing.T) {
+	c := New(4)
+	calls := 0
+	compute := func() (*rewrite.Result, error) {
+		calls++
+		if calls == 1 {
+			return nil, &guard.InternalError{Op: "test", Value: "transient"}
+		}
+		return &rewrite.Result{}, nil
+	}
+	if _, err := c.GetOrCompute(context.Background(), "k", compute); !errors.Is(err, guard.ErrInternal) {
+		t.Fatalf("first call err = %v, want ErrInternal", err)
+	}
+	if _, ok, _ := c.Get("k"); ok {
+		t.Fatal("transient error was cached")
+	}
+	if _, err := c.GetOrCompute(context.Background(), "k", compute); err != nil {
+		t.Fatalf("retry err = %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("compute ran %d times, want 2", calls)
+	}
+}
+
+// The cache.singleflight fault point injects failures into the leader
+// path; they surface as transient errors and are never cached.
+func TestSingleflightFaultPoint(t *testing.T) {
+	defer fault.Disable()
+	if err := fault.Enable(&fault.Plan{Seed: 7, Injections: []fault.Injection{
+		{Point: "cache.singleflight", Action: fault.ActError},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	c := New(4)
+	_, err := c.GetOrCompute(context.Background(), "k", func() (*rewrite.Result, error) {
+		t.Error("compute must not run when the flight fault fires first")
+		return nil, nil
+	})
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	fault.Disable()
+	if _, ok, _ := c.Get("k"); ok {
+		t.Fatal("injected failure was cached")
+	}
+	want := &rewrite.Result{}
+	got, err := c.GetOrCompute(context.Background(), "k", func() (*rewrite.Result, error) {
+		return want, nil
+	})
+	if err != nil || got != want {
+		t.Errorf("after disabling faults: got %v, %v", got, err)
 	}
 }

@@ -10,8 +10,13 @@ import (
 	"fmt"
 
 	"qav/internal/constraints"
+	"qav/internal/fault"
 	"qav/internal/tpq"
 )
+
+// faultStep fires once per fixpoint round of the exhaustive chase
+// (no-op unless a chaos plan arms it; see internal/fault).
+var faultStep = fault.Register("chase.step")
 
 // Options configures Exhaustive.
 type Options struct {
@@ -39,6 +44,9 @@ func Exhaustive(ctx context.Context, v *tpq.Pattern, sigma *constraints.Set, opt
 	steps := 0
 	for {
 		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := faultStep.Hit(ctx); err != nil {
 			return nil, err
 		}
 		changed := false

@@ -31,6 +31,9 @@ import (
 	"qav/internal/cache"
 	"qav/internal/chase"
 	"qav/internal/constraints"
+	"qav/internal/fault"
+	"qav/internal/guard"
+	"qav/internal/limits"
 	"qav/internal/obs"
 	"qav/internal/rewrite"
 	"qav/internal/schema"
@@ -38,6 +41,10 @@ import (
 	"qav/internal/viewstore"
 	"qav/internal/xmltree"
 )
+
+// faultCompute fires at the top of every computed (non-cache-hit)
+// rewriting (no-op unless a chaos plan arms it; see internal/fault).
+var faultCompute = fault.Register("engine.compute")
 
 // ErrNotAnswerable is returned by the Answer methods when the query has
 // no contained rewriting using the view.
@@ -83,6 +90,13 @@ type Config struct {
 	SlowQueryThreshold time.Duration
 	// SlowLogSize bounds the slow-query ring buffer; <= 0 means 128.
 	SlowLogSize int
+	// Gate, when non-nil, is the admission-control gate applied to every
+	// computed (non-cache-hit, non-follower) rewriting: the leader
+	// acquires a slot before running the pipeline and queues or sheds
+	// under saturation (*limits.SaturatedError). Cache hits and
+	// singleflight followers bypass the gate — they do not add compute
+	// load. nil means unlimited admission.
+	Gate *limits.Gate
 }
 
 // Engine is the shared rewriting pipeline. It is safe for concurrent
@@ -228,10 +242,18 @@ func (e *Engine) Rewrite(ctx context.Context, req Request) (*rewrite.Result, err
 	}
 	recursive := req.Schema != nil && (req.Recursive || req.Schema.IsRecursive())
 	compute := func() (*rewrite.Result, error) {
+		// Admission control guards compute, not lookups: only the
+		// singleflight leader reaches this closure, so cache hits and
+		// deduplicated followers never queue or shed.
+		release, err := e.cfg.Gate.Acquire(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 		sp := obs.NewSpan()
 		cctx := obs.WithSpan(ctx, sp)
 		start := time.Now()
-		res, err := e.runPipeline(cctx, req, recursive)
+		res, err := e.runPipelineGuarded(cctx, req, recursive)
 		e.observeRewrite(req, recursive, sp, time.Since(start), err)
 		return res, err
 	}
@@ -240,6 +262,18 @@ func (e *Engine) Rewrite(ctx context.Context, req Request) (*rewrite.Result, err
 	}
 	key := cache.Key(req.Query, req.View, req.Schema, recursive)
 	return e.cache.GetOrCompute(ctx, key, compute)
+}
+
+// runPipelineGuarded is runPipeline behind panic isolation: a panic
+// anywhere in the rewriting pipeline becomes a typed ErrInternal whose
+// stack observeRewrite preserves in the slow-query log, failing one
+// request instead of the process.
+func (e *Engine) runPipelineGuarded(ctx context.Context, req Request, recursive bool) (res *rewrite.Result, err error) {
+	defer guard.Recover(&err, "engine.rewrite")
+	if err := faultCompute.Hit(ctx); err != nil {
+		return nil, err
+	}
+	return e.runPipeline(ctx, req, recursive)
 }
 
 // runPipeline dispatches to the paper's three rewriting algorithms.
@@ -261,8 +295,13 @@ func (e *Engine) runPipeline(ctx context.Context, req Request, recursive bool) (
 // are cheap to build.
 func (e *Engine) observeRewrite(req Request, recursive bool, sp *obs.Span, d time.Duration, err error) {
 	e.metrics.ObserveSpan(sp)
+	// Recovered panics are recorded regardless of the latency threshold:
+	// the stack is the only evidence of the crash site, and a request
+	// that died early is exactly the one the threshold would drop.
+	var ie *guard.InternalError
+	internal := errors.As(err, &ie)
 	th := e.slow.Threshold()
-	if th <= 0 || d < th {
+	if !internal && (th <= 0 || d < th) {
 		return
 	}
 	entry := obs.SlowEntry{
@@ -279,6 +318,9 @@ func (e *Engine) observeRewrite(req Request, recursive bool, sp *obs.Span, d tim
 	}
 	if err != nil {
 		entry.Err = err.Error()
+	}
+	if internal {
+		entry.Stack = string(ie.Stack)
 	}
 	e.slow.Record(entry)
 }
@@ -531,6 +573,15 @@ func (e *Engine) MetricsSnapshot() obs.Snapshot {
 	snap.Engine = map[string]int64{
 		"schemaContexts": int64(st.SchemaContexts),
 		"storedViews":    int64(st.StoredViews),
+	}
+	if g := e.cfg.Gate; g != nil {
+		gs := g.Stats()
+		snap.Gate = &obs.GateSnapshot{
+			InFlight: gs.InFlight,
+			Queued:   gs.Queued,
+			Admitted: gs.Admitted,
+			Shed:     gs.Shed,
+		}
 	}
 	slow := e.slow.Snapshot()
 	snap.SlowLog = &slow

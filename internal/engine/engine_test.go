@@ -8,6 +8,10 @@ import (
 	"testing"
 	"time"
 
+	"qav/internal/fault"
+	"qav/internal/guard"
+	"qav/internal/leaktest"
+	"qav/internal/limits"
 	"qav/internal/rewrite"
 	"qav/internal/schema"
 	"qav/internal/tpq"
@@ -159,37 +163,69 @@ func TestRewriteCancelledUpfront(t *testing.T) {
 	}
 }
 
-// Cancellation mid-enumeration: the Figure 8 family has 2^n useful
+// Deadline mid-enumeration: the Figure 8 family has 2^n useful
 // embeddings and a quadratic redundancy-elimination phase on top, so an
 // uncancelled run at n=12 takes many seconds. A deadline must stop it
-// promptly with the context's error, well before the budget of
-// MaxEmbeddings is exhausted.
+// promptly — and, under graceful degradation, hand back the sound union
+// found so far as a Partial result rather than an error.
 func TestRewriteDeadlineStopsEnumeration(t *testing.T) {
+	defer leaktest.Check(t)()
 	e := New(Config{})
 	q, v := workload.Fig8Query(12), workload.Fig8View()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err := e.Rewrite(ctx, Request{Query: q, View: v, MaxEmbeddings: 1 << 22})
+	res, err := e.Rewrite(ctx, Request{Query: q, View: v, MaxEmbeddings: 1 << 22})
 	elapsed := time.Since(start)
-	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	if err != nil {
+		t.Fatalf("err = %v, want a partial result", err)
+	}
+	if !res.Partial || res.PartialReason != rewrite.PartialDeadline {
+		t.Fatalf("result = {Partial: %v, Reason: %q}, want a deadline partial", res.Partial, res.PartialReason)
 	}
 	if elapsed > 5*time.Second {
 		t.Errorf("cancellation took %v; the deadline was not honored in the hot loop", elapsed)
 	}
-	// The cancelled result must not have been cached.
+	// Every disjunct of a partial union must still be contained in q.
+	for _, p := range res.Union.Patterns {
+		if !tpq.Contained(p, q) {
+			t.Errorf("partial disjunct %s not contained in the query", p)
+		}
+	}
+	// The partial result must not have been cached: the next caller with
+	// a healthy deadline deserves a shot at the full answer.
 	if s := e.Stats(); s.CacheEntries != 0 {
-		t.Errorf("cancelled computation was cached (%d entries)", s.CacheEntries)
+		t.Errorf("partial computation was cached (%d entries)", s.CacheEntries)
 	}
 }
 
-// The engine timeout config applies when the caller's context has none.
+// A cancelled client (as opposed to an expired deadline) still gets an
+// error: nobody is left to read a partial answer.
+func TestRewriteCancelIsNotPartial(t *testing.T) {
+	defer leaktest.Check(t)()
+	e := New(Config{})
+	q, v := workload.Fig8Query(12), workload.Fig8View()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := e.Rewrite(ctx, Request{Query: q, View: v, MaxEmbeddings: 1 << 22})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// The engine timeout config applies when the caller's context has none;
+// its expiry degrades to a partial result like any other deadline.
 func TestConfigTimeout(t *testing.T) {
 	e := New(Config{Timeout: 20 * time.Millisecond})
-	_, err := e.Rewrite(context.Background(), Request{Query: workload.Fig8Query(12), View: workload.Fig8View(), MaxEmbeddings: 1 << 22})
-	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	res, err := e.Rewrite(context.Background(), Request{Query: workload.Fig8Query(12), View: workload.Fig8View(), MaxEmbeddings: 1 << 22})
+	if err != nil {
+		t.Fatalf("err = %v, want a partial result", err)
+	}
+	if !res.Partial || res.PartialReason != rewrite.PartialDeadline {
+		t.Fatalf("result = {Partial: %v, Reason: %q}, want a deadline partial", res.Partial, res.PartialReason)
 	}
 }
 
@@ -362,4 +398,83 @@ func TestEngineConcurrentMixedUse(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// Admission control: with one compute slot and no queue, a second
+// concurrent computation sheds with *limits.SaturatedError while the
+// admitted one completes normally. Cache hits bypass the gate entirely.
+func TestGateShedsUnderSaturation(t *testing.T) {
+	e := New(Config{Gate: limits.New(limits.Config{MaxInFlight: 1, MaxQueue: 0})})
+	defer fault.Disable()
+	// Hold the only slot by delaying the admitted computation.
+	if err := fault.Enable(&fault.Plan{Seed: 11, Injections: []fault.Injection{
+		{Point: "engine.compute", Action: fault.ActDelay, Delay: 300 * time.Millisecond},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	first := make(chan error, 1)
+	go func() {
+		_, err := e.RewriteExpr(context.Background(), RewriteRequest{Query: "//a[b]//c", View: "//a//c"})
+		first <- err
+	}()
+	// Wait for the first request to occupy the slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for e.cfg.Gate.Stats().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never acquired the gate")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err := e.RewriteExpr(context.Background(), RewriteRequest{Query: "//x[y]//z", View: "//x//z"})
+	var sat *limits.SaturatedError
+	if !errors.As(err, &sat) {
+		t.Fatalf("second request err = %v, want *SaturatedError", err)
+	}
+	if sat.RetryAfterSeconds() < 1 {
+		t.Errorf("RetryAfterSeconds = %d", sat.RetryAfterSeconds())
+	}
+	if err := <-first; err != nil {
+		t.Errorf("admitted request failed: %v", err)
+	}
+	snap := e.MetricsSnapshot()
+	if snap.Gate == nil || snap.Gate.Shed != 1 || snap.Gate.Admitted != 1 {
+		t.Errorf("gate snapshot = %+v, want shed=1 admitted=1", snap.Gate)
+	}
+	// Shed outcomes are transient: the key must not be negative-cached,
+	// so the same request succeeds once load drains.
+	fault.Disable()
+	if _, err := e.RewriteExpr(context.Background(), RewriteRequest{Query: "//x[y]//z", View: "//x//z"}); err != nil {
+		t.Errorf("retry after shed failed: %v", err)
+	}
+}
+
+// A panic inside the rewriting pipeline becomes a typed ErrInternal and
+// lands in the slow-query log with the panic stack, regardless of the
+// latency threshold; the poisoned flight is never cached.
+func TestPipelinePanicIsolatedAndLogged(t *testing.T) {
+	e := New(Config{})
+	defer fault.Disable()
+	if err := fault.Enable(&fault.Plan{Seed: 12, Injections: []fault.Injection{
+		{Point: "engine.compute", Action: fault.ActPanic},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.RewriteExpr(context.Background(), RewriteRequest{Query: "//a[b]//c", View: "//a//c"})
+	if !errors.Is(err, guard.ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	slow := e.SlowLog().Snapshot()
+	if len(slow.Entries) != 1 {
+		t.Fatalf("slow log has %d entries, want the panic record", len(slow.Entries))
+	}
+	if slow.Entries[0].Stack == "" {
+		t.Error("panic entry has no stack")
+	}
+	if s := e.Stats(); s.CacheEntries != 0 {
+		t.Errorf("panicked computation was cached (%d entries)", s.CacheEntries)
+	}
+	fault.Disable()
+	if _, err := e.RewriteExpr(context.Background(), RewriteRequest{Query: "//a[b]//c", View: "//a//c"}); err != nil {
+		t.Errorf("retry after recovered panic failed: %v", err)
+	}
 }

@@ -1,0 +1,275 @@
+// Package fault is a deterministic, seedable fault-injection registry
+// for chaos testing the serving path. Pipeline stages and
+// infrastructure layers register named injection points
+// (fault.Register, a package-var at init time) and call Hit on them
+// from inside their hot loops; a chaos test arms a Plan that makes
+// selected points panic, delay, report cancellation, or fail with an
+// injected error.
+//
+// The design constraints, in order:
+//
+//   - Disarmed cost ~ zero. A disarmed Hit is a single atomic pointer
+//     load and a nil check — no map lookups, no locks, no clock reads —
+//     so the points stay compiled into production binaries without
+//     moving the hot-kernel benchmarks.
+//   - Deterministic per seed. Whether the n-th Hit of a point fires is
+//     a pure function of (plan seed, point name, n), computed by a
+//     splitmix64 hash of an atomic per-point hit counter. Two runs of a
+//     serial workload under the same plan inject identically; under
+//     concurrency the per-point decision sequence is still fixed even
+//     though goroutine interleaving is not.
+//   - Typed failures. Injected errors satisfy errors.Is(err,
+//     ErrInjected) and are Transient() (never cached); injected panics
+//     carry *InjectedPanic so recovery sites can tell a drill from a
+//     real bug.
+//
+// The registry is process-global because injection points live in
+// package-level vars of the instrumented packages; Enable/Disable are
+// test-only entry points and safe for concurrent use with Hit.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the target of errors.Is for all injected errors.
+var ErrInjected = errors.New("fault: injected error")
+
+// Error is an injected failure, naming the point that produced it.
+type Error struct {
+	Point string
+}
+
+func (e *Error) Error() string { return "fault: injected error at " + e.Point }
+
+// Is makes errors.Is(err, ErrInjected) true for injected errors.
+func (e *Error) Is(target error) bool { return target == ErrInjected }
+
+// Transient marks injected errors as never-cacheable: a drill must not
+// poison negative caches with failures the real computation would not
+// produce.
+func (e *Error) Transient() bool { return true }
+
+// InjectedPanic is the value injected panics carry, so recovery sites
+// (and chaos tests) can distinguish a drill from a genuine bug.
+type InjectedPanic struct {
+	Point string
+}
+
+func (p *InjectedPanic) String() string { return "fault: injected panic at " + p.Point }
+
+// Action selects what an armed point does when it fires.
+type Action uint8
+
+const (
+	// ActError makes Hit return an *Error.
+	ActError Action = iota
+	// ActPanic makes Hit panic with an *InjectedPanic.
+	ActPanic
+	// ActDelay makes Hit sleep for the injection's Delay (respecting
+	// ctx) and then succeed.
+	ActDelay
+	// ActCancel makes Hit return context.Canceled, simulating a client
+	// disconnect observed mid-stage.
+	ActCancel
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActError:
+		return "error"
+	case ActPanic:
+		return "panic"
+	case ActDelay:
+		return "delay"
+	case ActCancel:
+		return "cancel"
+	}
+	return "unknown"
+}
+
+// Injection arms one point within a Plan.
+type Injection struct {
+	// Point names a registered injection point.
+	Point string
+	// Action is what the point does when it fires.
+	Action Action
+	// Prob is the per-hit firing probability in (0, 1]; 0 means 1
+	// (fire on every hit).
+	Prob float64
+	// Delay is the sleep duration for ActDelay; 0 means 1ms.
+	Delay time.Duration
+}
+
+// Plan is a seeded set of injections. The same plan enabled twice
+// produces the same per-point firing sequence.
+type Plan struct {
+	Seed       int64
+	Injections []Injection
+}
+
+// arming is the armed state of one point; nil means disarmed.
+type arming struct {
+	seed      uint64
+	action    Action
+	threshold uint64 // fire when hash < threshold; ^0 means always
+	delay     time.Duration
+}
+
+// A Point is one named injection site. Obtain points with Register at
+// package init; Hit them from the instrumented code path.
+type Point struct {
+	name  string
+	armed atomic.Pointer[arming]
+	hits  atomic.Uint64
+}
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]*Point)
+)
+
+// Register returns the point named name, creating it on first use.
+// Registration is idempotent, so independent packages may name the
+// same point.
+func Register(name string) *Point {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if p, ok := registry[name]; ok {
+		return p
+	}
+	p := &Point{name: name}
+	registry[name] = p
+	return p
+}
+
+// Names returns the names of all registered points, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Enable arms the plan's injections on their registered points,
+// disarming every other point and resetting all hit counters so the
+// firing sequence restarts deterministically. It fails if the plan
+// names an unregistered point (a typo in a chaos test must not
+// silently test nothing).
+func Enable(plan *Plan) error {
+	regMu.Lock()
+	defer regMu.Unlock()
+	byPoint := make(map[string]*arming, len(plan.Injections))
+	for _, inj := range plan.Injections {
+		if registry[inj.Point] == nil {
+			return fmt.Errorf("fault: unregistered injection point %q", inj.Point)
+		}
+		a := &arming{
+			seed:   splitmix64(uint64(plan.Seed) ^ hashName(inj.Point)),
+			action: inj.Action,
+			delay:  inj.Delay,
+		}
+		if a.delay <= 0 {
+			a.delay = time.Millisecond
+		}
+		switch {
+		case inj.Prob <= 0 || inj.Prob >= 1:
+			a.threshold = ^uint64(0)
+		default:
+			a.threshold = uint64(inj.Prob * float64(1<<63) * 2)
+		}
+		byPoint[inj.Point] = a
+	}
+	for name, p := range registry {
+		p.hits.Store(0)
+		if a := byPoint[name]; a != nil {
+			p.armed.Store(a)
+		} else {
+			p.armed.Store(nil)
+		}
+	}
+	return nil
+}
+
+// Disable disarms every registered point.
+func Disable() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, p := range registry {
+		p.armed.Store(nil)
+	}
+}
+
+// Hit is the instrumented code path's probe: disarmed it costs one
+// atomic load, armed it decides deterministically from the per-point
+// hit counter whether to fire. ActPanic panics; the other actions
+// return their failure (or nil after a delay).
+func (p *Point) Hit(ctx context.Context) error {
+	a := p.armed.Load()
+	if a == nil {
+		return nil
+	}
+	return p.fire(ctx, a)
+}
+
+// fire is kept out of Hit so the disarmed fast path stays inlinable.
+func (p *Point) fire(ctx context.Context, a *arming) error {
+	n := p.hits.Add(1)
+	if a.threshold != ^uint64(0) && splitmix64(a.seed+n) >= a.threshold {
+		return nil
+	}
+	switch a.action {
+	case ActPanic:
+		panic(&InjectedPanic{Point: p.name})
+	case ActDelay:
+		t := time.NewTimer(a.delay)
+		defer t.Stop()
+		if ctx == nil {
+			<-t.C
+			return nil
+		}
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	case ActCancel:
+		return context.Canceled
+	default:
+		return &Error{Point: p.name}
+	}
+}
+
+// hashName is FNV-1a over the point name, mixing the name into the
+// plan seed so distinct points under one plan fire independently.
+func hashName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix64 is the standard 64-bit finalizer: a cheap, well-mixed
+// hash giving each (seed, hit-index) pair an independent decision.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,187 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	p := Register("test.disarmed")
+	for i := 0; i < 100; i++ {
+		if err := p.Hit(context.Background()); err != nil {
+			t.Fatalf("disarmed hit %d returned %v", i, err)
+		}
+	}
+}
+
+func TestEnableUnknownPoint(t *testing.T) {
+	if err := Enable(&Plan{Injections: []Injection{{Point: "no.such.point"}}}); err == nil {
+		t.Fatal("enabling an unregistered point did not fail")
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	p := Register("test.error")
+	defer Disable()
+	if err := Enable(&Plan{Seed: 1, Injections: []Injection{{Point: "test.error", Action: ActError}}}); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Hit(context.Background())
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Point != "test.error" {
+		t.Fatalf("err = %#v, want *Error naming the point", err)
+	}
+	if !fe.Transient() {
+		t.Error("injected errors must be Transient")
+	}
+	Disable()
+	if err := p.Hit(context.Background()); err != nil {
+		t.Fatalf("hit after Disable returned %v", err)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	p := Register("test.panic")
+	defer Disable()
+	if err := Enable(&Plan{Seed: 2, Injections: []Injection{{Point: "test.panic", Action: ActPanic}}}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		v := recover()
+		ip, ok := v.(*InjectedPanic)
+		if !ok || ip.Point != "test.panic" {
+			t.Errorf("panic value = %#v, want *InjectedPanic", v)
+		}
+	}()
+	p.Hit(context.Background())
+	t.Fatal("armed panic point did not panic")
+}
+
+func TestCancelInjection(t *testing.T) {
+	p := Register("test.cancel")
+	defer Disable()
+	if err := Enable(&Plan{Seed: 3, Injections: []Injection{{Point: "test.cancel", Action: ActCancel}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Hit(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDelayInjectionHonorsContext(t *testing.T) {
+	p := Register("test.delay")
+	defer Disable()
+	if err := Enable(&Plan{Seed: 4, Injections: []Injection{
+		{Point: "test.delay", Action: ActDelay, Delay: time.Minute},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := p.Hit(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("delay ignored the cancelled context")
+	}
+}
+
+// The firing sequence of a probabilistic injection is a pure function
+// of (seed, hit index): two enables of the same plan replay the same
+// decisions, a different seed diverges.
+func TestDeterministicFiring(t *testing.T) {
+	p := Register("test.deterministic")
+	defer Disable()
+	sequence := func(seed int64) []bool {
+		plan := &Plan{Seed: seed, Injections: []Injection{
+			{Point: "test.deterministic", Action: ActError, Prob: 0.5},
+		}}
+		if err := Enable(plan); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = p.Hit(context.Background()) != nil
+		}
+		return out
+	}
+	a, b, c := sequence(42), sequence(42), sequence(43)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("prob 0.5 fired %d/%d times; hash looks degenerate", fired, len(a))
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+func TestNamesSortedAndRegistered(t *testing.T) {
+	Register("test.names.b")
+	Register("test.names.a")
+	names := Names()
+	seenA, seenB := false, false
+	for i, n := range names {
+		if i > 0 && names[i-1] > n {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+		seenA = seenA || n == "test.names.a"
+		seenB = seenB || n == "test.names.b"
+	}
+	if !seenA || !seenB {
+		t.Fatalf("registered points missing from Names: %v", names)
+	}
+}
+
+// Hit must be safe against concurrent Enable/Disable flips.
+func TestConcurrentHitAndToggle(t *testing.T) {
+	p := Register("test.race")
+	defer Disable()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					p.Hit(context.Background())
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if err := Enable(&Plan{Seed: int64(i), Injections: []Injection{
+			{Point: "test.race", Action: ActError, Prob: 0.3},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		Disable()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,93 @@
+// Package guard is the panic-isolation layer of the serving path: it
+// converts panics — a poisoned pattern tripping an invariant, a bug in
+// a pipeline worker, an injected chaos drill — into typed errors with
+// captured stacks, so one bad request degrades into a 500 instead of
+// killing the process.
+//
+// The contract the qavlint panicguard analyzer enforces: every
+// goroutine spawned in internal/rewrite and internal/server installs
+// one of this package's recovery helpers as a deferred call at the top
+// of its body. A panic that escapes a goroutine with no recover is
+// process death in Go; these helpers are the only sanctioned route.
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// ErrInternal is the errors.Is target for recovered panics.
+var ErrInternal = errors.New("internal error")
+
+// InternalError is a recovered panic: the operation that hosted it,
+// the panic value, and the goroutine stack captured at recovery time.
+type InternalError struct {
+	// Op names the recovery site ("engine.rewrite", "http POST /v1/rewrite", ...).
+	Op string
+	// Value is the value the code panicked with.
+	Value any
+	// Stack is the panicking goroutine's stack, captured by
+	// debug.Stack at the recovery point.
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("%s: internal error: panic: %v", e.Op, e.Value)
+}
+
+// Is makes errors.Is(err, ErrInternal) true for recovered panics.
+func (e *InternalError) Is(target error) bool { return target == ErrInternal }
+
+// Transient marks recovered panics as never-cacheable: a panic is a
+// bug or a drill, not a deterministic property of the request key, and
+// must not be replayed out of a negative cache.
+func (e *InternalError) Transient() bool { return true }
+
+// FromPanic wraps a recover() value into an *InternalError, or returns
+// nil when v is nil (no panic in flight). Callers that need custom
+// handling use it directly:
+//
+//	defer func() {
+//		if e := guard.FromPanic(recover(), "op"); e != nil { ... }
+//	}()
+func FromPanic(v any, op string) *InternalError {
+	if v == nil {
+		return nil
+	}
+	return &InternalError{Op: op, Value: v, Stack: debug.Stack()}
+}
+
+// Recover converts an in-flight panic into an *InternalError assigned
+// to *errp. Use as a deferred call in functions with a named error
+// result:
+//
+//	func work() (res T, err error) {
+//		defer guard.Recover(&err, "pkg.work")
+//		...
+//	}
+//
+// A panic raised while errp already holds an error overwrites it: the
+// panic is strictly worse news.
+func Recover(errp *error, op string) {
+	if e := FromPanic(recover(), op); e != nil {
+		*errp = e
+	}
+}
+
+// Rescue converts an in-flight panic into an *InternalError handed to
+// fail, for goroutines that report failures through a callback instead
+// of a return value:
+//
+//	go func() {
+//		defer guard.Rescue("pkg.worker", fail)
+//		...
+//	}()
+//
+// fail may be nil, in which case the panic is swallowed after capture
+// (the goroutine still dies cleanly instead of killing the process).
+func Rescue(op string, fail func(error)) {
+	if e := FromPanic(recover(), op); e != nil && fail != nil {
+		fail(e)
+	}
+}

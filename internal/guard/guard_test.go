@@ -1,0 +1,68 @@
+package guard
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRecoverConvertsPanic(t *testing.T) {
+	work := func() (err error) {
+		defer Recover(&err, "guard.test")
+		panic("boom")
+	}
+	err := work()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %#v, want *InternalError", err)
+	}
+	if ie.Op != "guard.test" || ie.Value != "boom" {
+		t.Errorf("InternalError = %+v", ie)
+	}
+	if !strings.Contains(string(ie.Stack), "guard_test.go") {
+		t.Errorf("stack does not point at the panic site:\n%s", ie.Stack)
+	}
+	if !ie.Transient() {
+		t.Error("recovered panics must be Transient")
+	}
+}
+
+func TestRecoverNoPanicKeepsError(t *testing.T) {
+	sentinel := errors.New("ordinary failure")
+	work := func() (err error) {
+		defer Recover(&err, "guard.test")
+		return sentinel
+	}
+	if err := work(); err != sentinel {
+		t.Fatalf("err = %v, want the original error", err)
+	}
+}
+
+func TestRescueRoutesToCallback(t *testing.T) {
+	var got error
+	func() {
+		defer Rescue("guard.rescue", func(err error) { got = err })
+		panic(42)
+	}()
+	var ie *InternalError
+	if !errors.As(got, &ie) || ie.Value != 42 {
+		t.Fatalf("rescued error = %#v", got)
+	}
+}
+
+func TestRescueNilCallbackSwallows(t *testing.T) {
+	func() {
+		defer Rescue("guard.swallow", nil)
+		panic("swallowed")
+	}()
+	// Reaching here is the assertion: the panic did not propagate.
+}
+
+func TestFromPanicNil(t *testing.T) {
+	if e := FromPanic(nil, "op"); e != nil {
+		t.Fatalf("FromPanic(nil) = %v, want nil", e)
+	}
+}

@@ -1,0 +1,60 @@
+// Package leaktest is a minimal goroutine-leak detector for tests.
+// Check snapshots the goroutine count when called and returns a
+// function that, deferred, verifies the count has returned to (at
+// most) the starting level before the test ends.
+//
+// The comparison retries with backoff because goroutine teardown is
+// asynchronous: a worker that has observed cancellation may not have
+// returned by the time the test body does. Only a count that stays
+// elevated after the retry budget is a leak. The helper deliberately
+// compares counts rather than stack snapshots — it is stdlib-only —
+// so tests using it should not run in parallel with tests that start
+// long-lived goroutines of their own.
+package leaktest
+
+import (
+	"runtime"
+	"time"
+)
+
+// tb is the subset of testing.TB the helper needs; taking the
+// interface keeps the package importable from non-test code (the
+// chaos harness) without dragging testing into package APIs.
+type tb interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// Check snapshots the current goroutine count and returns a function
+// to defer:
+//
+//	defer leaktest.Check(t)()
+//
+// The returned function polls for up to ~2s for the count to drop
+// back to the snapshot, then reports a test error naming the excess.
+func Check(t tb) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		if n, ok := settle(before); !ok {
+			t.Errorf("goroutine leak: %d before, %d after wait", before, n)
+		}
+	}
+}
+
+// settle waits for the goroutine count to return to at most before,
+// reporting the last observed count and whether it settled.
+func settle(before int) (int, bool) {
+	deadline := time.Now().Add(2 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > before {
+		if time.Now().After(deadline) {
+			return n, false
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n, true
+}

@@ -1,0 +1,45 @@
+package leaktest
+
+import (
+	"testing"
+	"time"
+)
+
+// recorder captures Errorf calls so the detector itself can be tested
+// for both verdicts.
+type recorder struct {
+	failed bool
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.failed = true
+}
+
+func TestCheckPassesWhenBalanced(t *testing.T) {
+	r := &recorder{}
+	done := Check(r)
+	ch := make(chan struct{})
+	go func() { <-ch }()
+	close(ch)
+	done()
+	if r.failed {
+		t.Fatal("balanced goroutine reported as leak")
+	}
+}
+
+func TestCheckCatchesLeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out the settle deadline")
+	}
+	r := &recorder{}
+	done := Check(r)
+	stop := make(chan struct{})
+	go func() { <-stop }()
+	done() // the goroutine is still parked: must report
+	close(stop)
+	if !r.failed {
+		t.Fatal("parked goroutine not reported as leak")
+	}
+	time.Sleep(20 * time.Millisecond) // let it exit before other tests snapshot
+}

@@ -1,0 +1,176 @@
+// Package limits provides admission control for the serving path: a
+// bounded concurrency gate with a bounded, deadline-limited queue in
+// front of the engine's compute path.
+//
+// The MCR of a query using a view can be an exponentially large union
+// (VLDB 2006 §3.3), so a single request can legitimately occupy a core
+// for its whole deadline. Without admission control a traffic spike
+// queues unbounded goroutines behind the compute path and the process
+// dies by memory or by timeout collapse; with it, excess requests are
+// shed honestly (HTTP 429 + Retry-After) while admitted requests keep
+// their latency. Cache hits and singleflight followers bypass the gate
+// entirely — only leaders that will actually burn CPU pay for a slot.
+package limits
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrSaturated is the errors.Is target for admission rejections.
+var ErrSaturated = errors.New("limits: saturated")
+
+// SaturatedError reports an admission rejection with the gate state
+// observed at rejection time and the client's suggested retry delay.
+type SaturatedError struct {
+	// InFlight and Queued are the gate occupancy when the request was
+	// shed.
+	InFlight, Queued int64
+	// RetryAfter is the suggested client backoff.
+	RetryAfter time.Duration
+}
+
+func (e *SaturatedError) Error() string {
+	return fmt.Sprintf("limits: saturated (%d in flight, %d queued); retry after %s",
+		e.InFlight, e.Queued, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrSaturated) true for admission rejections.
+func (e *SaturatedError) Is(target error) bool { return target == ErrSaturated }
+
+// Transient marks shed errors as never-cacheable: saturation describes
+// the moment, not the request.
+func (e *SaturatedError) Transient() bool { return true }
+
+// RetryAfterSeconds returns the Retry-After header value: the
+// suggested delay rounded up to a whole second, minimum 1.
+func (e *SaturatedError) RetryAfterSeconds() int {
+	s := int((e.RetryAfter + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Config bounds a Gate.
+type Config struct {
+	// MaxInFlight is the number of concurrently admitted requests;
+	// values < 1 are raised to 1.
+	MaxInFlight int
+	// MaxQueue is how many requests may wait for a slot beyond
+	// MaxInFlight; 0 means no queue (immediate shed when full).
+	MaxQueue int
+	// QueueTimeout bounds how long a queued request waits before being
+	// shed; 0 means it waits until its own context expires.
+	QueueTimeout time.Duration
+}
+
+// A Gate is a bounded concurrency limiter with a bounded queue. The
+// zero value is not usable; call New. A nil *Gate is a valid no-op
+// gate that admits everything, so callers need no branches.
+type Gate struct {
+	sem          chan struct{}
+	maxQueue     int64
+	queueTimeout time.Duration
+
+	queued   atomic.Int64
+	admitted atomic.Int64
+	shed     atomic.Int64
+}
+
+// New creates a gate with the given bounds.
+func New(cfg Config) *Gate {
+	if cfg.MaxInFlight < 1 {
+		cfg.MaxInFlight = 1
+	}
+	return &Gate{
+		sem:          make(chan struct{}, cfg.MaxInFlight),
+		maxQueue:     int64(cfg.MaxQueue),
+		queueTimeout: cfg.QueueTimeout,
+	}
+}
+
+// Acquire admits the request or sheds it. On admission it returns a
+// release function the caller must invoke exactly once when the work
+// completes. On saturation it returns a *SaturatedError; when the
+// caller's own context expires while queued, it returns the context's
+// error instead (the client is gone — that is not a shed).
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	if g == nil {
+		return func() {}, nil
+	}
+	select {
+	case g.sem <- struct{}{}:
+		g.admitted.Add(1)
+		return g.release, nil
+	default:
+	}
+	// No free slot: try to queue.
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		return nil, g.saturated()
+	}
+	defer g.queued.Add(-1)
+	var timeout <-chan time.Time
+	if g.queueTimeout > 0 {
+		t := time.NewTimer(g.queueTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case g.sem <- struct{}{}:
+		g.admitted.Add(1)
+		return g.release, nil
+	case <-timeout:
+		return nil, g.saturated()
+	case <-done:
+		return nil, ctx.Err()
+	}
+}
+
+func (g *Gate) release() { <-g.sem }
+
+func (g *Gate) saturated() *SaturatedError {
+	g.shed.Add(1)
+	retry := g.queueTimeout
+	if retry <= 0 {
+		retry = time.Second
+	}
+	return &SaturatedError{
+		InFlight:   int64(len(g.sem)),
+		Queued:     g.queued.Load(),
+		RetryAfter: retry,
+	}
+}
+
+// Stats is a point-in-time snapshot of the gate.
+type Stats struct {
+	// Capacity and QueueCapacity are the configured bounds.
+	Capacity, QueueCapacity int64
+	// InFlight and Queued are current occupancy.
+	InFlight, Queued int64
+	// Admitted and Shed are lifetime counters.
+	Admitted, Shed int64
+}
+
+// Stats returns the gate's counters; a nil gate returns zeros.
+func (g *Gate) Stats() Stats {
+	if g == nil {
+		return Stats{}
+	}
+	return Stats{
+		Capacity:      int64(cap(g.sem)),
+		QueueCapacity: g.maxQueue,
+		InFlight:      int64(len(g.sem)),
+		Queued:        g.queued.Load(),
+		Admitted:      g.admitted.Load(),
+		Shed:          g.shed.Load(),
+	}
+}

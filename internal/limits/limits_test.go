@@ -1,0 +1,175 @@
+package limits
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilGateAdmits(t *testing.T) {
+	var g *Gate
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if s := g.Stats(); s != (Stats{}) {
+		t.Errorf("nil gate stats = %+v", s)
+	}
+}
+
+func TestAdmitAndRelease(t *testing.T) {
+	g := New(Config{MaxInFlight: 2})
+	r1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := g.Stats(); s.InFlight != 2 || s.Admitted != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	r1()
+	r2()
+	if s := g.Stats(); s.InFlight != 0 {
+		t.Errorf("in-flight after release = %d", s.InFlight)
+	}
+}
+
+func TestShedWhenQueueFull(t *testing.T) {
+	g := New(Config{MaxInFlight: 1, MaxQueue: 0})
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	_, err = g.Acquire(context.Background())
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	var sat *SaturatedError
+	if !errors.As(err, &sat) {
+		t.Fatalf("err = %#v, want *SaturatedError", err)
+	}
+	if sat.RetryAfterSeconds() < 1 {
+		t.Errorf("RetryAfterSeconds = %d, want >= 1", sat.RetryAfterSeconds())
+	}
+	if !sat.Transient() {
+		t.Error("shed errors must be Transient")
+	}
+	if s := g.Stats(); s.Shed != 1 {
+		t.Errorf("shed counter = %d, want 1", s.Shed)
+	}
+}
+
+func TestQueueTimeoutSheds(t *testing.T) {
+	g := New(Config{MaxInFlight: 1, MaxQueue: 4, QueueTimeout: 20 * time.Millisecond})
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	start := time.Now()
+	_, err = g.Acquire(context.Background())
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("shed after %v, before the queue timeout", d)
+	}
+}
+
+func TestQueuedRequestGetsFreedSlot(t *testing.T) {
+	g := New(Config{MaxInFlight: 1, MaxQueue: 4, QueueTimeout: 5 * time.Second})
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		r, err := g.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued acquire failed: %v", err)
+	}
+}
+
+func TestQueuedRequestHonorsContext(t *testing.T) {
+	g := New(Config{MaxInFlight: 1, MaxQueue: 4, QueueTimeout: time.Minute})
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, err = g.Acquire(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A client disconnect while queued is not a shed.
+	if s := g.Stats(); s.Shed != 0 {
+		t.Errorf("shed counter = %d, want 0", s.Shed)
+	}
+}
+
+// Hammer the gate from many goroutines: admissions never exceed the
+// bound, every admit is released, and the counters add up.
+func TestConcurrentAdmissionBound(t *testing.T) {
+	const workers = 32
+	g := New(Config{MaxInFlight: 4, MaxQueue: 8, QueueTimeout: 50 * time.Millisecond})
+	var inFlight, peak, admitted, shed int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				release, err := g.Acquire(context.Background())
+				if err != nil {
+					mu.Lock()
+					shed++
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				admitted++
+				inFlight++
+				if inFlight > peak {
+					peak = inFlight
+				}
+				mu.Unlock()
+				time.Sleep(time.Millisecond)
+				mu.Lock()
+				inFlight--
+				mu.Unlock()
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > 4 {
+		t.Errorf("observed %d concurrent admissions, bound is 4", peak)
+	}
+	s := g.Stats()
+	if s.Admitted != admitted || s.Shed != shed {
+		t.Errorf("gate counters admitted=%d shed=%d, observed %d/%d", s.Admitted, s.Shed, admitted, shed)
+	}
+	if s.InFlight != 0 || s.Queued != 0 {
+		t.Errorf("gate not drained: %+v", s)
+	}
+}

@@ -197,4 +197,4 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 }
 
 // Suite is the full qavlint analyzer suite, in reporting order.
-var Suite = []*Analyzer{CtxPoll, LockGuard, PatMut, ErrWrap}
+var Suite = []*Analyzer{CtxPoll, LockGuard, PatMut, ErrWrap, PanicGuard}

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicGuard enforces the panic-isolation invariant on the serving
+// path: every goroutine started in internal/rewrite or internal/server
+// must route panics through the internal/guard recovery helpers. A
+// panic that escapes a bare goroutine kills the whole process — there
+// is no handler-level recover between a worker goroutine and
+// os.Exit(2) — so the spawned function's body must carry a top-level
+//
+//	defer guard.Rescue("op", fail)   // or guard.Recover(&err, "op")
+//
+// before any work runs. The analyzer resolves the spawned function
+// through three shapes: a function literal (`go func() {...}()`), a
+// local closure variable (`go worker()` where `worker := func() {...}`
+// in the same function), and a same-package function declaration. A
+// deferred function literal whose body calls the recover builtin also
+// satisfies the invariant (the raw-recover idiom used where the
+// guard package itself cannot be imported).
+var PanicGuard = &Analyzer{
+	Name: "panicguard",
+	Doc: "goroutines in internal/rewrite and internal/server must defer " +
+		"a recovery helper from internal/guard (or a recover-calling " +
+		"function literal) at the top level of their body",
+	Run: runPanicGuard,
+}
+
+// panicguardTargets lists the package-path suffixes the invariant
+// covers: the packages whose goroutines run on behalf of HTTP requests.
+var panicguardTargets = []string{
+	"internal/rewrite",
+	"internal/server",
+}
+
+func runPanicGuard(pass *Pass) error {
+	target := false
+	for _, suffix := range panicguardTargets {
+		if PathHasSuffix(pass.Pkg.Path(), suffix) {
+			target = true
+			break
+		}
+	}
+	if !target {
+		return nil
+	}
+
+	// Package-wide maps so `go helper()` resolves across files:
+	// declared functions by object, and local closures (name := func…)
+	// by the name's object.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	closures := make(map[types.Object]*ast.FuncLit)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pass.Info.Defs[fd.Name]; obj != nil {
+				decls[obj] = fd
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range s.Rhs {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok || i >= len(s.Lhs) {
+						continue
+					}
+					if id, ok := s.Lhs[i].(*ast.Ident); ok {
+						if obj := identObj(pass.Info, id); obj != nil {
+							closures[obj] = lit
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range s.Values {
+					lit, ok := v.(*ast.FuncLit)
+					if !ok || i >= len(s.Names) {
+						continue
+					}
+					if obj := identObj(pass.Info, s.Names[i]); obj != nil {
+						closures[obj] = lit
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goStmtBody(pass.Info, g, decls, closures)
+			if body == nil {
+				pass.Reportf(g.Pos(), "goroutine target is not statically resolvable; spawn a function literal or same-package function deferring a recovery helper from internal/guard")
+				return true
+			}
+			if !hasGuardDefer(pass.Info, body) {
+				pass.Reportf(g.Pos(), "goroutine does not route panics through internal/guard; add a top-level `defer guard.Rescue(...)` (or guard.Recover) to its body")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goStmtBody resolves the body of the function a go statement spawns,
+// or nil when the callee is dynamic (a parameter, a field, a value
+// returned from a call, ...).
+func goStmtBody(info *types.Info, g *ast.GoStmt, decls map[types.Object]*ast.FuncDecl, closures map[types.Object]*ast.FuncLit) *ast.BlockStmt {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		obj := info.Uses[fun]
+		if obj == nil {
+			return nil
+		}
+		if lit := closures[obj]; lit != nil {
+			return lit.Body
+		}
+		if fd := decls[obj]; fd != nil {
+			return fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fn := calleeFunc(info, g.Call); fn != nil {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// hasGuardDefer reports whether body contains a top-level defer that
+// either calls into a package ending in internal/guard or defers a
+// function literal that calls the recover builtin.
+func hasGuardDefer(info *types.Info, body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		ds, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		if fn := calleeFunc(info, ds.Call); fn != nil {
+			if pkg := fn.Pkg(); pkg != nil && PathHasSuffix(pkg.Path(), "internal/guard") {
+				return true
+			}
+		}
+		if lit, ok := ast.Unparen(ds.Call.Fun).(*ast.FuncLit); ok && callsRecover(info, lit.Body) {
+			return true
+		}
+	}
+	return false
+}
+
+// callsRecover reports whether body calls the recover builtin.
+func callsRecover(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "recover" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// identObj returns the object an identifier defines or uses.
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}

@@ -27,10 +27,14 @@ func TestErrWrap(t *testing.T) {
 	linttest.Run(t, lint.ErrWrap, "testdata/errwrap")
 }
 
+func TestPanicGuard(t *testing.T) {
+	linttest.Run(t, lint.PanicGuard, "testdata/panicguard")
+}
+
 // TestSuiteNames pins the analyzer names: //qavlint:ignore directives
 // and CI reporting key off them.
 func TestSuiteNames(t *testing.T) {
-	want := map[string]bool{"ctxpoll": true, "lockguard": true, "patmut": true, "errwrap": true}
+	want := map[string]bool{"ctxpoll": true, "lockguard": true, "patmut": true, "errwrap": true, "panicguard": true}
 	if len(lint.Suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(lint.Suite), len(want))
 	}

@@ -1,0 +1,11 @@
+// Package other is outside the panicguard target set: its path ends
+// in neither internal/rewrite nor internal/server, so bare goroutines
+// here draw no diagnostic.
+package other
+
+// Spawn launches an unguarded goroutine, legally.
+func Spawn() {
+	go func() {
+		_ = 1 + 1
+	}()
+}

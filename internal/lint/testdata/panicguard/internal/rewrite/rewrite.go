@@ -1,0 +1,130 @@
+// Package rewrite exercises the panicguard invariant: the package
+// path ends in internal/rewrite, one of the suffixes the invariant
+// applies to. Every goroutine spawned here must defer a recovery
+// helper from internal/guard at the top level of its body.
+package rewrite
+
+import (
+	"sync"
+
+	"lintexample/internal/guard"
+)
+
+// Bare spawns a naked goroutine with no recovery at all.
+func Bare() {
+	go func() { // want "does not route panics through internal/guard"
+		work()
+	}()
+}
+
+// Guarded is the canonical fixed shape: the literal defers
+// guard.Rescue before any work runs.
+func Guarded(fail func(error)) {
+	go func() {
+		defer guard.Rescue("rewrite.guarded", fail)
+		work()
+	}()
+}
+
+// GuardedAfterDone mirrors the production worker pool: the guard defer
+// is the second top-level defer, after the WaitGroup bookkeeping.
+func GuardedAfterDone(wg *sync.WaitGroup, fail func(error)) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer guard.Rescue("rewrite.pool", fail)
+		work()
+	}()
+}
+
+// ClosureWorker resolves the `go worker()` shape: the spawned
+// identifier is a local closure carrying the guard defer.
+func ClosureWorker(fail func(error)) {
+	worker := func() {
+		defer guard.Rescue("rewrite.worker", fail)
+		work()
+	}
+	go worker()
+}
+
+// ClosureBare is the same shape without the defer; the diagnostic
+// lands on the go statement, not the closure definition.
+func ClosureBare() {
+	worker := func() {
+		work()
+	}
+	go worker() // want "does not route panics through internal/guard"
+}
+
+// VarSpecWorker resolves closures bound through a var declaration.
+func VarSpecWorker(fail func(error)) {
+	var worker = func() {
+		defer guard.Rescue("rewrite.var", fail)
+		work()
+	}
+	go worker()
+}
+
+// DeclWorker spawns a same-package declared function; the analyzer
+// follows the declaration across the package.
+func DeclWorker() {
+	go declaredGuarded()
+}
+
+// DeclBare spawns a declared function lacking the defer.
+func DeclBare() {
+	go declaredBare() // want "does not route panics through internal/guard"
+}
+
+// RawRecover satisfies the invariant with the raw-recover idiom: a
+// deferred literal whose body calls the recover builtin.
+func RawRecover() {
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				_ = v
+			}
+		}()
+		work()
+	}()
+}
+
+// NestedDeferOnly buries the recovery inside a conditional; a defer
+// that is not a top-level statement of the body does not guarantee it
+// runs before the first panic-prone statement.
+func NestedDeferOnly(fail func(error)) {
+	go func() { // want "does not route panics through internal/guard"
+		if work() {
+			defer guard.Rescue("rewrite.nested", fail)
+		}
+		work()
+	}()
+}
+
+// Dynamic spawns a function value the analyzer cannot resolve: the
+// callee arrives as a parameter, so the body is out of reach.
+func Dynamic(f func()) {
+	go f() // want "not statically resolvable"
+}
+
+// Ignored demonstrates the escape hatch for a goroutine whose panics
+// are provably impossible.
+func Ignored() {
+	//qavlint:ignore panicguard body is a single channel send
+	go func() {
+		work()
+	}()
+}
+
+// declaredGuarded carries the guard defer at top level.
+func declaredGuarded() {
+	defer guard.Recover(nil, "rewrite.decl")
+	work()
+}
+
+// declaredBare has no recovery.
+func declaredBare() {
+	work()
+}
+
+func work() bool { return true }

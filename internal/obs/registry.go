@@ -120,16 +120,27 @@ type CacheSnapshot struct {
 	Entries int   `json:"entries"`
 }
 
+// GateSnapshot is the /metrics view of the admission gate in front of
+// Engine compute. Shed counts requests rejected for overload (queue
+// full or queue timeout) — the saturation signal operators alert on.
+type GateSnapshot struct {
+	InFlight int64 `json:"in_flight"`
+	Queued   int64 `json:"queued"`
+	Admitted int64 `json:"admitted"`
+	Shed     int64 `json:"shed"`
+}
+
 // Snapshot is the full observability document: what GET /metrics
 // serves, what expvar republishes, and (for the Stages section) what
 // qavbench -json embeds, so offline benchmarks and live serving report
 // through one schema. Endpoints and Stages come from the Registry;
-// Cache, Engine and SlowLog are filled by the engine.
+// Cache, Engine, Gate and SlowLog are filled by the engine.
 type Snapshot struct {
 	Endpoints map[string]EndpointSnapshot `json:"endpoints,omitempty"`
 	Stages    map[string]StageSnapshot    `json:"stages,omitempty"`
 	Cache     *CacheSnapshot              `json:"cache,omitempty"`
 	Engine    map[string]int64            `json:"engine,omitempty"`
+	Gate      *GateSnapshot               `json:"gate,omitempty"`
 	SlowLog   *SlowLogSnapshot            `json:"slowLog,omitempty"`
 }
 

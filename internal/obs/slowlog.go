@@ -35,6 +35,10 @@ type SlowEntry struct {
 	DurationNs int64            `json:"duration_ns"`
 	StageNs    map[string]int64 `json:"stage_ns,omitempty"`
 	Err        string           `json:"error,omitempty"`
+	// Stack is the goroutine stack captured when the request died to a
+	// recovered panic; such entries are recorded regardless of the
+	// latency threshold so the crash site is never lost.
+	Stack string `json:"stack,omitempty"`
 }
 
 // NewSlowLog returns a slow-query log keeping the most recent capacity

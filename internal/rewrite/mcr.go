@@ -2,14 +2,25 @@ package rewrite
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"qav/internal/fault"
+	"qav/internal/guard"
 	"qav/internal/obs"
 	"qav/internal/tpq"
+)
+
+// Fault-injection points of the MCR pipeline (no-ops unless a chaos
+// plan arms them; see internal/fault).
+var (
+	faultBuildCR = fault.Register("rewrite.buildcr")
+	faultContain = fault.Register("rewrite.contain")
+	faultWorker  = fault.Register("rewrite.worker")
 )
 
 // Answerable reports whether the query is answerable using the view in
@@ -64,6 +75,37 @@ type Result struct {
 	// EmbeddingsConsidered is the number of distinct useful embeddings
 	// enumerated before redundancy elimination.
 	EmbeddingsConsidered int
+	// Partial reports that generation stopped early — the embedding
+	// budget was exhausted or the context deadline expired mid-stream —
+	// and Union is the sound subset found up to that point. A partial
+	// union is still a contained rewriting of the query (every CR is
+	// individually verified), it just may not be maximal. Partial
+	// results skip redundancy elimination (its quadratic containment
+	// matrix is exactly the work the budget is protecting against), so
+	// disjuncts may overlap. Partial results are never cached.
+	Partial bool
+	// PartialReason is PartialBudget or PartialDeadline when Partial.
+	PartialReason string
+}
+
+// Reasons a Result can be Partial.
+const (
+	PartialBudget   = "budget"
+	PartialDeadline = "deadline"
+)
+
+// partialReason classifies an in-flight pipeline error: budget and
+// deadline overruns degrade into partial results, everything else —
+// including client cancellation, where nobody is left to read a
+// partial answer — stays an error.
+func partialReason(err error) string {
+	switch {
+	case errors.Is(err, ErrEmbeddingBudget):
+		return PartialBudget
+	case errors.Is(err, context.DeadlineExceeded):
+		return PartialDeadline
+	}
+	return ""
 }
 
 // MCR computes the maximal contained rewriting of q using v without a
@@ -94,9 +136,25 @@ func MCR(q, v *tpq.Pattern, opts Options) (*Result, error) {
 	}
 	crs, considered, err := generateCRs(ctx, labels, q, v, limit)
 	if err != nil {
+		if reason := partialReason(err); reason != "" {
+			// Graceful degradation: the CRs built before the wall are
+			// each verified contained in q, so their union is a sound
+			// (possibly non-maximal) rewriting — return it instead of
+			// failing the request.
+			return assemblePartial(crs, considered, reason), nil
+		}
 		return nil, err
 	}
-	return assembleResult(ctx, crs, considered)
+	res, err := assembleResult(ctx, crs, considered)
+	if err != nil {
+		if reason := partialReason(err); reason != "" {
+			// The deadline fired inside redundancy elimination: fall
+			// back to the dedup-only partial union.
+			return assemblePartial(crs, considered, reason), nil
+		}
+		return nil, err
+	}
+	return res, nil
 }
 
 // crPipelineBatch is the streaming pipeline's serial threshold: an
@@ -124,14 +182,28 @@ type seqCR struct {
 // the ongoing enumeration, over a bounded channel. Output order (and
 // thus every downstream result, including which embedding represents a
 // structurally duplicated CR) matches the serial enumeration order.
+//
+// Partial contract: when the returned error is an embedding-budget
+// overrun or context.DeadlineExceeded, the returned CRs are the sound
+// subset completed before the wall (each verified contained in q) and
+// the caller may degrade into a Partial result. On any other error the
+// CR slice is nil.
 func generateCRs(ctx context.Context, labels *Labeling, q, v *tpq.Pattern, limit int) ([]*ContainedRewriting, int, error) {
 	// Stage accounting: a nil span costs a nil check per credit and no
 	// clock reads. Span credits are atomic, so the parallel workers
 	// below record into it directly.
 	sp := obs.SpanFrom(ctx)
-	buildVerify := func(f *Embedding) (*ContainedRewriting, error) {
+	// buildVerify is panic-isolated: a pattern tripping an invariant in
+	// CR construction must fail that request, not the process (the
+	// named-return defer converts the panic into a typed ErrInternal
+	// with its stack, which the engine routes into the slow log).
+	buildVerify := func(f *Embedding) (cr *ContainedRewriting, err error) {
+		defer guard.Recover(&err, "rewrite.buildVerify")
+		if err := faultBuildCR.Hit(ctx); err != nil {
+			return nil, err
+		}
 		t := sp.Start()
-		cr, err := BuildCR(f, v)
+		cr, err = BuildCR(f, v)
 		sp.Observe(obs.StageBuildCR, t)
 		if err != nil {
 			return nil, fmt.Errorf("rewrite: embedding %s: %w", f, err)
@@ -167,9 +239,18 @@ func generateCRs(ctx context.Context, labels *Labeling, q, v *tpq.Pattern, limit
 	}
 	worker := func() {
 		defer wg.Done()
+		// Last-resort isolation: buildVerify recovers its own panics,
+		// so this fires only for bugs in the worker loop itself; the
+		// flight fails and the pipeline unblocks via the cancel in
+		// fail, rather than the process dying.
+		defer guard.Rescue("rewrite.mcrWorker", fail)
 		for e := range in {
 			if pctx.Err() != nil {
 				continue // drain after cancellation
+			}
+			if err := faultWorker.Hit(pctx); err != nil {
+				fail(err)
+				continue
 			}
 			cr, err := buildVerify(e.f)
 			if err != nil {
@@ -225,13 +306,19 @@ func generateCRs(ctx context.Context, labels *Labeling, q, v *tpq.Pattern, limit
 
 	if in == nil {
 		// Serial path: the whole enumeration fit in the head buffer.
-		if streamErr != nil {
+		if streamErr != nil && partialReason(streamErr) == "" {
 			return nil, 0, streamErr
 		}
 		crs := make([]*ContainedRewriting, 0, len(head))
 		for _, f := range head {
-			if err := ctx.Err(); err != nil {
-				return nil, 0, err
+			// On a budget/deadline overrun, still finish the buffered
+			// prefix (bounded: at most crPipelineBatch items) so the
+			// partial union is as large as the enumeration allowed; a
+			// live stream keeps honoring ctx per item.
+			if streamErr == nil {
+				if err := ctx.Err(); err != nil {
+					return nil, 0, err
+				}
 			}
 			cr, err := buildVerify(f)
 			if err != nil {
@@ -239,7 +326,7 @@ func generateCRs(ctx context.Context, labels *Labeling, q, v *tpq.Pattern, limit
 			}
 			crs = append(crs, cr)
 		}
-		return crs, len(head), nil
+		return crs, len(head), streamErr
 	}
 
 	close(in)
@@ -247,21 +334,67 @@ func generateCRs(ctx context.Context, labels *Labeling, q, v *tpq.Pattern, limit
 	mu.Lock()
 	err := werr
 	mu.Unlock()
+	collect := func() []*ContainedRewriting {
+		sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+		crs := make([]*ContainedRewriting, len(out))
+		for i, s := range out {
+			crs[i] = s.cr
+		}
+		return crs
+	}
 	switch {
 	case err != nil:
+		// A worker failure wins over the stream error: the stream aborts
+		// with pctx's cancellation, which is a symptom, not the cause.
 		return nil, 0, err
 	case streamErr != nil:
+		if partialReason(streamErr) != "" {
+			// Workers drained whatever was already in flight; their
+			// completed CRs are the sound subset.
+			return collect(), seq, streamErr
+		}
 		return nil, 0, streamErr
 	}
 	if err := ctx.Err(); err != nil {
+		if partialReason(err) != "" {
+			return collect(), seq, err
+		}
 		return nil, 0, err
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
-	crs := make([]*ContainedRewriting, len(out))
-	for i, s := range out {
-		crs[i] = s.cr
+	return collect(), seq, nil
+}
+
+// assemblePartial packages the CRs completed before a budget or
+// deadline wall into a Partial result: structural dedup and the
+// deterministic smallest-first order only, skipping the quadratic
+// redundancy-elimination matrix — exactly the work the wall is
+// protecting against. Every CR was individually verified contained in
+// the query, so the union is sound; it just may not be maximal and may
+// contain overlapping disjuncts.
+func assemblePartial(crs []*ContainedRewriting, considered int, reason string) *Result {
+	seen := make(map[string]bool, len(crs))
+	kept := make([]*ContainedRewriting, 0, len(crs))
+	for _, cr := range crs {
+		key := cr.Rewriting.Canonical()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		kept = append(kept, cr)
 	}
-	return crs, seq, nil
+	sortCRs(kept)
+	u := &tpq.Union{}
+	for _, cr := range kept {
+		cr.ensureCompensation()
+		u.Patterns = append(u.Patterns, cr.Rewriting)
+	}
+	return &Result{
+		Union:                u,
+		CRs:                  kept,
+		EmbeddingsConsidered: considered,
+		Partial:              true,
+		PartialReason:        reason,
+	}
 }
 
 // assembleResult deduplicates CRs structurally, removes redundant ones
@@ -461,27 +594,62 @@ func markRedundant(ctx context.Context, n int, contains func(i, j int) bool) ([]
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
+				if err := faultContain.Hit(ctx); err != nil {
+					return nil, err
+				}
 			}
 			mark(i)
 		}
 		return redundant, nil
 	}
-	var wg sync.WaitGroup
-	var next atomic.Int64
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+		mu   sync.Mutex
+		werr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if werr == nil {
+			werr = err
+		}
+		mu.Unlock()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// A panic in a containment check must fail the request, not
+			// kill the process; remaining workers notice werr and stop.
+			defer guard.Rescue("rewrite.markRedundant", fail)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || ctx.Err() != nil {
 					return
+				}
+				mu.Lock()
+				stop := werr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				if i&31 == 0 {
+					if err := faultContain.Hit(ctx); err != nil {
+						fail(err)
+						return
+					}
 				}
 				mark(i)
 			}
 		}()
 	}
 	wg.Wait()
+	mu.Lock()
+	err := werr
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

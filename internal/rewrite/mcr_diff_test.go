@@ -7,7 +7,9 @@ import (
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
+	"qav/internal/leaktest"
 	"qav/internal/tpq"
 	"qav/internal/workload"
 )
@@ -187,13 +189,32 @@ func TestMCRConcurrentSharedPatterns(t *testing.T) {
 }
 
 // TestMCRStreamCancellation checks that cancelling the context aborts
-// the streaming pipeline promptly with the context's error.
+// the streaming pipeline promptly with the context's error, and that
+// the worker pool it may have started is fully torn down.
 func TestMCRStreamCancellation(t *testing.T) {
+	defer leaktest.Check(t)()
+
+	// Cancelled upfront: the stream aborts before any worker starts.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	q := workload.Fig8Query(7)
 	v := workload.Fig8View()
 	if _, err := MCR(q, v, Options{Context: ctx}); err == nil {
 		t.Fatal("cancelled MCR returned nil error")
+	}
+
+	// Cancelled mid-flight: the exponential Figure 8 instance at n=12
+	// is large enough that the pipeline workers are running when the
+	// cancel lands; they must all drain (the deferred leak check is
+	// the assertion).
+	ctx, cancel = context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, err := MCR(workload.Fig8Query(12), v, Options{Context: ctx, MaxEmbeddings: 1 << 22})
+	cancel()
+	if err == nil {
+		t.Fatal("mid-flight cancelled MCR returned nil error")
 	}
 }

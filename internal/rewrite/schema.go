@@ -237,13 +237,25 @@ func (sc *SchemaContext) MCRRecursive(q, v *tpq.Pattern, opts Options) (*Result,
 	labels := ComputeLabels(q, vPrime, sc.graftCut(vPrime.Output.Tag))
 	embeddings, err := labels.Enumerate(ctx, limit)
 	sp.Observe(obs.StageEnumerate, t)
+	// Budget/deadline overruns degrade gracefully: Enumerate returns the
+	// prefix produced before the wall, and each CR below is individually
+	// verified S-contained, so the partial union is sound.
+	reason := ""
 	if err != nil {
-		return nil, err
+		if reason = partialReason(err); reason == "" {
+			return nil, err
+		}
 	}
 	var crs []*ContainedRewriting
+	considered := 0
 	for i, f := range embeddings {
 		if i&255 == 0 {
 			if err := ctx.Err(); err != nil {
+				if r := partialReason(err); r != "" {
+					// Deadline fired mid-build: keep what is finished.
+					reason = r
+					break
+				}
 				return nil, err
 			}
 		}
@@ -257,6 +269,7 @@ func (sc *SchemaContext) MCRRecursive(q, v *tpq.Pattern, opts Options) (*Result,
 		sat := sc.Schema.Satisfiable(cr.Rewriting)
 		contained := sat && sc.SContained(cr.Rewriting, q)
 		sp.Observe(obs.StageContain, t)
+		considered++
 		if !sat {
 			continue
 		}
@@ -265,7 +278,47 @@ func (sc *SchemaContext) MCRRecursive(q, v *tpq.Pattern, opts Options) (*Result,
 		}
 		crs = append(crs, cr)
 	}
-	return sc.assembleSchemaResult(ctx, crs, len(embeddings))
+	if reason != "" {
+		return assembleSchemaPartial(crs, considered, reason), nil
+	}
+	res, err := sc.assembleSchemaResult(ctx, crs, len(embeddings))
+	if err != nil {
+		if r := partialReason(err); r != "" {
+			// Deadline inside schema-relative redundancy elimination.
+			return assembleSchemaPartial(crs, considered, r), nil
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+// assembleSchemaPartial mirrors assemblePartial for the schema path:
+// structural dedup and deterministic order only, skipping the quadratic
+// S-containment matrix. Compensation extraction matches
+// assembleSchemaResult, which leaves it on demand.
+func assembleSchemaPartial(crs []*ContainedRewriting, considered int, reason string) *Result {
+	seen := make(map[string]bool, len(crs))
+	res := &Result{
+		Union:                &tpq.Union{},
+		EmbeddingsConsidered: considered,
+		Partial:              true,
+		PartialReason:        reason,
+	}
+	kept := make([]*ContainedRewriting, 0, len(crs))
+	for _, cr := range crs {
+		key := cr.Rewriting.Canonical()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		kept = append(kept, cr)
+	}
+	sortCRs(kept)
+	for _, cr := range kept {
+		res.CRs = append(res.CRs, cr)
+		res.Union.Patterns = append(res.Union.Patterns, cr.Rewriting)
+	}
+	return res
 }
 
 // assembleSchemaResult deduplicates and removes CRs that are S-contained

@@ -2,11 +2,24 @@ package rewrite
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 
+	"qav/internal/fault"
 	"qav/internal/tpq"
 )
+
+// ErrEmbeddingBudget is the errors.Is target for enumeration-budget
+// overruns: more useful embeddings exist than the caller's
+// MaxEmbeddings bound allows. MCR generation treats it as a signal to
+// degrade gracefully (return the sound union found so far, marked
+// Partial) rather than as a hard failure.
+var ErrEmbeddingBudget = errors.New("rewrite: embedding budget exhausted")
+
+// faultEnumerate fires once per produced embedding, inside the
+// enumeration recursion.
+var faultEnumerate = fault.Register("rewrite.enumerate")
 
 // CutCheck is an extra admissibility condition for leaving the subtree
 // rooted at y unmapped (y is "clipped away" and grafted below the view
@@ -203,9 +216,12 @@ func (l *Labeling) Stream(ctx context.Context, limit int, emit func(*Embedding) 
 	// yield hands the current assignment to emit unless its signature
 	// was already seen (different branches can coincide after cuts).
 	yield := func() error {
+		if err := faultEnumerate.Hit(ctx); err != nil {
+			return err
+		}
 		produced++
 		if produced > limit {
-			return fmt.Errorf("rewrite: more than %d useful embeddings", limit)
+			return fmt.Errorf("rewrite: more than %d useful embeddings: %w", limit, ErrEmbeddingBudget)
 		}
 		sig = sig[:0]
 		for i, x := range l.qn {
@@ -290,13 +306,13 @@ func (l *Labeling) Stream(ctx context.Context, limit int, emit func(*Embedding) 
 
 // Enumerate collects every useful embedding from Stream into a slice.
 // Prefer Stream in pipelines that can process embeddings incrementally.
+// On error the embeddings enumerated so far are returned alongside it,
+// so budget/deadline overruns can degrade into a sound partial result.
 func (l *Labeling) Enumerate(ctx context.Context, limit int) ([]*Embedding, error) {
 	var out []*Embedding
-	if err := l.Stream(ctx, limit, func(e *Embedding) error {
+	err := l.Stream(ctx, limit, func(e *Embedding) error {
 		out = append(out, e)
 		return nil
-	}); err != nil {
-		return nil, err
-	}
-	return out, nil
+	})
+	return out, err
 }

@@ -30,12 +30,21 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"qav/internal/engine"
+	"qav/internal/fault"
+	"qav/internal/guard"
+	"qav/internal/limits"
 	"qav/internal/obs"
 	"qav/internal/rewrite"
 )
+
+// faultHandler fires at the top of every instrumented endpoint (no-op
+// unless a chaos plan arms it; see internal/fault). ActPanic on this
+// point exercises the handler recovery middleware end to end.
+var faultHandler = fault.Register("server.handler")
 
 // maxBodyBytes bounds request bodies; anything larger is refused with
 // 413 before the decoder buffers it.
@@ -57,7 +66,7 @@ func NewWith(eng *engine.Engine) http.Handler {
 	handle := func(pattern string, h http.HandlerFunc) {
 		// The endpoint label is the route pattern, not the raw URL, so
 		// cardinality stays bounded no matter what clients send.
-		mux.Handle(pattern, instrument(reg.Endpoint(pattern), h))
+		mux.Handle(pattern, s.instrument(pattern, reg.Endpoint(pattern), h))
 	}
 	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -98,12 +107,44 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 }
 
 // instrument wraps a handler to record request count, status class and
-// latency into ep.
-func instrument(ep *obs.Endpoint, h http.HandlerFunc) http.Handler {
+// latency into ep, and isolates handler panics: a panic becomes a clean
+// 500 (when nothing was written yet) plus a slow-log entry carrying the
+// stack, instead of net/http killing the connection and losing the
+// crash site in the server's stderr noise.
+func (s *service) instrument(pattern string, ep *obs.Endpoint, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
-		h(sw, r)
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					return
+				}
+				// http.ErrAbortHandler is net/http's own control flow for
+				// aborting a response; re-panicking preserves it.
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				ie := guard.FromPanic(v, "server "+pattern)
+				s.eng.SlowLog().Record(obs.SlowEntry{
+					Time:       time.Now(),
+					Op:         "panic",
+					Query:      pattern,
+					DurationNs: int64(time.Since(start)),
+					Err:        ie.Error(),
+					Stack:      string(ie.Stack),
+				})
+				if sw.status == 0 {
+					httpError(sw, http.StatusInternalServerError, ie)
+				}
+			}()
+			if err := faultHandler.Hit(r.Context()); err != nil {
+				httpError(sw, statusFor(err), err)
+				return
+			}
+			h(sw, r)
+		}()
 		status := sw.status
 		if status == 0 {
 			status = http.StatusOK
@@ -148,6 +189,12 @@ type rewriteResponse struct {
 	Answerable bool     `json:"answerable"`
 	Union      string   `json:"union,omitempty"`
 	CRs        []crJSON `json:"crs,omitempty"`
+	// Partial reports graceful degradation: the enumeration budget or
+	// the deadline expired mid-computation and Union is the sound (every
+	// disjunct verified contained) but possibly non-maximal subset found
+	// up to that point. PartialReason is "budget" or "deadline".
+	Partial       bool   `json:"partial,omitempty"`
+	PartialReason string `json:"partialReason,omitempty"`
 }
 
 func (s *service) handleRewrite(w http.ResponseWriter, r *http.Request) {
@@ -167,7 +214,11 @@ func (s *service) handleRewrite(w http.ResponseWriter, r *http.Request) {
 }
 
 func buildRewriteResponse(res *rewrite.Result) rewriteResponse {
-	out := rewriteResponse{Answerable: !res.Union.Empty()}
+	out := rewriteResponse{
+		Answerable:    !res.Union.Empty(),
+		Partial:       res.Partial,
+		PartialReason: res.PartialReason,
+	}
 	if out.Answerable {
 		out.Union = res.Union.String()
 		for _, cr := range res.CRs {
@@ -197,6 +248,10 @@ type answerResponse struct {
 	ViewNodes  int          `json:"viewNodes"`
 	Answers    []answerJSON `json:"answers"`
 	DirectSize int          `json:"directAnswerCount"`
+	// Partial mirrors rewriteResponse: the answers were produced by a
+	// sound but possibly non-maximal rewriting.
+	Partial       bool   `json:"partial,omitempty"`
+	PartialReason string `json:"partialReason,omitempty"`
 }
 
 func (s *service) handleAnswer(w http.ResponseWriter, r *http.Request) {
@@ -213,9 +268,11 @@ func (s *service) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := answerResponse{
-		Union:      ans.Result.Union.String(),
-		ViewNodes:  len(ans.ViewNodes),
-		DirectSize: len(ans.Direct),
+		Union:         ans.Result.Union.String(),
+		ViewNodes:     len(ans.ViewNodes),
+		DirectSize:    len(ans.Direct),
+		Partial:       ans.Result.Partial,
+		PartialReason: ans.Result.PartialReason,
 	}
 	for _, n := range ans.Answers {
 		resp.Answers = append(resp.Answers, answerJSON{Path: n.Path(), Text: n.Text})
@@ -249,15 +306,20 @@ func (s *service) handleContain(w http.ResponseWriter, r *http.Request) {
 }
 
 // statusFor maps pipeline errors to HTTP statuses: malformed documents
-// are the client's fault (400), deadline overruns are reported as a
-// timeout (504), everything else — unparsable expressions, budget
-// overruns, unanswerable queries — is a semantically rejected request
-// (422).
+// are the client's fault (400), load shedding is 429 (the Retry-After
+// header is added by httpError), recovered panics and injected faults
+// are the server's 500, deadline overruns are reported as a timeout
+// (504), everything else — unparsable expressions, unanswerable
+// queries — is a semantically rejected request (422).
 func statusFor(err error) int {
 	var inv *engine.InvalidRequestError
 	switch {
 	case errors.As(err, &inv) && inv.Field == "document":
 		return http.StatusBadRequest
+	case errors.Is(err, limits.ErrSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, guard.ErrInternal), errors.Is(err, fault.ErrInjected):
+		return http.StatusInternalServerError
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	default:
@@ -320,6 +382,12 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {
+	// A shed request tells the client when the gate expects capacity
+	// back; well-behaved clients back off instead of hammering.
+	var sat *limits.SaturatedError
+	if errors.As(err, &sat) {
+		w.Header().Set("Retry-After", strconv.Itoa(sat.RetryAfterSeconds()))
+	}
 	// json.Marshal of a string cannot fail and escapes quotes properly,
 	// so the message survives round-tripping instead of having its
 	// quotes rewritten to apostrophes.

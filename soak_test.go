@@ -6,13 +6,22 @@ package qav_test
 
 import (
 	"context"
+	"encoding/json"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"qav"
+	"qav/internal/engine"
+	"qav/internal/fault"
+	"qav/internal/leaktest"
 	"qav/internal/rewrite"
 	"qav/internal/schema"
+	"qav/internal/server"
 	"qav/internal/stream"
 	"qav/internal/structjoin"
 	"qav/internal/tpq"
@@ -141,5 +150,106 @@ func TestSoakShipMediateRandom(t *testing.T) {
 		if len(forestAnswers) < len(sourceAnswers) {
 			t.Fatalf("forest lost answers: %d < %d (q=%s v=%s)", len(forestAnswers), len(sourceAnswers), q, v)
 		}
+	}
+}
+
+// Mixed load + fault soak: concurrent clients hammer the HTTP handler
+// while a chaos goroutine re-arms random fault plans underneath them.
+// Deterministic injections under nondeterministic interleaving — the
+// assertions are the survival properties (JSON responses, clean
+// shutdown, no leaked goroutines) plus post-storm health.
+func TestSoakMixedLoadWithFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	defer leaktest.Check(t)()
+	defer fault.Disable()
+
+	eng := engine.New(engine.Config{
+		CacheSize:     128,
+		Timeout:       time.Second,
+		MaxEmbeddings: 1 << 16,
+	})
+	h := server.NewWith(eng)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Chaos goroutine: a new deterministic plan every millisecond,
+	// cycling action types across the full point registry.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		names := fault.Names()
+		actions := []fault.Action{fault.ActError, fault.ActPanic, fault.ActDelay, fault.ActCancel}
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			plan := &fault.Plan{Seed: int64(i)}
+			for k := 0; k < 1+rng.Intn(2); k++ {
+				plan.Injections = append(plan.Injections, fault.Injection{
+					Point:  names[rng.Intn(len(names))],
+					Action: actions[(i+k)%len(actions)],
+					Prob:   0.2,
+					Delay:  time.Millisecond,
+				})
+			}
+			if err := fault.Enable(plan); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Client goroutines: each its own deterministic request stream.
+	clients := 8
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			alphabet := []string{"a", "b", "c"}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := workload.RandomPattern(rng, alphabet, 4)
+				v := workload.RandomPattern(rng, alphabet, 4)
+				body, _ := json.Marshal(map[string]string{"query": q.String(), "view": v.String()})
+				req := httptest.NewRequest("POST", "/v1/rewrite", strings.NewReader(string(body)))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code == 0 {
+					t.Error("no status written under fault load")
+					return
+				}
+				var out map[string]any
+				if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+					t.Errorf("non-JSON response %d %q", rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}(c)
+	}
+
+	time.Sleep(2 * time.Second)
+	close(stop)
+	wg.Wait()
+	fault.Disable()
+
+	// Post-storm health check on the same engine and handler.
+	req := httptest.NewRequest("POST", "/v1/rewrite", strings.NewReader(
+		`{"query":"//Trials[//Status]//Trial","view":"//Trials//Trial"}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-soak rewrite = %d: %s", rec.Code, rec.Body.String())
 	}
 }
