@@ -69,8 +69,13 @@ func chaosBodies(rng *rand.Rand) []struct{ path, body string } {
 		{"/v1/rewrite", `{"query":"//Trials[//Status]//Trial","view":"//Trials//Trial","schema":` + esc(chaosSchema) + `}`},
 		{"/v1/rewrite", `{"query":` + esc(rq) + `,"view":` + esc(rv) + `}`},
 		{"/v1/contain", `{"p":"//Trials//Trial[Status]","q":"//Trials//Trial","schema":` + esc(chaosSchema) + `}`},
+		{"/v1/answer", `{"query":"//Trials[//Status]//Trial/Patient","view":"//Trials//Trial","document":` + esc(chaosDoc) + `}`},
 	}
 }
+
+// chaosDoc is a tiny conforming document for the /v1/answer mix entry,
+// exercising the plan.exec injection point end to end.
+const chaosDoc = `<PharmaLab><Trials><Trial><Patient>John Doe</Patient><Status>Complete</Status></Trial><Trial><Patient>Jane Roe</Patient></Trial></Trials></PharmaLab>`
 
 // TestChaosRandomFaultsSurviveServing is the storm: ≥200 randomized
 // plans, each arming one guaranteed-rotating point (so every
@@ -100,8 +105,8 @@ func TestChaosRandomFaultsSurviveServing(t *testing.T) {
 	}
 	for _, want := range []string{
 		"cache.singleflight", "chase.step", "engine.compute",
-		"rewrite.buildcr", "rewrite.contain", "rewrite.enumerate",
-		"rewrite.worker", "server.handler",
+		"plan.exec", "rewrite.buildcr", "rewrite.contain",
+		"rewrite.enumerate", "rewrite.worker", "server.handler",
 	} {
 		if !registered[want] {
 			t.Fatalf("injection point %q not registered (have %v)", want, names)

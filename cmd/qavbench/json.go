@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"qav/internal/obs"
+	"qav/internal/plan"
 	"qav/internal/rewrite"
 	"qav/internal/tpq"
 	"qav/internal/workload"
@@ -172,6 +173,49 @@ func runJSON(ctx context.Context, seed int64) error {
 			return err
 		}
 		add(measure("evaluate_groups100", 2000, func() { q.Evaluate(d) }))
+	}
+
+	// End-to-end answering over a ~10^6-node corpus (the expAnswer
+	// experiment's setup): per-CR naive evaluation vs the compiled
+	// answer plan, plus the one-time forest index build. The plan
+	// kernels fold their stage spans into the same registry, so the
+	// report's "stages" section carries plan.compile/index/exec rows.
+	{
+		d, err := workload.ClinicalTrialsDoc(ctx, rand.New(rand.NewSource(1)), 700, 700, 0.1)
+		if err != nil {
+			return err
+		}
+		q := tpq.MustParse("//Trials[//Status]//Trial/Patient")
+		v := tpq.MustParse("//Trials//Trial")
+		res, err := rewrite.MCR(q, v, rewrite.Options{Context: ctx})
+		if err != nil {
+			return err
+		}
+		viewNodes := rewrite.MaterializeView(v, d)
+		add(measure("answer_naive_1m", 3, func() {
+			if _, err := rewrite.NaiveAnswerMaterialized(ctx, res.CRs, d, viewNodes); err != nil {
+				panic(err)
+			}
+		}))
+		var pl *plan.Plan
+		add(measure("answer_plan_compile", 100, spanned(func(ctx context.Context) {
+			var err error
+			if pl, err = plan.Compile(ctx, rewrite.Compensations(res.CRs)); err != nil {
+				panic(err)
+			}
+		})))
+		var f *plan.Forest
+		add(measure("answer_plan_index_1m", 3, spanned(func(ctx context.Context) {
+			var err error
+			if f, err = plan.IndexSubtrees(ctx, d, viewNodes); err != nil {
+				panic(err)
+			}
+		})))
+		add(measure("answer_plan_exec_1m", 5, spanned(func(ctx context.Context) {
+			if _, err := pl.Exec(ctx, f, plan.ExecOptions{}); err != nil {
+				panic(err)
+			}
+		})))
 	}
 
 	report.Stages = reg.Snapshot().Stages

@@ -28,6 +28,7 @@ import (
 	"qav/internal/chase"
 	"qav/internal/constraints"
 	"qav/internal/engine"
+	"qav/internal/plan"
 	"qav/internal/rewrite"
 	"qav/internal/structjoin"
 	"qav/internal/tpq"
@@ -37,7 +38,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiments to run: useemb,mcrsize,inference,chase,schemamcr,savings,overhead,naive,recursive,engines,cache,select or all")
+	expFlag := flag.String("exp", "all", "experiments to run: useemb,mcrsize,inference,chase,schemamcr,savings,overhead,naive,recursive,engines,cache,select,answer or all")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonFlag := flag.Bool("json", false, "measure the hot kernels and emit one JSON report instead of the experiment tables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -98,8 +99,9 @@ func main() {
 		"engines":   expEngines,
 		"cache":     expCache,
 		"select":    expSelect,
+		"answer":    expAnswer,
 	}
-	order := []string{"useemb", "mcrsize", "inference", "chase", "schemamcr", "savings", "overhead", "naive", "recursive", "engines", "cache", "select"}
+	order := []string{"useemb", "mcrsize", "inference", "chase", "schemamcr", "savings", "overhead", "naive", "recursive", "engines", "cache", "select", "answer"}
 
 	selected := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
@@ -495,6 +497,62 @@ func expCache(ctx context.Context, eng *engine.Engine, seed int64) {
 		wg.Wait()
 		tDup := time.Since(start)
 		fmt.Fprintf(w, "%d\t%v\t%v\t%v\t%d\n", n, tCold, tHit, tDup, cold.Stats().CacheMisses)
+	}
+	w.Flush()
+}
+
+// E14 (answer plans): end-to-end answering over a ~10^6-node corpus —
+// per-CR naive evaluation vs the compiled plan under each forced
+// backend and the auto heuristic. The plan is compiled once and the
+// forest indexed once (both timed); exec is timed per backend.
+func expAnswer(ctx context.Context, eng *engine.Engine, seed int64) {
+	w := table("E14 answer plans: compiled plan vs naive per-CR evaluation",
+		"method", "answers", "t(index)", "t(exec)", "speedup")
+	rng := rand.New(rand.NewSource(seed))
+	d, err := workload.ClinicalTrialsDoc(ctx, rng, 700, 700, 0.1)
+	if err != nil {
+		panic(err)
+	}
+	q := tpq.MustParse("//Trials[//Status]//Trial/Patient")
+	v := tpq.MustParse("//Trials//Trial")
+	res, err := rewrite.MCR(q, v, rewrite.Options{Context: ctx})
+	if err != nil {
+		panic(err)
+	}
+	viewNodes := rewrite.MaterializeView(v, d)
+	fmt.Printf("corpus: %d nodes, view materializes %d subtrees, MCR has %d CR(s)\n",
+		d.Size(), len(viewNodes), len(res.CRs))
+
+	var naive []*xmltree.Node
+	tNaive := timeIt(3, func() {
+		if naive, err = rewrite.NaiveAnswerMaterialized(ctx, res.CRs, d, viewNodes); err != nil {
+			panic(err)
+		}
+	})
+	fmt.Fprintf(w, "naive\t%d\t-\t%v\t1.00x\n", len(naive), tNaive)
+
+	pl, err := plan.Compile(ctx, rewrite.Compensations(res.CRs))
+	if err != nil {
+		panic(err)
+	}
+	var f *plan.Forest
+	tIndex := timeIt(3, func() {
+		if f, err = plan.IndexSubtrees(ctx, d, viewNodes); err != nil {
+			panic(err)
+		}
+	})
+	for _, be := range []plan.Backend{plan.StructJoin, plan.TreeDP, plan.Stream, plan.Auto} {
+		var r *plan.ExecResult
+		tExec := timeIt(3, func() {
+			if r, err = pl.Exec(ctx, f, plan.ExecOptions{Backend: be}); err != nil {
+				panic(err)
+			}
+		})
+		if len(r.Nodes()) != len(naive) {
+			panic(fmt.Sprintf("backend %s: %d answers, naive %d", be, len(r.Nodes()), len(naive)))
+		}
+		fmt.Fprintf(w, "plan/%s\t%d\t%v\t%v\t%.2fx\n",
+			be, len(r.Nodes()), tIndex, tExec, float64(tNaive)/float64(tExec))
 	}
 	w.Flush()
 }

@@ -6,13 +6,13 @@
 // Usage:
 //
 //	qavcli rewrite -q XPATH -v XPATH [-schema FILE] [-recursive]
-//	qavcli answer  -q XPATH -v XPATH -doc FILE [-schema FILE]
+//	qavcli answer  -q XPATH -v XPATH -doc FILE [-schema FILE] [-backend B]
 //	qavcli eval    -q XPATH -doc FILE
 //	qavcli contain -p XPATH -q XPATH [-schema FILE]
 //	qavcli constraints -schema FILE
 //	qavcli chase   -v XPATH -schema FILE [-q XPATH]
 //	qavcli ship    -v XPATH -doc FILE [-o FILE]
-//	qavcli mediate -q XPATH -view FILE
+//	qavcli mediate -q XPATH -view FILE [-backend B]
 //	qavcli select  -workload FILE -k N
 //
 // All rewriting-pipeline commands route through internal/engine, the
@@ -33,6 +33,7 @@ import (
 
 	"qav"
 	"qav/internal/engine"
+	"qav/internal/plan"
 	"qav/internal/rewrite"
 	"qav/internal/schema"
 	"qav/internal/tpq"
@@ -162,9 +163,14 @@ func cmdAnswer(ctx context.Context, eng *engine.Engine, args []string) error {
 	vExpr := fs.String("v", "", "view")
 	docFile := fs.String("doc", "", "XML document")
 	schemaFile := fs.String("schema", "", "optional schema file")
+	backend := fs.String("backend", "auto", "plan backend: auto, structjoin, treedp or stream")
 	fs.Parse(args)
 	if *qExpr == "" || *vExpr == "" || *docFile == "" {
 		return fmt.Errorf("-q, -v and -doc are required")
+	}
+	be, err := plan.ParseBackend(*backend)
+	if err != nil {
+		return err
 	}
 	q, err := qav.ParseQuery(*qExpr)
 	if err != nil {
@@ -187,7 +193,7 @@ func cmdAnswer(ctx context.Context, eng *engine.Engine, args []string) error {
 			fmt.Fprintln(os.Stderr, "warning: document does not conform to schema:", err)
 		}
 	}
-	ans, err := eng.AnswerDoc(ctx, engine.Request{Query: q, View: v, Schema: g}, d)
+	ans, err := eng.AnswerDoc(ctx, engine.Request{Query: q, View: v, Schema: g, PlanBackend: be}, d)
 	if errors.Is(err, engine.ErrNotAnswerable) {
 		return fmt.Errorf("query is not answerable using the view")
 	}
@@ -198,12 +204,26 @@ func cmdAnswer(ctx context.Context, eng *engine.Engine, args []string) error {
 		fmt.Printf("PARTIAL (%s): answers come from a sound but possibly non-maximal rewriting\n", ans.Result.PartialReason)
 	}
 	fmt.Printf("materialized view: %d nodes\n", len(ans.ViewNodes))
+	printPlan(ans.Plan, ans.Exec)
 	fmt.Printf("answers via view (%d):\n", len(ans.Answers))
 	for _, n := range ans.Answers {
 		printAnswer(n)
 	}
 	fmt.Printf("direct evaluation of the query finds %d answers\n", len(ans.Direct))
 	return nil
+}
+
+// printPlan summarizes the compiled answer plan: program count and the
+// backend that executed each program.
+func printPlan(pl *plan.Plan, exec *plan.ExecResult) {
+	if pl == nil {
+		return
+	}
+	parts := make([]string, len(exec.Backends))
+	for i, b := range exec.Backends {
+		parts[i] = b.String()
+	}
+	fmt.Printf("plan: %d program(s), backends [%s]\n", pl.Programs(), strings.Join(parts, " "))
 }
 
 func cmdEval(ctx context.Context, args []string) error {
@@ -391,9 +411,14 @@ func cmdMediate(ctx context.Context, eng *engine.Engine, args []string) error {
 	fs := flag.NewFlagSet("mediate", flag.ExitOnError)
 	qExpr := fs.String("q", "", "query")
 	viewFile := fs.String("view", "", "shipped view file (from qavcli ship)")
+	backend := fs.String("backend", "auto", "plan backend: auto, structjoin, treedp or stream")
 	fs.Parse(args)
 	if *qExpr == "" || *viewFile == "" {
 		return fmt.Errorf("-q and -view are required")
+	}
+	be, err := plan.ParseBackend(*backend)
+	if err != nil {
+		return err
 	}
 	q, err := qav.ParseQuery(*qExpr)
 	if err != nil {
@@ -410,19 +435,20 @@ func cmdMediate(ctx context.Context, eng *engine.Engine, args []string) error {
 	}
 	fmt.Printf("stored view %s: %d tree(s)\n", m.Expr, len(m.Forest))
 	eng.RegisterView(*viewFile, m)
-	res, answers, err := eng.AnswerStored(ctx, q, *viewFile)
+	sa, err := eng.AnswerStoredView(ctx, q, *viewFile, be)
 	if errors.Is(err, engine.ErrNotAnswerable) {
 		return fmt.Errorf("query is not answerable using the stored view")
 	}
 	if err != nil {
 		return err
 	}
-	if res.Partial {
-		fmt.Printf("PARTIAL (%s): sound but possibly non-maximal rewriting\n", res.PartialReason)
+	if sa.Result.Partial {
+		fmt.Printf("PARTIAL (%s): sound but possibly non-maximal rewriting\n", sa.Result.PartialReason)
 	}
-	fmt.Println("rewriting:", res.Union)
-	fmt.Printf("answers (%d):\n", len(answers))
-	for _, n := range answers {
+	fmt.Println("rewriting:", sa.Result.Union)
+	printPlan(sa.Plan, sa.Exec)
+	fmt.Printf("answers (%d):\n", len(sa.Answers))
+	for _, n := range sa.Answers {
 		printAnswer(n)
 	}
 	return nil

@@ -1,8 +1,10 @@
-// Package cache provides a concurrency-safe bounded LRU cache for
-// rewriting results, keyed by the canonical forms of the query, the
-// view, and the schema. Mediators answer many queries against few
-// views; rewriting is pure, so caching it is free speedup (the
-// semantic-caching direction the paper cites as [7]).
+// Package cache provides a concurrency-safe bounded LRU cache with
+// singleflight deduplication, keyed by canonical request forms. The
+// engine keeps two: rewriting results keyed by (query, view, schema)
+// — mediators answer many queries against few views, and rewriting is
+// pure, so caching it is free speedup (the semantic-caching direction
+// the paper cites as [7]) — and compiled answer plans keyed by the
+// canonical CR union, which are pure functions of the rewriting.
 package cache
 
 import (
@@ -13,7 +15,6 @@ import (
 
 	"qav/internal/fault"
 	"qav/internal/guard"
-	"qav/internal/rewrite"
 	"qav/internal/schema"
 	"qav/internal/tpq"
 )
@@ -22,15 +23,20 @@ import (
 // computation (no-op unless a chaos plan arms it; see internal/fault).
 var faultFlight = fault.Register("cache.singleflight")
 
-// Cache is a bounded LRU of rewriting results with singleflight
+// Cache is a bounded LRU of computation results with singleflight
 // deduplication of in-flight computations. The zero value is not
-// usable; call New.
-type Cache struct {
+// usable; call New or NewWithPolicy.
+type Cache[V any] struct {
 	mu       sync.Mutex
 	capacity int
-	order    *list.List               // front = most recently used; values are *entry; guarded by mu
+	order    *list.List               // front = most recently used; values are *entry[V]; guarded by mu
 	byKey    map[string]*list.Element // guarded by mu
-	inflight map[string]*flight       // guarded by mu
+	inflight map[string]*flight[V]    // guarded by mu
+
+	// volatile, when non-nil, marks successful values that must not be
+	// cached — results that describe where a budget or deadline
+	// happened to land rather than the key (e.g. partial rewritings).
+	volatile func(V) bool
 
 	// Disjoint lookup-outcome counters: a lookup is exactly one of a
 	// completed-entry hit, a miss (the caller becomes the computing
@@ -40,29 +46,38 @@ type Cache struct {
 	hits, misses, dedups int64 // guarded by mu
 }
 
-type entry struct {
+type entry[V any] struct {
 	key string
-	res *rewrite.Result
+	res V
 	err error
 }
 
 // flight is one in-progress computation; followers wait on done.
-type flight struct {
+type flight[V any] struct {
 	done chan struct{}
-	res  *rewrite.Result
+	res  V
 	err  error
 }
 
 // New creates a cache holding up to capacity results (minimum 1).
-func New(capacity int) *Cache {
+func New[V any](capacity int) *Cache[V] {
+	return NewWithPolicy[V](capacity, nil)
+}
+
+// NewWithPolicy creates a cache whose successful values are additionally
+// filtered by volatile: values it reports true for are returned to the
+// caller but never stored (see Cache.volatile). A nil volatile stores
+// every successful value.
+func NewWithPolicy[V any](capacity int, volatile func(V) bool) *Cache[V] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Cache{
+	return &Cache[V]{
 		capacity: capacity,
 		order:    list.New(),
 		byKey:    make(map[string]*list.Element),
-		inflight: make(map[string]*flight),
+		inflight: make(map[string]*flight[V]),
+		volatile: volatile,
 	}
 }
 
@@ -81,47 +96,49 @@ func Key(q, v *tpq.Pattern, g *schema.Graph, recursive bool) string {
 
 // Get returns the cached result for key, if present. The error is the
 // stored computation error and is meaningful only when ok is true.
-func (c *Cache) Get(key string) (res *rewrite.Result, ok bool, err error) {
+func (c *Cache[V]) Get(key string) (res V, ok bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, found := c.byKey[key]
 	if !found {
 		c.misses++
-		return nil, false, nil
+		var zero V
+		return zero, false, nil
 	}
 	c.hits++
 	c.order.MoveToFront(el)
-	e := el.Value.(*entry)
+	e := el.Value.(*entry[V])
 	return e.res, true, e.err
 }
 
 // Put stores a result (or the error computing it produced) under key.
-// Storing an error is deliberate negative caching: rewriting is a pure
-// function of the key, so a deterministic failure (parse rejection,
-// enumeration budget overrun) would fail identically on every retry.
-// Error entries occupy ordinary LRU slots and age out like results;
-// they are never pinned. Callers must not Put context cancellation
-// errors, transient errors, or Partial results — those describe the
-// request or a momentary condition, not the computation (GetOrCompute
-// filters all of them automatically, see cacheable).
-func (c *Cache) Put(key string, res *rewrite.Result, err error) {
+// Storing an error is deliberate negative caching: the computations
+// cached here are pure functions of the key, so a deterministic
+// failure (parse rejection, enumeration budget overrun) would fail
+// identically on every retry. Error entries occupy ordinary LRU slots
+// and age out like results; they are never pinned. Callers must not
+// Put context cancellation errors, transient errors, or volatile
+// values — those describe the request or a momentary condition, not
+// the computation (GetOrCompute filters all of them automatically, see
+// cacheable).
+func (c *Cache[V]) Put(key string, res V, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.putLocked(key, res, err)
 }
 
-func (c *Cache) putLocked(key string, res *rewrite.Result, err error) {
+func (c *Cache[V]) putLocked(key string, res V, err error) {
 	if el, ok := c.byKey[key]; ok {
 		c.order.MoveToFront(el)
-		el.Value.(*entry).res = res
-		el.Value.(*entry).err = err
+		el.Value.(*entry[V]).res = res
+		el.Value.(*entry[V]).err = err
 		return
 	}
-	c.byKey[key] = c.order.PushFront(&entry{key: key, res: res, err: err})
+	c.byKey[key] = c.order.PushFront(&entry[V]{key: key, res: res, err: err})
 	for c.order.Len() > c.capacity {
 		last := c.order.Back()
 		c.order.Remove(last)
-		delete(c.byKey, last.Value.(*entry).key)
+		delete(c.byKey, last.Value.(*entry[V]).key)
 	}
 }
 
@@ -139,13 +156,13 @@ func (c *Cache) putLocked(key string, res *rewrite.Result, err error) {
 // duplicated work), and only completed-entry lookups are hits. A
 // follower that retries after a cancelled leader counts one dedup per
 // wait it joins.
-func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() (*rewrite.Result, error)) (*rewrite.Result, error) {
+func (c *Cache[V]) GetOrCompute(ctx context.Context, key string, compute func() (V, error)) (V, error) {
 	for {
 		c.mu.Lock()
 		if el, ok := c.byKey[key]; ok {
 			c.hits++
 			c.order.MoveToFront(el)
-			e := el.Value.(*entry)
+			e := el.Value.(*entry[V])
 			c.mu.Unlock()
 			return e.res, e.err
 		}
@@ -154,7 +171,8 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() (*r
 			c.mu.Unlock()
 			select {
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				var zero V
+				return zero, ctx.Err()
 			case <-f.done:
 			}
 			if isContextErr(f.err) {
@@ -163,7 +181,7 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() (*r
 			return f.res, f.err
 		}
 		c.misses++
-		f := &flight{done: make(chan struct{})}
+		f := &flight[V]{done: make(chan struct{})}
 		c.inflight[key] = f
 		c.mu.Unlock()
 
@@ -177,11 +195,11 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() (*r
 // every follower, and the deferred cleanup guarantees the flight is
 // removed and its done channel closed on every path — a panicking
 // leader must never strand followers on a channel nobody will close.
-func (c *Cache) runLeader(ctx context.Context, key string, f *flight, compute func() (*rewrite.Result, error)) {
+func (c *Cache[V]) runLeader(ctx context.Context, key string, f *flight[V], compute func() (V, error)) {
 	defer func() {
 		c.mu.Lock()
 		delete(c.inflight, key)
-		if cacheable(f.res, f.err) {
+		if c.cacheable(f.res, f.err) {
 			c.putLocked(key, f.res, f.err)
 		}
 		c.mu.Unlock()
@@ -202,11 +220,11 @@ type transient interface{ Transient() bool }
 
 // cacheable decides whether a flight's outcome may be stored. Context
 // errors describe the request, transient errors describe a momentary
-// condition, and partial results describe where one deadline happened
-// to land — none are properties of the (query, view, schema) key, so
-// caching any of them would serve a degraded answer to callers with
-// healthy budgets.
-func cacheable(res *rewrite.Result, err error) bool {
+// condition, and volatile values (per the constructor policy) describe
+// where one deadline happened to land — none are properties of the
+// key, so caching any of them would serve a degraded answer to callers
+// with healthy budgets.
+func (c *Cache[V]) cacheable(res V, err error) bool {
 	if err != nil {
 		if isContextErr(err) {
 			return false
@@ -217,7 +235,7 @@ func cacheable(res *rewrite.Result, err error) bool {
 		}
 		return true
 	}
-	return res == nil || !res.Partial
+	return c.volatile == nil || !c.volatile(res)
 }
 
 // isContextErr reports whether err stems from cancellation or a missed
@@ -231,14 +249,14 @@ func isContextErr(err error) bool {
 // hits, leader computations (misses), and follower waits deduplicated
 // onto an in-flight leader. hits+misses+dedups equals the number of
 // lookups.
-func (c *Cache) Stats() (hits, misses, dedups int64) {
+func (c *Cache[V]) Stats() (hits, misses, dedups int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.dedups
 }
 
 // Len returns the number of cached results.
-func (c *Cache) Len() int {
+func (c *Cache[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()

@@ -17,7 +17,7 @@ import (
 )
 
 func TestGetPutEvict(t *testing.T) {
-	c := New(2)
+	c := New[*rewrite.Result](2)
 	r1 := &rewrite.Result{}
 	r2 := &rewrite.Result{}
 	r3 := &rewrite.Result{}
@@ -44,7 +44,7 @@ func TestGetPutEvict(t *testing.T) {
 }
 
 func TestPutOverwrites(t *testing.T) {
-	c := New(2)
+	c := New[*rewrite.Result](2)
 	r1, r2 := &rewrite.Result{}, &rewrite.Result{}
 	c.Put("k", r1, nil)
 	c.Put("k", r2, nil)
@@ -81,7 +81,7 @@ func TestKeyDistinguishes(t *testing.T) {
 }
 
 func TestGetOrCompute(t *testing.T) {
-	c := New(4)
+	c := New[*rewrite.Result](4)
 	calls := 0
 	compute := func() (*rewrite.Result, error) {
 		calls++
@@ -102,7 +102,7 @@ func TestGetOrCompute(t *testing.T) {
 }
 
 func TestConcurrentAccess(t *testing.T) {
-	c := New(16)
+	c := New[*rewrite.Result](16)
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
@@ -125,7 +125,7 @@ func TestConcurrentAccess(t *testing.T) {
 // Singleflight: concurrent callers for one key run compute exactly once
 // — the leader computes, followers wait and share the result.
 func TestSingleflightDedup(t *testing.T) {
-	c := New(4)
+	c := New[*rewrite.Result](4)
 	var calls atomic.Int64
 	release := make(chan struct{})
 	want := &rewrite.Result{}
@@ -184,7 +184,7 @@ func TestSingleflightDedup(t *testing.T) {
 // A follower whose own context is cancelled stops waiting immediately
 // instead of blocking on the leader.
 func TestFollowerHonorsOwnContext(t *testing.T) {
-	c := New(4)
+	c := New[*rewrite.Result](4)
 	release := make(chan struct{})
 	defer close(release)
 	go c.GetOrCompute(context.Background(), "k", func() (*rewrite.Result, error) {
@@ -204,7 +204,7 @@ func TestFollowerHonorsOwnContext(t *testing.T) {
 
 // Cancellation errors are never cached: the next caller recomputes.
 func TestCancellationNotCached(t *testing.T) {
-	c := New(4)
+	c := New[*rewrite.Result](4)
 	calls := 0
 	_, err := c.GetOrCompute(context.Background(), "k", func() (*rewrite.Result, error) {
 		calls++
@@ -233,7 +233,7 @@ func TestCancellationNotCached(t *testing.T) {
 // context and becomes the new leader; the counters record exactly one
 // dedup (the wait that failed) and two misses (two computations led).
 func TestFollowerRetryAfterLeaderCancelStats(t *testing.T) {
-	c := New(4)
+	c := New[*rewrite.Result](4)
 	joined := make(chan struct{})
 	want := &rewrite.Result{}
 
@@ -294,7 +294,7 @@ func TestFollowerRetryAfterLeaderCancelStats(t *testing.T) {
 // slots: repeated lookups return the stored error without recomputing,
 // and eviction clears the way for a retry like any other entry.
 func TestDeterministicErrorsCached(t *testing.T) {
-	c := New(1)
+	c := New[*rewrite.Result](1)
 	boom := errors.New("boom")
 	calls := 0
 	compute := func() (*rewrite.Result, error) {
@@ -324,7 +324,7 @@ func TestDeterministicErrorsCached(t *testing.T) {
 // flight fails with a typed internal error, every follower observes it,
 // and nothing is cached (the condition is transient).
 func TestLeaderPanicReleasesFollowers(t *testing.T) {
-	c := New(4)
+	c := New[*rewrite.Result](4)
 	started := make(chan struct{})
 	release := make(chan struct{})
 	leaderDone := make(chan error, 1)
@@ -378,11 +378,14 @@ func TestLeaderPanicReleasesFollowers(t *testing.T) {
 	}
 }
 
-// Partial results are never cached: a deadline landing mid-computation
-// is a property of that request, and the next caller with a healthy
-// budget must get a chance at the full answer.
+// Partial results are never cached under the engine's volatile policy:
+// a deadline landing mid-computation is a property of that request, and
+// the next caller with a healthy budget must get a chance at the full
+// answer.
 func TestPartialResultsNotCached(t *testing.T) {
-	c := New(4)
+	c := NewWithPolicy[*rewrite.Result](4, func(r *rewrite.Result) bool {
+		return r != nil && r.Partial
+	})
 	calls := 0
 	partial := &rewrite.Result{Partial: true, PartialReason: rewrite.PartialDeadline}
 	full := &rewrite.Result{}
@@ -413,7 +416,7 @@ func TestPartialResultsNotCached(t *testing.T) {
 // Transient errors (load shedding, injected faults) age out immediately:
 // they are returned to the waiters of the flight but never stored.
 func TestTransientErrorsNotCached(t *testing.T) {
-	c := New(4)
+	c := New[*rewrite.Result](4)
 	calls := 0
 	compute := func() (*rewrite.Result, error) {
 		calls++
@@ -445,7 +448,7 @@ func TestSingleflightFaultPoint(t *testing.T) {
 	}}); err != nil {
 		t.Fatal(err)
 	}
-	c := New(4)
+	c := New[*rewrite.Result](4)
 	_, err := c.GetOrCompute(context.Background(), "k", func() (*rewrite.Result, error) {
 		t.Error("compute must not run when the flight fault fires first")
 		return nil, nil

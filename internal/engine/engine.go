@@ -35,6 +35,7 @@ import (
 	"qav/internal/guard"
 	"qav/internal/limits"
 	"qav/internal/obs"
+	"qav/internal/plan"
 	"qav/internal/rewrite"
 	"qav/internal/schema"
 	"qav/internal/tpq"
@@ -102,8 +103,12 @@ type Config struct {
 // Engine is the shared rewriting pipeline. It is safe for concurrent
 // use by multiple goroutines.
 type Engine struct {
-	cfg     Config
-	cache   *cache.Cache
+	cfg   Config
+	cache *cache.Cache[*rewrite.Result]
+	// plans caches compiled answer plans keyed by the canonical CR
+	// union (plan.KeyOf): plans are pure functions of the rewriting,
+	// so every request answering through the same MCR shares one.
+	plans   *cache.Cache[*plan.Plan]
 	views   *viewstore.Catalog
 	metrics *obs.Registry
 	slow    *obs.SlowLog
@@ -132,8 +137,13 @@ func New(cfg Config) *Engine {
 		metrics = obs.NewRegistry()
 	}
 	return &Engine{
-		cfg:     cfg,
-		cache:   cache.New(size),
+		cfg: cfg,
+		// Partial rewritings describe where one request's budget or
+		// deadline landed, not the key — volatile, never stored.
+		cache: cache.NewWithPolicy[*rewrite.Result](size, func(r *rewrite.Result) bool {
+			return r != nil && r.Partial
+		}),
+		plans:   cache.New[*plan.Plan](size),
 		views:   viewstore.NewCatalog(),
 		metrics: metrics,
 		slow:    obs.NewSlowLog(cfg.SlowQueryThreshold, cfg.SlowLogSize),
@@ -212,6 +222,9 @@ type Request struct {
 	// NoCache bypasses the rewrite cache (used by benchmarks measuring
 	// the raw pipeline, and by callers that will mutate the result).
 	NoCache bool
+	// PlanBackend forces the answer-plan execution backend for this
+	// request; the zero value (plan.Auto) selects per program.
+	PlanBackend plan.Backend
 }
 
 func (r Request) options(e *Engine, ctx context.Context) rewrite.Options {
@@ -365,20 +378,101 @@ func (e *Engine) parseRewriteRequest(req RewriteRequest) (Request, error) {
 
 // Answer is the outcome of answering a query through a view over a
 // document: the rewriting used, the materialized view nodes, the
-// answers obtained by compensation, and the direct evaluation of the
-// query for comparison.
+// answers obtained by executing the compiled answer plan, and the
+// direct evaluation of the query for comparison.
 type Answer struct {
 	Result    *rewrite.Result
 	ViewNodes []*xmltree.Node
 	Answers   []*xmltree.Node
 	Direct    []*xmltree.Node
+	// Plan is the compiled (cached) answer plan the request executed.
+	Plan *plan.Plan
+	// Exec carries the execution detail (per-program backends).
+	Exec *plan.ExecResult
+}
+
+// planFor returns the compiled answer plan for the CR set, from the
+// plan cache: plans are pure functions of the canonical CR union, so
+// concurrent requests answering through the same MCR compile once
+// (singleflight) and share the artifact. Compile time is credited to
+// the plan.compile stage by the computing leader only — a hit stays a
+// lock and a map probe.
+func (e *Engine) planFor(ctx context.Context, crs []*rewrite.ContainedRewriting) (*plan.Plan, error) {
+	comps := rewrite.Compensations(crs)
+	key, err := plan.KeyOf(comps)
+	if err != nil {
+		return nil, err
+	}
+	return e.plans.GetOrCompute(ctx, key, func() (*plan.Plan, error) {
+		return plan.Compile(ctx, comps)
+	})
+}
+
+// answerPlan is the shared answer pipeline tail: compile (cached) →
+// index (caller-supplied: per-request subtree windows or the stored
+// view's cached forest index) → exec, behind the same protections as
+// the rewriting pipeline — panic isolation (a panic fails the request,
+// not the process) and admission control (indexing and execution scan
+// the forest, so they queue or shed under saturation like any other
+// compute; plan-cache lookups happen before the gate).
+func (e *Engine) answerPlan(ctx context.Context, crs []*rewrite.ContainedRewriting, index func(context.Context) (*plan.Forest, error), backend plan.Backend) (pl *plan.Plan, exec *plan.ExecResult, err error) {
+	defer guard.Recover(&err, "engine.answer")
+	pl, err = e.planFor(ctx, crs)
+	if err != nil {
+		return nil, nil, err
+	}
+	release, err := e.cfg.Gate.Acquire(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
+	f, err := index(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	exec, err = pl.Exec(ctx, f, plan.ExecOptions{Backend: backend})
+	if err != nil {
+		return nil, nil, err
+	}
+	return pl, exec, nil
+}
+
+// observeAnswer folds one answer execution into the metrics registry
+// and, when slow (or internally failed), into the slow-query log under
+// op "answer" with its plan-stage breakdown.
+func (e *Engine) observeAnswer(q, v *tpq.Pattern, sp *obs.Span, d time.Duration, err error) {
+	e.metrics.ObserveSpan(sp)
+	var ie *guard.InternalError
+	internal := errors.As(err, &ie)
+	th := e.slow.Threshold()
+	if !internal && (th <= 0 || d < th) {
+		return
+	}
+	entry := obs.SlowEntry{
+		Time:       time.Now(),
+		Op:         "answer",
+		Query:      q.Canonical(),
+		View:       v.Canonical(),
+		DurationNs: int64(d),
+		StageNs:    sp.StageNs(),
+	}
+	if err != nil {
+		entry.Err = err.Error()
+	}
+	if internal {
+		entry.Stack = string(ie.Stack)
+	}
+	e.slow.Record(entry)
 }
 
 // AnswerDoc answers the request's query over d strictly through the
-// view: the MCR's compensation queries run against the materialized
-// view nodes. Returns ErrNotAnswerable when no contained rewriting
-// exists.
+// view: the view is materialized, the MCR's compensation queries are
+// compiled into an answer plan (cached by canonical CR union), and the
+// plan executes over the indexed view windows. Returns
+// ErrNotAnswerable when no contained rewriting exists.
 func (e *Engine) AnswerDoc(ctx context.Context, req Request, d *xmltree.Document) (*Answer, error) {
+	ctx, cancel := e.withDeadline(ctx)
+	defer cancel()
 	res, err := e.Rewrite(ctx, req)
 	if err != nil {
 		return nil, err
@@ -389,16 +483,24 @@ func (e *Engine) AnswerDoc(ctx context.Context, req Request, d *xmltree.Document
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp := obs.NewSpan()
+	start := time.Now()
+	actx := obs.WithSpan(ctx, sp)
 	viewNodes := rewrite.MaterializeView(req.View, d)
-	answers, err := rewrite.AnswerMaterialized(ctx, res.CRs, d, viewNodes)
+	pl, exec, err := e.answerPlan(actx, res.CRs, func(c context.Context) (*plan.Forest, error) {
+		return plan.IndexSubtrees(c, d, viewNodes)
+	}, req.PlanBackend)
+	e.observeAnswer(req.Query, req.View, sp, time.Since(start), err)
 	if err != nil {
 		return nil, err
 	}
 	return &Answer{
 		Result:    res,
 		ViewNodes: viewNodes,
-		Answers:   answers,
+		Answers:   exec.Nodes(),
 		Direct:    req.Query.Evaluate(d),
+		Plan:      pl,
+		Exec:      exec,
 	}, nil
 }
 
@@ -408,6 +510,7 @@ type AnswerRequest struct {
 	View     string
 	Document string // XML text
 	Schema   string // optional schema DSL text
+	Backend  string // optional plan backend ("auto", "structjoin", "treedp", "stream")
 }
 
 // AnswerExpr parses the request and answers the query through the view
@@ -417,11 +520,25 @@ func (e *Engine) AnswerExpr(ctx context.Context, req AnswerRequest) (*Answer, er
 	if err != nil {
 		return nil, err
 	}
+	if parsed.PlanBackend, err = parseBackend(req.Backend); err != nil {
+		return nil, err
+	}
 	d, err := xmltree.ParseString(req.Document)
 	if err != nil {
 		return nil, &InvalidRequestError{Field: "document", Err: err}
 	}
 	return e.AnswerDoc(ctx, parsed, d)
+}
+
+func parseBackend(s string) (plan.Backend, error) {
+	if s == "" {
+		return plan.Auto, nil
+	}
+	b, err := plan.ParseBackend(s)
+	if err != nil {
+		return plan.Auto, &InvalidRequestError{Field: "backend", Err: err}
+	}
+	return b, nil
 }
 
 // RegisterView stores a materialized view under name, replacing any
@@ -431,28 +548,103 @@ func (e *Engine) RegisterView(name string, m *viewstore.Materialized) {
 	e.views.Register(name, m)
 }
 
+// RegisterViewExpr parses the view expression and document, evaluates
+// the view over it, and registers the shipped forest under name — the
+// HTTP registration endpoint's engine half.
+func (e *Engine) RegisterViewExpr(name, view, document string) (*viewstore.Materialized, error) {
+	if name == "" {
+		return nil, &InvalidRequestError{Field: "name", Err: errors.New("empty view name")}
+	}
+	v, err := tpq.Parse(view)
+	if err != nil {
+		return nil, &InvalidRequestError{Field: "view", Err: err}
+	}
+	d, err := xmltree.ParseString(document)
+	if err != nil {
+		return nil, &InvalidRequestError{Field: "document", Err: err}
+	}
+	m := viewstore.Materialize(v, d)
+	e.views.Register(name, m)
+	return m, nil
+}
+
 // View returns the materialized view registered under name.
 func (e *Engine) View(name string) (*viewstore.Materialized, bool) {
 	return e.views.Get(name)
 }
 
-// AnswerStored answers q using only the named stored view: the MCR of q
-// using the view's expression is computed (cached), and its
-// compensations run over the stored forest — the source database is
-// never touched.
-func (e *Engine) AnswerStored(ctx context.Context, q *tpq.Pattern, viewName string) (*rewrite.Result, []*xmltree.Node, error) {
+// ViewNames returns the names of the registered stored views, sorted.
+func (e *Engine) ViewNames() []string { return e.views.Names() }
+
+// StoredAnswer is the outcome of answering through a registered stored
+// view: the rewriting, the answers (nodes of the stored trees, in
+// (tree, preorder) order), and the plan execution detail.
+type StoredAnswer struct {
+	Result  *rewrite.Result
+	Answers []*xmltree.Node
+	Trees   int
+	Plan    *plan.Plan
+	Exec    *plan.ExecResult
+}
+
+// AnswerStoredView answers q using only the named stored view: the MCR
+// of q using the view's expression is computed (cached), its
+// compensations compile to a plan (cached), and the plan executes over
+// the view's cached forest index — the source database is never
+// touched.
+func (e *Engine) AnswerStoredView(ctx context.Context, q *tpq.Pattern, viewName string, backend plan.Backend) (*StoredAnswer, error) {
+	ctx, cancel := e.withDeadline(ctx)
+	defer cancel()
 	m, ok := e.View(viewName)
 	if !ok {
-		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownView, viewName)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownView, viewName)
 	}
 	res, err := e.Rewrite(ctx, Request{Query: q, View: m.Expr})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if res.Union.Empty() {
-		return nil, nil, ErrNotAnswerable
+		return nil, ErrNotAnswerable
 	}
-	return res, m.Answer(res.CRs), nil
+	sp := obs.NewSpan()
+	start := time.Now()
+	actx := obs.WithSpan(ctx, sp)
+	pl, exec, err := e.answerPlan(actx, res.CRs, m.ForestIndex, backend)
+	e.observeAnswer(q, m.Expr, sp, time.Since(start), err)
+	if err != nil {
+		return nil, err
+	}
+	return &StoredAnswer{
+		Result:  res,
+		Answers: exec.Nodes(),
+		Trees:   len(m.Forest),
+		Plan:    pl,
+		Exec:    exec,
+	}, nil
+}
+
+// AnswerStored is the historical form of AnswerStoredView, returning
+// the rewriting and the answers.
+func (e *Engine) AnswerStored(ctx context.Context, q *tpq.Pattern, viewName string) (*rewrite.Result, []*xmltree.Node, error) {
+	sa, err := e.AnswerStoredView(ctx, q, viewName, plan.Auto)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sa.Result, sa.Answers, nil
+}
+
+// AnswerStoredExpr parses the query and answers it through the named
+// stored view.
+func (e *Engine) AnswerStoredExpr(ctx context.Context, query, viewName, backend string) (*StoredAnswer, error) {
+	q, err := tpq.Parse(query)
+	if err != nil {
+		return nil, &InvalidRequestError{Field: "query", Err: err}
+	}
+	b, err := parseBackend(backend)
+	if err != nil {
+		return nil, err
+	}
+	return e.AnswerStoredView(ctx, q, viewName, b)
 }
 
 // Contain decides containment both ways between p and q, schema-
@@ -537,6 +729,10 @@ type Stats struct {
 	CacheMisses    int64
 	CacheDedups    int64
 	CacheEntries   int
+	PlanCacheHits  int64
+	PlanCacheMiss  int64
+	PlanCacheDedup int64
+	PlanEntries    int
 	SchemaContexts int
 	StoredViews    int
 }
@@ -544,6 +740,7 @@ type Stats struct {
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	hits, misses, dedups := e.cache.Stats()
+	phits, pmisses, pdedups := e.plans.Stats()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return Stats{
@@ -551,6 +748,10 @@ func (e *Engine) Stats() Stats {
 		CacheMisses:    misses,
 		CacheDedups:    dedups,
 		CacheEntries:   e.cache.Len(),
+		PlanCacheHits:  phits,
+		PlanCacheMiss:  pmisses,
+		PlanCacheDedup: pdedups,
+		PlanEntries:    e.plans.Len(),
 		SchemaContexts: len(e.schemas),
 		StoredViews:    e.views.Len(),
 	}
@@ -571,8 +772,12 @@ func (e *Engine) MetricsSnapshot() obs.Snapshot {
 		Entries: st.CacheEntries,
 	}
 	snap.Engine = map[string]int64{
-		"schemaContexts": int64(st.SchemaContexts),
-		"storedViews":    int64(st.StoredViews),
+		"schemaContexts":  int64(st.SchemaContexts),
+		"storedViews":     int64(st.StoredViews),
+		"planCacheHits":   st.PlanCacheHits,
+		"planCacheMisses": st.PlanCacheMiss,
+		"planCacheDedups": st.PlanCacheDedup,
+		"planCacheSize":   int64(st.PlanEntries),
 	}
 	if g := e.cfg.Gate; g != nil {
 		gs := g.Stats()

@@ -12,6 +12,7 @@ import (
 	"qav/internal/guard"
 	"qav/internal/leaktest"
 	"qav/internal/limits"
+	"qav/internal/plan"
 	"qav/internal/rewrite"
 	"qav/internal/schema"
 	"qav/internal/tpq"
@@ -476,5 +477,150 @@ func TestPipelinePanicIsolatedAndLogged(t *testing.T) {
 	fault.Disable()
 	if _, err := e.RewriteExpr(context.Background(), RewriteRequest{Query: "//a[b]//c", View: "//a//c"}); err != nil {
 		t.Errorf("retry after recovered panic failed: %v", err)
+	}
+}
+
+func TestAnswerStoredView(t *testing.T) {
+	e := New(Config{})
+	d, err := xmltree.ParseString("<Trials><Trial><Patient>Ann</Patient><Status/></Trial><Trial><Patient>Bob</Patient></Trial></Trials>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RegisterView("src1", viewstore.Materialize(tpq.MustParse("//Trials//Trial"), d))
+	q := tpq.MustParse("//Trials//Trial/Patient")
+	for _, be := range []plan.Backend{plan.Auto, plan.StructJoin, plan.TreeDP, plan.Stream} {
+		sa, err := e.AnswerStoredView(context.Background(), q, "src1", be)
+		if err != nil {
+			t.Fatalf("backend %v: %v", be, err)
+		}
+		if len(sa.Answers) != 2 || sa.Answers[0].Text != "Ann" || sa.Answers[1].Text != "Bob" {
+			t.Fatalf("backend %v: answers = %v", be, sa.Answers)
+		}
+		if sa.Trees != 2 || sa.Plan == nil || sa.Exec == nil {
+			t.Fatalf("backend %v: trees=%d plan=%v exec=%v", be, sa.Trees, sa.Plan, sa.Exec)
+		}
+		if be != plan.Auto {
+			for _, got := range sa.Exec.Backends {
+				if got != be {
+					t.Fatalf("forced %v but program ran %v", be, got)
+				}
+			}
+		}
+	}
+	// The plan is a pure function of the CR union: the repeats above
+	// must have hit the plan cache, not recompiled.
+	st := e.Stats()
+	if st.PlanCacheMiss != 1 || st.PlanCacheHits < 3 {
+		t.Errorf("plan cache stats = %+v, want 1 miss and >=3 hits", st)
+	}
+}
+
+func TestAnswerStoredExprBackendValidation(t *testing.T) {
+	e := New(Config{})
+	d, _ := xmltree.ParseString("<a><b/></a>")
+	e.RegisterView("v", viewstore.Materialize(tpq.MustParse("//a"), d))
+	if _, err := e.AnswerStoredExpr(context.Background(), "//a/b", "v", "bogus"); err == nil {
+		t.Fatal("bogus backend accepted")
+	} else {
+		var inv *InvalidRequestError
+		if !errors.As(err, &inv) || inv.Field != "backend" {
+			t.Fatalf("err = %v, want InvalidRequestError{backend}", err)
+		}
+	}
+	if _, err := e.AnswerExpr(context.Background(), AnswerRequest{
+		Query: "//a/b", View: "//a", Document: "<a><b/></a>", Backend: "bogus",
+	}); err == nil {
+		t.Fatal("bogus backend accepted by AnswerExpr")
+	}
+}
+
+func TestRegisterViewExprAndNames(t *testing.T) {
+	e := New(Config{})
+	m, err := e.RegisterViewExpr("beta", "//Trials//Trial", "<Trials><Trial><Patient>Ann</Patient></Trial></Trials>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Forest) != 1 {
+		t.Fatalf("forest = %d trees", len(m.Forest))
+	}
+	if _, err := e.RegisterViewExpr("alpha", "//Trials", "<Trials/>"); err != nil {
+		t.Fatal(err)
+	}
+	names := e.ViewNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("ViewNames = %v", names)
+	}
+	for _, tc := range []struct{ name, view, doc, field string }{
+		{"", "//a", "<a/>", "name"},
+		{"x", "((", "<a/>", "view"},
+		{"x", "//a", "<not-xml", "document"},
+	} {
+		_, err := e.RegisterViewExpr(tc.name, tc.view, tc.doc)
+		var inv *InvalidRequestError
+		if !errors.As(err, &inv) || inv.Field != tc.field {
+			t.Errorf("RegisterViewExpr(%q,%q,...): err = %v, want field %q", tc.name, tc.view, err, tc.field)
+		}
+	}
+}
+
+func TestAnswerRecordsPlanStages(t *testing.T) {
+	e := New(Config{})
+	_, err := e.AnswerExpr(context.Background(), AnswerRequest{
+		Query:    "//Trials[//Status]//Trial/Patient",
+		View:     "//Trials//Trial",
+		Document: "<PharmaLab><Trials><Trial><Patient>John</Patient><Status/></Trial></Trials></PharmaLab>",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := e.MetricsSnapshot()
+	for _, st := range []string{"plan.compile", "plan.index", "plan.exec"} {
+		if snap.Stages[st].Count == 0 {
+			t.Errorf("stage %s not recorded: %+v", st, snap.Stages[st])
+		}
+	}
+	if snap.Engine["planCacheMisses"] != 1 {
+		t.Errorf("planCacheMisses = %d, want 1", snap.Engine["planCacheMisses"])
+	}
+}
+
+func TestAnswerSlowLogOp(t *testing.T) {
+	e := New(Config{SlowQueryThreshold: time.Nanosecond})
+	_, err := e.AnswerExpr(context.Background(), AnswerRequest{
+		Query: "//Trials//Trial", View: "//Trials//Trial", Document: "<Trials><Trial/></Trials>",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := e.SlowLog().Snapshot()
+	found := false
+	for _, en := range snap.Entries {
+		if en.Op == "answer" {
+			found = true
+			if en.StageNs == nil {
+				t.Error("answer entry has no stage breakdown")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no op=answer slowlog entry: %+v", snap.Entries)
+	}
+}
+
+func TestAnswerStoredGateSheds(t *testing.T) {
+	// A closed gate must shed the answer execution path like any other
+	// compute, after the rewriting (cached, pre-gate) path succeeded.
+	g := limits.New(limits.Config{MaxInFlight: 1, MaxQueue: 0})
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	e := New(Config{Gate: g})
+	d, _ := xmltree.ParseString("<a><b/></a>")
+	e.RegisterView("v", viewstore.Materialize(tpq.MustParse("//a"), d))
+	_, err = e.AnswerStoredView(context.Background(), tpq.MustParse("//a/b"), "v", plan.Auto)
+	if !errors.Is(err, limits.ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
 	}
 }

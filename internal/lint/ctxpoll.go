@@ -36,6 +36,7 @@ var ctxpollTargets = []string{
 	"internal/structjoin",
 	"internal/stream",
 	"internal/workload",
+	"internal/plan",
 }
 
 // obligation is one loop that demands a reachable, polled context.

@@ -34,6 +34,7 @@ var PanicGuard = &Analyzer{
 var panicguardTargets = []string{
 	"internal/rewrite",
 	"internal/server",
+	"internal/plan",
 }
 
 func runPanicGuard(pass *Pass) error {

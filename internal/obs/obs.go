@@ -35,7 +35,10 @@ import (
 // chase (schema constraint application, §4–5), enumerate (labeling and
 // useful-embedding enumeration, Theorem 2 / Fig 10), buildcr (CR
 // construction and grafting), contain (containment verification and
-// redundancy elimination).
+// redundancy elimination). The answering path adds the plan stages:
+// plan.compile (compensation queries → executable programs), plan.index
+// (inverted tag lists over a materialized view forest), plan.exec
+// (structural-join execution and answer union).
 type Stage int
 
 const (
@@ -44,11 +47,17 @@ const (
 	StageEnumerate
 	StageBuildCR
 	StageContain
+	StagePlanCompile
+	StagePlanIndex
+	StagePlanExec
 	// NumStages bounds the Stage enum; keep it last.
 	NumStages
 )
 
-var stageNames = [NumStages]string{"parse", "chase", "enumerate", "buildcr", "contain"}
+var stageNames = [NumStages]string{
+	"parse", "chase", "enumerate", "buildcr", "contain",
+	"plan.compile", "plan.index", "plan.exec",
+}
 
 // String returns the stable metric name of the stage, used as the key
 // in /metrics, the slow-query log, and qavbench -json.

@@ -1,0 +1,274 @@
+package plan
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"qav/internal/tpq"
+	"qav/internal/xmltree"
+)
+
+func mustDoc(t *testing.T, s string) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCompileEmptyPlan(t *testing.T) {
+	ctx := context.Background()
+	pl, err := Compile(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Programs() != 0 || pl.Key() != "" {
+		t.Fatalf("empty plan: %d programs, key %q", pl.Programs(), pl.Key())
+	}
+	f, err := IndexDocument(ctx, mustDoc(t, "<a><b/></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Exec(ctx, f, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 0 || res.Nodes() != nil {
+		t.Fatalf("empty plan produced answers: %v", res.Matches)
+	}
+}
+
+func TestCompileDedupAndKey(t *testing.T) {
+	ctx := context.Background()
+	a := tpq.MustParse("/a//b")
+	a2 := tpq.MustParse("/a//b")
+	b := tpq.MustParse("/a/c")
+	pl, err := Compile(ctx, []*tpq.Pattern{a, a2, b, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Programs() != 2 {
+		t.Fatalf("programs = %d, want 2 (duplicates must collapse)", pl.Programs())
+	}
+	key, err := KeyOf([]*tpq.Pattern{b, a}) // reversed order
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != pl.Key() {
+		t.Fatalf("KeyOf order-dependent: %q vs %q", key, pl.Key())
+	}
+}
+
+func TestKeyIgnoresRootAxis(t *testing.T) {
+	// Compensations are pinned at view nodes; EvaluateAt ignores the
+	// root axis, so the plan key must too.
+	k1, err := KeyOf([]*tpq.Pattern{tpq.MustParse("/a/b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := KeyOf([]*tpq.Pattern{tpq.MustParse("//a/b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("keys differ on root axis only: %q vs %q", k1, k2)
+	}
+}
+
+func TestCompileRejectsNil(t *testing.T) {
+	if _, err := Compile(context.Background(), []*tpq.Pattern{nil}); err == nil {
+		t.Fatal("Compile accepted a nil compensation")
+	}
+	if _, err := KeyOf([]*tpq.Pattern{nil}); err == nil {
+		t.Fatal("KeyOf accepted a nil compensation")
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for _, name := range []string{"auto", "structjoin", "treedp", "stream"} {
+		b, err := ParseBackend(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.String() != name {
+			t.Fatalf("round trip %q -> %v", name, b)
+		}
+	}
+	if _, err := ParseBackend("quantum"); err == nil {
+		t.Fatal("ParseBackend accepted an unknown name")
+	}
+	if Backend(99).String() != "unknown" {
+		t.Fatalf("out-of-range backend String = %q", Backend(99).String())
+	}
+}
+
+func TestForestStats(t *testing.T) {
+	ctx := context.Background()
+	forest := []*xmltree.Document{
+		mustDoc(t, "<a><b/><b/></a>"),
+		mustDoc(t, "<a><c/></a>"),
+	}
+	f, err := IndexForest(ctx, forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Trees() != 2 || f.Shared() {
+		t.Fatalf("Trees=%d Shared=%v", f.Trees(), f.Shared())
+	}
+	if f.Size() != 5 || f.Cardinality("b") != 2 || f.Cardinality("a") != 2 {
+		t.Fatalf("Size=%d card(b)=%d card(a)=%d", f.Size(), f.Cardinality("b"), f.Cardinality("a"))
+	}
+	if f.maxTree != 3 {
+		t.Fatalf("maxTree = %d, want 3", f.maxTree)
+	}
+}
+
+func TestIndexSubtreesNestedWindows(t *testing.T) {
+	// A view like //a//a materializes nested windows; nodes must be
+	// indexed once per window so every program sees per-window contents.
+	ctx := context.Background()
+	d := mustDoc(t, "<a><a><b/></a></a>")
+	v := tpq.MustParse("//a")
+	f, err := IndexSubtrees(ctx, d, v.Evaluate(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Shared() || f.Trees() != 2 {
+		t.Fatalf("Shared=%v Trees=%d", f.Shared(), f.Trees())
+	}
+	if f.Size() != 5 { // outer window 3 nodes + inner window 2
+		t.Fatalf("Size = %d, want 5", f.Size())
+	}
+	// The shared-window answer union must report the inner b once, in
+	// global document order.
+	pl, err := Compile(ctx, []*tpq.Pattern{tpq.MustParse("/a//b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, be := range []Backend{StructJoin, TreeDP, Stream, Auto} {
+		res, err := pl.Exec(ctx, f, ExecOptions{Backend: be})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := res.Nodes()
+		if len(nodes) != 1 || nodes[0].Tag != "b" {
+			t.Fatalf("backend %v: answers %v, want the single b", be, nodes)
+		}
+	}
+}
+
+func TestBackendsRecorded(t *testing.T) {
+	ctx := context.Background()
+	f, err := IndexDocument(ctx, mustDoc(t, "<a><b/><c/></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Compile(ctx, []*tpq.Pattern{tpq.MustParse("/a/b"), tpq.MustParse("/a/c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Exec(ctx, f, ExecOptions{Backend: TreeDP, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Backends) != 2 || res.Backends[0] != TreeDP || res.Backends[1] != TreeDP {
+		t.Fatalf("Backends = %v, want [treedp treedp]", res.Backends)
+	}
+}
+
+func TestWildcardAllBackendsAgree(t *testing.T) {
+	ctx := context.Background()
+	d := mustDoc(t, "<a><b><c/></b><d><c/><e/></d></a>")
+	f, err := IndexDocument(ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Compile(ctx, []*tpq.Pattern{tpq.MustParse("/a/*/c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []*xmltree.Node
+	for _, be := range []Backend{TreeDP, StructJoin, Stream, Auto} {
+		res, err := pl.Exec(ctx, f, ExecOptions{Backend: be})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Nodes()
+		if be == TreeDP {
+			want = got
+			if len(want) != 2 {
+				t.Fatalf("wildcard answers = %d, want 2", len(want))
+			}
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("backend %v: %d answers, TreeDP found %d", be, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("backend %v diverges at %d", be, i)
+			}
+		}
+	}
+}
+
+func TestExecHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	f, err := IndexDocument(ctx, mustDoc(t, "<a><b/></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Compile(ctx, []*tpq.Pattern{tpq.MustParse("/a/b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := pl.Exec(ctx, f, ExecOptions{}); err != context.Canceled {
+		t.Fatalf("Exec after cancel: err = %v", err)
+	}
+	if _, err := Compile(ctx, []*tpq.Pattern{tpq.MustParse("/a")}); err != context.Canceled {
+		t.Fatalf("Compile after cancel: err = %v", err)
+	}
+	if _, err := IndexDocument(ctx, mustDoc(t, "<a/>")); err != context.Canceled {
+		t.Fatalf("Index after cancel: err = %v", err)
+	}
+}
+
+func TestEvaluateIndexedMatchesEvaluate(t *testing.T) {
+	ctx := context.Background()
+	d := mustDoc(t, "<a><b><c/></b><b/><c><b><c/></b></c></a>")
+	f, err := IndexDocument(ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, expr := range []string{"/a", "//b", "//b/c", "/a//c", "//c[b]", "//*[c]/c"} {
+		p := tpq.MustParse(expr)
+		got, err := EvaluateIndexed(ctx, f, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p.Evaluate(d)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d answers, Evaluate found %d", expr, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: diverges at %d", expr, i)
+			}
+		}
+	}
+}
+
+func TestKeySeparatorUnambiguous(t *testing.T) {
+	// Canonical forms never contain NUL, so the joined key cannot
+	// collide across different canon multisets.
+	k, err := KeyOf([]*tpq.Pattern{tpq.MustParse("/a/b"), tpq.MustParse("/c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(k, "\x00") {
+		t.Fatalf("expected NUL-joined key, got %q", k)
+	}
+}

@@ -2,8 +2,8 @@ package rewrite
 
 import (
 	"context"
-	"sort"
 
+	"qav/internal/plan"
 	"qav/internal/tpq"
 	"qav/internal/xmltree"
 )
@@ -13,6 +13,16 @@ import (
 // materialized view (Figure 1(b) of the paper shows such a forest).
 func MaterializeView(v *tpq.Pattern, d *xmltree.Document) []*xmltree.Node {
 	return v.Evaluate(d)
+}
+
+// Compensations extracts the compensation queries of the contained
+// rewritings — the input the plan compiler consumes.
+func Compensations(crs []*ContainedRewriting) []*tpq.Pattern {
+	out := make([]*tpq.Pattern, 0, len(crs))
+	for _, cr := range crs {
+		out = append(out, cr.Compensation)
+	}
+	return out
 }
 
 // ApplyCompensation runs a compensation query E over a materialized
@@ -38,38 +48,33 @@ func ApplyCompensation(ctx context.Context, e *tpq.Pattern, d *xmltree.Document,
 // the view is materialized once and each CR's compensation query is
 // applied to the view forest (E ∘ V evaluated as the paper prescribes,
 // footnote 1 of §2). The result equals evaluating the union of the
-// rewritings directly, without ever running the query itself.
+// rewritings directly, without ever running the query itself. Answers
+// come back deduplicated across CRs, in document order.
 func AnswerUsingView(ctx context.Context, crs []*ContainedRewriting, v *tpq.Pattern, d *xmltree.Document) ([]*xmltree.Node, error) {
 	return AnswerMaterialized(ctx, crs, d, MaterializeView(v, d))
 }
 
 // AnswerMaterialized answers through an already-materialized view
-// forest: only the compensation queries run, in time proportional to
-// the total size of the view subtrees — the source of the paper's
-// reported savings when the view is selective. The context is polled
-// once per (rewriting, view node) pair.
+// forest by compiling the CRs' compensation queries into an answer
+// plan (internal/plan) and executing it over the indexed view windows:
+// only the compensation queries run, in time proportional to the
+// compensation candidate lists within the view subtrees — the source
+// of the paper's reported savings when the view is selective. Answers
+// are deduplicated across CRs and returned in document order,
+// independent of CR enumeration order. The context is polled
+// throughout compilation, indexing and execution.
 func AnswerMaterialized(ctx context.Context, crs []*ContainedRewriting, d *xmltree.Document, viewNodes []*xmltree.Node) ([]*xmltree.Node, error) {
-	seen := make(map[*xmltree.Node]bool)
-	for _, cr := range crs {
-		comp := cr.Compensation.Prepare()
-		for _, vn := range viewNodes {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			for _, n := range comp.EvaluateAt(d, vn) {
-				seen[n] = true
-			}
-		}
+	pl, err := plan.Compile(ctx, Compensations(crs))
+	if err != nil {
+		return nil, err
 	}
-	return sortedByIndex(seen), nil
-}
-
-// sortedByIndex flattens an answer set into document order.
-func sortedByIndex(seen map[*xmltree.Node]bool) []*xmltree.Node {
-	out := make([]*xmltree.Node, 0, len(seen))
-	for n := range seen {
-		out = append(out, n)
+	f, err := plan.IndexSubtrees(ctx, d, viewNodes)
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
-	return out
+	res, err := pl.Exec(ctx, f, plan.ExecOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Nodes(), nil
 }

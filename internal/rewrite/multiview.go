@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"qav/internal/plan"
 	"qav/internal/tpq"
 	"qav/internal/xmltree"
 )
@@ -95,31 +96,42 @@ func MCRMultiView(q *tpq.Pattern, views []ViewSource, opts Options) (*MultiViewR
 }
 
 // AnswerMultiView answers the query against a document through the
-// views only: each kept CR's compensation runs over its own view's
-// materialization; the answers are unioned. The context is polled once
-// per (rewriting, view node) pair, so a cancelled ctx aborts a large
-// multi-source answering run promptly.
+// views only: the kept CRs' compensations are grouped by contributing
+// view, each group compiles to one answer plan (internal/plan), and
+// each plan executes over its own view's materialization. The answers
+// are unioned with cross-view dedup and returned in document order —
+// independent of both CR enumeration order and view order. The context
+// is polled throughout compilation, indexing and execution, so a
+// cancelled ctx aborts a large multi-source answering run promptly.
 func (r *MultiViewResult) AnswerMultiView(ctx context.Context, views []ViewSource, d *xmltree.Document) ([]*xmltree.Node, error) {
-	materialized := make(map[int][]*xmltree.Node)
-	seen := make(map[*xmltree.Node]bool)
-	var out []*xmltree.Node
+	byView := make(map[int][]*tpq.Pattern)
+	var order []int
 	for i, cr := range r.CRs {
 		vi := r.Contributions[i]
-		vn, ok := materialized[vi]
-		if !ok {
-			vn = views[vi].View.Evaluate(d)
-			materialized[vi] = vn
+		if _, ok := byView[vi]; !ok {
+			order = append(order, vi)
 		}
-		comp := cr.Compensation.Prepare()
-		for _, cn := range vn {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			for _, n := range comp.EvaluateAt(d, cn) {
-				if !seen[n] {
-					seen[n] = true
-					out = append(out, n)
-				}
+		byView[vi] = append(byView[vi], cr.Compensation)
+	}
+	seen := make(map[*xmltree.Node]bool)
+	var out []*xmltree.Node
+	for _, vi := range order {
+		pl, err := plan.Compile(ctx, byView[vi])
+		if err != nil {
+			return nil, err
+		}
+		f, err := plan.IndexSubtrees(ctx, d, views[vi].View.Evaluate(d))
+		if err != nil {
+			return nil, err
+		}
+		res, err := pl.Exec(ctx, f, plan.ExecOptions{})
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range res.Nodes() {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
 			}
 		}
 	}

@@ -3,12 +3,23 @@
 // Endpoints:
 //
 //	POST /v1/rewrite  {query, view, schema?, recursive?}
-//	POST /v1/answer   {query, view, document, schema?}
+//	POST /v1/answer   {query, view, document, schema?, backend?}
+//	POST /v1/answer   {query, viewName, backend?}   (stored-view mode)
 //	POST /v1/contain  {p, q, schema?}
+//	POST /v1/views    {name, view, document}
+//	GET  /v1/views
 //	GET  /v1/stats
 //	GET  /v1/slowlog
 //	GET  /metrics
 //	GET  /healthz
+//
+// /v1/answer runs the compiled answer-plan pipeline (see
+// internal/plan): the MCR's compensations are compiled once per
+// canonical CR union (cached), the view forest is indexed, and the
+// plan executes with a per-program backend (structural join, per-tree
+// DP, or streaming — "auto" picks by forest statistics). In
+// stored-view mode the document never travels: the query is answered
+// from the forest a source shipped to POST /v1/views.
 //
 // The handlers are thin JSON adapters over internal/engine: one shared
 // Engine carries the rewrite cache (singleflight-deduplicated), the
@@ -38,6 +49,7 @@ import (
 	"qav/internal/guard"
 	"qav/internal/limits"
 	"qav/internal/obs"
+	"qav/internal/plan"
 	"qav/internal/rewrite"
 )
 
@@ -78,6 +90,8 @@ func NewWith(eng *engine.Engine) http.Handler {
 	handle("POST /v1/rewrite", s.handleRewrite)
 	handle("POST /v1/answer", s.handleAnswer)
 	handle("POST /v1/contain", s.handleContain)
+	handle("POST /v1/views", s.handleRegisterView)
+	handle("GET /v1/views", s.handleListViews)
 	return mux
 }
 
@@ -156,12 +170,16 @@ func (s *service) instrument(pattern string, ep *obs.Endpoint, h http.HandlerFun
 func (s *service) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	writeJSON(w, map[string]int64{
-		"cacheHits":      st.CacheHits,
-		"cacheMisses":    st.CacheMisses,
-		"cacheDedups":    st.CacheDedups,
-		"cacheEntries":   int64(st.CacheEntries),
-		"schemaContexts": int64(st.SchemaContexts),
-		"storedViews":    int64(st.StoredViews),
+		"cacheHits":       st.CacheHits,
+		"cacheMisses":     st.CacheMisses,
+		"cacheDedups":     st.CacheDedups,
+		"cacheEntries":    int64(st.CacheEntries),
+		"planCacheHits":   st.PlanCacheHits,
+		"planCacheMisses": st.PlanCacheMiss,
+		"planCacheDedups": st.PlanCacheDedup,
+		"planCacheSize":   int64(st.PlanEntries),
+		"schemaContexts":  int64(st.SchemaContexts),
+		"storedViews":     int64(st.StoredViews),
 	})
 }
 
@@ -233,9 +251,16 @@ func buildRewriteResponse(res *rewrite.Result) rewriteResponse {
 
 type answerRequest struct {
 	Query    string `json:"query"`
-	View     string `json:"view"`
-	Document string `json:"document"`
+	View     string `json:"view,omitempty"`
+	Document string `json:"document,omitempty"`
 	Schema   string `json:"schema,omitempty"`
+	// ViewName selects stored-view mode: the query is answered from the
+	// forest registered under this name (POST /v1/views) and View,
+	// Document and Schema must be absent.
+	ViewName string `json:"viewName,omitempty"`
+	// Backend forces the plan execution backend ("structjoin", "treedp",
+	// "stream"); empty or "auto" selects per program.
+	Backend string `json:"backend,omitempty"`
 }
 
 type answerJSON struct {
@@ -243,15 +268,37 @@ type answerJSON struct {
 	Text string `json:"text,omitempty"`
 }
 
+// planJSON summarizes the compiled answer plan a request executed: how
+// many compensation programs it unions and which backend ran each.
+type planJSON struct {
+	Programs int      `json:"programs"`
+	Backends []string `json:"backends,omitempty"`
+}
+
 type answerResponse struct {
 	Union      string       `json:"union"`
-	ViewNodes  int          `json:"viewNodes"`
+	ViewNodes  int          `json:"viewNodes,omitempty"`
+	ViewTrees  int          `json:"viewTrees,omitempty"`
 	Answers    []answerJSON `json:"answers"`
-	DirectSize int          `json:"directAnswerCount"`
+	DirectSize int          `json:"directAnswerCount,omitempty"`
+	Plan       *planJSON    `json:"plan,omitempty"`
 	// Partial mirrors rewriteResponse: the answers were produced by a
 	// sound but possibly non-maximal rewriting.
 	Partial       bool   `json:"partial,omitempty"`
 	PartialReason string `json:"partialReason,omitempty"`
+}
+
+func buildPlanJSON(pl *plan.Plan, exec *plan.ExecResult) *planJSON {
+	if pl == nil {
+		return nil
+	}
+	pj := &planJSON{Programs: pl.Programs()}
+	if exec != nil {
+		for _, b := range exec.Backends {
+			pj.Backends = append(pj.Backends, b.String())
+		}
+	}
+	return pj
 }
 
 func (s *service) handleAnswer(w http.ResponseWriter, r *http.Request) {
@@ -260,8 +307,33 @@ func (s *service) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, decodeStatus(err), err)
 		return
 	}
+	if req.ViewName != "" {
+		if req.View != "" || req.Document != "" || req.Schema != "" {
+			httpError(w, http.StatusBadRequest,
+				errors.New("viewName is exclusive with view, document and schema"))
+			return
+		}
+		sa, err := s.eng.AnswerStoredExpr(r.Context(), req.Query, req.ViewName, req.Backend)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		resp := answerResponse{
+			Union:         sa.Result.Union.String(),
+			ViewTrees:     sa.Trees,
+			Partial:       sa.Result.Partial,
+			PartialReason: sa.Result.PartialReason,
+			Plan:          buildPlanJSON(sa.Plan, sa.Exec),
+		}
+		for _, n := range sa.Answers {
+			resp.Answers = append(resp.Answers, answerJSON{Path: n.Path(), Text: n.Text})
+		}
+		writeJSON(w, resp)
+		return
+	}
 	ans, err := s.eng.AnswerExpr(r.Context(), engine.AnswerRequest{
-		Query: req.Query, View: req.View, Document: req.Document, Schema: req.Schema,
+		Query: req.Query, View: req.View, Document: req.Document,
+		Schema: req.Schema, Backend: req.Backend,
 	})
 	if err != nil {
 		httpError(w, statusFor(err), err)
@@ -273,11 +345,49 @@ func (s *service) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		DirectSize:    len(ans.Direct),
 		Partial:       ans.Result.Partial,
 		PartialReason: ans.Result.PartialReason,
+		Plan:          buildPlanJSON(ans.Plan, ans.Exec),
 	}
 	for _, n := range ans.Answers {
 		resp.Answers = append(resp.Answers, answerJSON{Path: n.Path(), Text: n.Text})
 	}
 	writeJSON(w, resp)
+}
+
+type registerViewRequest struct {
+	Name     string `json:"name"`
+	View     string `json:"view"`
+	Document string `json:"document"`
+}
+
+type registerViewResponse struct {
+	Name  string `json:"name"`
+	Trees int    `json:"trees"`
+	Nodes int    `json:"nodes"`
+}
+
+// handleRegisterView materializes the view over the document and stores
+// the resulting forest under the given name — the source side of the
+// integration scenario, shipping a view to the mediator.
+func (s *service) handleRegisterView(w http.ResponseWriter, r *http.Request) {
+	var req registerViewRequest
+	if err := decode(w, r, &req); err != nil {
+		httpError(w, decodeStatus(err), err)
+		return
+	}
+	m, err := s.eng.RegisterViewExpr(req.Name, req.View, req.Document)
+	if err != nil {
+		httpError(w, registerStatusFor(err), err)
+		return
+	}
+	writeJSON(w, registerViewResponse{Name: req.Name, Trees: len(m.Forest), Nodes: m.Size()})
+}
+
+func (s *service) handleListViews(w http.ResponseWriter, r *http.Request) {
+	names := s.eng.ViewNames()
+	if names == nil {
+		names = []string{}
+	}
+	writeJSON(w, map[string][]string{"views": names})
 }
 
 type containRequest struct {
@@ -330,6 +440,17 @@ func statusFor(err error) int {
 // containStatusFor preserves the contain endpoint's contract: its
 // inputs are plain expressions, so parse failures are 400s.
 func containStatusFor(err error) int {
+	var inv *engine.InvalidRequestError
+	if errors.As(err, &inv) {
+		return http.StatusBadRequest
+	}
+	return statusFor(err)
+}
+
+// registerStatusFor: view registration's inputs (name, view expression,
+// document) are all plain client data, so every validation failure is a
+// 400; pipeline errors keep the shared mapping.
+func registerStatusFor(err error) int {
 	var inv *engine.InvalidRequestError
 	if errors.As(err, &inv) {
 		return http.StatusBadRequest

@@ -513,3 +513,124 @@ func TestServerShutdownNoLeak(t *testing.T) {
 	// them so the leak check measures the server, not the client pool.
 	http.DefaultClient.CloseIdleConnections()
 }
+
+func TestRegisterAndAnswerStoredView(t *testing.T) {
+	h := New()
+	rec, out := post(t, h, "/v1/views", `{
+	  "name": "src1",
+	  "view": "//Trials//Trial",
+	  "document": "<PharmaLab><Trials><Trial><Patient>John</Patient><Status/></Trial><Trial><Patient>Jen</Patient></Trial></Trials></PharmaLab>"
+	}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("register: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if out["trees"].(float64) != 2 {
+		t.Fatalf("register: %v", out)
+	}
+
+	req := httptest.NewRequest("GET", "/v1/views", nil)
+	lrec := httptest.NewRecorder()
+	h.ServeHTTP(lrec, req)
+	var listed map[string][]string
+	if err := json.Unmarshal(lrec.Body.Bytes(), &listed); err != nil {
+		t.Fatal(err)
+	}
+	if len(listed["views"]) != 1 || listed["views"][0] != "src1" {
+		t.Fatalf("views = %v", listed)
+	}
+
+	rec, out = post(t, h, "/v1/answer", `{"query":"//Trials//Trial/Patient","viewName":"src1"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stored answer: status %d: %s", rec.Code, rec.Body.String())
+	}
+	answers := out["answers"].([]any)
+	if len(answers) != 2 {
+		t.Fatalf("answers = %v", answers)
+	}
+	if out["viewTrees"].(float64) != 2 {
+		t.Errorf("viewTrees = %v", out["viewTrees"])
+	}
+	pl, ok := out["plan"].(map[string]any)
+	if !ok || pl["programs"].(float64) < 1 {
+		t.Fatalf("plan = %v", out["plan"])
+	}
+	if _, ok := pl["backends"].([]any); !ok {
+		t.Fatalf("plan backends missing: %v", pl)
+	}
+
+	// Unknown stored view is a semantic rejection, not a crash.
+	rec, _ = post(t, h, "/v1/answer", `{"query":"//a","viewName":"nope"}`)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown view: status %d", rec.Code)
+	}
+}
+
+func TestAnswerBackendField(t *testing.T) {
+	h := New()
+	doc := `<a><b><c/></b></a>`
+	for _, be := range []string{"structjoin", "treedp", "stream", "auto"} {
+		rec, out := post(t, h, "/v1/answer",
+			`{"query":"//a//c","view":"//a//b","document":"`+doc+`","backend":"`+be+`"}`)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("backend %s: status %d: %s", be, rec.Code, rec.Body.String())
+		}
+		if len(out["answers"].([]any)) != 1 {
+			t.Fatalf("backend %s: answers = %v", be, out["answers"])
+		}
+	}
+	rec, _ := post(t, h, "/v1/answer",
+		`{"query":"//a//c","view":"//a//b","document":"`+doc+`","backend":"warp"}`)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad backend: status %d", rec.Code)
+	}
+}
+
+func TestAnswerViewNameExclusive(t *testing.T) {
+	h := New()
+	rec, _ := post(t, h, "/v1/answer",
+		`{"query":"//a","viewName":"x","view":"//a","document":"<a/>"}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d", rec.Code)
+	}
+}
+
+func TestRegisterViewValidation(t *testing.T) {
+	h := New()
+	for _, tc := range []struct{ name, body string }{
+		{"empty name", `{"name":"","view":"//a","document":"<a/>"}`},
+		{"bad view", `{"name":"x","view":"((","document":"<a/>"}`},
+		{"bad document", `{"name":"x","view":"//a","document":"<broken"}`},
+	} {
+		rec, _ := post(t, h, "/v1/views", tc.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d", tc.name, rec.Code)
+		}
+	}
+}
+
+func TestMetricsPlanStages(t *testing.T) {
+	h := New()
+	rec, _ := post(t, h, "/v1/answer",
+		`{"query":"//a//c","view":"//a//b","document":"<a><b><c/></b></a>"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("answer: status %d: %s", rec.Code, rec.Body.String())
+	}
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	mrec := httptest.NewRecorder()
+	h.ServeHTTP(mrec, req)
+	var snap map[string]any
+	if err := json.Unmarshal(mrec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	stages := snap["stages"].(map[string]any)
+	for _, st := range []string{"plan.compile", "plan.index", "plan.exec"} {
+		s, ok := stages[st].(map[string]any)
+		if !ok || s["count"].(float64) == 0 {
+			t.Errorf("stage %s not recorded: %v", st, stages[st])
+		}
+	}
+	eng := snap["engine"].(map[string]any)
+	if eng["planCacheMisses"].(float64) != 1 {
+		t.Errorf("planCacheMisses = %v", eng["planCacheMisses"])
+	}
+}

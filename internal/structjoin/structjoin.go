@@ -8,36 +8,51 @@
 // the pattern's tags are selective, since the work is proportional to
 // the candidate lists rather than to the whole document. The two
 // engines are cross-checked against each other in the tests.
+//
+// Since the plan layer was introduced, this package is a façade: the
+// index is a single-tree plan.Forest and evaluation delegates to the
+// forest-general join core in internal/plan, which the compiled answer
+// plans share. The façade keeps the historical per-document API (and
+// its tests double as differential coverage of the plan joins).
 package structjoin
 
 import (
 	"context"
-	"sort"
 
+	"qav/internal/plan"
 	"qav/internal/tpq"
 	"qav/internal/xmltree"
 )
 
 // Index is an inverted element index over one document.
 type Index struct {
-	doc   *xmltree.Document
-	byTag map[string][]*xmltree.Node // preorder within each list
+	doc *xmltree.Document
+	f   *plan.Forest
 }
 
-// Build indexes the document. O(|D|).
+// Build indexes the document. O(|D|). The build itself is not
+// cancellable (callers index once and evaluate many times); pass the
+// request context to Evaluate instead.
 func Build(d *xmltree.Document) *Index {
-	ix := &Index{doc: d, byTag: make(map[string][]*xmltree.Node)}
-	for _, n := range d.Nodes {
-		ix.byTag[n.Tag] = append(ix.byTag[n.Tag], n)
+	f, err := plan.IndexDocument(context.Background(), d)
+	if err != nil {
+		// IndexDocument only fails on context cancellation, and the
+		// Background context never cancels.
+		panic("structjoin: " + err.Error())
 	}
-	return ix
+	return &Index{doc: d, f: f}
 }
 
 // Doc returns the indexed document.
 func (ix *Index) Doc() *xmltree.Document { return ix.doc }
 
+// Forest returns the underlying single-tree plan forest, so callers
+// holding a structjoin index can execute compiled plans against it
+// without re-indexing.
+func (ix *Index) Forest() *plan.Forest { return ix.f }
+
 // Cardinality returns the number of occurrences of tag.
-func (ix *Index) Cardinality(tag string) int { return len(ix.byTag[tag]) }
+func (ix *Index) Cardinality(tag string) int { return ix.f.Cardinality(tag) }
 
 // Evaluate computes p(doc) using bottom-up structural semi-joins over
 // the tag lists followed by a top-down pass along the distinguished
@@ -45,158 +60,8 @@ func (ix *Index) Cardinality(tag string) int { return len(ix.byTag[tag]) }
 // lists proportional to the document, so the context is polled once
 // per pattern node and a cancelled ctx aborts with its error.
 func (ix *Index) Evaluate(ctx context.Context, p *tpq.Pattern) ([]*xmltree.Node, error) {
-	if p.Root == nil {
+	if p == nil || p.Root == nil {
 		return nil, nil
 	}
-	qnodes := p.Nodes()
-	// lists[i] holds the candidates of the pattern node at preorder
-	// position i (the pattern's interval labels give O(1) positions).
-	lists := make([][]*xmltree.Node, len(qnodes))
-
-	// Bottom-up: lists[q] = nodes where q's subtree embeds.
-	for i := len(qnodes) - 1; i >= 0; i-- {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		q := qnodes[i]
-		cand := ix.byTag[q.Tag]
-		for _, c := range q.Children {
-			if len(cand) == 0 {
-				break
-			}
-			cand = semiJoin(cand, lists[p.Preorder(c)], c.Axis)
-		}
-		lists[i] = cand
-	}
-
-	// Root axis.
-	roots := lists[0]
-	if p.Root.Axis == tpq.Child {
-		roots = nil
-		for _, n := range lists[0] {
-			if n == ix.doc.Root {
-				roots = append(roots, n)
-			}
-		}
-	}
-
-	// Top-down along the distinguished path.
-	path := p.DistinguishedPath()
-	cur := roots
-	for _, q := range path[1:] {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		cur = downJoin(cur, lists[p.Preorder(q)], q.Axis)
-	}
-	return cur, nil
-}
-
-// semiJoin keeps the parents ∈ upper that have a witness in lower via
-// the given axis. Both lists are in preorder; output preserves order.
-func semiJoin(upper, lower []*xmltree.Node, axis tpq.Axis) []*xmltree.Node {
-	if len(lower) == 0 {
-		return nil
-	}
-	var out []*xmltree.Node
-	switch axis {
-	case tpq.Child:
-		// Witness iff some lower node's parent is the upper node:
-		// binary-search a sorted list of the parents' preorders.
-		parents := parentIndexes(lower)
-		for _, n := range upper {
-			if containsInt(parents, n.Index) {
-				out = append(out, n)
-			}
-		}
-	case tpq.Descendant:
-		// Witness iff some lower node lies inside (n.Index, n.end]:
-		// binary search the first lower node after n in preorder.
-		for _, n := range upper {
-			j := sort.Search(len(lower), func(i int) bool {
-				return lower[i].Index > n.Index
-			})
-			if j < len(lower) && n.IsAncestorOf(lower[j]) {
-				out = append(out, n)
-			}
-		}
-	}
-	return out
-}
-
-// downJoin keeps the nodes ∈ lower that have a parent (Child) or
-// ancestor (Descendant) in upper. Both lists are in preorder.
-func downJoin(upper, lower []*xmltree.Node, axis tpq.Axis) []*xmltree.Node {
-	if len(upper) == 0 || len(lower) == 0 {
-		return nil
-	}
-	var out []*xmltree.Node
-	switch axis {
-	case tpq.Child:
-		// upper is preorder-sorted already; binary-search it per child.
-		ups := make([]int, len(upper))
-		for i, n := range upper {
-			ups[i] = n.Index
-		}
-		for _, m := range lower {
-			if m.Parent != nil && containsInt(ups, m.Parent.Index) {
-				out = append(out, m)
-			}
-		}
-	case tpq.Descendant:
-		// Merge the upper intervals (Index, end] into disjoint covered
-		// ranges; nested intervals collapse since preorder intervals
-		// nest or are disjoint.
-		type span struct{ lo, hi int }
-		spans := make([]span, 0, len(upper))
-		for _, n := range upper { // already preorder-sorted
-			s := span{n.Index + 1, n.SubtreeEnd()}
-			if s.lo > s.hi {
-				continue
-			}
-			if len(spans) > 0 && s.lo <= spans[len(spans)-1].hi+1 {
-				if s.hi > spans[len(spans)-1].hi {
-					spans[len(spans)-1].hi = s.hi
-				}
-				continue
-			}
-			spans = append(spans, s)
-		}
-		for _, m := range lower {
-			k := sort.Search(len(spans), func(i int) bool {
-				return spans[i].hi >= m.Index
-			})
-			if k < len(spans) && spans[k].lo <= m.Index {
-				out = append(out, m)
-			}
-		}
-	}
-	return out
-}
-
-// parentIndexes returns the sorted distinct preorder indexes of the
-// nodes' parents.
-func parentIndexes(ns []*xmltree.Node) []int {
-	out := make([]int, 0, len(ns))
-	for _, m := range ns {
-		if m.Parent != nil {
-			out = append(out, m.Parent.Index)
-		}
-	}
-	sort.Ints(out)
-	// Compact duplicates in place.
-	w := 0
-	for i, v := range out {
-		if i == 0 || v != out[w-1] {
-			out[w] = v
-			w++
-		}
-	}
-	return out[:w]
-}
-
-// containsInt reports membership in a sorted int slice.
-func containsInt(sorted []int, x int) bool {
-	i := sort.SearchInts(sorted, x)
-	return i < len(sorted) && sorted[i] == x
+	return plan.EvaluateIndexed(ctx, ix.f, p)
 }

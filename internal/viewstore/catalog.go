@@ -1,10 +1,18 @@
 package viewstore
 
-import "sync"
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"qav/internal/xmltree"
+)
 
 // Catalog is the mediator's registry of shipped materialized views,
 // safe for concurrent use: sources register views while query threads
-// look them up.
+// look them up. Registered views carry their compiled forest index
+// (see Materialized.ForestIndex); the catalog's mutation entry points
+// keep that index coherent.
 type Catalog struct {
 	mu sync.RWMutex
 	// views is keyed by registration name.
@@ -30,6 +38,41 @@ func (c *Catalog) Get(name string) (*Materialized, bool) {
 	defer c.mu.RUnlock()
 	m, ok := c.views[name]
 	return m, ok
+}
+
+// Remove drops the registration under name, reporting whether one
+// existed.
+func (c *Catalog) Remove(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.views[name]
+	delete(c.views, name)
+	return ok
+}
+
+// Extend appends shipped trees to the named view's forest — a source
+// sending an incremental update — invalidating its compiled index.
+func (c *Catalog) Extend(name string, trees ...*xmltree.Document) error {
+	c.mu.RLock()
+	m, ok := c.views[name]
+	c.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("viewstore: no view registered under %q", name)
+	}
+	m.Append(trees...)
+	return nil
+}
+
+// Names returns the registered view names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.views))
+	for name := range c.views {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Len returns the number of registered views.

@@ -7,11 +7,13 @@
 package viewstore
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"sort"
 	"strings"
+	"sync"
 
+	"qav/internal/plan"
 	"qav/internal/rewrite"
 	"qav/internal/tpq"
 	"qav/internal/xmltree"
@@ -23,7 +25,15 @@ type Materialized struct {
 	// Expr is the view expression the forest was computed with.
 	Expr *tpq.Pattern
 	// Forest holds one document per view answer, in document order.
+	// Concurrent mutators must go through Append (or call Invalidate
+	// after mutating directly) so the compiled index stays coherent.
 	Forest []*xmltree.Document
+
+	mu sync.Mutex
+	// index is the compiled forest index (inverted tag lists, interval
+	// labels), built lazily by ForestIndex and dropped on mutation.
+	// guarded by mu
+	index *plan.Forest
 }
 
 // Materialize evaluates the view on the source database and copies the
@@ -55,31 +65,64 @@ func (m *Materialized) Size() int {
 	return total
 }
 
+// ForestIndex returns the compiled plan index over the stored forest,
+// building it on first use and caching it until the forest mutates
+// (Append, Invalidate). The build walks the whole forest, so it is
+// held under the lock — concurrent callers wait rather than duplicate
+// an O(|forest|) pass — and the context is honored by the indexer.
+func (m *Materialized) ForestIndex(ctx context.Context) (*plan.Forest, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.index != nil {
+		return m.index, nil
+	}
+	f, err := plan.IndexForest(ctx, m.Forest)
+	if err != nil {
+		return nil, err
+	}
+	m.index = f
+	return f, nil
+}
+
+// Invalidate drops the compiled forest index; the next ForestIndex
+// call rebuilds it. Callers that mutate Forest directly must call it.
+func (m *Materialized) Invalidate() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.index = nil
+}
+
+// Append adds shipped trees to the forest (a source sending an
+// incremental view update) and invalidates the compiled index.
+func (m *Materialized) Append(trees ...*xmltree.Document) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Forest = append(m.Forest, trees...)
+	m.index = nil
+}
+
 // Answer applies the contained rewritings' compensation queries to the
 // stored forest and returns the answers (nodes of the stored trees).
 // This is E ∘ V evaluated the way footnote 1 of §2 prescribes, with no
-// access to the source database.
-func (m *Materialized) Answer(crs []*rewrite.ContainedRewriting) []*xmltree.Node {
-	var out []*xmltree.Node
-	seen := make(map[*xmltree.Node]bool)
-	for _, cr := range crs {
-		comp := cr.Compensation.Prepare()
-		for _, tree := range m.Forest {
-			for _, n := range comp.EvaluateAt(tree, tree.Root) {
-				if !seen[n] {
-					seen[n] = true
-					out = append(out, n)
-				}
-			}
-		}
+// access to the source database. The compensations are compiled to an
+// answer plan and executed over the cached forest index; answers are
+// deduplicated across CRs and returned in (tree, preorder) order —
+// stable regardless of CR enumeration order (preorder indexes repeat
+// across the standalone trees, so index order alone would not be).
+func (m *Materialized) Answer(ctx context.Context, crs []*rewrite.ContainedRewriting) ([]*xmltree.Node, error) {
+	pl, err := plan.Compile(ctx, rewrite.Compensations(crs))
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Index != out[j].Index {
-			return out[i].Index < out[j].Index
-		}
-		return out[i].Path() < out[j].Path()
-	})
-	return out
+	f, err := m.ForestIndex(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res, err := pl.Exec(ctx, f, plan.ExecOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Nodes(), nil
 }
 
 // Write serializes the materialized view as an XML envelope:

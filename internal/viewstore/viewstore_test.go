@@ -55,7 +55,10 @@ func TestAnswerOnForestMatchesSource(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := Materialize(v, d)
-	got := m.Answer(res.CRs)
+	got, err := m.Answer(context.Background(), res.CRs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want, err := rewrite.AnswerUsingView(context.Background(), res.CRs, v, d)
 	if err != nil {
 		t.Fatal(err)
@@ -144,7 +147,10 @@ func TestQuickForestAnswering(t *testing.T) {
 				Tags: alphabet, MaxDepth: 5, MaxFanout: 3, TargetSize: 25,
 			})
 			m := Materialize(v, d)
-			got := m.Answer(res.CRs)
+			got, err := m.Answer(context.Background(), res.CRs)
+			if err != nil {
+				return false
+			}
 			want, err := rewrite.AnswerUsingView(context.Background(), res.CRs, v, d)
 			if err != nil {
 				return false
@@ -191,4 +197,102 @@ func samePathsShape(a, b []*xmltree.Node) bool {
 		}
 	}
 	return true
+}
+
+func TestForestIndexCachingAndInvalidation(t *testing.T) {
+	ctx := context.Background()
+	d := pharma()
+	v := tpq.MustParse("//Trials//Trial")
+	m := Materialize(v, d)
+
+	f1, err := m.ForestIndex(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := m.ForestIndex(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Fatal("ForestIndex rebuilt despite no mutation")
+	}
+	if f1.Trees() != 3 || f1.Shared() {
+		t.Fatalf("Trees=%d Shared=%v", f1.Trees(), f1.Shared())
+	}
+
+	m.Invalidate()
+	f3, err := m.ForestIndex(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3 == f1 {
+		t.Fatal("Invalidate did not drop the cached index")
+	}
+}
+
+func TestAppendInvalidatesAndAnswerSeesNewTrees(t *testing.T) {
+	ctx := context.Background()
+	d := pharma()
+	q := tpq.MustParse("//Trials//Trial/Patient")
+	v := tpq.MustParse("//Trials//Trial")
+	res, err := rewrite.MCR(q, v, rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Materialize(v, d)
+	before, err := m.Answer(ctx, res.CRs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Incremental update from the source: one more Trial subtree.
+	extra := xmltree.NewDocument(xmltree.Build("Trial", xmltree.Build("Patient")))
+	m.Append(extra)
+	after, err := m.Answer(ctx, res.CRs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before)+1 {
+		t.Fatalf("answers %d -> %d after Append, want +1", len(before), len(after))
+	}
+	// Stable (tree, preorder) order: the appended tree's answer is last.
+	if got := after[len(after)-1]; got.Parent != extra.Root {
+		t.Fatalf("appended tree's Patient not last: %v", got.Path())
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	d := pharma()
+	v := tpq.MustParse("//Trials//Trial")
+	c.Register("b-src", Materialize(v, d))
+	c.Register("a-src", Materialize(v, d))
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a-src" || names[1] != "b-src" {
+		t.Fatalf("Names = %v, want sorted [a-src b-src]", names)
+	}
+	m, ok := c.Get("a-src")
+	if !ok || m == nil {
+		t.Fatal("Get(a-src) missed")
+	}
+	if _, ok := c.Get("nope"); ok {
+		t.Fatal("Get(nope) hit")
+	}
+	if err := c.Extend("a-src", xmltree.NewDocument(xmltree.Build("Trial"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Extend("nope", xmltree.NewDocument(xmltree.Build("Trial"))); err == nil {
+		t.Fatal("Extend(nope) succeeded")
+	}
+	if len(m.Forest) != 4 {
+		t.Fatalf("Extend did not reach the stored view: %d trees", len(m.Forest))
+	}
+	if !c.Remove("b-src") || c.Remove("b-src") {
+		t.Fatal("Remove semantics wrong")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len after Remove = %d", c.Len())
+	}
 }

@@ -165,7 +165,10 @@ func TestPublicAPIShipAndMediate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	answers := m2.Answer(res.CRs)
+	answers, err := m2.Answer(context.Background(), res.CRs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(answers) != 1 || answers[0].Text != "John Doe" {
 		t.Fatalf("mediated answers = %v", answers)
 	}

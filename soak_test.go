@@ -140,7 +140,10 @@ func TestSoakShipMediateRandom(t *testing.T) {
 		if err != nil {
 			t.Fatalf("round trip: %v", err)
 		}
-		forestAnswers := m2.Answer(res.CRs)
+		forestAnswers, err := m2.Answer(context.Background(), res.CRs)
+		if err != nil {
+			t.Fatal(err)
+		}
 		sourceAnswers, err := rewrite.AnswerUsingView(context.Background(), res.CRs, v, d)
 		if err != nil {
 			t.Fatal(err)
