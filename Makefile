@@ -2,7 +2,7 @@ GO ?= go
 QAVLINT := $(CURDIR)/bin/qavlint
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint qavlint fmt fuzz chaos clean
+.PHONY: all build test race lint lint-self qavlint fmt fuzz chaos clean
 
 all: build test lint
 
@@ -19,12 +19,18 @@ race:
 qavlint:
 	$(GO) build -o $(QAVLINT) ./cmd/qavlint
 
-# lint runs gofmt, go vet, and the qavlint suite through go vet's
-# -vettool protocol — the same gate CI applies.
+# lint runs gofmt, go vet, and the qavlint suite both standalone and
+# through go vet's -vettool protocol — the same gate CI applies.
 lint: qavlint
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	$(QAVLINT) ./...
 	$(GO) vet -vettool=$(QAVLINT) ./...
+
+# lint-self runs the analyzer suite's own tests (dataflow tables,
+# // want testdata modules, repo-clean integration) under -race.
+lint-self:
+	$(GO) test -race ./internal/lint/...
 
 fmt:
 	gofmt -w .

@@ -28,6 +28,7 @@ import (
 	"qav/internal/engine"
 	"qav/internal/fault"
 	"qav/internal/leaktest"
+	"qav/internal/names"
 	"qav/internal/server"
 	"qav/internal/workload"
 )
@@ -96,20 +97,18 @@ func TestChaosRandomFaultsSurviveServing(t *testing.T) {
 	rng := rand.New(rand.NewSource(seed))
 	t.Logf("chaos: seed=%d runs=%d", seed, runs)
 
-	// Every point the serving path registers must be present: a rename
-	// must fail the chaos suite, not silently stop testing a stage.
-	names := fault.Names()
-	registered := make(map[string]bool, len(names))
-	for _, n := range names {
+	// Every declared point must be registered by the serving path: a
+	// rename must fail the chaos suite, not silently stop testing a
+	// stage. TestFaultRegistryComplete checks the full diff; here we
+	// only need the arming loop below to cover every point.
+	pts := fault.Names()
+	registered := make(map[string]bool, len(pts))
+	for _, n := range pts {
 		registered[n] = true
 	}
-	for _, want := range []string{
-		"cache.singleflight", "chase.step", "engine.compute",
-		"plan.exec", "rewrite.buildcr", "rewrite.contain",
-		"rewrite.enumerate", "rewrite.worker", "server.handler",
-	} {
+	for _, want := range names.FaultPoints() {
 		if !registered[want] {
-			t.Fatalf("injection point %q not registered (have %v)", want, names)
+			t.Fatalf("injection point %q not registered (have %v)", want, pts)
 		}
 	}
 
@@ -127,9 +126,9 @@ func TestChaosRandomFaultsSurviveServing(t *testing.T) {
 		// run count; add up to two random extras for interaction
 		// coverage (e.g. delay in enumerate + panic in the worker).
 		plan := &fault.Plan{Seed: rng.Int63()}
-		pick := map[string]bool{names[run%len(names)]: true}
+		pick := map[string]bool{pts[run%len(pts)]: true}
 		for i := rng.Intn(3); i > 0; i-- {
-			pick[names[rng.Intn(len(names))]] = true
+			pick[pts[rng.Intn(len(pts))]] = true
 		}
 		for name := range pick {
 			plan.Injections = append(plan.Injections, fault.Injection{
@@ -172,6 +171,36 @@ func TestChaosRandomFaultsSurviveServing(t *testing.T) {
 	var out map[string]any
 	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out["answerable"] != true {
 		t.Fatalf("post-chaos rewrite unhealthy: %s", rec.Body.String())
+	}
+}
+
+// TestFaultRegistryComplete diffs the declared fault-point names
+// (internal/names, the set the chaos plans arm) against the points the
+// serving path actually registers (fault.Names — complete here because
+// this test's imports pull in every instrumented package). Both
+// directions matter: a point registered under an undeclared name would
+// never be armed by the chaos storm, and a declared name nothing
+// registers means the probe it documents was deleted or renamed.
+func TestFaultRegistryComplete(t *testing.T) {
+	declared := names.FaultPoints()
+	got := fault.Names()
+	decl := make(map[string]bool, len(declared))
+	for _, n := range declared {
+		decl[n] = true
+	}
+	reg := make(map[string]bool, len(got))
+	for _, n := range got {
+		reg[n] = true
+	}
+	for _, n := range got {
+		if !decl[n] {
+			t.Errorf("fault point %q registered but not declared in internal/names; the chaos suite will never arm it", n)
+		}
+	}
+	for _, n := range declared {
+		if !reg[n] {
+			t.Errorf("fault point %q declared in internal/names but nothing registers it", n)
+		}
 	}
 }
 

@@ -1,5 +1,7 @@
-// Command qavlint runs the project's analyzer suite: ctxpoll,
-// lockguard, patmut and errwrap (see internal/lint and DESIGN.md).
+// Command qavlint runs the project's analyzer suite: the syntactic
+// checks (ctxpoll, lockguard, patmut, errwrap, panicguard) and the
+// dataflow-backed invariant analyzers (planfreeze, stagereg,
+// exhaustive, lockorder). See internal/lint and DESIGN.md.
 //
 // Standalone:
 //

@@ -15,13 +15,14 @@ import (
 
 	"qav/internal/fault"
 	"qav/internal/guard"
+	"qav/internal/names"
 	"qav/internal/schema"
 	"qav/internal/tpq"
 )
 
 // faultFlight fires in the singleflight leader just before it runs the
 // computation (no-op unless a chaos plan arms it; see internal/fault).
-var faultFlight = fault.Register("cache.singleflight")
+var faultFlight = fault.Register(names.FaultCacheFlight)
 
 // Cache is a bounded LRU of computation results with singleflight
 // deduplication of in-flight computations. The zero value is not

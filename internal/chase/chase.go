@@ -11,12 +11,13 @@ import (
 
 	"qav/internal/constraints"
 	"qav/internal/fault"
+	"qav/internal/names"
 	"qav/internal/tpq"
 )
 
 // faultStep fires once per fixpoint round of the exhaustive chase
 // (no-op unless a chaos plan arms it; see internal/fault).
-var faultStep = fault.Register("chase.step")
+var faultStep = fault.Register(names.FaultChaseStep)
 
 // Options configures Exhaustive.
 type Options struct {
@@ -137,8 +138,12 @@ func applyOne(p *tpq.Pattern, c constraints.Constraint) int {
 		return applyCCAt(p, c, true)
 	case constraints.IC:
 		return applyICAt(p, c, true)
+	default:
+		// FC and PC are not node-adding rules; the exhaustive chase
+		// applies them separately (applyFC/applyPC) because they edit
+		// edges in place rather than introducing tags.
+		return 0
 	}
-	return 0
 }
 
 // applyRestricted runs the node-adding rules (SC, CC, IC) everywhere,

@@ -118,6 +118,9 @@ func (s *Set) add(c Constraint) {
 	switch c.Kind {
 	case SC, CC, IC:
 		s.byConsequent[c.C] = append(s.byConsequent[c.C], c)
+	default:
+		// FC and PC constrain existing structure without introducing a
+		// tag, so they have no consequent index entry.
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"qav/internal/fault"
 	"qav/internal/guard"
 	"qav/internal/limits"
+	"qav/internal/names"
 	"qav/internal/obs"
 	"qav/internal/plan"
 	"qav/internal/rewrite"
@@ -45,7 +46,7 @@ import (
 
 // faultCompute fires at the top of every computed (non-cache-hit)
 // rewriting (no-op unless a chaos plan arms it; see internal/fault).
-var faultCompute = fault.Register("engine.compute")
+var faultCompute = fault.Register(names.FaultEngineCompute)
 
 // ErrNotAnswerable is returned by the Answer methods when the query has
 // no contained rewriting using the view.
@@ -319,7 +320,7 @@ func (e *Engine) observeRewrite(req Request, recursive bool, sp *obs.Span, d tim
 	}
 	entry := obs.SlowEntry{
 		Time:       time.Now(),
-		Op:         "rewrite",
+		Op:         names.OpRewrite,
 		Query:      req.Query.Canonical(),
 		View:       req.View.Canonical(),
 		Recursive:  recursive,
@@ -450,7 +451,7 @@ func (e *Engine) observeAnswer(q, v *tpq.Pattern, sp *obs.Span, d time.Duration,
 	}
 	entry := obs.SlowEntry{
 		Time:       time.Now(),
-		Op:         "answer",
+		Op:         names.OpAnswer,
 		Query:      q.Canonical(),
 		View:       v.Canonical(),
 		DurationNs: int64(d),

@@ -1,0 +1,603 @@
+package lint
+
+// This file is the suite's shared dataflow core: an intra-procedural
+// reaching-definitions / escape-of-reference analysis over go/types.
+// Analyzers (planfreeze today) use it to answer, at any use of a
+// variable, "where did this value come from, and may it already be
+// shared with code outside this function?".
+//
+// The model is deliberately small and positional:
+//
+//   - Every allocation expression (&T{...}, T{...}, new, make) is an
+//     allocSite. A variable's value is described by a set of origins,
+//     each either one site or external (parameters, globals, call
+//     results, anything unknown).
+//   - A site escapes at the first program position where its value may
+//     become reachable from outside the function: a store into memory
+//     that is itself external or escaped, an assignment to a package
+//     variable, a channel send, or a goroutine launch. Plain call
+//     arguments and return statements are deliberately NOT escapes:
+//     returns run no code afterwards on their path, and treating call
+//     arguments as escapes drowns constructors in false positives.
+//     Cross-function sharing is instead covered by the other side:
+//     a callee sees its parameters as external from the start.
+//   - The walk is in source order, a flow-insensitive approximation of
+//     control flow. Loops get one correction: an escape inside a loop
+//     of a value allocated outside the loop is hoisted to the loop
+//     head, because the escape of iteration N precedes the writes of
+//     iteration N+1.
+//   - Reads through a selector/index/slice propagate the base's
+//     origins (the interior of a fresh object is still that object's
+//     memory). When the base is a *tracked* type (the analyzer's
+//     predicate) and is external or already escaped, the result is
+//     marked sharedFrom that type: writes through such a value mutate
+//     storage aliased with the tracked object — the returned-slice
+//     aliasing planfreeze exists to catch.
+//
+// FuncLit bodies are walked inline with the enclosing flow (a closure
+// invoked in place, the common case for sort.Slice etc., sees the real
+// origins); launching a FuncLit with `go` escapes every site the
+// closure captures.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// allocSite is one allocation expression in the analyzed function.
+type allocSite struct {
+	pos    token.Pos    // position of the allocation expression
+	escape token.Pos    // first position where the value may be shared; NoPos = never
+	owned  []*allocSite // sites whose values this site's value holds references to
+}
+
+// escapedAt reports whether the site's value may be shared with the
+// outside at pos.
+func (s *allocSite) escapedAt(pos token.Pos) bool {
+	return s.escape != token.NoPos && s.escape <= pos
+}
+
+// origin describes one possible source of a variable's value.
+type origin struct {
+	// site is the allocation the value came from; nil means external
+	// (parameter, global, call result, unknown).
+	site *allocSite
+	// sharedFrom, when non-empty, names the tracked type whose interior
+	// this value was read out of while that object was external or
+	// escaped. Writes through the value mutate the tracked object.
+	sharedFrom string
+}
+
+func externalOrigin() []origin { return []origin{{}} }
+
+// loopSpan records one for/range statement for back-edge hoisting.
+type loopSpan struct{ pos, end token.Pos }
+
+// funcFlow holds the per-function analysis result.
+type funcFlow struct {
+	info    *types.Info
+	tracked func(types.Type) string // non-empty name when t is tracked
+
+	origins map[types.Object][]origin
+	atUse   map[*ast.Ident][]origin
+	sites   []*allocSite
+	loops   []loopSpan
+}
+
+// analyzeFunc runs the dataflow over one function. tracked classifies
+// types whose interior counts as shared storage (may be nil).
+func analyzeFunc(info *types.Info, tracked func(types.Type) string, fn *ast.FuncDecl) *funcFlow {
+	f := &funcFlow{
+		info:    info,
+		tracked: tracked,
+		origins: make(map[types.Object][]origin),
+		atUse:   make(map[*ast.Ident][]origin),
+	}
+	if f.tracked == nil {
+		f.tracked = func(types.Type) string { return "" }
+	}
+	// Parameters, receivers and named results are external by
+	// construction: whoever passed them in still holds a reference.
+	for _, fl := range []*ast.FieldList{fn.Recv, fn.Type.Params, fn.Type.Results} {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					f.origins[obj] = externalOrigin()
+				}
+			}
+		}
+	}
+	if fn.Body != nil {
+		f.walkStmt(fn.Body)
+	}
+	f.hoistLoopEscapes()
+	return f
+}
+
+// originsAt returns the origins the variable used at id had at that
+// point of the walk, or external when the identifier was not tracked
+// (package-level vars, identifiers outside the analyzed function).
+func (f *funcFlow) originsAt(id *ast.Ident) []origin {
+	if o, ok := f.atUse[id]; ok {
+		return o
+	}
+	return externalOrigin()
+}
+
+// hoistLoopEscapes moves an escape that happens inside a loop to the
+// loop head when the site was allocated outside the loop: the escape
+// of one iteration precedes the writes of the next.
+func (f *funcFlow) hoistLoopEscapes() {
+	sort.Slice(f.loops, func(i, j int) bool { // innermost (smallest) first
+		return f.loops[i].end-f.loops[i].pos < f.loops[j].end-f.loops[j].pos
+	})
+	for _, s := range f.sites {
+		if s.escape == token.NoPos {
+			continue
+		}
+		for _, lp := range f.loops {
+			inLoop := lp.pos <= s.escape && s.escape <= lp.end
+			defInLoop := lp.pos <= s.pos && s.pos <= lp.end
+			if inLoop && !defInLoop {
+				s.escape = lp.pos
+			}
+		}
+	}
+}
+
+func (f *funcFlow) newSite(pos token.Pos) *allocSite {
+	s := &allocSite{pos: pos, escape: token.NoPos}
+	f.sites = append(f.sites, s)
+	return s
+}
+
+// escapeOrigins marks every site among orgs as escaped at pos,
+// cascading to owned sites.
+func (f *funcFlow) escapeOrigins(orgs []origin, pos token.Pos) {
+	for _, o := range orgs {
+		if o.site != nil {
+			f.escapeSite(o.site, pos)
+		}
+	}
+}
+
+func (f *funcFlow) escapeSite(s *allocSite, pos token.Pos) {
+	if s.escape != token.NoPos && s.escape <= pos {
+		return // already escaped at or before pos; cycle-safe
+	}
+	s.escape = pos
+	for _, o := range s.owned {
+		f.escapeSite(o, pos)
+	}
+}
+
+// externalOrEscaped reports whether any origin is external or already
+// escaped at pos.
+func externalOrEscaped(orgs []origin, pos token.Pos) bool {
+	for _, o := range orgs {
+		if o.site == nil || o.site.escapedAt(pos) {
+			return true
+		}
+	}
+	return len(orgs) == 0
+}
+
+// own records that base's values hold references to the values of
+// child sites (composite-literal elements, appends, field stores). If
+// the base is external or escaped, the children escape immediately.
+func (f *funcFlow) own(base, children []origin, pos token.Pos) {
+	if externalOrEscaped(base, pos) {
+		f.escapeOrigins(children, pos)
+		return
+	}
+	for _, b := range base {
+		if b.site == nil {
+			continue
+		}
+		for _, c := range children {
+			if c.site != nil && c.site != b.site {
+				b.site.owned = append(b.site.owned, c.site)
+			}
+		}
+	}
+}
+
+// ---- statement walk ----
+
+func (f *funcFlow) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			f.walkStmt(st)
+		}
+	case *ast.AssignStmt:
+		f.walkAssign(s)
+	case *ast.IncDecStmt:
+		f.evalExpr(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var orgs []origin
+					if i < len(vs.Values) {
+						orgs = f.evalExpr(vs.Values[i])
+					} else {
+						// Zero value: a fresh, unshared value.
+						orgs = []origin{{site: f.newSite(name.Pos())}}
+					}
+					if obj := f.info.Defs[name]; obj != nil {
+						f.origins[obj] = orgs
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		f.evalExpr(s.X)
+	case *ast.SendStmt:
+		f.evalExpr(s.Chan)
+		f.escapeOrigins(f.evalExpr(s.Value), s.Pos())
+	case *ast.GoStmt:
+		// The goroutine runs concurrently: everything it can reach is
+		// shared from the launch on — arguments and captured sites.
+		for _, arg := range s.Call.Args {
+			f.escapeOrigins(f.evalExpr(arg), s.Pos())
+		}
+		if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			f.escapeCaptured(fl, s.Pos())
+		} else {
+			f.evalExpr(s.Call.Fun)
+		}
+	case *ast.DeferStmt:
+		f.evalExpr(s.Call.Fun)
+		for _, arg := range s.Call.Args {
+			f.evalExpr(arg)
+		}
+	case *ast.ReturnStmt:
+		// Not an escape: nothing executes after a return on its path.
+		for _, r := range s.Results {
+			f.evalExpr(r)
+		}
+	case *ast.IfStmt:
+		f.walkStmt(s.Init)
+		f.evalExpr(s.Cond)
+		f.walkStmt(s.Body)
+		f.walkStmt(s.Else)
+	case *ast.ForStmt:
+		f.loops = append(f.loops, loopSpan{s.Pos(), s.End()})
+		f.walkStmt(s.Init)
+		if s.Cond != nil {
+			f.evalExpr(s.Cond)
+		}
+		f.walkStmt(s.Body)
+		f.walkStmt(s.Post)
+	case *ast.RangeStmt:
+		f.loops = append(f.loops, loopSpan{s.Pos(), s.End()})
+		rangeOrgs := f.evalExpr(s.X)
+		for _, kv := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := kv.(*ast.Ident); ok && id.Name != "_" {
+				obj := f.info.Defs[id]
+				if obj == nil {
+					obj = f.info.Uses[id]
+				}
+				if obj != nil {
+					// Range elements alias the ranged value's interior.
+					f.origins[obj] = f.derive(rangeOrgs, s.X, s.Pos())
+				}
+			}
+		}
+		f.walkStmt(s.Body)
+	case *ast.SwitchStmt:
+		f.walkStmt(s.Init)
+		if s.Tag != nil {
+			f.evalExpr(s.Tag)
+		}
+		f.walkStmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		f.walkStmt(s.Init)
+		f.walkStmt(s.Assign)
+		f.walkStmt(s.Body)
+	case *ast.SelectStmt:
+		f.walkStmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			f.evalExpr(e)
+		}
+		for _, st := range s.Body {
+			f.walkStmt(st)
+		}
+	case *ast.CommClause:
+		f.walkStmt(s.Comm)
+		for _, st := range s.Body {
+			f.walkStmt(st)
+		}
+	case *ast.LabeledStmt:
+		f.walkStmt(s.Stmt)
+	}
+}
+
+func (f *funcFlow) walkAssign(s *ast.AssignStmt) {
+	// Evaluate all RHS first (Go's evaluation order), then bind.
+	rhs := make([][]origin, len(s.Rhs))
+	for i, r := range s.Rhs {
+		rhs[i] = f.evalExpr(r)
+	}
+	multi := len(s.Lhs) > 1 && len(s.Rhs) == 1 // x, y := f()
+	for i, l := range s.Lhs {
+		var orgs []origin
+		switch {
+		case multi:
+			orgs = externalOrigin()
+		case i < len(rhs):
+			orgs = rhs[i]
+		default:
+			orgs = externalOrigin()
+		}
+		if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+			// +=, |=, ...: value derived from the old one; for
+			// reference tracking treat as a use plus external result,
+			// except that the variable keeps its origins (x += y does
+			// not change what x's memory is).
+			f.evalExpr(l)
+			continue
+		}
+		f.bind(l, orgs)
+	}
+}
+
+// bind assigns origins to an lvalue: a plain identifier rebinds the
+// variable; anything else is a store into memory.
+func (f *funcFlow) bind(l ast.Expr, orgs []origin) {
+	l = ast.Unparen(l)
+	if id, ok := l.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj := f.info.Defs[id]
+		if obj == nil {
+			obj = f.info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if _, known := f.origins[obj]; !known && f.info.Defs[id] == nil {
+			// Assignment to something we never bound (package-level
+			// var): the stored values escape.
+			f.escapeOrigins(orgs, l.Pos())
+			return
+		}
+		f.origins[obj] = orgs
+		return
+	}
+	// Store through a selector/index/star chain: the stored values
+	// become reachable from the base; escape when the base is shared.
+	base := f.chainBase(l)
+	if base == nil {
+		f.escapeOrigins(orgs, l.Pos())
+		return
+	}
+	baseOrgs := f.evalExpr(base)
+	f.own(baseOrgs, orgs, l.Pos())
+}
+
+// chainBase walks a selector/index/slice/star/paren chain to its base
+// expression, returning nil when the chain bottoms out in something
+// other than an identifier (a call result, a literal).
+func (f *funcFlow) chainBase(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			if _, ok := f.info.Selections[x]; !ok {
+				return x // qualified identifier pkg.X: base is the var itself
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// escapeCaptured escapes every site reachable from variables the
+// function literal references.
+func (f *funcFlow) escapeCaptured(fl *ast.FuncLit, pos token.Pos) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := f.info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if orgs, ok := f.origins[obj]; ok {
+			f.escapeOrigins(orgs, pos)
+		}
+		return true
+	})
+	f.walkStmt(fl.Body)
+}
+
+// ---- expression evaluation ----
+
+// evalExpr computes the origin set of e, recording snapshots for every
+// identifier use it visits.
+func (f *funcFlow) evalExpr(e ast.Expr) []origin {
+	switch e := e.(type) {
+	case nil:
+		return externalOrigin()
+	case *ast.Ident:
+		obj := f.info.Uses[e]
+		if obj == nil {
+			obj = f.info.Defs[e]
+		}
+		if obj == nil {
+			return externalOrigin()
+		}
+		orgs, ok := f.origins[obj]
+		if !ok {
+			orgs = externalOrigin()
+		}
+		f.atUse[e] = orgs
+		return orgs
+	case *ast.ParenExpr:
+		return f.evalExpr(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if cl, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+				return f.evalComposite(cl, e.Pos())
+			}
+			// &x: the address of a local aliases that local's memory.
+			return f.evalExpr(e.X)
+		}
+		f.evalExpr(e.X)
+		return externalOrigin()
+	case *ast.CompositeLit:
+		return f.evalComposite(e, e.Pos())
+	case *ast.SelectorExpr:
+		if _, ok := f.info.Selections[e]; !ok {
+			// Qualified identifier (pkg.Var, pkg.Const): external.
+			f.evalExpr(e.X)
+			return externalOrigin()
+		}
+		return f.derive(f.evalExpr(e.X), e.X, e.Pos())
+	case *ast.IndexExpr:
+		f.evalExpr(e.Index)
+		return f.derive(f.evalExpr(e.X), e.X, e.Pos())
+	case *ast.SliceExpr:
+		// Re-slicing shares the backing array: same origins.
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			if idx != nil {
+				f.evalExpr(idx)
+			}
+		}
+		return f.derive(f.evalExpr(e.X), e.X, e.Pos())
+	case *ast.StarExpr:
+		return f.derive(f.evalExpr(e.X), e.X, e.Pos())
+	case *ast.CallExpr:
+		return f.evalCall(e)
+	case *ast.TypeAssertExpr:
+		return f.evalExpr(e.X)
+	case *ast.BinaryExpr:
+		f.evalExpr(e.X)
+		f.evalExpr(e.Y)
+		return externalOrigin()
+	case *ast.FuncLit:
+		// Walk the body inline: closures invoked in place (sort.Slice
+		// comparators etc.) see the enclosing origins.
+		f.walkStmt(e.Body)
+		return externalOrigin()
+	case *ast.KeyValueExpr:
+		f.evalExpr(e.Key)
+		return f.evalExpr(e.Value)
+	default:
+		return externalOrigin()
+	}
+}
+
+// derive propagates origins through a read of base's interior
+// (selector, index, slice, deref). Fresh bases pass their sites
+// through — the interior of a fresh object is that object's memory.
+// Shared bases of a tracked type taint the result with sharedFrom.
+func (f *funcFlow) derive(baseOrgs []origin, base ast.Expr, pos token.Pos) []origin {
+	name := ""
+	if t := f.info.TypeOf(base); t != nil {
+		name = f.tracked(derefType(t))
+	}
+	out := make([]origin, 0, len(baseOrgs))
+	for _, o := range baseOrgs {
+		switch {
+		case o.site != nil && !o.site.escapedAt(pos):
+			out = append(out, o)
+		case name != "":
+			out = append(out, origin{sharedFrom: name})
+		default:
+			out = append(out, origin{sharedFrom: o.sharedFrom})
+		}
+	}
+	if len(out) == 0 {
+		return externalOrigin()
+	}
+	return out
+}
+
+func (f *funcFlow) evalComposite(cl *ast.CompositeLit, pos token.Pos) []origin {
+	site := f.newSite(pos)
+	self := []origin{{site: site}}
+	for _, elt := range cl.Elts {
+		f.own(self, f.evalExpr(elt), elt.Pos())
+	}
+	return self
+}
+
+func (f *funcFlow) evalCall(call *ast.CallExpr) []origin {
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		switch f.info.Uses[id].(type) {
+		case *types.Builtin:
+			switch id.Name {
+			case "append":
+				return f.evalAppend(call)
+			case "new", "make":
+				for _, a := range call.Args[1:] {
+					f.evalExpr(a)
+				}
+				return []origin{{site: f.newSite(call.Pos())}}
+			case "len", "cap", "copy", "delete", "min", "max", "clear", "print", "println", "panic", "recover", "close":
+				for _, a := range call.Args {
+					f.evalExpr(a)
+				}
+				return externalOrigin()
+			}
+		case *types.TypeName:
+			// Conversion T(x): same value, same origins.
+			if len(call.Args) == 1 {
+				return f.evalExpr(call.Args[0])
+			}
+		}
+	}
+	f.evalExpr(call.Fun)
+	for _, a := range call.Args {
+		f.evalExpr(a)
+	}
+	return externalOrigin()
+}
+
+// evalAppend models append: the result shares the first argument's
+// backing (or is fresh growth of it), and the appended elements become
+// reachable from it.
+func (f *funcFlow) evalAppend(call *ast.CallExpr) []origin {
+	if len(call.Args) == 0 {
+		return externalOrigin()
+	}
+	base := f.evalExpr(call.Args[0])
+	for _, a := range call.Args[1:] {
+		f.own(base, f.evalExpr(a), a.Pos())
+	}
+	return base
+}
+
+func derefType(t types.Type) types.Type {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}

@@ -1,0 +1,399 @@
+package lint
+
+// Table-driven tests for the dataflow core (dataflow.go), independent
+// of any analyzer: each case typechecks a small source snippet in
+// memory, runs analyzeFunc on one function, and classifies the origins
+// of chosen identifier uses. The type named Tracked plays the role of
+// a frozen type for sharedFrom propagation.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// classify reduces an origin set at a use position to one label.
+func classify(orgs []origin, pos token.Pos) string {
+	shared, external, escaped := false, false, false
+	for _, o := range orgs {
+		switch {
+		case o.sharedFrom != "":
+			shared = true
+		case o.site == nil:
+			external = true
+		case o.site.escapedAt(pos):
+			escaped = true
+		}
+	}
+	switch {
+	case shared:
+		return "shared"
+	case external:
+		return "external"
+	case escaped:
+		return "escaped"
+	default:
+		return "fresh"
+	}
+}
+
+// use addresses the n-th (1-based) use of identifier name inside the
+// analyzed function, in source order.
+type use struct {
+	name string
+	n    int
+	want string // fresh | escaped | external | shared
+}
+
+func TestDataflow(t *testing.T) {
+	const prelude = `package p
+
+type Tracked struct {
+	Items []*Item
+	Name  string
+}
+
+type Item struct{ N int }
+
+type Outer struct {
+	Tracked
+	Extra int
+}
+
+var sink *Tracked
+var itemSink *Item
+
+`
+	cases := []struct {
+		name string
+		src  string
+		fn   string
+		uses []use
+	}{
+		{
+			name: "fresh allocation stays fresh until published",
+			src: `func f() {
+	t := &Tracked{}
+	t.Name = "a"
+	sink = t
+	t.Name = "b"
+}`,
+			fn: "f",
+			uses: []use{
+				{name: "t", n: 2, want: "fresh"},   // t.Name = "a"
+				{name: "t", n: 4, want: "escaped"}, // t.Name = "b"
+			},
+		},
+		{
+			name: "parameters are external",
+			src: `func f(t *Tracked) {
+	t.Name = "a"
+}`,
+			fn:   "f",
+			uses: []use{{name: "t", n: 1, want: "external"}},
+		},
+		{
+			name: "return is not an escape",
+			src: `func f() *Tracked {
+	t := &Tracked{}
+	t.Name = "a"
+	return t
+}`,
+			fn:   "f",
+			uses: []use{{name: "t", n: 3, want: "fresh"}},
+		},
+		{
+			name: "closure capture escapes on goroutine launch",
+			src: `func f(done chan struct{}) {
+	t := &Tracked{}
+	t.Name = "a"
+	go func() {
+		_ = t.Name
+		close(done)
+	}()
+	t.Name = "b"
+}`,
+			fn: "f",
+			uses: []use{
+				{name: "t", n: 2, want: "fresh"},
+				{name: "t", n: 4, want: "escaped"}, // after the go stmt
+			},
+		},
+		{
+			name: "inline closure sees fresh origins",
+			src: `func apply(g func()) { g() }
+
+func f() *Tracked {
+	t := &Tracked{}
+	apply(func() {
+		t.Name = "a"
+	})
+	return t
+}`,
+			fn:   "f",
+			uses: []use{{name: "t", n: 2, want: "fresh"}},
+		},
+		{
+			name: "method value leaves receiver origins alone",
+			src: `func (t *Tracked) Reset() {}
+
+func f() *Tracked {
+	t := &Tracked{}
+	r := t.Reset
+	r()
+	t.Name = "a"
+	return t
+}`,
+			fn:   "f",
+			uses: []use{{name: "t", n: 3, want: "fresh"}},
+		},
+		{
+			name: "slice read from shared tracked value is shared",
+			src: `func f(t *Tracked) {
+	items := t.Items
+	items[0] = nil
+}`,
+			fn:   "f",
+			uses: []use{{name: "items", n: 2, want: "shared"}},
+		},
+		{
+			name: "re-slicing preserves sharing",
+			src: `func f(t *Tracked) {
+	tail := t.Items[1:]
+	tail[0] = nil
+}`,
+			fn:   "f",
+			uses: []use{{name: "tail", n: 2, want: "shared"}},
+		},
+		{
+			name: "slice read from fresh tracked value keeps the site",
+			src: `func f() {
+	t := &Tracked{Items: []*Item{{N: 1}}}
+	items := t.Items
+	items[0] = nil
+	_ = t
+}`,
+			fn:   "f",
+			uses: []use{{name: "items", n: 2, want: "fresh"}},
+		},
+		{
+			name: "fresh copy of shared slice is fresh",
+			src: `func f(t *Tracked) []*Item {
+	out := make([]*Item, len(t.Items))
+	copy(out, t.Items)
+	out[0] = &Item{N: 2}
+	return out
+}`,
+			fn:   "f",
+			uses: []use{{name: "out", n: 3, want: "fresh"}},
+		},
+		{
+			name: "append preserves the base origins",
+			src: `func f() *Tracked {
+	t := &Tracked{}
+	t.Items = append(t.Items, &Item{N: 1})
+	t.Name = "a"
+	return t
+}`,
+			fn:   "f",
+			uses: []use{{name: "t", n: 4, want: "fresh"}},
+		},
+		{
+			name: "owned site escapes with its owner",
+			src: `func f() {
+	t := &Tracked{}
+	it := &Item{}
+	t.Items = append(t.Items, it)
+	it.N = 1
+	sink = t
+	it.N = 2
+}`,
+			fn: "f",
+			uses: []use{
+				{name: "it", n: 3, want: "fresh"},   // before sink = t
+				{name: "it", n: 4, want: "escaped"}, // after sink = t
+			},
+		},
+		{
+			name: "escape inside a loop hoists to the loop head",
+			src: `func f(ch chan *Tracked, n int) {
+	t := &Tracked{}
+	for i := 0; i < n; i++ {
+		t.Name = "a"
+		ch <- t
+	}
+}`,
+			fn: "f",
+			uses: []use{
+				{name: "t", n: 2, want: "escaped"}, // t.Name inside the loop
+			},
+		},
+		{
+			name: "per-iteration allocation does not hoist",
+			src: `func f(ch chan *Tracked, n int) {
+	for i := 0; i < n; i++ {
+		t := &Tracked{}
+		t.Name = "a"
+		ch <- t
+	}
+}`,
+			fn: "f",
+			uses: []use{
+				{name: "t", n: 2, want: "fresh"}, // t.Name: fresh each iteration
+			},
+		},
+		{
+			name: "promoted read through embedding propagates origins",
+			src: `func f(o *Outer) {
+	items := o.Items
+	items[0] = nil
+}`,
+			fn: "f",
+			// o is *Outer, not Tracked itself: the read is external but
+			// not classified as tracked sharing (the base type decides).
+			uses: []use{{name: "items", n: 2, want: "external"}},
+		},
+		{
+			name: "embedded field chain through tracked part is shared",
+			src: `func f(o *Outer) {
+	items := o.Tracked.Items
+	items[0] = nil
+}`,
+			fn:   "f",
+			uses: []use{{name: "items", n: 2, want: "shared"}},
+		},
+		{
+			name: "channel send escapes",
+			src: `func f(ch chan *Item) {
+	it := &Item{}
+	it.N = 1
+	ch <- it
+	it.N = 2
+}`,
+			fn: "f",
+			uses: []use{
+				{name: "it", n: 2, want: "fresh"},
+				{name: "it", n: 4, want: "escaped"},
+			},
+		},
+		{
+			name: "call arguments are optimistically private",
+			src: `func observe(it *Item) {}
+
+func f() {
+	it := &Item{}
+	observe(it)
+	it.N = 1
+}`,
+			fn:   "f",
+			uses: []use{{name: "it", n: 3, want: "fresh"}},
+		},
+		{
+			name: "store into external memory escapes",
+			src: `func f(t *Tracked) {
+	it := &Item{}
+	t.Items[0] = it
+	it.N = 1
+}`,
+			fn: "f",
+			uses: []use{
+				{name: "it", n: 3, want: "escaped"},
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			flow, fd, info := analyzeSnippet(t, prelude+tc.src, tc.fn)
+			for _, u := range tc.uses {
+				id := nthUse(fd, u.name, u.n)
+				if id == nil {
+					t.Fatalf("no use #%d of %q in %s", u.n, u.name, tc.fn)
+				}
+				orgs := flow.originsAt(id)
+				if got := classify(orgs, id.Pos()); got != u.want {
+					t.Errorf("use #%d of %q: classified %s, want %s (origins %v)",
+						u.n, u.name, got, u.want, describeOrigins(orgs, id.Pos()))
+				}
+			}
+			_ = info
+		})
+	}
+}
+
+// analyzeSnippet typechecks src and runs the dataflow over function fn
+// with the Tracked type marked as tracked.
+func analyzeSnippet(t *testing.T, src, fn string) (*funcFlow, *ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "snippet.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	tracked := func(tp types.Type) string {
+		named, ok := tp.(*types.Named)
+		if ok && named.Obj().Name() == "Tracked" {
+			return "p.Tracked"
+		}
+		return ""
+	}
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != fn || fd.Recv != nil {
+			continue
+		}
+		return analyzeFunc(info, tracked, fd), fd, info
+	}
+	t.Fatalf("function %q not found", fn)
+	return nil, nil, nil
+}
+
+// nthUse returns the n-th (1-based) identifier named name in fd's
+// body, in source order.
+func nthUse(fd *ast.FuncDecl, name string, n int) *ast.Ident {
+	var ids []*ast.Ident
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		if id, ok := node.(*ast.Ident); ok && id.Name == name {
+			ids = append(ids, id)
+		}
+		return true
+	})
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Pos() < ids[j].Pos() })
+	if n <= 0 || n > len(ids) {
+		return nil
+	}
+	return ids[n-1]
+}
+
+func describeOrigins(orgs []origin, pos token.Pos) string {
+	var parts []string
+	for _, o := range orgs {
+		switch {
+		case o.sharedFrom != "":
+			parts = append(parts, "shared:"+o.sharedFrom)
+		case o.site == nil:
+			parts = append(parts, "external")
+		case o.site.escapedAt(pos):
+			parts = append(parts, "escaped")
+		default:
+			parts = append(parts, "fresh")
+		}
+	}
+	return strings.Join(parts, ",")
+}

@@ -196,5 +196,11 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// Suite is the full qavlint analyzer suite, in reporting order.
-var Suite = []*Analyzer{CtxPoll, LockGuard, PatMut, ErrWrap, PanicGuard}
+// Suite is the full qavlint analyzer suite, in reporting order. The
+// first five are syntactic; planfreeze, stagereg, exhaustive and
+// lockorder are the invariant analyzers built on the dataflow core
+// (dataflow.go) and the cross-package type information.
+var Suite = []*Analyzer{
+	CtxPoll, LockGuard, PatMut, ErrWrap, PanicGuard,
+	PlanFreeze, StageReg, Exhaustive, LockOrder,
+}

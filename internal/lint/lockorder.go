@@ -1,0 +1,460 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder extends lockguard from "is the lock held" to "are locks
+// acquired in a consistent order". It builds a mutex acquisition graph
+// for the package under analysis: nodes are lock identities (a mutex
+// field keyed by its owning named type, a package-level mutex var, or
+// a local mutex), and an edge A -> B records that somewhere B is
+// acquired while A is held. A cycle in that graph is a potential
+// deadlock (engine holds its mu and takes the cache's while another
+// path holds the cache's and takes the engine's), reported once per
+// cycle.
+//
+// Held intervals are tracked per function in source order: Lock/RLock
+// opens an interval, the matching Unlock/RUnlock closes it, and a
+// deferred unlock holds to the end of the function. While a lock is
+// held, two kinds of acquisitions add edges:
+//
+//   - direct Lock/RLock calls in the same function;
+//   - calls to other functions: for same-package callees the analyzer
+//     uses their actual (transitively closed) acquisition sets; for
+//     other module packages, where only export data is visible, it
+//     assumes a method may take any mutex field of its receiver type —
+//     unless the method follows the *Locked naming convention, whose
+//     contract is "caller already holds the lock".
+//
+// Acquiring a lock that is already held is reported directly (Go
+// mutexes are not reentrant); a pair of RLocks is exempt, and keying
+// field mutexes by owning type means two instances of one type
+// collapse into a node — a deliberate over-approximation, since
+// lock-ordering discipline is per-type in this codebase.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "mutex acquisition order is acyclic and no lock is re-acquired while held\n" +
+		"An edge A -> B means B is taken while A is held; a cycle is a potential\n" +
+		"deadlock. Same-package callees contribute their real acquisition sets,\n" +
+		"cross-package methods are assumed to take their receiver's mutexes.",
+	Run: runLockOrder,
+}
+
+// lockKey identifies one mutex node in the acquisition graph.
+type lockKey string
+
+// lockEdge is one "B taken while A held" observation.
+type lockEdge struct {
+	from, to lockKey
+	pos      token.Pos
+}
+
+func runLockOrder(pass *Pass) error {
+	lo := &lockOrder{
+		pass:      pass,
+		funcLocks: make(map[*types.Func]map[lockKey]bool),
+		callees:   make(map[*types.Func][]*types.Func),
+		edges:     make(map[lockKey]map[lockKey]token.Pos),
+	}
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	// Pass 1: per-function direct acquisition sets and the
+	// same-package call graph, then transitive closure.
+	for _, fd := range decls {
+		lo.collectFuncLocks(fd)
+	}
+	lo.close()
+	// Pass 2: held-interval tracking, edge collection, double-acquire.
+	for _, fd := range decls {
+		lo.checkFunc(fd)
+	}
+	lo.reportCycles()
+	return nil
+}
+
+type lockOrder struct {
+	pass      *Pass
+	funcLocks map[*types.Func]map[lockKey]bool
+	callees   map[*types.Func][]*types.Func
+	edges     map[lockKey]map[lockKey]token.Pos
+}
+
+// lockCall classifies one sync.Mutex/RWMutex method call.
+type lockCall struct {
+	key    lockKey
+	method string // Lock, RLock, Unlock, RUnlock
+}
+
+// classifyLockCall returns the lock identity and method when call is a
+// mutex Lock/RLock/Unlock/RUnlock, handling both explicit fields
+// (x.mu.Lock) and embedded mutexes (x.Lock via promotion).
+func (lo *lockOrder) classifyLockCall(call *ast.CallExpr) (lockCall, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockCall{}, false
+	}
+	m := sel.Sel.Name
+	if m != "Lock" && m != "RLock" && m != "Unlock" && m != "RUnlock" {
+		return lockCall{}, false
+	}
+	fn := calleeFunc(lo.pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockCall{}, false
+	}
+	if selection, ok := lo.pass.Info.Selections[sel]; ok {
+		// Promoted method: x.Lock() with an embedded Mutex. The field
+		// path (all but the final method index) names the mutex field.
+		if recv := derefType(selection.Recv()); !isSyncMutex(recv) {
+			if key, ok := embeddedMutexKey(recv, selection.Index()); ok {
+				return lockCall{key: key, method: m}, true
+			}
+		}
+	}
+	key, ok := lo.mutexExprKey(sel.X)
+	if !ok {
+		return lockCall{}, false
+	}
+	return lockCall{key: key, method: m}, true
+}
+
+// mutexExprKey derives the lock identity of a mutex-valued expression:
+// a field selector keys by owning named type, identifiers by package
+// var or local object.
+func (lo *lockOrder) mutexExprKey(e ast.Expr) (lockKey, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if selection, ok := lo.pass.Info.Selections[e]; ok && selection.Kind() == types.FieldVal {
+			owner := derefType(selection.Recv())
+			if named, ok := owner.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return lockKey(named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + e.Sel.Name), true
+			}
+			return "", false
+		}
+		// Qualified package var: pkg.mu.
+		if v, ok := lo.pass.Info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return lockKey(v.Pkg().Name() + "." + v.Name()), true
+		}
+	case *ast.Ident:
+		obj := lo.pass.Info.Uses[e]
+		if obj == nil {
+			obj = lo.pass.Info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return lockKey(v.Pkg().Name() + "." + v.Name()), true
+			}
+			return lockKey(fmt.Sprintf("local.%s@%d", v.Name(), v.Pos())), true
+		}
+	case *ast.StarExpr:
+		return lo.mutexExprKey(e.X)
+	}
+	return "", false
+}
+
+// embeddedMutexKey resolves a promoted Lock call's mutex field along
+// the selection index path.
+func embeddedMutexKey(recv types.Type, index []int) (lockKey, bool) {
+	t := recv
+	ownerName := ""
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+		ownerName = named.Obj().Pkg().Name() + "." + named.Obj().Name()
+	}
+	for _, idx := range index[:len(index)-1] {
+		st, ok := derefType(t).Underlying().(*types.Struct)
+		if !ok || idx >= st.NumFields() {
+			return "", false
+		}
+		field := st.Field(idx)
+		if isSyncMutex(field.Type()) {
+			if ownerName == "" {
+				return "", false
+			}
+			return lockKey(ownerName + "." + field.Name()), true
+		}
+		t = field.Type()
+		if named, ok := derefType(t).(*types.Named); ok && named.Obj().Pkg() != nil {
+			ownerName = named.Obj().Pkg().Name() + "." + named.Obj().Name()
+		}
+	}
+	return "", false
+}
+
+func isSyncMutex(t types.Type) bool {
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// collectFuncLocks records fd's direct acquisitions and same-package
+// callees for the transitive closure.
+func (lo *lockOrder) collectFuncLocks(fd *ast.FuncDecl) {
+	fn, _ := lo.pass.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	locks := make(map[lockKey]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lc, ok := lo.classifyLockCall(call); ok {
+			if lc.method == "Lock" || lc.method == "RLock" {
+				locks[lc.key] = true
+			}
+			return true
+		}
+		if callee := calleeFunc(lo.pass.Info, call); callee != nil && callee.Pkg() == lo.pass.Pkg {
+			lo.callees[fn] = append(lo.callees[fn], callee)
+		}
+		return true
+	})
+	lo.funcLocks[fn] = locks
+}
+
+// close computes the transitive acquisition sets over the same-package
+// call graph.
+func (lo *lockOrder) close() {
+	for changed := true; changed; {
+		changed = false
+		for fn, cs := range lo.callees {
+			for _, callee := range cs {
+				for k := range lo.funcLocks[callee] {
+					if !lo.funcLocks[fn][k] {
+						lo.funcLocks[fn][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockEvent is one ordered observation inside a function body.
+type loEvent struct {
+	pos      token.Pos
+	lock     *lockCall // non-nil for mutex method calls
+	deferred bool
+	call     *ast.CallExpr // non-nil for other calls
+}
+
+func (lo *lockOrder) checkFunc(fd *ast.FuncDecl) {
+	var events []loEvent
+	inDefer := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closure bodies run at other times; their intervals are
+			// not this function's. (Their acquisitions still count in
+			// funcLocks for callers of this function.)
+			return false
+		case *ast.DeferStmt:
+			inDefer[n.Call] = true
+		case *ast.CallExpr:
+			if lc, ok := lo.classifyLockCall(n); ok {
+				events = append(events, loEvent{pos: n.Pos(), lock: &lc, deferred: inDefer[n]})
+			} else {
+				events = append(events, loEvent{pos: n.Pos(), call: n})
+			}
+		}
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	type heldInfo struct {
+		read bool
+		pos  token.Pos
+	}
+	held := make(map[lockKey]heldInfo)
+	for _, ev := range events {
+		switch {
+		case ev.lock != nil && (ev.lock.method == "Lock" || ev.lock.method == "RLock"):
+			isRead := ev.lock.method == "RLock"
+			if h, ok := held[ev.lock.key]; ok && !(h.read && isRead) {
+				lo.pass.Reportf(ev.pos,
+					"%s acquired while already held (since %s); Go mutexes are not reentrant (lockorder)",
+					ev.lock.key, lo.pass.Fset.Position(h.pos))
+			}
+			for k := range held {
+				if k != ev.lock.key {
+					lo.addEdge(k, ev.lock.key, ev.pos)
+				}
+			}
+			held[ev.lock.key] = heldInfo{read: isRead, pos: ev.pos}
+		case ev.lock != nil:
+			// Unlock/RUnlock: a deferred unlock runs at return, so the
+			// lock stays held for the rest of the function.
+			if !ev.deferred {
+				delete(held, ev.lock.key)
+			}
+		case ev.call != nil && len(held) > 0:
+			for _, acq := range lo.calleeAcquires(ev.call) {
+				if h, ok := held[acq]; ok && !h.read {
+					lo.pass.Reportf(ev.pos,
+						"call may acquire %s, which is already held (since %s) (lockorder)",
+						acq, lo.pass.Fset.Position(h.pos))
+					continue
+				}
+				for k := range held {
+					if k != acq {
+						lo.addEdge(k, acq, ev.pos)
+					}
+				}
+			}
+		}
+	}
+}
+
+// calleeAcquires estimates which locks a call may take: the real
+// transitive set for same-package callees, the receiver's mutex fields
+// for other module methods (except *Locked helpers), nothing for
+// stdlib and dynamic calls.
+func (lo *lockOrder) calleeAcquires(call *ast.CallExpr) []lockKey {
+	fn := calleeFunc(lo.pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	if fn.Pkg() == lo.pass.Pkg {
+		set := lo.funcLocks[fn]
+		keys := make([]lockKey, 0, len(set))
+		for k := range set {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		return keys
+	}
+	if !inModule(lo.pass.ModulePath, fn.Pkg()) || strings.HasSuffix(fn.Name(), "Locked") {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	named, ok := derefType(sig.Recv().Type()).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	owner := named.Obj().Pkg().Name() + "." + named.Obj().Name()
+	var keys []lockKey
+	for i := 0; i < st.NumFields(); i++ {
+		if isSyncMutex(st.Field(i).Type()) {
+			keys = append(keys, lockKey(owner+"."+st.Field(i).Name()))
+		}
+	}
+	return keys
+}
+
+func (lo *lockOrder) addEdge(from, to lockKey, pos token.Pos) {
+	m := lo.edges[from]
+	if m == nil {
+		m = make(map[lockKey]token.Pos)
+		lo.edges[from] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = pos
+	}
+}
+
+// reportCycles finds cycles in the acquisition graph by DFS and
+// reports each once, at the source position of its first edge.
+func (lo *lockOrder) reportCycles() {
+	nodes := make([]lockKey, 0, len(lo.edges))
+	for k := range lo.edges {
+		nodes = append(nodes, k)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	reported := make(map[string]bool)
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[lockKey]int)
+	var stack []lockKey
+	var visit func(k lockKey)
+	visit = func(k lockKey) {
+		color[k] = gray
+		stack = append(stack, k)
+		succs := make([]lockKey, 0, len(lo.edges[k]))
+		for s := range lo.edges[k] {
+			succs = append(succs, s)
+		}
+		sort.Slice(succs, func(i, j int) bool { return succs[i] < succs[j] })
+		for _, s := range succs {
+			switch color[s] {
+			case white:
+				visit(s)
+			case gray:
+				// Back edge: the cycle is the stack from s to k plus
+				// the edge k -> s.
+				start := 0
+				for i, n := range stack {
+					if n == s {
+						start = i
+						break
+					}
+				}
+				cyc := append(append([]lockKey{}, stack[start:]...), s)
+				lo.reportCycle(cyc, reported)
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[k] = black
+	}
+	for _, k := range nodes {
+		if color[k] == white {
+			visit(k)
+		}
+	}
+}
+
+func (lo *lockOrder) reportCycle(cyc []lockKey, reported map[string]bool) {
+	// Normalize by the sorted member set so each cycle reports once.
+	members := make([]string, 0, len(cyc)-1)
+	for _, k := range cyc[:len(cyc)-1] {
+		members = append(members, string(k))
+	}
+	sort.Strings(members)
+	sig := strings.Join(members, "|")
+	if reported[sig] {
+		return
+	}
+	reported[sig] = true
+
+	parts := make([]string, len(cyc))
+	pos := token.NoPos
+	for i, k := range cyc {
+		parts[i] = string(k)
+		if i+1 < len(cyc) {
+			if p, ok := lo.edges[k][cyc[i+1]]; ok && (pos == token.NoPos || p < pos) {
+				pos = p
+			}
+		}
+	}
+	lo.pass.Reportf(pos, "lock order cycle: %s; acquire these mutexes in one consistent order (lockorder)",
+		strings.Join(parts, " -> "))
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PlanFreeze enforces the freeze-after-construction contract on the
+// serving path's shared result values: compiled plans (plan.Plan and
+// its per-CR programs), rewriting results (rewrite.Result), and tree
+// patterns (tpq.Pattern/Node). These values are cached and shared
+// between concurrent requests, so they may only be written while they
+// are provably private: inside the constructor, before the value
+// escapes. The analyzer runs the dataflow core (dataflow.go) per
+// function and reports
+//
+//   - field/slice/map/pointer writes into a frozen-typed value whose
+//     origin is external (a parameter, a global, a call result) or a
+//     local allocation that already escaped (stored into shared
+//     memory, sent on a channel, captured by a goroutine);
+//   - writes through values read out of a shared frozen value's
+//     interior (returned-slice aliasing: `crs := res.CRs; crs[0] = x`
+//     mutates the Result every other request sees).
+//
+// Constructors stay clean by construction: writes to a fresh
+// allocation before its escape are exactly the allowed pattern.
+// internal/tpq is skipped entirely — it owns the structured mutation
+// API whose job is editing patterns (patmut governs everyone else).
+var PlanFreeze = &Analyzer{
+	Name: "planfreeze",
+	Doc: "no writes to plan.Plan/program, rewrite.Result or tpq.Pattern/Node after escape\n" +
+		"These values are cached and shared across requests; mutate only fresh, private\n" +
+		"values inside constructors, and never write through slices read out of them.",
+	Run: runPlanFreeze,
+}
+
+// frozenTypes lists the governed types by package-path suffix.
+var frozenTypes = []struct{ pathSuffix, typeName string }{
+	{"internal/plan", "Plan"},
+	{"internal/plan", "program"},
+	{"internal/rewrite", "Result"},
+	{"internal/tpq", "Pattern"},
+	{"internal/tpq", "Node"},
+}
+
+// frozenTypeName returns the display name ("plan.Plan") when t is a
+// frozen named type, else "".
+func frozenTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	for _, ft := range frozenTypes {
+		if obj.Name() == ft.typeName && PathHasSuffix(obj.Pkg().Path(), ft.pathSuffix) {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+func runPlanFreeze(pass *Pass) error {
+	if PathHasSuffix(pass.Pkg.Path(), "internal/tpq") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			flow := analyzeFunc(pass.Info, frozenTypeName, fd)
+			checkFrozenWrites(pass, flow, fd)
+		}
+	}
+	return nil
+}
+
+func checkFrozenWrites(pass *Pass, flow *funcFlow, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkFrozenWrite(pass, flow, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkFrozenWrite(pass, flow, n.X)
+		}
+		return true
+	})
+}
+
+// checkFrozenWrite inspects one lvalue. Plain identifier rebinds are
+// never mutation; everything else is a store into memory, reported
+// when that memory belongs to a shared frozen value.
+func checkFrozenWrite(pass *Pass, flow *funcFlow, lhs ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	if _, ok := lhs.(*ast.Ident); ok {
+		return
+	}
+	frozen := writeChainFrozen(pass.Info, lhs)
+	base := flow.chainBase(lhs)
+	baseID, _ := base.(*ast.Ident)
+
+	if frozen != "" {
+		if baseID == nil {
+			pass.Reportf(lhs.Pos(),
+				"write into %s value not rooted in a local variable; frozen values are immutable after construction (planfreeze)", frozen)
+			return
+		}
+		orgs := flow.originsAt(baseID)
+		for _, o := range orgs {
+			switch {
+			case o.site == nil:
+				pass.Reportf(lhs.Pos(),
+					"write to %s reached through %s, which may be shared (external origin); frozen values are immutable after construction (planfreeze)",
+					frozen, baseID.Name)
+				return
+			case o.site.escapedAt(lhs.Pos()):
+				pass.Reportf(lhs.Pos(),
+					"write to %s through %s after the value escaped at %s; frozen values are immutable once shared (planfreeze)",
+					frozen, baseID.Name, pass.Fset.Position(o.site.escape))
+				return
+			}
+		}
+		return
+	}
+
+	// Not a frozen-typed chain: still a finding when the storage was
+	// read out of a shared frozen value (slice/map aliasing).
+	if baseID == nil {
+		return
+	}
+	for _, o := range flow.originsAt(baseID) {
+		if o.sharedFrom != "" {
+			pass.Reportf(lhs.Pos(),
+				"write through %s into storage read from a shared %s; this aliases the frozen value other requests see (planfreeze)",
+				baseID.Name, o.sharedFrom)
+			return
+		}
+	}
+}
+
+// writeChainFrozen reports the frozen type whose memory the write
+// chain mutates, or "". A chain like pl.programs[i].steps touches
+// plan.Plan at its root and plan.program in the middle; the outermost
+// frozen type found is reported.
+func writeChainFrozen(info *types.Info, e ast.Expr) string {
+	found := ""
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if name := frozenTypeName(derefType(sel.Recv())); name != "" {
+					found = name
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			if t := info.TypeOf(x.X); t != nil {
+				if name := frozenTypeName(derefType(t)); name != "" {
+					found = name
+				}
+			}
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return found
+		}
+	}
+}

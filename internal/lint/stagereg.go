@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StageReg enforces the central name registry (internal/names) for
+// observability and chaos identifiers:
+//
+//   - every fault.Register call site must pass a constant declared in
+//     internal/names, never a raw string literal — renames must be
+//     atomic across the registry, the chaos suite and the probes;
+//   - the Op label of an obs.SlowEntry must be a names constant, so
+//     slow-log consumers can rely on a closed vocabulary;
+//   - inside internal/obs, the stage-name table (the composite literal
+//     assigned to stageNames) must be built from names constants, tying
+//     the Stage enum's String values to the registry;
+//   - a package-level fault point (var x = fault.Register(...)) must
+//     have a corresponding x.Hit call in its package: a registered but
+//     never-fired point gives the chaos suite false confidence that a
+//     stage is exercised.
+var StageReg = &Analyzer{
+	Name: "stagereg",
+	Doc: "obs stage names, slow-log ops and fault point names come from internal/names\n" +
+		"Raw string literals at registration sites drift; declare the constant in the\n" +
+		"central registry and reference it. Registered fault points must also be Hit.",
+	Run: runStageReg,
+}
+
+func runStageReg(pass *Pass) error {
+	if PathHasSuffix(pass.Pkg.Path(), "internal/names") {
+		return nil
+	}
+	type pointDecl struct {
+		obj  types.Object
+		pos  ast.Node
+		name string // constant value when resolvable, else source text
+	}
+	var points []pointDecl
+	hit := make(map[types.Object]bool)
+
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isFaultRegister(pass.Info, n) && len(n.Args) == 1 {
+					if !isNamesConst(pass.Info, n.Args[0]) {
+						pass.Reportf(n.Args[0].Pos(),
+							"fault.Register argument must be a constant from internal/names, not a raw value (stagereg)")
+					}
+				}
+				// x.Hit(...) marks the point as fired.
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Hit" {
+					if obj := baseIdentObj(pass.Info, sel.X); obj != nil {
+						hit[obj] = true
+					}
+				}
+			case *ast.CompositeLit:
+				checkSlowEntryLit(pass, n)
+			case *ast.AssignStmt:
+				checkSlowEntryAssign(pass, n)
+			}
+			return true
+		})
+
+		// Package-level fault points and the obs stage-name table.
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						continue
+					}
+					val := ast.Unparen(vs.Values[i])
+					if call, ok := val.(*ast.CallExpr); ok && isFaultRegister(pass.Info, call) {
+						if obj := pass.Info.Defs[name]; obj != nil {
+							points = append(points, pointDecl{obj: obj, pos: name, name: name.Name})
+						}
+					}
+					if name.Name == "stageNames" && PathHasSuffix(pass.Pkg.Path(), "internal/obs") {
+						if cl, ok := val.(*ast.CompositeLit); ok {
+							for _, elt := range cl.Elts {
+								if !isNamesConst(pass.Info, elt) {
+									pass.Reportf(elt.Pos(),
+										"stage name table entries must be constants from internal/names (stagereg)")
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, p := range points {
+		if !hit[p.obj] {
+			pass.Reportf(p.pos.Pos(),
+				"fault point %s is registered but never Hit in this package; an unexercised probe gives the chaos suite false coverage (stagereg)", p.name)
+		}
+	}
+	return nil
+}
+
+// isFaultRegister reports whether call is fault.Register(...).
+func isFaultRegister(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Name() == "Register" && fn.Pkg() != nil &&
+		PathHasSuffix(fn.Pkg().Path(), "internal/fault")
+}
+
+// isNamesConst reports whether e resolves to a constant declared in
+// internal/names.
+func isNamesConst(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	var id *ast.Ident
+	switch v := e.(type) {
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		id = v.Sel
+	default:
+		return false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	return ok && c.Pkg() != nil && PathHasSuffix(c.Pkg().Path(), "internal/names")
+}
+
+// isSlowEntryType reports whether t is obs.SlowEntry.
+func isSlowEntryType(t types.Type) bool {
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "SlowEntry" && obj.Pkg() != nil &&
+		PathHasSuffix(obj.Pkg().Path(), "internal/obs")
+}
+
+// checkSlowEntryLit checks Op fields of obs.SlowEntry composite
+// literals.
+func checkSlowEntryLit(pass *Pass, cl *ast.CompositeLit) {
+	if t := pass.Info.TypeOf(cl); t == nil || !isSlowEntryType(t) {
+		return
+	}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Op" {
+			continue
+		}
+		if !isNamesConst(pass.Info, kv.Value) {
+			pass.Reportf(kv.Value.Pos(),
+				"SlowEntry.Op must be a constant from internal/names (stagereg)")
+		}
+	}
+}
+
+// checkSlowEntryAssign checks assignments to a SlowEntry's Op field.
+func checkSlowEntryAssign(pass *Pass, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Op" || i >= len(as.Rhs) {
+			continue
+		}
+		if t := pass.Info.TypeOf(sel.X); t == nil || !isSlowEntryType(t) {
+			continue
+		}
+		if !isNamesConst(pass.Info, as.Rhs[i]) {
+			pass.Reportf(as.Rhs[i].Pos(),
+				"SlowEntry.Op must be a constant from internal/names (stagereg)")
+		}
+	}
+}

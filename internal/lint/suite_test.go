@@ -31,10 +31,29 @@ func TestPanicGuard(t *testing.T) {
 	linttest.Run(t, lint.PanicGuard, "testdata/panicguard")
 }
 
+func TestPlanFreeze(t *testing.T) {
+	linttest.Run(t, lint.PlanFreeze, "testdata/planfreeze")
+}
+
+func TestStageReg(t *testing.T) {
+	linttest.Run(t, lint.StageReg, "testdata/stagereg")
+}
+
+func TestExhaustive(t *testing.T) {
+	linttest.Run(t, lint.Exhaustive, "testdata/exhaustive")
+}
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, lint.LockOrder, "testdata/lockorder")
+}
+
 // TestSuiteNames pins the analyzer names: //qavlint:ignore directives
 // and CI reporting key off them.
 func TestSuiteNames(t *testing.T) {
-	want := map[string]bool{"ctxpoll": true, "lockguard": true, "patmut": true, "errwrap": true, "panicguard": true}
+	want := map[string]bool{
+		"ctxpoll": true, "lockguard": true, "patmut": true, "errwrap": true, "panicguard": true,
+		"planfreeze": true, "stagereg": true, "exhaustive": true, "lockorder": true,
+	}
 	if len(lint.Suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(lint.Suite), len(want))
 	}

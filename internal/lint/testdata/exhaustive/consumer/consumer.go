@@ -1,0 +1,33 @@
+// Consumer switches over another package's enum: members come from
+// the declaring package's scope.
+package consumer
+
+import "lintexample/internal/plan"
+
+// pick silently ignores Stream.
+func pick(b plan.Backend) string {
+	switch b { // want "missing cases Stream"
+	case plan.Auto, plan.StructJoin, plan.TreeDP:
+		return "known"
+	}
+	return ""
+}
+
+// pickDefaulted is fine.
+func pickDefaulted(b plan.Backend) string {
+	switch b {
+	case plan.Stream:
+		return "stream"
+	default:
+		return "other"
+	}
+}
+
+//qavlint:ignore exhaustive
+func pickSuppressed(b plan.Backend) string {
+	switch b {
+	case plan.Auto:
+		return "auto"
+	}
+	return ""
+}

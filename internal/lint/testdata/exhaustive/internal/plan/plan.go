@@ -1,0 +1,99 @@
+// Stub enum declarations for the exhaustive analyzer.
+package plan
+
+// Backend selects an execution strategy.
+type Backend int
+
+const (
+	Auto Backend = iota
+	StructJoin
+	TreeDP
+	Stream
+	// NumBackends bounds the enum; sentinels are not values.
+	NumBackends
+)
+
+// Reason is a string-based enum.
+type Reason string
+
+const (
+	ReasonBudget   Reason = "budget"
+	ReasonDeadline Reason = "deadline"
+)
+
+// covered handles every value: ok.
+func covered(b Backend) string {
+	switch b {
+	case Auto:
+		return "auto"
+	case StructJoin:
+		return "sj"
+	case TreeDP:
+		return "dp"
+	case Stream:
+		return "stream"
+	}
+	return ""
+}
+
+// defaulted declares its subset with default: ok.
+func defaulted(b Backend) bool {
+	switch b {
+	case StructJoin:
+		return true
+	default:
+		return false
+	}
+}
+
+// missing silently ignores TreeDP and Stream.
+func missing(b Backend) string {
+	switch b { // want "missing cases Stream, TreeDP"
+	case Auto:
+		return "auto"
+	case StructJoin:
+		return "sj"
+	}
+	return ""
+}
+
+// missingString silently ignores a string enum value.
+func missingString(r Reason) bool {
+	switch r { // want "missing cases ReasonDeadline"
+	case ReasonBudget:
+		return true
+	}
+	return false
+}
+
+// multiValueCase covers values in grouped cases: ok.
+func multiValueCase(b Backend) bool {
+	switch b {
+	case Auto, StructJoin:
+		return false
+	case TreeDP, Stream:
+		return true
+	}
+	return false
+}
+
+// nonConstantCase compares against a variable; coverage is not
+// statically decidable, so the switch is left alone.
+func nonConstantCase(b, other Backend) bool {
+	switch b {
+	case other:
+		return true
+	case Auto:
+		return false
+	}
+	return false
+}
+
+// notAnEnum switches over a plain int: ok.
+func notAnEnum(n int) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}

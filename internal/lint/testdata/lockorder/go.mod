@@ -1,0 +1,3 @@
+module lintexample
+
+go 1.22

@@ -1,0 +1,102 @@
+// Engine-side lock ordering cases: consistent order, a cycle, a
+// re-acquire, intervals, defers, and the *Locked exemption.
+package enginex
+
+import (
+	"sync"
+
+	"lintexample/internal/cachex"
+)
+
+// Engine owns a mutex and a cache.
+type Engine struct {
+	mu    sync.RWMutex
+	cache *cachex.Cache
+	stats int
+}
+
+// Store is a second locked structure for the in-package cycle.
+type Store struct {
+	mu   sync.Mutex
+	data int
+}
+
+// statsThenStore and storeThenStats acquire the two in-package locks
+// in opposite orders: a deadlock waiting to happen.
+func statsThenStore(e *Engine, s *Store) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s.mu.Lock() // want "lock order cycle"
+	s.data++
+	s.mu.Unlock()
+}
+
+func storeThenStats(e *Engine, s *Store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.mu.Lock()
+	e.stats++
+	e.mu.Unlock()
+}
+
+// reacquire takes a lock it already holds.
+func reacquire(s *Store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.Lock() // want "acquired while already held"
+	s.data++
+	s.mu.Unlock()
+}
+
+// rlockTwice is the tolerated read-read pair: no report.
+func rlockTwice(e *Engine) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.stats
+}
+
+// intervalReleased drops its lock before taking the other order: the
+// intervals never overlap, so no cycle edge.
+func intervalReleased(e *Engine, s *Store) {
+	s.mu.Lock()
+	s.data++
+	s.mu.Unlock()
+	e.mu.Lock()
+	e.stats++
+	e.mu.Unlock()
+}
+
+// crossPackageCall holds the engine lock and calls a cache method: a
+// heuristic edge Engine.mu -> Cache.mu. One direction only, so no
+// cycle — but calling a same-package helper that locks the engine
+// again is caught through the transitive closure.
+func crossPackageCall(e *Engine) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cache.Len()
+}
+
+// lockedHelperCall calls a *Locked method while holding the lock: the
+// convention says the callee acquires nothing.
+func lockedHelperCall(e *Engine) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cache.LenLocked()
+}
+
+// lockStats is a same-package helper that write-locks the engine.
+func lockStats(e *Engine) {
+	e.mu.Lock()
+	e.stats++
+	e.mu.Unlock()
+}
+
+// indirectReacquire holds the engine lock and calls the helper that
+// takes it again: caught via the same-package transitive closure.
+func indirectReacquire(e *Engine) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	lockStats(e) // want "call may acquire enginex.Engine.mu, which is already held"
+}

@@ -1,0 +1,34 @@
+// Consumer exercises planfreeze across package boundaries.
+package consumer
+
+import (
+	"lintexample/internal/plan"
+	"lintexample/internal/rewrite"
+	"lintexample/internal/tpq"
+)
+
+// mutatePattern writes a shared pattern's field outside tpq.
+func mutatePattern(p *tpq.Pattern) {
+	p.Output = p.Root // want "external origin.*planfreeze"
+}
+
+// buildPattern constructs a fresh pattern: allowed.
+func buildPattern(tag string) *tpq.Pattern {
+	root := &tpq.Node{Tag: tag}
+	p := &tpq.Pattern{Root: root}
+	p.Output = root // fresh: ok
+	return p
+}
+
+// suppressed shows the escape hatch for a reviewed exception.
+func suppressed(res *rewrite.Result) {
+	//qavlint:ignore planfreeze
+	res.Partial = false
+}
+
+// useThenMutate mixes reads (fine) with a late write (not fine).
+func useThenMutate(pl *plan.Plan) int {
+	n := len(pl.Programs)
+	pl.Key = "" // want "external origin.*planfreeze"
+	return n
+}

@@ -1,0 +1,97 @@
+// Stub of the real internal/plan: the planfreeze analyzer matches the
+// type names Plan/program by package-path suffix.
+package plan
+
+// Plan is the frozen compiled plan.
+type Plan struct {
+	Key      string
+	Programs []*Program
+	programs []*program
+}
+
+// Program is a public per-CR program (not frozen; the real repo's
+// frozen one is the unexported program).
+type Program struct{ Steps []int }
+
+type program struct {
+	steps []int
+	out   int
+}
+
+var shared *Plan
+
+// Compile is the allowed pattern: every write happens while the value
+// is a fresh, private allocation.
+func Compile(n int) *Plan {
+	pl := &Plan{}
+	for i := 0; i < n; i++ {
+		pr := &program{}
+		pr.steps = append(pr.steps, i) // fresh program, fresh plan: ok
+		pr.out = i
+		pl.programs = append(pl.programs, pr)
+	}
+	pl.Key = "k" // still private: ok
+	return pl
+}
+
+// mutateParam writes through a parameter: the caller still holds the
+// value, so it is shared by construction.
+func mutateParam(pl *Plan) {
+	pl.Key = "x" // want "may be shared .external origin.*planfreeze"
+}
+
+// mutateAfterPublish stores the fresh plan into a package variable and
+// keeps writing: the write races with every other reader of shared.
+func mutateAfterPublish() {
+	pl := &Plan{}
+	pl.Key = "a" // private: ok
+	shared = pl
+	pl.Key = "b" // want "after the value escaped.*planfreeze"
+}
+
+// mutateGlobal writes through the package variable directly.
+func mutateGlobal() {
+	shared.Key = "c" // want "may be shared.*planfreeze"
+}
+
+// mutateInLoopAfterSend escapes the plan on the first iteration and
+// writes on the next: the escape hoists to the loop head.
+func mutateInLoopAfterSend(ch chan *Plan, n int) {
+	pl := &Plan{}
+	for i := 0; i < n; i++ {
+		ch <- pl
+		pl.Key = "d" // want "after the value escaped.*planfreeze"
+	}
+}
+
+// freshPerIteration allocates inside the loop: each iteration's writes
+// precede its own escape, so this is fine.
+func freshPerIteration(ch chan *Plan, n int) {
+	for i := 0; i < n; i++ {
+		pl := &Plan{}
+		pl.Key = "e" // fresh every iteration: ok
+		ch <- pl
+	}
+}
+
+// nestedWriteAfterOwnerEscape: the program was linked into the plan,
+// so the plan's escape freezes the program too.
+func nestedWriteAfterOwnerEscape() {
+	pl := &Plan{}
+	pr := &program{}
+	pl.programs = append(pl.programs, pr)
+	pr.out = 1 // owner still private: ok
+	shared = pl
+	pr.out = 2 // want "after the value escaped.*planfreeze"
+}
+
+// goroutineCapture: launching a goroutine that can reach the plan
+// shares it from the launch on.
+func goroutineCapture(done chan struct{}) {
+	pl := &Plan{}
+	go func() {
+		_ = pl.Key
+		close(done)
+	}()
+	pl.Key = "f" // want "after the value escaped.*planfreeze"
+}

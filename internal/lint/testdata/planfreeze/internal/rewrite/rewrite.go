@@ -1,0 +1,59 @@
+// Stub of the real internal/rewrite for the planfreeze analyzer.
+package rewrite
+
+// CR stands in for ContainedRewriting (not itself frozen).
+type CR struct{ Name string }
+
+// Result is frozen after construction.
+type Result struct {
+	CRs     []*CR
+	Partial bool
+}
+
+// Assemble is the allowed constructor pattern.
+func Assemble(names []string) *Result {
+	res := &Result{}
+	for _, n := range names {
+		res.CRs = append(res.CRs, &CR{Name: n}) // fresh: ok
+	}
+	res.Partial = len(res.CRs) == 0 // still private: ok
+	return res
+}
+
+// stomp mutates a shared result.
+func stomp(res *Result) {
+	res.Partial = true // want "external origin.*planfreeze"
+}
+
+// aliasWrite is the returned-slice aliasing bug: crs shares its
+// backing array with the shared Result.
+func aliasWrite(res *Result) {
+	crs := res.CRs
+	crs[0] = nil // want "storage read from a shared rewrite.Result.*planfreeze"
+}
+
+// aliasReslice re-slices first; the backing array is still shared.
+func aliasReslice(res *Result) {
+	tail := res.CRs[1:]
+	tail[0] = nil // want "storage read from a shared rewrite.Result.*planfreeze"
+}
+
+// copyIsFine copies the CRs into a fresh slice before editing: the
+// shared backing array is never written.
+func copyIsFine(res *Result) []*CR {
+	out := make([]*CR, len(res.CRs))
+	copy(out, res.CRs)
+	out[0] = &CR{Name: "mine"} // fresh backing array: ok
+	return out
+}
+
+// readOnly never writes; reads through shared results are always fine.
+func readOnly(res *Result) int {
+	total := 0
+	for _, cr := range res.CRs {
+		if cr != nil && cr.Name != "" {
+			total++
+		}
+	}
+	return total
+}

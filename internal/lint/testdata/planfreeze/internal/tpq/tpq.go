@@ -1,0 +1,23 @@
+// Stub of the real internal/tpq. planfreeze skips this package
+// entirely: it owns the structured mutation API, so in-package writes
+// to escaped patterns are its business (and patmut governs everyone
+// else).
+package tpq
+
+// Node is one pattern node.
+type Node struct {
+	Tag      string
+	Children []*Node
+}
+
+// Pattern is a tree pattern.
+type Pattern struct {
+	Root   *Node
+	Output *Node
+}
+
+// SetOutput is the sanctioned mutation API: no diagnostics in this
+// package even though p is external.
+func (p *Pattern) SetOutput(n *Node) {
+	p.Output = n // in internal/tpq: ok
+}

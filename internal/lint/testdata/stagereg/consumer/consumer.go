@@ -1,0 +1,43 @@
+// Consumer exercises the stagereg rules at registration and logging
+// call sites.
+package consumer
+
+import (
+	"context"
+
+	"lintexample/internal/fault"
+	"lintexample/internal/names"
+	"lintexample/internal/obs"
+)
+
+// localName is a constant, but not one from the central registry.
+const localName = "local.point"
+
+var (
+	faultGood  = fault.Register(names.FaultGood)
+	faultRaw   = fault.Register("raw.point")      // want "must be a constant from internal/names"
+	faultLocal = fault.Register(localName)        // want "must be a constant from internal/names"
+	faultQuiet = fault.Register(names.FaultQuiet) // want "registered but never Hit"
+)
+
+// serve hits the good point and logs with a registry op.
+func serve(ctx context.Context) error {
+	if err := faultGood.Hit(ctx); err != nil {
+		return err
+	}
+	if err := faultRaw.Hit(ctx); err != nil {
+		return err
+	}
+	if err := faultLocal.Hit(ctx); err != nil {
+		return err
+	}
+	record(obs.SlowEntry{Op: names.OpRewrite, Query: "q"}) // ok
+	record(obs.SlowEntry{Op: "answer", Query: "q"})        // want "SlowEntry.Op must be a constant from internal/names"
+	var e obs.SlowEntry
+	e.Op = names.OpRewrite // ok
+	e.Op = "panic"         // want "SlowEntry.Op must be a constant from internal/names"
+	record(e)
+	return nil
+}
+
+func record(obs.SlowEntry) {}

@@ -1,0 +1,13 @@
+// Stub of the real internal/fault registry.
+package fault
+
+import "context"
+
+// Point is one injection site.
+type Point struct{ name string }
+
+// Register returns the point named name.
+func Register(name string) *Point { return &Point{name: name} }
+
+// Hit is the probe.
+func (p *Point) Hit(ctx context.Context) error { return nil }

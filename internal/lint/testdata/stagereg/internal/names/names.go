@@ -1,0 +1,13 @@
+// Stub of the real internal/names registry.
+package names
+
+const (
+	StageParse = "parse"
+	StageChase = "chase"
+
+	FaultGood   = "good.point"
+	FaultQuiet  = "quiet.point"
+	FaultHelper = "helper.point"
+
+	OpRewrite = "rewrite"
+)

@@ -1,0 +1,19 @@
+// Stub of the real internal/obs: the stage-name table must be built
+// from names constants.
+package obs
+
+import "lintexample/internal/names"
+
+// SlowEntry is one slow-query-log record.
+type SlowEntry struct {
+	Op    string
+	Query string
+}
+
+var stageNames = [2]string{
+	names.StageParse,
+	"chase", // want "stage name table entries must be constants from internal/names"
+}
+
+// StageName returns the metric key of stage i.
+func StageName(i int) string { return stageNames[i] }

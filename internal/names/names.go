@@ -1,0 +1,74 @@
+// Package names is the central registry of observability and chaos
+// identifiers: pipeline stage names, fault injection point names, and
+// slow-query-log operation labels. Every call site that needs one of
+// these strings — obs stage tables, fault.Register calls, SlowEntry
+// records — must reference a constant declared here rather than a raw
+// literal; the stagereg analyzer (internal/lint) enforces that
+// mechanically. Centralizing the strings makes renames atomic: a stage
+// renamed here changes /metrics, the slow-query log, qavbench -json,
+// and the chaos suite's completeness check together, instead of
+// drifting apart one literal at a time.
+//
+// The package is a leaf: it imports nothing and is importable from
+// anywhere (obs, fault call sites, tests, CI smoke checks).
+package names
+
+// Pipeline stage names, in pipeline order. These are the stable metric
+// keys used by /metrics, the slow-query log and qavbench -json; the
+// order must match the obs.Stage enum, which obs pins with a test.
+const (
+	StageParse       = "parse"
+	StageChase       = "chase"
+	StageEnumerate   = "enumerate"
+	StageBuildCR     = "buildcr"
+	StageContain     = "contain"
+	StagePlanCompile = "plan.compile"
+	StagePlanIndex   = "plan.index"
+	StagePlanExec    = "plan.exec"
+)
+
+// Fault injection point names. Each constant is passed to
+// fault.Register by exactly one package; the chaos suite diffs
+// FaultPoints against fault.Names so a point added in one place but
+// not the other fails tests instead of silently going unexercised.
+const (
+	FaultServerHandler    = "server.handler"
+	FaultCacheFlight      = "cache.singleflight"
+	FaultChaseStep        = "chase.step"
+	FaultEngineCompute    = "engine.compute"
+	FaultPlanExec         = "plan.exec"
+	FaultRewriteEnumerate = "rewrite.enumerate"
+	FaultRewriteBuildCR   = "rewrite.buildcr"
+	FaultRewriteContain   = "rewrite.contain"
+	FaultRewriteWorker    = "rewrite.worker"
+)
+
+// Slow-query-log operation labels (obs.SlowEntry.Op).
+const (
+	OpRewrite = "rewrite"
+	OpAnswer  = "answer"
+	OpPanic   = "panic"
+)
+
+// Stages returns the declared stage names in pipeline order.
+func Stages() []string {
+	return []string{
+		StageParse, StageChase, StageEnumerate, StageBuildCR,
+		StageContain, StagePlanCompile, StagePlanIndex, StagePlanExec,
+	}
+}
+
+// FaultPoints returns the declared fault point names in sorted order
+// (matching the order fault.Names reports).
+func FaultPoints() []string {
+	return []string{
+		FaultCacheFlight, FaultChaseStep, FaultEngineCompute,
+		FaultPlanExec, FaultRewriteBuildCR, FaultRewriteContain,
+		FaultRewriteEnumerate, FaultRewriteWorker, FaultServerHandler,
+	}
+}
+
+// Ops returns the declared slow-log operation labels.
+func Ops() []string {
+	return []string{OpRewrite, OpAnswer, OpPanic}
+}

@@ -1,0 +1,38 @@
+package names
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestNoDuplicates pins that identifiers are unique within each
+// namespace. Cross-namespace reuse is deliberate where a fault point
+// is named after the stage it probes (plan.exec), so only intra-kind
+// duplicates are errors.
+func TestNoDuplicates(t *testing.T) {
+	check := func(kind string, list []string) {
+		seen := make(map[string]bool, len(list))
+		for _, n := range list {
+			if n == "" {
+				t.Errorf("%s: empty name", kind)
+			}
+			if seen[n] {
+				t.Errorf("%s: duplicate name %q", kind, n)
+			}
+			seen[n] = true
+		}
+	}
+	check("stage", Stages())
+	check("fault", FaultPoints())
+	check("op", Ops())
+}
+
+// TestFaultPointsSorted pins the contract that FaultPoints matches the
+// order fault.Names reports, so the chaos completeness diff can
+// compare slices directly.
+func TestFaultPointsSorted(t *testing.T) {
+	pts := FaultPoints()
+	if !sort.StringsAreSorted(pts) {
+		t.Fatalf("FaultPoints not sorted: %v", pts)
+	}
+}

@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"testing"
+
+	"qav/internal/names"
+)
+
+// TestStageNamesMatchRegistry pins the Stage enum to the central name
+// registry: same count, same pipeline order. A stage added to one side
+// but not the other fails here instead of producing an "unknown" key
+// in /metrics.
+func TestStageNamesMatchRegistry(t *testing.T) {
+	decl := names.Stages()
+	if len(decl) != int(NumStages) {
+		t.Fatalf("names.Stages() has %d entries, obs declares %d stages", len(decl), NumStages)
+	}
+	for st := Stage(0); st < NumStages; st++ {
+		if got := st.String(); got != decl[st] {
+			t.Errorf("Stage(%d).String() = %q, names.Stages()[%d] = %q", st, got, st, decl[st])
+		}
+	}
+}

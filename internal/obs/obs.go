@@ -28,6 +28,8 @@ import (
 	"context"
 	"sync/atomic"
 	"time"
+
+	"qav/internal/names"
 )
 
 // Stage identifies one phase of the rewriting pipeline. The taxonomy
@@ -55,8 +57,9 @@ const (
 )
 
 var stageNames = [NumStages]string{
-	"parse", "chase", "enumerate", "buildcr", "contain",
-	"plan.compile", "plan.index", "plan.exec",
+	names.StageParse, names.StageChase, names.StageEnumerate,
+	names.StageBuildCR, names.StageContain, names.StagePlanCompile,
+	names.StagePlanIndex, names.StagePlanExec,
 }
 
 // String returns the stable metric name of the stage, used as the key

@@ -9,6 +9,7 @@ import (
 
 	"qav/internal/fault"
 	"qav/internal/guard"
+	"qav/internal/names"
 	"qav/internal/obs"
 	"qav/internal/stream"
 	"qav/internal/tpq"
@@ -17,7 +18,7 @@ import (
 
 // faultExec fires at the top of every plan execution (no-op unless a
 // chaos plan arms it; see internal/fault).
-var faultExec = fault.Register("plan.exec")
+var faultExec = fault.Register(names.FaultPlanExec)
 
 // Backend selects the evaluation strategy of one program.
 type Backend int

@@ -11,6 +11,7 @@ import (
 
 	"qav/internal/fault"
 	"qav/internal/guard"
+	"qav/internal/names"
 	"qav/internal/obs"
 	"qav/internal/tpq"
 )
@@ -18,9 +19,9 @@ import (
 // Fault-injection points of the MCR pipeline (no-ops unless a chaos
 // plan arms them; see internal/fault).
 var (
-	faultBuildCR = fault.Register("rewrite.buildcr")
-	faultContain = fault.Register("rewrite.contain")
-	faultWorker  = fault.Register("rewrite.worker")
+	faultBuildCR = fault.Register(names.FaultRewriteBuildCR)
+	faultContain = fault.Register(names.FaultRewriteContain)
+	faultWorker  = fault.Register(names.FaultRewriteWorker)
 )
 
 // Answerable reports whether the query is answerable using the view in
@@ -85,20 +86,25 @@ type Result struct {
 	// disjuncts may overlap. Partial results are never cached.
 	Partial bool
 	// PartialReason is PartialBudget or PartialDeadline when Partial.
-	PartialReason string
+	PartialReason PartialReason
 }
+
+// PartialReason classifies why a Result is Partial. The zero value
+// (empty string) means the result is complete; the named type keeps
+// switches over it checkable by the exhaustive analyzer.
+type PartialReason string
 
 // Reasons a Result can be Partial.
 const (
-	PartialBudget   = "budget"
-	PartialDeadline = "deadline"
+	PartialBudget   PartialReason = "budget"
+	PartialDeadline PartialReason = "deadline"
 )
 
 // partialReason classifies an in-flight pipeline error: budget and
 // deadline overruns degrade into partial results, everything else —
 // including client cancellation, where nobody is left to read a
 // partial answer — stays an error.
-func partialReason(err error) string {
+func partialReason(err error) PartialReason {
 	switch {
 	case errors.Is(err, ErrEmbeddingBudget):
 		return PartialBudget
@@ -371,7 +377,7 @@ func generateCRs(ctx context.Context, labels *Labeling, q, v *tpq.Pattern, limit
 // protecting against. Every CR was individually verified contained in
 // the query, so the union is sound; it just may not be maximal and may
 // contain overlapping disjuncts.
-func assemblePartial(crs []*ContainedRewriting, considered int, reason string) *Result {
+func assemblePartial(crs []*ContainedRewriting, considered int, reason PartialReason) *Result {
 	seen := make(map[string]bool, len(crs))
 	kept := make([]*ContainedRewriting, 0, len(crs))
 	for _, cr := range crs {

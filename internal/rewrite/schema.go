@@ -240,7 +240,7 @@ func (sc *SchemaContext) MCRRecursive(q, v *tpq.Pattern, opts Options) (*Result,
 	// Budget/deadline overruns degrade gracefully: Enumerate returns the
 	// prefix produced before the wall, and each CR below is individually
 	// verified S-contained, so the partial union is sound.
-	reason := ""
+	reason := PartialReason("")
 	if err != nil {
 		if reason = partialReason(err); reason == "" {
 			return nil, err
@@ -296,7 +296,7 @@ func (sc *SchemaContext) MCRRecursive(q, v *tpq.Pattern, opts Options) (*Result,
 // structural dedup and deterministic order only, skipping the quadratic
 // S-containment matrix. Compensation extraction matches
 // assembleSchemaResult, which leaves it on demand.
-func assembleSchemaPartial(crs []*ContainedRewriting, considered int, reason string) *Result {
+func assembleSchemaPartial(crs []*ContainedRewriting, considered int, reason PartialReason) *Result {
 	seen := make(map[string]bool, len(crs))
 	res := &Result{
 		Union:                &tpq.Union{},

@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"qav/internal/fault"
+	"qav/internal/names"
 	"qav/internal/tpq"
 )
 
@@ -19,7 +20,7 @@ var ErrEmbeddingBudget = errors.New("rewrite: embedding budget exhausted")
 
 // faultEnumerate fires once per produced embedding, inside the
 // enumeration recursion.
-var faultEnumerate = fault.Register("rewrite.enumerate")
+var faultEnumerate = fault.Register(names.FaultRewriteEnumerate)
 
 // CutCheck is an extra admissibility condition for leaving the subtree
 // rooted at y unmapped (y is "clipped away" and grafted below the view

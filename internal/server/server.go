@@ -48,6 +48,7 @@ import (
 	"qav/internal/fault"
 	"qav/internal/guard"
 	"qav/internal/limits"
+	"qav/internal/names"
 	"qav/internal/obs"
 	"qav/internal/plan"
 	"qav/internal/rewrite"
@@ -56,7 +57,7 @@ import (
 // faultHandler fires at the top of every instrumented endpoint (no-op
 // unless a chaos plan arms it; see internal/fault). ActPanic on this
 // point exercises the handler recovery middleware end to end.
-var faultHandler = fault.Register("server.handler")
+var faultHandler = fault.Register(names.FaultServerHandler)
 
 // maxBodyBytes bounds request bodies; anything larger is refused with
 // 413 before the decoder buffers it.
@@ -143,7 +144,7 @@ func (s *service) instrument(pattern string, ep *obs.Endpoint, h http.HandlerFun
 				ie := guard.FromPanic(v, "server "+pattern)
 				s.eng.SlowLog().Record(obs.SlowEntry{
 					Time:       time.Now(),
-					Op:         "panic",
+					Op:         names.OpPanic,
 					Query:      pattern,
 					DurationNs: int64(time.Since(start)),
 					Err:        ie.Error(),
@@ -235,7 +236,7 @@ func buildRewriteResponse(res *rewrite.Result) rewriteResponse {
 	out := rewriteResponse{
 		Answerable:    !res.Union.Empty(),
 		Partial:       res.Partial,
-		PartialReason: res.PartialReason,
+		PartialReason: string(res.PartialReason),
 	}
 	if out.Answerable {
 		out.Union = res.Union.String()
@@ -322,7 +323,7 @@ func (s *service) handleAnswer(w http.ResponseWriter, r *http.Request) {
 			Union:         sa.Result.Union.String(),
 			ViewTrees:     sa.Trees,
 			Partial:       sa.Result.Partial,
-			PartialReason: sa.Result.PartialReason,
+			PartialReason: string(sa.Result.PartialReason),
 			Plan:          buildPlanJSON(sa.Plan, sa.Exec),
 		}
 		for _, n := range sa.Answers {
@@ -344,7 +345,7 @@ func (s *service) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		ViewNodes:     len(ans.ViewNodes),
 		DirectSize:    len(ans.Direct),
 		Partial:       ans.Result.Partial,
-		PartialReason: ans.Result.PartialReason,
+		PartialReason: string(ans.Result.PartialReason),
 		Plan:          buildPlanJSON(ans.Plan, ans.Exec),
 	}
 	for _, n := range ans.Answers {
