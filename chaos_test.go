@@ -53,11 +53,26 @@ func chaosEnvInt(t *testing.T, key string, def int64) int64 {
 	return v
 }
 
+// chaosSpec is one entry of the chaos request mix; an empty method
+// means POST.
+type chaosSpec struct {
+	method, path, body string
+}
+
+func (s chaosSpec) request() *http.Request {
+	m := s.method
+	if m == "" {
+		m = "POST"
+	}
+	return httptest.NewRequest(m, s.path, strings.NewReader(s.body))
+}
+
 // chaosBodies is the request mix: schemaless rewrites (exercising
 // enumerate/buildcr/contain/worker/compute/singleflight), a schema
-// rewrite (exercising chase.step), and a containment check. Every
-// request passes through server.handler.
-func chaosBodies(rng *rand.Rand) []struct{ path, body string } {
+// rewrite (exercising chase.step), a containment check, and a ranked
+// view listing (exercising catalog.lookup). Every request passes
+// through server.handler.
+func chaosBodies(rng *rand.Rand) []chaosSpec {
 	alphabet := []string{"a", "b", "c"}
 	rq := workload.RandomPattern(rng, alphabet, 4).String()
 	rv := workload.RandomPattern(rng, alphabet, 4).String()
@@ -65,12 +80,13 @@ func chaosBodies(rng *rand.Rand) []struct{ path, body string } {
 		b, _ := json.Marshal(s)
 		return string(b)
 	}
-	return []struct{ path, body string }{
-		{"/v1/rewrite", `{"query":` + esc(workload.Fig8Query(6).String()) + `,"view":` + esc(workload.Fig8View().String()) + `}`},
-		{"/v1/rewrite", `{"query":"//Trials[//Status]//Trial","view":"//Trials//Trial","schema":` + esc(chaosSchema) + `}`},
-		{"/v1/rewrite", `{"query":` + esc(rq) + `,"view":` + esc(rv) + `}`},
-		{"/v1/contain", `{"p":"//Trials//Trial[Status]","q":"//Trials//Trial","schema":` + esc(chaosSchema) + `}`},
-		{"/v1/answer", `{"query":"//Trials[//Status]//Trial/Patient","view":"//Trials//Trial","document":` + esc(chaosDoc) + `}`},
+	return []chaosSpec{
+		{"", "/v1/rewrite", `{"query":` + esc(workload.Fig8Query(6).String()) + `,"view":` + esc(workload.Fig8View().String()) + `}`},
+		{"", "/v1/rewrite", `{"query":"//Trials[//Status]//Trial","view":"//Trials//Trial","schema":` + esc(chaosSchema) + `}`},
+		{"", "/v1/rewrite", `{"query":` + esc(rq) + `,"view":` + esc(rv) + `}`},
+		{"", "/v1/contain", `{"p":"//Trials//Trial[Status]","q":"//Trials//Trial","schema":` + esc(chaosSchema) + `}`},
+		{"", "/v1/answer", `{"query":"//Trials[//Status]//Trial/Patient","view":"//Trials//Trial","document":` + esc(chaosDoc) + `}`},
+		{"GET", "/v1/views?q=//Trials//Trial&k=4", ""},
 	}
 }
 
@@ -145,7 +161,7 @@ func TestChaosRandomFaultsSurviveServing(t *testing.T) {
 		bodies := chaosBodies(rng)
 		for j := 0; j < 2; j++ {
 			reqSpec := bodies[rng.Intn(len(bodies))]
-			req := httptest.NewRequest("POST", reqSpec.path, strings.NewReader(reqSpec.body))
+			req := reqSpec.request()
 			rec := httptest.NewRecorder()
 			h.ServeHTTP(rec, req) // must not crash or hang
 			if rec.Code == 0 {
@@ -216,7 +232,7 @@ func TestChaosDisabledByteIdentical(t *testing.T) {
 	for round := 0; round < 3; round++ {
 		h := server.NewWith(engine.New(engine.Config{CacheSize: 64, MaxEmbeddings: 1 << 16}))
 		for i, spec := range fixed {
-			req := httptest.NewRequest("POST", spec.path, strings.NewReader(spec.body))
+			req := spec.request()
 			rec := httptest.NewRecorder()
 			h.ServeHTTP(rec, req)
 			if rec.Code != http.StatusOK {

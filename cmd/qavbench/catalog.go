@@ -1,0 +1,220 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"qav/internal/engine"
+	"qav/internal/rewrite"
+	"qav/internal/tpq"
+	"qav/internal/viewstore"
+	"qav/internal/workload"
+)
+
+// The catalog experiment measures the signature-indexed view catalog at
+// 10⁴–10⁵ registrations: register throughput (signature construction
+// included), candidate-lookup latency and allocation count, top-k
+// selection, and the headline ablation — the batched MCRMultiView
+// pipeline against the frozen flat-scan MCRMultiViewRef baseline over a
+// 10k-view catalog with an anchored ('/'-rooted) probe query, asserting
+// result equality while timing both.
+
+// catalogTags is the root-tag universe size: with catalogChildFrac of
+// the views '/'-rooted, an anchored probe's exact root partition holds
+// about n·childFrac/catalogTags views.
+const (
+	catalogTags      = 100
+	catalogChildFrac = 0.8
+	catalogMaxNodes  = 10
+	catalogProbeSize = 10
+)
+
+// E15: the signature-indexed catalog under load.
+func expCatalog(ctx context.Context, eng *engine.Engine, seed int64) {
+	w := table("E15 signature-indexed view catalog (prune, shard, batch)",
+		"views", "t(register)/view", "t(candidates)", "cands", "t(select k=16)", "t(ref multiview)", "t(batch multiview)", "speedup", "union")
+	for _, n := range []int{1000, 10000} {
+		rng := rand.New(rand.NewSource(seed))
+		views := workload.RandomCatalogViews(rng, n, catalogTags, catalogMaxNodes, catalogChildFrac)
+		cat := viewstore.NewCatalog()
+		startReg := time.Now()
+		for _, v := range views {
+			cat.Register(v.Name, &viewstore.Materialized{Expr: v.Expr})
+		}
+		perReg := time.Since(startReg) / time.Duration(n)
+		sources := make([]rewrite.ViewSource, len(views))
+		for i, v := range views {
+			sources[i] = rewrite.ViewSource{Name: v.Name, View: v.Expr}
+		}
+		q := workload.CatalogProbeQuery(rng, 0, catalogTags, catalogProbeSize)
+		dst := make([]string, 0, 4096)
+		var cands []string
+		tCand := timeIt(200, func() {
+			var err error
+			if cands, err = cat.Candidates(ctx, q, dst[:0]); err != nil {
+				panic(err)
+			}
+		})
+		tSel := timeIt(50, func() {
+			if _, err := cat.SelectViews(ctx, q, 16); err != nil {
+				panic(err)
+			}
+		})
+		var ref, batch *rewrite.MultiViewResult
+		tRef := timeIt(1, func() {
+			var err error
+			if ref, err = rewrite.MCRMultiViewRef(q, sources, rewrite.Options{Context: ctx}); err != nil {
+				panic(err)
+			}
+		})
+		tBatch := timeIt(3, func() {
+			var err error
+			if batch, err = rewrite.MCRMultiView(q, sources, rewrite.Options{Context: ctx}); err != nil {
+				panic(err)
+			}
+		})
+		if batch.Union.String() != ref.Union.String() {
+			panic(fmt.Sprintf("batch union %s != ref union %s", batch.Union, ref.Union))
+		}
+		fmt.Fprintf(w, "%d\t%v\t%v\t%d\t%v\t%v\t%v\t%.1fx\t%d CRs\n",
+			n, perReg, tCand, len(cands), tSel, tRef, tBatch,
+			float64(tRef)/float64(tBatch), len(batch.Union.Patterns))
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	w.Flush()
+}
+
+// catalogMultiViewReport is the headline ablation record of the catalog
+// JSON report.
+type catalogMultiViewReport struct {
+	Views       int     `json:"views"`
+	Labeled     int     `json:"labeled"`
+	UnionCRs    int     `json:"union_crs"`
+	RefNsPerOp  float64 `json:"ref_ns_per_op"`
+	BatchNsOp   float64 `json:"batch_ns_per_op"`
+	Speedup     float64 `json:"speedup_ref_over_batch"`
+	UnionsAgree bool    `json:"unions_agree"`
+}
+
+// catalogReport is the `-exp catalog -json` document, archived as
+// BENCH_PR8.json and uploaded by the CI bench-smoke job.
+type catalogReport struct {
+	GOOS      string                 `json:"goos"`
+	GOARCH    string                 `json:"goarch"`
+	NumCPU    int                    `json:"num_cpu"`
+	Seed      int64                  `json:"seed"`
+	Kernels   []kernelResult         `json:"kernels"`
+	MultiView catalogMultiViewReport `json:"multiview_10k"`
+}
+
+// runCatalogJSON measures the catalog kernels and writes one JSON
+// report to stdout.
+func runCatalogJSON(ctx context.Context, seed int64) error {
+	report := catalogReport{
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+		Seed:   seed,
+	}
+	add := func(r kernelResult) { report.Kernels = append(report.Kernels, r) }
+
+	// Register throughput at 10k views, signature construction included.
+	rng := rand.New(rand.NewSource(seed))
+	views10k := workload.RandomCatalogViews(rng, 10000, catalogTags, catalogMaxNodes, catalogChildFrac)
+	var cat10k *viewstore.Catalog
+	{
+		cat10k = viewstore.NewCatalog()
+		i := 0
+		add(measure("catalog_register_10k", len(views10k), func() {
+			v := views10k[i]
+			cat10k.Register(v.Name, &viewstore.Materialized{Expr: v.Expr})
+			i++
+		}))
+	}
+
+	sources := make([]rewrite.ViewSource, len(views10k))
+	for i, v := range views10k {
+		sources[i] = rewrite.ViewSource{Name: v.Name, View: v.Expr}
+	}
+	probe := workload.CatalogProbeQuery(rng, 0, catalogTags, catalogProbeSize)
+	descProbe := tpq.MustParse("//" + workload.CatalogTag(1) + "[" + workload.CatalogTag(2) + "]")
+	dst := make([]string, 0, 8192)
+
+	// Candidate lookups at 10k: anchored (root-partition probe) and
+	// unanchored (bitmap scan). Both must be allocation-free.
+	lookup := func(name string, c *viewstore.Catalog, q *tpq.Pattern, iters int) {
+		// Warm lazy pattern-index caches (and grow dst to its final
+		// capacity) outside the measured loop.
+		var err error
+		if dst, err = c.Candidates(ctx, q, dst[:0]); err != nil {
+			panic(err)
+		}
+		add(measure(name, iters, func() {
+			var err error
+			if dst, err = c.Candidates(ctx, q, dst[:0]); err != nil {
+				panic(err)
+			}
+		}))
+	}
+	lookup("catalog_candidates_anchored_10k", cat10k, probe, 5000)
+	lookup("catalog_candidates_descendant_10k", cat10k, descProbe, 5000)
+
+	// Top-k selection at 10k.
+	add(measure("catalog_select_top16_10k", 500, func() {
+		if _, err := cat10k.SelectViews(ctx, probe, 16); err != nil {
+			panic(err)
+		}
+	}))
+
+	// Candidate lookup at 100k views — the acceptance point: at or
+	// under 1ms, zero allocations.
+	{
+		views100k := workload.RandomCatalogViews(rng, 100000, catalogTags, catalogMaxNodes, catalogChildFrac)
+		cat100k := viewstore.NewCatalog()
+		for _, v := range views100k {
+			cat100k.Register(v.Name, &viewstore.Materialized{Expr: v.Expr})
+		}
+		lookup("catalog_candidates_anchored_100k", cat100k, probe, 1000)
+		lookup("catalog_candidates_descendant_100k", cat100k, descProbe, 1000)
+	}
+
+	// The headline ablation: frozen flat-scan baseline vs batched
+	// pipeline over the 10k catalog, anchored probe, identical results.
+	{
+		var ref, batch *rewrite.MultiViewResult
+		refK := measure("multiview_ref_10k", 3, func() {
+			var err error
+			if ref, err = rewrite.MCRMultiViewRef(probe, sources, rewrite.Options{Context: ctx}); err != nil {
+				panic(err)
+			}
+		})
+		batchK := measure("multiview_batch_10k", 10, func() {
+			var err error
+			if batch, err = rewrite.MCRMultiView(probe, sources, rewrite.Options{Context: ctx}); err != nil {
+				panic(err)
+			}
+		})
+		add(refK)
+		add(batchK)
+		report.MultiView = catalogMultiViewReport{
+			Views:       len(sources),
+			Labeled:     batch.Labeled,
+			UnionCRs:    len(batch.Union.Patterns),
+			RefNsPerOp:  refK.NsPerOp,
+			BatchNsOp:   batchK.NsPerOp,
+			Speedup:     refK.NsPerOp / batchK.NsPerOp,
+			UnionsAgree: batch.Union.String() == ref.Union.String(),
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -38,7 +38,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiments to run: useemb,mcrsize,inference,chase,schemamcr,savings,overhead,naive,recursive,engines,cache,select,answer or all")
+	expFlag := flag.String("exp", "all", "experiments to run: useemb,mcrsize,inference,chase,schemamcr,savings,overhead,naive,recursive,engines,cache,select,answer,catalog or all")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonFlag := flag.Bool("json", false, "measure the hot kernels and emit one JSON report instead of the experiment tables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -77,7 +77,13 @@ func main() {
 	}
 
 	if *jsonFlag {
-		if err := runJSON(ctx, *seed); err != nil {
+		// `-exp catalog -json` selects the catalog-scaling report; every
+		// other selection emits the standard hot-kernel report.
+		run := runJSON
+		if *expFlag == "catalog" {
+			run = runCatalogJSON
+		}
+		if err := run(ctx, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "qavbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -100,8 +106,9 @@ func main() {
 		"cache":     expCache,
 		"select":    expSelect,
 		"answer":    expAnswer,
+		"catalog":   expCatalog,
 	}
-	order := []string{"useemb", "mcrsize", "inference", "chase", "schemamcr", "savings", "overhead", "naive", "recursive", "engines", "cache", "select", "answer"}
+	order := []string{"useemb", "mcrsize", "inference", "chase", "schemamcr", "savings", "overhead", "naive", "recursive", "engines", "cache", "select", "answer", "catalog"}
 
 	selected := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {

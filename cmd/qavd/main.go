@@ -54,6 +54,7 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+	topKViews := flag.Int("topk-views", 0, "cap multi-view rewriting to the K signature-tightest candidate views (0 = all)")
 	flag.Parse()
 
 	// Admission control in front of Engine compute: cache hits and
@@ -75,6 +76,7 @@ func main() {
 		SlowQueryThreshold: *slowQuery,
 		SlowLogSize:        *slowLogSize,
 		Gate:               gate,
+		TopKViews:          *topKViews,
 	})
 	eng.SlowLog().SetLogger(log.Default())
 	// The metrics snapshot is also published through expvar so any

@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -99,6 +100,11 @@ type Config struct {
 	// singleflight followers bypass the gate — they do not add compute
 	// load. nil means unlimited admission.
 	Gate *limits.Gate
+	// TopKViews, when positive, caps every multi-view rewriting
+	// (RewriteAllViews) to the K candidate views the catalog's signature
+	// index ranks tightest for the query — a recall/latency dial for
+	// very large catalogs. 0 considers every view.
+	TopKViews int
 }
 
 // Engine is the shared rewriting pipeline. It is safe for concurrent
@@ -576,6 +582,89 @@ func (e *Engine) View(name string) (*viewstore.Materialized, bool) {
 
 // ViewNames returns the names of the registered stored views, sorted.
 func (e *Engine) ViewNames() []string { return e.views.Names() }
+
+// ViewStats returns the view catalog's statistics (registration count,
+// shard count, interned tag dictionary size, mutation generation).
+func (e *Engine) ViewStats() viewstore.CatalogStats { return e.views.Stats() }
+
+// ViewCandidates returns the names of the stored views the catalog's
+// signature index admits as possible sources of a nonempty rewriting
+// of q — a superset of the truly useful views, selected without
+// touching the view patterns.
+func (e *Engine) ViewCandidates(ctx context.Context, q *tpq.Pattern) ([]string, error) {
+	return e.views.Candidates(ctx, q, nil)
+}
+
+// SelectViews returns the top k stored views for q ranked by signature
+// tightness; k <= 0 returns all candidates, ranked.
+func (e *Engine) SelectViews(ctx context.Context, q *tpq.Pattern, k int) ([]viewstore.SelectedView, error) {
+	return e.views.SelectViews(ctx, q, k)
+}
+
+// MultiView is the outcome of a catalog-wide rewriting: the multi-view
+// MCR plus the view sources that were actually considered (the
+// signature-selected candidate set, in the order MultiViewResult
+// indexes refer to).
+type MultiView struct {
+	Result *rewrite.MultiViewResult
+	Views  []rewrite.ViewSource
+}
+
+// RewriteAllViews computes the maximal contained rewriting of q over
+// the stored-view catalog. The candidate set is chosen by the
+// signature index: with a top-k cap (the argument, else
+// Config.TopKViews) the k tightest-ranked candidates; otherwise, for a
+// '/'-rooted query, exactly the index's candidate views (the excluded
+// views provably contribute nothing); otherwise every view. The
+// rewriting itself runs through the batched rewrite.MCRMultiView
+// pipeline under the engine's gate, budget and deadline.
+func (e *Engine) RewriteAllViews(ctx context.Context, q *tpq.Pattern, topK int) (*MultiView, error) {
+	ctx, cancel := e.withDeadline(ctx)
+	defer cancel()
+	if topK <= 0 {
+		topK = e.cfg.TopKViews
+	}
+	var selected []string
+	switch {
+	case topK > 0:
+		sel, err := e.views.SelectViews(ctx, q, topK)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range sel {
+			selected = append(selected, s.Name)
+		}
+	case q != nil && q.Root != nil && q.Root.Axis == tpq.Child:
+		// '/'-rooted: index-excluded views admit neither a nonempty nor
+		// the trivial embedding, so the candidate set is lossless.
+		var err error
+		if selected, err = e.views.Candidates(ctx, q, nil); err != nil {
+			return nil, err
+		}
+		sort.Strings(selected)
+	default:
+		selected = e.views.Names()
+	}
+	sources := make([]rewrite.ViewSource, 0, len(selected))
+	for _, name := range selected {
+		if m, ok := e.views.Get(name); ok && m != nil && m.Expr != nil {
+			sources = append(sources, rewrite.ViewSource{Name: name, View: m.Expr})
+		}
+	}
+	release, err := e.cfg.Gate.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	sp := obs.NewSpan()
+	cctx := obs.WithSpan(ctx, sp)
+	res, err := rewrite.MCRMultiView(q, sources, rewrite.Options{MaxEmbeddings: e.cfg.MaxEmbeddings, Context: cctx})
+	e.metrics.ObserveSpan(sp)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiView{Result: res, Views: sources}, nil
+}
 
 // StoredAnswer is the outcome of answering through a registered stored
 // view: the rewriting, the answers (nodes of the stored trees, in

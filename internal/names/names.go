@@ -25,6 +25,14 @@ const (
 	StagePlanCompile = "plan.compile"
 	StagePlanIndex   = "plan.index"
 	StagePlanExec    = "plan.exec"
+	// StageCatalogPrune is the signature-index candidate selection of
+	// the multi-view path: root-tag partition probe plus tag-bitmap scan
+	// over the view catalog.
+	StageCatalogPrune = "catalog.prune"
+	// StageBatchChase is the batched multi-view pipeline's shared
+	// query-side work: the labeling metadata computed once per query and
+	// reused across every surviving candidate view.
+	StageBatchChase = "batch.chase"
 )
 
 // Fault injection point names. Each constant is passed to
@@ -34,6 +42,7 @@ const (
 const (
 	FaultServerHandler    = "server.handler"
 	FaultCacheFlight      = "cache.singleflight"
+	FaultCatalogLookup    = "catalog.lookup"
 	FaultChaseStep        = "chase.step"
 	FaultEngineCompute    = "engine.compute"
 	FaultPlanExec         = "plan.exec"
@@ -55,6 +64,7 @@ func Stages() []string {
 	return []string{
 		StageParse, StageChase, StageEnumerate, StageBuildCR,
 		StageContain, StagePlanCompile, StagePlanIndex, StagePlanExec,
+		StageCatalogPrune, StageBatchChase,
 	}
 }
 
@@ -62,9 +72,10 @@ func Stages() []string {
 // (matching the order fault.Names reports).
 func FaultPoints() []string {
 	return []string{
-		FaultCacheFlight, FaultChaseStep, FaultEngineCompute,
-		FaultPlanExec, FaultRewriteBuildCR, FaultRewriteContain,
-		FaultRewriteEnumerate, FaultRewriteWorker, FaultServerHandler,
+		FaultCacheFlight, FaultCatalogLookup, FaultChaseStep,
+		FaultEngineCompute, FaultPlanExec, FaultRewriteBuildCR,
+		FaultRewriteContain, FaultRewriteEnumerate, FaultRewriteWorker,
+		FaultServerHandler,
 	}
 }
 

@@ -40,7 +40,10 @@ import (
 // redundancy elimination). The answering path adds the plan stages:
 // plan.compile (compensation queries → executable programs), plan.index
 // (inverted tag lists over a materialized view forest), plan.exec
-// (structural-join execution and answer union).
+// (structural-join execution and answer union). The multi-view path
+// adds catalog.prune (signature-index candidate selection over the view
+// catalog) and batch.chase (the batched pipeline's shared query-side
+// labeling metadata, computed once and reused per candidate).
 type Stage int
 
 const (
@@ -52,6 +55,8 @@ const (
 	StagePlanCompile
 	StagePlanIndex
 	StagePlanExec
+	StageCatalogPrune
+	StageBatchChase
 	// NumStages bounds the Stage enum; keep it last.
 	NumStages
 )
@@ -59,7 +64,8 @@ const (
 var stageNames = [NumStages]string{
 	names.StageParse, names.StageChase, names.StageEnumerate,
 	names.StageBuildCR, names.StageContain, names.StagePlanCompile,
-	names.StagePlanIndex, names.StagePlanExec,
+	names.StagePlanIndex, names.StagePlanExec, names.StageCatalogPrune,
+	names.StageBatchChase,
 }
 
 // String returns the stable metric name of the stage, used as the key

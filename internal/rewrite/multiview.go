@@ -3,8 +3,13 @@ package rewrite
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
+	"qav/internal/guard"
+	"qav/internal/obs"
 	"qav/internal/plan"
 	"qav/internal/tpq"
 	"qav/internal/xmltree"
@@ -31,43 +36,224 @@ type MultiViewResult struct {
 	Contributions []int
 	// CRs aligns with Union.Patterns.
 	CRs []*ContainedRewriting
-	// PerView records each view's own MCR size before global redundancy
-	// elimination (views whose CRs are all subsumed contribute 0 to
-	// Union but keep their local size here).
+	// PerView records, per view, the number of structurally distinct
+	// rewritings the view produced BEFORE global redundancy elimination
+	// (views whose CRs are all subsumed contribute 0 to Union but keep
+	// their local count here). The batch pipeline skips the per-view
+	// elimination pass — globally eliminating once is equivalent — so
+	// unlike the frozen MCRMultiViewRef baseline these counts are not
+	// per-view MCR sizes.
 	PerView []int
+	// Labeled is the number of views that passed the candidate filter
+	// and paid the full O(|Q|·|V|²) labeling pass; the remaining
+	// len(PerView)-Labeled views were classified in O(1) and at most
+	// synthesized the trivial CR.
+	Labeled int
+	// Partial reports that at least one view's enumeration stopped at
+	// the embedding budget or the context deadline: the union is a
+	// sound (every disjunct verified contained) but possibly
+	// non-maximal rewriting. PartialReason carries the first reason in
+	// view order.
+	Partial       bool
+	PartialReason PartialReason
+}
+
+// viewCRs is one view's slot in the batch pipeline output.
+type viewCRs struct {
+	crs     []*ContainedRewriting
+	partial PartialReason
+	err     error
 }
 
 // MCRMultiView computes the maximal contained rewriting of q using all
 // the views together: the union of the per-view MCRs with redundancy
 // eliminated across views. A view subsumed by a more informative view
 // contributes nothing.
+//
+// The implementation is a batch pipeline built to scale to catalogs of
+// 10⁴–10⁶ views (the frozen flat-scan baseline, MCRMultiViewRef, pays
+// a full labeling pass per view):
+//
+//   - the query-side labeling metadata (QuerySide) is computed ONCE and
+//     shared by every view;
+//   - each view is classified in O(1) by the necessary root condition
+//     (QuerySide.NonemptyPossible — the same condition the viewstore
+//     signature index evaluates as a root-tag partition probe plus
+//     tag-bitmap scan): views that fail it admit no nonempty useful
+//     embedding, so for a '/'-rooted query they contribute nothing at
+//     all, and for a '//'-rooted query exactly the trivial CR (the
+//     whole query grafted below the view output), which is synthesized
+//     directly without labeling;
+//   - surviving candidates stream their per-view MCRs through a bounded
+//     worker pool, each worker reusing the shared query side and
+//     honoring the per-view embedding budget and the context's
+//     deadline;
+//   - redundancy elimination runs once, globally — equivalent to the
+//     baseline's per-view-then-global elimination because containment
+//     is transitive and markRedundant's criterion is order-independent.
+//
+// The result's Union, Contributions and CRs are identical to
+// MCRMultiViewRef's (pinned by differential tests); only the PerView
+// counts differ in semantics, as documented on MultiViewResult.
 func MCRMultiView(q *tpq.Pattern, views []ViewSource, opts Options) (*MultiViewResult, error) {
+	limit := opts.MaxEmbeddings
+	if limit <= 0 {
+		limit = DefaultMaxEmbeddings
+	}
+	ctx := opts.ctx()
+	sp := obs.SpanFrom(ctx)
+
+	// Shared query-side metadata: one pass, reused by every candidate.
+	t := sp.Start()
+	wildcardQ := q.HasWildcard()
+	var qs *QuerySide
+	emptyOK := false
+	if !wildcardQ {
+		qs = NewQuerySide(q, nil)
+		emptyOK = qs.EmptyAllowed()
+	}
+	sp.Observe(obs.StageBatchChase, t)
+
+	// O(1)-per-view candidate classification.
+	t = sp.Start()
+	cand := make([]bool, len(views))
+	labeled := 0
+	if !wildcardQ {
+		for i, vs := range views {
+			if !vs.View.HasWildcard() && qs.NonemptyPossible(vs.View) {
+				cand[i] = true
+				labeled++
+			}
+		}
+	}
+	sp.Observe(obs.StageCatalogPrune, t)
+
+	// Per-view generation across a bounded worker pool. Each slot is
+	// written by exactly one worker; views are serial internally, so the
+	// per-view CR order is the serial enumeration order and the whole
+	// assembly below is deterministic.
+	slots := make([]viewCRs, len(views))
+	process := func(i int) {
+		vs := views[i]
+		if wildcardQ || vs.View.HasWildcard() {
+			slots[i].err = fmt.Errorf("rewrite: wildcard patterns are outside XP{/,//,[]}; the MCR algorithms do not support them")
+			return
+		}
+		if err := faultWorker.Hit(ctx); err != nil {
+			slots[i].err = err
+			return
+		}
+		if !cand[i] {
+			if !emptyOK {
+				return // no nonempty embedding possible, no trivial CR
+			}
+			// Trivial CR only: synthesized directly, no labeling pass.
+			cr, err := buildVerifyCR(ctx, sp, &Embedding{Q: q, V: vs.View}, vs.View, q)
+			if err != nil {
+				slots[i].err = err
+				return
+			}
+			slots[i].crs = []*ContainedRewriting{cr}
+			return
+		}
+		tl := sp.Start()
+		labels := qs.LabelsFor(vs.View)
+		sp.Observe(obs.StageBatchChase, tl)
+		seen := make(map[string]bool)
+		te := sp.Start()
+		err := labels.Stream(ctx, limit, func(f *Embedding) error {
+			cr, err := buildVerifyCR(ctx, sp, f, vs.View, q)
+			if err != nil {
+				return err
+			}
+			key := cr.Rewriting.Canonical()
+			if seen[key] {
+				return nil
+			}
+			seen[key] = true
+			slots[i].crs = append(slots[i].crs, cr)
+			return nil
+		})
+		sp.Observe(obs.StageEnumerate, te)
+		if err != nil {
+			if reason := partialReason(err); reason != "" {
+				// Sound prefix: every collected CR is verified contained
+				// in q, so keep it and mark the view partial, mirroring
+				// MCR's graceful degradation.
+				slots[i].partial = reason
+				return
+			}
+			slots[i].crs = nil
+			slots[i].err = err
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(views) {
+		workers = len(views)
+	}
+	if workers <= 1 {
+		for i := range views {
+			if ctx.Err() != nil {
+				break
+			}
+			process(i)
+		}
+	} else {
+		var (
+			wg   sync.WaitGroup
+			next atomic.Int64
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// A panic processing one view must fail that view's slot,
+				// not the process; buildVerifyCR recovers its own panics,
+				// so this guards only the loop itself.
+				defer guard.Rescue("rewrite.multiViewWorker", func(err error) {})
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(views) || ctx.Err() != nil {
+						return
+					}
+					process(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil && partialReason(err) == "" {
+		return nil, err
+	}
+
+	// First failing view (in view order) wins, matching the flat scan.
+	perView := make([]int, len(views))
+	partial := PartialReason("")
+	for i := range views {
+		if err := slots[i].err; err != nil {
+			return nil, fmt.Errorf("rewrite: view %q: %w", views[i].Name, err)
+		}
+		if partial == "" && slots[i].partial != "" {
+			partial = slots[i].partial
+		}
+		perView[i] = len(slots[i].crs)
+	}
+
+	// Global assembly: dedup in (view, enumeration) order, smallest
+	// canonical first, one redundancy-elimination pass across all views.
 	type tagged struct {
 		cr   *ContainedRewriting
 		view int
 	}
-	ctx := opts.ctx()
-	var all []tagged
-	perView := make([]int, len(views))
-	for i, vs := range views {
-		res, err := MCR(q, vs.View, opts)
-		if err != nil {
-			return nil, fmt.Errorf("rewrite: view %q: %w", vs.Name, err)
-		}
-		perView[i] = len(res.CRs)
-		for _, cr := range res.CRs {
-			all = append(all, tagged{cr: cr, view: i})
-		}
-	}
-	// Dedup structurally, then drop CRs contained in another CR
-	// (possibly from a different view).
 	seen := make(map[string]bool)
 	var uniq []tagged
-	for _, t := range all {
-		key := t.cr.Rewriting.Canonical()
-		if !seen[key] {
-			seen[key] = true
-			uniq = append(uniq, t)
+	for i := range views {
+		for _, cr := range slots[i].crs {
+			key := cr.Rewriting.Canonical()
+			if !seen[key] {
+				seen[key] = true
+				uniq = append(uniq, tagged{cr: cr, view: i})
+			}
 		}
 	}
 	sort.SliceStable(uniq, func(i, j int) bool {
@@ -83,7 +269,13 @@ func MCRMultiView(q *tpq.Pattern, views []ViewSource, opts Options) (*MultiViewR
 	if err != nil {
 		return nil, err
 	}
-	out := &MultiViewResult{Union: &tpq.Union{}, PerView: perView}
+	out := &MultiViewResult{
+		Union:         &tpq.Union{},
+		PerView:       perView,
+		Labeled:       labeled,
+		Partial:       partial != "",
+		PartialReason: partial,
+	}
 	for i, t := range uniq {
 		if redundant[i] {
 			continue
@@ -93,6 +285,31 @@ func MCRMultiView(q *tpq.Pattern, views []ViewSource, opts Options) (*MultiViewR
 		out.Contributions = append(out.Contributions, t.view)
 	}
 	return out, nil
+}
+
+// buildVerifyCR materializes and soundness-checks the CR induced by one
+// useful embedding — the batch pipeline's counterpart of generateCRs'
+// buildVerify closure, panic-isolated the same way.
+func buildVerifyCR(ctx context.Context, sp *obs.Span, f *Embedding, base, q *tpq.Pattern) (cr *ContainedRewriting, err error) {
+	defer guard.Recover(&err, "rewrite.buildVerifyCR")
+	if err := faultBuildCR.Hit(ctx); err != nil {
+		return nil, err
+	}
+	t := sp.Start()
+	cr, err = BuildCR(f, base)
+	sp.Observe(obs.StageBuildCR, t)
+	if err != nil {
+		return nil, fmt.Errorf("rewrite: embedding %s: %w", f, err)
+	}
+	t = sp.Start()
+	contained := cr.VerifyContained(q)
+	sp.Observe(obs.StageContain, t)
+	if !contained {
+		// Useful embeddings induce contained rewritings by
+		// construction; reaching this indicates a bug upstream.
+		return nil, fmt.Errorf("rewrite: internal error: CR %s not contained in %s (embedding %s)", cr.Rewriting, q, f)
+	}
+	return cr, nil
 }
 
 // AnswerMultiView answers the query against a document through the

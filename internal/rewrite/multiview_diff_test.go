@@ -1,0 +1,136 @@
+package rewrite
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"qav/internal/tpq"
+	"qav/internal/workload"
+)
+
+// TestMCRMultiViewMatchesRef pins the batched pipeline to the frozen
+// flat-scan baseline: over many random (query, view-set) instances the
+// two implementations must produce identical unions, identical
+// contribution attribution, and the same per-view zero/non-zero
+// classification. This is the ground-truth guarantee behind the
+// signature-index pruning: skipping labeling for filtered views and
+// eliminating redundancy once globally changes nothing observable.
+func TestMCRMultiViewMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	alphabet := []string{"a", "b", "c", "d"}
+	instances := 300
+	if testing.Short() {
+		instances = 60
+	}
+	for i := 0; i < instances; i++ {
+		q := workload.RandomPattern(rng, alphabet, 5)
+		nViews := 1 + rng.Intn(5)
+		views := make([]ViewSource, nViews)
+		for j := range views {
+			views[j] = ViewSource{
+				Name: fmt.Sprintf("v%d", j),
+				View: workload.RandomPattern(rng, alphabet, 4),
+			}
+		}
+		ref, refErr := MCRMultiViewRef(q, views, Options{})
+		got, gotErr := MCRMultiView(q, views, Options{})
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("instance %d: q=%s: error mismatch: ref=%v batch=%v", i, q, refErr, gotErr)
+		}
+		if refErr != nil {
+			continue
+		}
+		if got.Partial || ref.Partial {
+			t.Fatalf("instance %d: unexpected partial result", i)
+		}
+		if gu, ru := got.Union.String(), ref.Union.String(); gu != ru {
+			t.Fatalf("instance %d: q=%s\nbatch union: %s\nref union:   %s", i, q, gu, ru)
+		}
+		if len(got.Contributions) != len(ref.Contributions) {
+			t.Fatalf("instance %d: contributions length %d != %d", i, len(got.Contributions), len(ref.Contributions))
+		}
+		for k := range got.Contributions {
+			if got.Contributions[k] != ref.Contributions[k] {
+				t.Fatalf("instance %d: contribution[%d] = view %d, ref view %d",
+					i, k, got.Contributions[k], ref.Contributions[k])
+			}
+			if got.CRs[k].Rewriting.Canonical() != ref.CRs[k].Rewriting.Canonical() {
+				t.Fatalf("instance %d: CR[%d] mismatch", i, k)
+			}
+			if got.CRs[k].Compensation.Canonical() != ref.CRs[k].Compensation.Canonical() {
+				t.Fatalf("instance %d: compensation[%d] mismatch", i, k)
+			}
+		}
+		// PerView semantics differ (pre- vs post-elimination counts) but
+		// zero/non-zero classification — "did this view contribute any
+		// rewriting at all" — must agree.
+		for j := range views {
+			if (got.PerView[j] == 0) != (ref.PerView[j] == 0) {
+				t.Fatalf("instance %d: view %d: perView zero-ness batch=%d ref=%d",
+					i, j, got.PerView[j], ref.PerView[j])
+			}
+		}
+		if got.Labeled > len(views) {
+			t.Fatalf("instance %d: labeled %d > %d views", i, got.Labeled, len(views))
+		}
+	}
+}
+
+// TestMCRMultiViewPrunesAnchoredQueries checks the batch pipeline's
+// economics: for a '/'-rooted query only the views sharing the root
+// partition are labeled, yet the result still matches the baseline.
+func TestMCRMultiViewPrunesAnchoredQueries(t *testing.T) {
+	q := tpq.MustParse("/a/b[c]")
+	views := []ViewSource{
+		{Name: "match", View: tpq.MustParse("/a/b")},
+		{Name: "otherRoot", View: tpq.MustParse("/z//b")},
+		{Name: "descRoot", View: tpq.MustParse("//a/b")},
+		{Name: "unrelated", View: tpq.MustParse("/x/y")},
+	}
+	got, err := MCRMultiView(q, views, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Labeled != 1 {
+		t.Fatalf("labeled = %d, want 1 (only the '/a'-rooted view)", got.Labeled)
+	}
+	ref, err := MCRMultiViewRef(q, views, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Union.String() != ref.Union.String() {
+		t.Fatalf("union %s != ref %s", got.Union, ref.Union)
+	}
+	for _, j := range []int{1, 2, 3} {
+		if got.PerView[j] != 0 {
+			t.Errorf("view %d (%s): perView = %d, want 0", j, views[j].Name, got.PerView[j])
+		}
+	}
+}
+
+// TestMCRMultiViewTrivialOnly checks the '//' query-root case: a view
+// failing the candidate filter still yields exactly the trivial
+// rewriting (whole query grafted below the view output), as in the
+// baseline.
+func TestMCRMultiViewTrivialOnly(t *testing.T) {
+	q := tpq.MustParse("//a/b")
+	views := []ViewSource{{Name: "far", View: tpq.MustParse("/z/w")}}
+	got, err := MCRMultiView(q, views, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Labeled != 0 {
+		t.Fatalf("labeled = %d, want 0", got.Labeled)
+	}
+	if got.PerView[0] != 1 {
+		t.Fatalf("perView[0] = %d, want 1 (trivial CR)", got.PerView[0])
+	}
+	ref, err := MCRMultiViewRef(q, views, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Union.String() != ref.Union.String() {
+		t.Fatalf("union %s != ref %s", got.Union, ref.Union)
+	}
+}

@@ -1,0 +1,73 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"qav/internal/tpq"
+)
+
+// MCRMultiViewRef is the frozen flat-scan baseline of MCRMultiView: one
+// full per-view MCR for every view in the list (each paying its own
+// labeling pass and per-view redundancy elimination), then global dedup
+// and redundancy elimination across views. It is kept verbatim as the
+// ground truth for the batched pipeline's differential tests and as the
+// ablation baseline of the `qavbench -exp catalog` experiment — do not
+// optimize it.
+//
+// Its PerView counts record each view's own post-elimination MCR size,
+// the historical semantics; the batch pipeline reports pre-elimination
+// distinct counts instead (see MultiViewResult.PerView).
+func MCRMultiViewRef(q *tpq.Pattern, views []ViewSource, opts Options) (*MultiViewResult, error) {
+	type tagged struct {
+		cr   *ContainedRewriting
+		view int
+	}
+	ctx := opts.ctx()
+	var all []tagged
+	perView := make([]int, len(views))
+	for i, vs := range views {
+		res, err := MCR(q, vs.View, opts)
+		if err != nil {
+			return nil, fmt.Errorf("rewrite: view %q: %w", vs.Name, err)
+		}
+		perView[i] = len(res.CRs)
+		for _, cr := range res.CRs {
+			all = append(all, tagged{cr: cr, view: i})
+		}
+	}
+	// Dedup structurally, then drop CRs contained in another CR
+	// (possibly from a different view).
+	seen := make(map[string]bool)
+	var uniq []tagged
+	for _, t := range all {
+		key := t.cr.Rewriting.Canonical()
+		if !seen[key] {
+			seen[key] = true
+			uniq = append(uniq, t)
+		}
+	}
+	sort.SliceStable(uniq, func(i, j int) bool {
+		si, sj := uniq[i].cr.Rewriting.Size(), uniq[j].cr.Rewriting.Size()
+		if si != sj {
+			return si < sj
+		}
+		return uniq[i].cr.Rewriting.Canonical() < uniq[j].cr.Rewriting.Canonical()
+	})
+	redundant, err := markRedundant(ctx, len(uniq), func(i, j int) bool {
+		return tpq.Contained(uniq[i].cr.Rewriting, uniq[j].cr.Rewriting)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &MultiViewResult{Union: &tpq.Union{}, PerView: perView}
+	for i, t := range uniq {
+		if redundant[i] {
+			continue
+		}
+		out.Union.Patterns = append(out.Union.Patterns, t.cr.Rewriting)
+		out.CRs = append(out.CRs, t.cr)
+		out.Contributions = append(out.Contributions, t.view)
+	}
+	return out, nil
+}

@@ -64,23 +64,80 @@ func (l *Labeling) okAt(i, j int) bool { return l.ok[i*len(l.vn)+j] }
 // ComputeLabels runs the polynomial labeling pass of Algorithm UseEmb:
 // O(|Q|·|V|²) as stated by Theorem 2. cut may be nil (always allowed).
 func ComputeLabels(q, v *tpq.Pattern, cut CutCheck) *Labeling {
+	return NewQuerySide(q, cut).LabelsFor(v)
+}
+
+// QuerySide is the query half of the labeling pass: the preorder node
+// list, distinguished-path membership and cut admissibility of every
+// query node. It depends only on the query (and the cut check), so the
+// batched multi-view pipeline computes it once and reuses it across
+// every candidate view instead of rebuilding it |catalog| times inside
+// ComputeLabels.
+type QuerySide struct {
+	Q       *tpq.Pattern
+	qn      []*tpq.Node
+	onPQ    []bool
+	canCutQ []bool
+	cut     CutCheck
+}
+
+// NewQuerySide precomputes the query-side labeling metadata.
+func NewQuerySide(q *tpq.Pattern, cut CutCheck) *QuerySide {
+	qs := &QuerySide{Q: q, qn: q.PreorderNodes(), cut: cut}
+	nq := len(qs.qn)
+	buf := make([]bool, 2*nq)
+	qs.onPQ, qs.canCutQ = buf[:nq], buf[nq:]
+	for i, n := range qs.qn {
+		qs.onPQ[i] = q.OnDistinguishedPath(n)
+		qs.canCutQ[i] = cut == nil || cut(n)
+	}
+	return qs
+}
+
+// EmptyAllowed reports whether the empty (trivial) useful embedding is
+// admissible for this query regardless of the view: the query root is
+// '//' and the whole-query graft passes the cut check. When it holds,
+// EVERY view contributes at least the trivial CR (the whole query
+// grafted below the view output), which the batch pipeline synthesizes
+// directly for views the candidate filter rejects.
+func (qs *QuerySide) EmptyAllowed() bool {
+	return qs.Q.Root.Axis == tpq.Descendant && qs.canCutQ[0]
+}
+
+// NonemptyPossible is the O(1) necessary condition for a NONEMPTY
+// useful embedding of the query into v — the brute-force root-image
+// conditions of the labeling pass (feasible's root rule):
+//
+//   - a '/t'-rooted query can only map its root to a '/t'-rooted view's
+//     root;
+//   - a '//t'-rooted query can map its root to any view node tagged t.
+//
+// It over-approximates: a view passing the test may still admit no
+// useful embedding (the full labeling decides), but a view failing it
+// admits none, so the signature-index candidate filter and the batch
+// pipeline may skip the O(|Q|·|V|²) labeling for it entirely.
+func (qs *QuerySide) NonemptyPossible(v *tpq.Pattern) bool {
+	root := qs.Q.Root
+	if root.Axis == tpq.Child {
+		return v.Root.Axis == tpq.Child && v.Root.Tag == root.Tag
+	}
+	return v.HasTag(root.Tag)
+}
+
+// LabelsFor runs the view-side labeling against v, reusing the
+// precomputed query-side metadata.
+func (qs *QuerySide) LabelsFor(v *tpq.Pattern) *Labeling {
 	l := &Labeling{
-		Q: q, V: v,
-		qn: q.PreorderNodes(), vn: v.PreorderNodes(),
-		cut: cut,
+		Q: qs.Q, V: v,
+		qn: qs.qn, vn: v.PreorderNodes(),
+		cut: qs.cut, onPQ: qs.onPQ, canCutQ: qs.canCutQ,
 	}
 	nq, nv := len(l.qn), len(l.vn)
-	// All boolean state shares one backing allocation.
-	buf := make([]bool, nq*nv+nv+2*nq)
-	l.ok, buf = buf[:nq*nv], buf[nq*nv:]
-	l.pv, buf = buf[:nv], buf[nv:]
-	l.onPQ, l.canCutQ = buf[:nq], buf[nq:]
+	// All per-view boolean state shares one backing allocation.
+	buf := make([]bool, nq*nv+nv)
+	l.ok, l.pv = buf[:nq*nv], buf[nq*nv:]
 	for j, n := range l.vn {
 		l.pv[j] = v.OnDistinguishedPath(n)
-	}
-	for i, n := range l.qn {
-		l.onPQ[i] = q.OnDistinguishedPath(n)
-		l.canCutQ[i] = cut == nil || cut(n)
 	}
 	l.vDesc = make([][]*tpq.Node, nv)
 	l.vKidsC = make([][]*tpq.Node, nv)

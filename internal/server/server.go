@@ -52,6 +52,8 @@ import (
 	"qav/internal/obs"
 	"qav/internal/plan"
 	"qav/internal/rewrite"
+	"qav/internal/tpq"
+	"qav/internal/viewstore"
 )
 
 // faultHandler fires at the top of every instrumented endpoint (no-op
@@ -383,12 +385,47 @@ func (s *service) handleRegisterView(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, registerViewResponse{Name: req.Name, Trees: len(m.Forest), Nodes: m.Size()})
 }
 
+type listViewsResponse struct {
+	Views []string               `json:"views"`
+	Stats viewstore.CatalogStats `json:"stats"`
+	// Selected is present when the request carried ?q=: the catalog's
+	// top-k candidate views for that query, ranked by signature
+	// tightness (?k= caps the list, default 10, 0 = all candidates).
+	Selected []viewstore.SelectedView `json:"selected,omitempty"`
+}
+
+// handleListViews lists the registered views plus the catalog's
+// statistics. With ?q=<tree pattern> it additionally ranks the
+// signature-index candidates for that query (?k= bounds the list).
 func (s *service) handleListViews(w http.ResponseWriter, r *http.Request) {
-	names := s.eng.ViewNames()
-	if names == nil {
-		names = []string{}
+	resp := listViewsResponse{Views: s.eng.ViewNames(), Stats: s.eng.ViewStats()}
+	if resp.Views == nil {
+		resp.Views = []string{}
 	}
-	writeJSON(w, map[string][]string{"views": names})
+	if qExpr := r.URL.Query().Get("q"); qExpr != "" {
+		q, err := tpq.Parse(qExpr)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("q: %w", err))
+			return
+		}
+		k := 10
+		if ks := r.URL.Query().Get("k"); ks != "" {
+			if k, err = strconv.Atoi(ks); err != nil || k < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("k: not a non-negative integer: %q", ks))
+				return
+			}
+		}
+		sel, err := s.eng.SelectViews(r.Context(), q, k)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		if sel == nil {
+			sel = []viewstore.SelectedView{}
+		}
+		resp.Selected = sel
+	}
+	writeJSON(w, resp)
 }
 
 type containRequest struct {

@@ -531,12 +531,32 @@ func TestRegisterAndAnswerStoredView(t *testing.T) {
 	req := httptest.NewRequest("GET", "/v1/views", nil)
 	lrec := httptest.NewRecorder()
 	h.ServeHTTP(lrec, req)
-	var listed map[string][]string
+	var listed struct {
+		Views []string       `json:"views"`
+		Stats map[string]any `json:"stats"`
+	}
 	if err := json.Unmarshal(lrec.Body.Bytes(), &listed); err != nil {
 		t.Fatal(err)
 	}
-	if len(listed["views"]) != 1 || listed["views"][0] != "src1" {
-		t.Fatalf("views = %v", listed)
+	if len(listed.Views) != 1 || listed.Views[0] != "src1" {
+		t.Fatalf("views = %v", listed.Views)
+	}
+	if listed.Stats["views"].(float64) != 1 || listed.Stats["shards"].(float64) < 1 {
+		t.Fatalf("stats = %v", listed.Stats)
+	}
+
+	// Ranked candidate selection for a query touching the view's tags.
+	req = httptest.NewRequest("GET", "/v1/views?q=//Trials//Trial&k=5", nil)
+	lrec = httptest.NewRecorder()
+	h.ServeHTTP(lrec, req)
+	var sel struct {
+		Selected []map[string]any `json:"selected"`
+	}
+	if err := json.Unmarshal(lrec.Body.Bytes(), &sel); err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Selected) != 1 || sel.Selected[0]["name"] != "src1" {
+		t.Fatalf("selected = %v", sel.Selected)
 	}
 
 	rec, out = post(t, h, "/v1/answer", `{"query":"//Trials//Trial/Patient","viewName":"src1"}`)

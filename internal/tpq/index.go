@@ -199,6 +199,37 @@ func (p *Pattern) PreorderNodes() []*Node {
 	return pi.nodes
 }
 
+// Height returns the number of edges on the longest root-to-leaf path,
+// from the cached index — O(1) on an indexed pattern. A rootless
+// pattern reports 0.
+func (p *Pattern) Height() int {
+	pi := p.index()
+	if pi == nil {
+		return 0
+	}
+	return pi.height
+}
+
+// OutputDepth returns the number of edges from the root to the output
+// node, or -1 when the output is not a node of the tree. O(1) on an
+// indexed pattern.
+func (p *Pattern) OutputDepth() int {
+	pi := p.index()
+	if pi == nil {
+		return -1
+	}
+	return pi.outDepth
+}
+
+// HasTag reports whether tag occurs in the pattern — an O(1) probe of
+// the cached tag multiset. The multi-view candidate filter uses it as
+// the necessary condition for a '//'-rooted query to admit a nonempty
+// useful embedding into a view.
+func (p *Pattern) HasTag(tag string) bool {
+	pi := p.index()
+	return pi != nil && pi.tags[tag] > 0
+}
+
 // Descendants returns the proper descendants of n in preorder, as a view
 // into the pattern's preorder node list — O(1), no allocation. Callers
 // must not modify the returned slice. Returns nil if n is not a node of

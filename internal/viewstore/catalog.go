@@ -1,83 +1,334 @@
 package viewstore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"qav/internal/fault"
+	"qav/internal/names"
+	"qav/internal/obs"
+	"qav/internal/tpq"
 	"qav/internal/xmltree"
 )
+
+// faultLookup injects failures into the candidate-selection path, so
+// chaos drills cover the signature index like every other serving
+// stage.
+var faultLookup = fault.Register(names.FaultCatalogLookup)
+
+// numShards is the catalog's shard count — a power of two so the name
+// hash maps by masking. 16 ways is enough to take lock contention off
+// the register/lookup paths at 10⁵ views without bloating an empty
+// catalog.
+const numShards = 16
+
+// entry is one registration within a shard.
+type entry struct {
+	m *Materialized
+	// slot indexes the shard's packed sigs/names arrays; the owning
+	// shard's mu guards it.
+	slot int
+}
+
+// shard holds one partition of the registrations plus the packed
+// signature column the candidate scan iterates. sigs and names are
+// parallel: compaction on Remove swap-moves the last slot down.
+type shard struct {
+	mu sync.RWMutex
+	// guarded by mu
+	entries map[string]*entry
+	// guarded by mu
+	sigs []signature
+	// guarded by mu
+	names []string
+}
+
+// namesCache is one materialization of the sorted name list, valid for
+// a single generation.
+type namesCache struct {
+	gen   uint64
+	names []string
+}
 
 // Catalog is the mediator's registry of shipped materialized views,
 // safe for concurrent use: sources register views while query threads
 // look them up. Registered views carry their compiled forest index
 // (see Materialized.ForestIndex); the catalog's mutation entry points
 // keep that index coherent.
+//
+// The catalog is built for 10⁴–10⁶ registrations:
+//
+//   - registrations are sharded numShards ways by a hash of the name,
+//     so concurrent Register/Get/Extend calls rarely contend on one
+//     lock;
+//   - every view carries a signature (signature.go) computed once at
+//     Register time; Candidates scans the packed per-shard signature
+//     columns to select the views that can possibly admit a nonempty
+//     useful embedding for a query, allocation-free when the caller
+//     recycles the destination slice;
+//   - Len is an atomic counter and Names serves repeated calls from a
+//     generation-stamped cache, re-sorting only after a mutation.
 type Catalog struct {
-	mu sync.RWMutex
-	// views is keyed by registration name.
-	// guarded by mu
-	views map[string]*Materialized
+	shards [numShards]shard
+	dict   tagDict
+	// count mirrors the total registration count.
+	count atomic.Int64
+	// gen increments on every Register/Remove (not Extend: the name set
+	// is unchanged), versioning the names cache.
+	gen       atomic.Uint64
+	nameCache atomic.Pointer[namesCache]
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{views: make(map[string]*Materialized)}
+	c := &Catalog{}
+	c.dict.mu.Lock()
+	c.dict.ids = make(map[string]int32)
+	c.dict.mu.Unlock()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[string]*entry)
+		s.mu.Unlock()
+	}
+	return c
+}
+
+// shardOf maps a registration name to its shard (FNV-1a, masked).
+func (c *Catalog) shardOf(name string) *shard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return &c.shards[h&(numShards-1)]
 }
 
 // Register stores m under name, replacing any previous registration.
+// The view's signature is computed here, off the shard lock, so lookup
+// threads never wait on signature construction.
 func (c *Catalog) Register(name string, m *Materialized) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.views[name] = m
+	var sig signature
+	if m != nil {
+		sig = computeSignature(&c.dict, m.Expr)
+	} else {
+		sig = computeSignature(&c.dict, nil)
+	}
+	sh := c.shardOf(name)
+	sh.mu.Lock()
+	if e, ok := sh.entries[name]; ok {
+		e.m = m
+		sh.sigs[e.slot] = sig
+	} else {
+		sh.entries[name] = &entry{m: m, slot: len(sh.sigs)}
+		sh.sigs = append(sh.sigs, sig)
+		sh.names = append(sh.names, name)
+		c.count.Add(1)
+	}
+	sh.mu.Unlock()
+	c.gen.Add(1)
 }
 
 // Get returns the view registered under name.
 func (c *Catalog) Get(name string) (*Materialized, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	m, ok := c.views[name]
+	sh := c.shardOf(name)
+	sh.mu.RLock()
+	e, ok := sh.entries[name]
+	var m *Materialized
+	if ok {
+		m = e.m
+	}
+	sh.mu.RUnlock()
 	return m, ok
 }
 
 // Remove drops the registration under name, reporting whether one
-// existed.
+// existed. The vacated signature slot is compacted by swap-remove so
+// the scan columns stay dense.
 func (c *Catalog) Remove(name string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.views[name]
-	delete(c.views, name)
+	sh := c.shardOf(name)
+	sh.mu.Lock()
+	e, ok := sh.entries[name]
+	if ok {
+		last := len(sh.sigs) - 1
+		if e.slot != last {
+			moved := sh.names[last]
+			sh.sigs[e.slot] = sh.sigs[last]
+			sh.names[e.slot] = moved
+			sh.entries[moved].slot = e.slot
+		}
+		sh.sigs = sh.sigs[:last]
+		sh.names = sh.names[:last]
+		delete(sh.entries, name)
+		c.count.Add(-1)
+	}
+	sh.mu.Unlock()
+	if ok {
+		c.gen.Add(1)
+	}
 	return ok
 }
 
 // Extend appends shipped trees to the named view's forest — a source
-// sending an incremental update — invalidating its compiled index.
+// sending an incremental update — invalidating its compiled index. The
+// shard's read lock is held across the append, so an Extend can never
+// land its trees on a *Materialized that a concurrent Register has
+// already replaced (the replacement waits for the write lock). The
+// lock order shard.mu → Materialized.mu has no reverse path:
+// Materialized's methods never call back into the catalog.
 func (c *Catalog) Extend(name string, trees ...*xmltree.Document) error {
-	c.mu.RLock()
-	m, ok := c.views[name]
-	c.mu.RUnlock()
-	if !ok {
+	sh := c.shardOf(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.entries[name]
+	if !ok || e.m == nil {
 		return fmt.Errorf("viewstore: no view registered under %q", name)
 	}
-	m.Append(trees...)
+	e.m.Append(trees...)
 	return nil
 }
 
-// Names returns the registered view names, sorted.
+// Names returns the registered view names, sorted. Repeated calls on
+// an unchanged catalog return the same cached slice without re-sorting;
+// callers must treat it as read-only.
 func (c *Catalog) Names() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]string, 0, len(c.views))
-	for name := range c.views {
-		out = append(out, name)
+	gen := c.gen.Load()
+	if nc := c.nameCache.Load(); nc != nil && nc.gen == gen {
+		return nc.names
+	}
+	out := make([]string, 0, c.count.Load())
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		out = append(out, sh.names...)
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
+	// Publish only if no mutation raced the collection; a racing reader
+	// still gets a correct (point-in-time) result, it just isn't cached.
+	if c.gen.Load() == gen {
+		c.nameCache.Store(&namesCache{gen: gen, names: out})
+	}
 	return out
 }
 
-// Len returns the number of registered views.
-func (c *Catalog) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.views)
+// Len returns the number of registered views — one atomic load.
+func (c *Catalog) Len() int { return int(c.count.Load()) }
+
+// Generation returns the catalog's mutation stamp; it increments on
+// every Register and Remove.
+func (c *Catalog) Generation() uint64 { return c.gen.Load() }
+
+// Candidates appends to dst the names of every view that can possibly
+// admit a NONEMPTY useful embedding for q — the signature-index
+// evaluation of rewrite.QuerySide.NonemptyPossible — and returns the
+// extended slice. The result is a superset of the views with nonempty
+// embeddings and a subset of the catalog; for a '//'-rooted query the
+// excluded views still admit the trivial rewriting (whole query under
+// the view output), so multi-view rewriting handles them separately in
+// O(1) each.
+//
+// The scan takes each shard's read lock once and performs no
+// allocation beyond growing dst: pass a recycled slice with sufficient
+// capacity for an allocation-free lookup.
+func (c *Catalog) Candidates(ctx context.Context, q *tpq.Pattern, dst []string) ([]string, error) {
+	if err := faultLookup.Hit(ctx); err != nil {
+		return dst, err
+	}
+	sp := obs.SpanFrom(ctx)
+	t := sp.Start()
+	p, _ := compileProbe(&c.dict, q)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for j := range sh.sigs {
+			if p.admit(&sh.sigs[j]) {
+				dst = append(dst, sh.names[j])
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sp.Observe(obs.StageCatalogPrune, t)
+	return dst, nil
+}
+
+// SelectedView is one ranked entry of SelectViews.
+type SelectedView struct {
+	Name string `json:"name"`
+	// Score is the signature-tightness rank: tag-bitmap overlap with
+	// the query, with a bonus for an exact '/'-root match and a small
+	// tie-break preferring smaller (tighter) views.
+	Score float64 `json:"score"`
+}
+
+// SelectViews returns the top k candidate views for q ranked by
+// signature tightness — a recall/latency dial for rewriting over very
+// large catalogs. k <= 0 means no cap (all candidates, still ranked).
+// For a '//'-rooted query the non-candidate views each still admit the
+// trivial rewriting; capping with k trades that tail for latency.
+func (c *Catalog) SelectViews(ctx context.Context, q *tpq.Pattern, k int) ([]SelectedView, error) {
+	if err := faultLookup.Hit(ctx); err != nil {
+		return nil, err
+	}
+	sp := obs.SpanFrom(ctx)
+	t := sp.Start()
+	p, _ := compileProbe(&c.dict, q)
+	qsig := querySignature(&c.dict, q)
+	var out []SelectedView
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for j := range sh.sigs {
+			s := &sh.sigs[j]
+			if !p.admit(s) {
+				continue
+			}
+			score := float64(overlap(&qsig, s))
+			if !s.universal && s.rootChild && s.rootTag == qsig.rootTag {
+				score += 2
+			}
+			if s.size > 0 {
+				score += 1 / float64(1+s.size)
+			}
+			out = append(out, SelectedView{Name: sh.names[j], Score: score})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Name < out[j].Name
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	sp.Observe(obs.StageCatalogPrune, t)
+	return out, nil
+}
+
+// CatalogStats is the catalog's self-description, served by
+// GET /v1/views.
+type CatalogStats struct {
+	// Views is the registration count.
+	Views int `json:"views"`
+	// Shards is the lock-partition count.
+	Shards int `json:"shards"`
+	// Tags is the interned tag-dictionary size.
+	Tags int `json:"tags"`
+	// Generation increments on every Register/Remove.
+	Generation uint64 `json:"generation"`
+}
+
+// Stats returns the catalog's current statistics.
+func (c *Catalog) Stats() CatalogStats {
+	return CatalogStats{
+		Views:      c.Len(),
+		Shards:     numShards,
+		Tags:       c.dict.size(),
+		Generation: c.Generation(),
+	}
 }

@@ -1,0 +1,286 @@
+package viewstore
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"qav/internal/rewrite"
+	"qav/internal/tpq"
+	"qav/internal/workload"
+	"qav/internal/xmltree"
+)
+
+// regView registers a bare (forest-less) materialization of expr — the
+// catalog only reads Expr for its signature machinery.
+func regView(c *Catalog, name string, expr string) {
+	c.Register(name, &Materialized{Expr: tpq.MustParse(expr)})
+}
+
+// TestCandidatesSupersetOfNonempty is the soundness differential of the
+// signature index: over many random catalogs and probe queries, the
+// candidate set must include EVERY view for which the rewriting layer's
+// exact necessary condition (rewrite.QuerySide.NonemptyPossible)
+// admits a nonempty useful embedding. False positives are allowed
+// (the rewriter re-checks); a false negative would silently drop
+// rewritings.
+func TestCandidatesSupersetOfNonempty(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	alphabet := []string{"a", "b", "c", "d", "e"}
+	catalogs := 500
+	if testing.Short() {
+		catalogs = 100
+	}
+	ctx := context.Background()
+	for i := 0; i < catalogs; i++ {
+		c := NewCatalog()
+		n := 1 + rng.Intn(12)
+		views := make(map[string]*Materialized, n)
+		for j := 0; j < n; j++ {
+			name := fmt.Sprintf("v%d", j)
+			m := &Materialized{Expr: workload.RandomPattern(rng, alphabet, 5)}
+			views[name] = m
+			c.Register(name, m)
+		}
+		// Churn: remove and re-register a few so swap-remove compaction
+		// and slot reuse are part of the differential surface.
+		for j := 0; j < n/3; j++ {
+			name := fmt.Sprintf("v%d", rng.Intn(n))
+			c.Remove(name)
+			delete(views, name)
+		}
+		q := workload.RandomPattern(rng, alphabet, 5)
+		got, err := c.Candidates(ctx, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		admitted := make(map[string]bool, len(got))
+		for _, name := range got {
+			if admitted[name] {
+				t.Fatalf("catalog %d: duplicate candidate %q", i, name)
+			}
+			admitted[name] = true
+			if views[name] == nil {
+				t.Fatalf("catalog %d: candidate %q not registered", i, name)
+			}
+		}
+		qs := rewrite.NewQuerySide(q, nil)
+		for name, m := range views {
+			if qs.NonemptyPossible(m.Expr) && !admitted[name] {
+				t.Fatalf("catalog %d: view %q (%s) admits a nonempty embedding for %s but was pruned",
+					i, name, m.Expr, q)
+			}
+		}
+	}
+}
+
+// TestCandidatesZeroAlloc pins the prune path's allocation budget: with
+// a recycled destination slice a candidate lookup performs no
+// allocations at all.
+func TestCandidatesZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewCatalog()
+	for _, v := range workload.RandomCatalogViews(rng, 2000, 50, 6, 0.8) {
+		c.Register(v.Name, &Materialized{Expr: v.Expr})
+	}
+	ctx := context.Background()
+	for _, q := range []string{
+		"/t0/t1",   // anchored: exact root-partition probe
+		"//t3[t4]", // unanchored: bitmap bit-test scan
+	} {
+		probe := tpq.MustParse(q)
+		dst := make([]string, 0, 2048)
+		// Warm the pattern's lazy index caches outside the measured runs.
+		if _, err := c.Candidates(ctx, probe, dst); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			var err error
+			if _, err = c.Candidates(ctx, probe, dst[:0]); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("Candidates(%s): %v allocs/op, want 0", q, allocs)
+		}
+	}
+}
+
+// TestExtendRegisterRace exercises Extend racing Register-replace and
+// Remove under -race: Extend holds the shard read lock across the
+// forest append, so a replacement can never interleave mid-extend and
+// the appended trees always land on the then-current registration.
+func TestExtendRegisterRace(t *testing.T) {
+	c := NewCatalog()
+	doc := xmltree.NewDocument(xmltree.Build("a"))
+	regView(c, "v", "/a")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = c.Extend("v", doc)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			c.Register("v", &Materialized{Expr: tpq.MustParse("/a")})
+		}
+	}()
+	wg.Wait()
+	m, ok := c.Get("v")
+	if !ok {
+		t.Fatal("view lost")
+	}
+	// The final registration was either extended afterwards or not, but
+	// its forest must be internally consistent with its index.
+	if _, err := m.ForestIndex(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtendAtomicWithReplace pins the replacement ordering the shard
+// lock provides: once Register has replaced a view, a subsequent Extend
+// lands on the replacement, never the stale materialization.
+func TestExtendAtomicWithReplace(t *testing.T) {
+	c := NewCatalog()
+	old := &Materialized{Expr: tpq.MustParse("/a")}
+	c.Register("v", old)
+	repl := &Materialized{Expr: tpq.MustParse("/a")}
+	c.Register("v", repl)
+	if err := c.Extend("v", xmltree.NewDocument(xmltree.Build("a"))); err != nil {
+		t.Fatal(err)
+	}
+	if len(old.Forest) != 0 {
+		t.Fatalf("extend reached the replaced materialization (%d trees)", len(old.Forest))
+	}
+	if len(repl.Forest) != 1 {
+		t.Fatalf("replacement forest = %d trees, want 1", len(repl.Forest))
+	}
+}
+
+// TestNamesGenerationCache checks that Names re-sorts only after a
+// mutation: unchanged catalogs serve the identical cached slice, and
+// Extend (which does not change the name set) does not invalidate it.
+func TestNamesGenerationCache(t *testing.T) {
+	c := NewCatalog()
+	regView(c, "b", "/x")
+	regView(c, "a", "/y")
+	first := c.Names()
+	if len(first) != 2 || first[0] != "a" || first[1] != "b" {
+		t.Fatalf("names = %v", first)
+	}
+	again := c.Names()
+	if &first[0] != &again[0] {
+		t.Error("unchanged catalog re-materialized the name list")
+	}
+	if err := c.Extend("a", xmltree.NewDocument(xmltree.Build("y"))); err != nil {
+		t.Fatal(err)
+	}
+	if after := c.Names(); &first[0] != &after[0] {
+		t.Error("Extend invalidated the name cache (name set is unchanged)")
+	}
+	gen := c.Generation()
+	regView(c, "c", "/z")
+	if c.Generation() == gen {
+		t.Error("Register did not bump the generation")
+	}
+	if after := c.Names(); len(after) != 3 || after[2] != "c" {
+		t.Fatalf("names after register = %v", after)
+	}
+	if allocs := testing.AllocsPerRun(10, func() { c.Names() }); allocs != 0 {
+		t.Errorf("cached Names: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestCatalogStatsAndSelect covers Stats and the ranked SelectViews
+// surface: candidates only, ranked deterministically, capped at k.
+func TestCatalogStatsAndSelect(t *testing.T) {
+	c := NewCatalog()
+	regView(c, "tight", "/a/b[c]")
+	regView(c, "loose", "/a")
+	regView(c, "other", "/z")
+	regView(c, "deep", "//b")
+	st := c.Stats()
+	if st.Views != 4 || st.Shards != numShards || st.Tags == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	q := tpq.MustParse("/a/b[c]")
+	sel, err := c.SelectViews(context.Background(), q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 {
+		t.Fatalf("selected = %v", sel)
+	}
+	if sel[0].Name != "tight" {
+		t.Fatalf("top view = %q, want \"tight\"", sel[0].Name)
+	}
+	for _, s := range sel {
+		// A '/'-rooted query's root can only map to a '/'-rooted view
+		// with the same root tag: "other" (/z) and "deep" (//b) are not
+		// candidates.
+		if s.Name == "other" || s.Name == "deep" {
+			t.Fatalf("non-candidate %q selected", s.Name)
+		}
+	}
+	all, err := c.SelectViews(context.Background(), q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("uncapped selection = %v, want the 2 '/a'-rooted candidates", all)
+	}
+}
+
+// TestCatalogConcurrentChurn hammers every entry point from concurrent
+// goroutines; run under -race this checks the sharded locking
+// discipline end to end.
+func TestCatalogConcurrentChurn(t *testing.T) {
+	c := NewCatalog()
+	rng := rand.New(rand.NewSource(7))
+	seed := workload.RandomCatalogViews(rng, 64, 8, 4, 0.7)
+	for _, v := range seed {
+		c.Register(v.Name, &Materialized{Expr: v.Expr})
+	}
+	q := tpq.MustParse("/t0/t1")
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 300; i++ {
+				v := seed[r.Intn(len(seed))]
+				switch i % 5 {
+				case 0:
+					c.Register(v.Name, &Materialized{Expr: v.Expr})
+				case 1:
+					c.Remove(v.Name)
+				case 2:
+					if _, err := c.Candidates(ctx, q, nil); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3:
+					c.Names()
+					c.Len()
+				default:
+					c.Get(v.Name)
+					c.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(c.Names()); got != c.Len() {
+		t.Fatalf("Names()/Len() disagree: %d vs %d", got, c.Len())
+	}
+}

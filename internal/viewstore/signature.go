@@ -1,0 +1,209 @@
+package viewstore
+
+import (
+	"math/bits"
+	"sync"
+
+	"qav/internal/tpq"
+)
+
+// This file implements the catalog's per-view signatures: a few words
+// of metadata computed once at Register time that let the multi-view
+// rewriter discard most of a 10⁴–10⁶-view catalog without touching the
+// view patterns. The filter evaluates the NECESSARY root-image
+// condition of the useful-embedding machinery (rewrite.QuerySide
+// .NonemptyPossible):
+//
+//   - a '/t'-rooted query's root can only map to the root of a
+//     '/t'-rooted view, so the probe is an exact (rootChild, rootTag)
+//     comparison — effectively a partition of the catalog by root tag;
+//   - a '//t'-rooted query's root can map to any view node tagged t,
+//     so the probe is one bit test against a 256-bit tag bitmap (a
+//     single-hash bloom filter over the interned tag dictionary; the
+//     word-AND shape keeps a full-shard scan branch-light and
+//     SIMD-friendly).
+//
+// False positives are fine (the rewriter re-checks), false negatives
+// are impossible: the dictionary interns every tag of every registered
+// view, so a query tag absent from the dictionary occurs in no view,
+// and a present tag always has its bit set in the signatures of the
+// views containing it.
+
+// sigWords is the tag bitmap width in 64-bit words (256 bits; a tag id
+// maps to bit id mod 256).
+const sigWords = 4
+
+// tagDict interns tag strings to dense int32 ids, shared by all shards
+// of one catalog so signatures are comparable across shards.
+type tagDict struct {
+	mu sync.RWMutex
+	// ids assigns dense ids in interning order.
+	// guarded by mu
+	ids map[string]int32
+}
+
+// intern returns the id of tag, assigning the next dense id on first
+// sight.
+func (d *tagDict) intern(tag string) int32 {
+	d.mu.RLock()
+	id, ok := d.ids[tag]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok = d.ids[tag]; ok {
+		return id
+	}
+	id = int32(len(d.ids))
+	d.ids[tag] = id
+	return id
+}
+
+// lookup returns the id of tag without interning. The miss case is the
+// filter's strongest verdict: a tag no registered view contains.
+func (d *tagDict) lookup(tag string) (int32, bool) {
+	d.mu.RLock()
+	id, ok := d.ids[tag]
+	d.mu.RUnlock()
+	return id, ok
+}
+
+// size returns the number of interned tags.
+func (d *tagDict) size() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.ids)
+}
+
+// signature is one view's filter record, packed so a shard's signatures
+// form a flat scannable slice.
+type signature struct {
+	// words is the tag bitmap: bit (id mod 256) is set for every tag id
+	// occurring in the view.
+	words [sigWords]uint64
+	// rootTag is the interned id of the view's root tag (-1 when
+	// universal).
+	rootTag int32
+	// height, outDepth and size bound the view's shape, used by
+	// SelectViews for tightness ranking.
+	height   int32
+	outDepth int32
+	size     int32
+	// rootChild reports a '/'-rooted view.
+	rootChild bool
+	// universal marks a view the filter must never exclude (rootless or
+	// wildcard patterns, whose root images the signature cannot bound).
+	universal bool
+}
+
+// setBit sets the bitmap bit for one interned tag id.
+func (s *signature) setBit(id int32) {
+	b := uint32(id) & (sigWords*64 - 1)
+	s.words[b>>6] |= 1 << (b & 63)
+}
+
+// hasBit reports whether the bitmap bit for id is set.
+func (s *signature) hasBit(id int32) bool {
+	b := uint32(id) & (sigWords*64 - 1)
+	return s.words[b>>6]&(1<<(b&63)) != 0
+}
+
+// computeSignature derives the signature of a view pattern, interning
+// its tags into d. Runs once per Register, off the shard lock.
+func computeSignature(d *tagDict, v *tpq.Pattern) signature {
+	s := signature{rootTag: -1, outDepth: -1}
+	if v == nil || v.Root == nil || v.HasWildcard() {
+		s.universal = true
+		return s
+	}
+	nodes := v.PreorderNodes()
+	for _, n := range nodes {
+		s.setBit(d.intern(n.Tag))
+	}
+	s.rootTag = d.intern(v.Root.Tag)
+	s.rootChild = v.Root.Axis == tpq.Child
+	s.height = int32(v.Height())
+	s.outDepth = int32(v.OutputDepth())
+	s.size = int32(len(nodes))
+	return s
+}
+
+// probe is one compiled candidate test, built once per lookup from the
+// query root and evaluated against every signature of a shard.
+type probe struct {
+	// all short-circuits the scan to "every view" (wildcard or rootless
+	// query roots, which the filter cannot bound).
+	all bool
+	// none short-circuits to "no non-universal view" (query root tag
+	// absent from the dictionary).
+	none bool
+	// child selects the exact root partition (rootChild && rootTag==id);
+	// otherwise the probe is the bitmap bit test for id.
+	child bool
+	id    int32
+}
+
+// compileProbe derives the candidate test for query q. The bool result
+// reports whether q has a root to probe with.
+func compileProbe(d *tagDict, q *tpq.Pattern) (probe, bool) {
+	if q == nil || q.Root == nil {
+		return probe{all: true}, false
+	}
+	if q.Root.Tag == tpq.Wildcard {
+		return probe{all: true}, true
+	}
+	id, ok := d.lookup(q.Root.Tag)
+	if !ok {
+		return probe{none: true}, true
+	}
+	return probe{child: q.Root.Axis == tpq.Child, id: id}, true
+}
+
+// admit evaluates the probe against one signature.
+func (p probe) admit(s *signature) bool {
+	if s.universal || p.all {
+		return !p.none || s.universal
+	}
+	if p.none {
+		return false
+	}
+	if p.child {
+		return s.rootChild && s.rootTag == p.id
+	}
+	return s.hasBit(p.id)
+}
+
+// overlap counts the tag-bitmap bits shared by two signatures — the
+// tightness core of the SelectViews ranking.
+func overlap(a, b *signature) int {
+	n := 0
+	for i := range a.words {
+		n += bits.OnesCount64(a.words[i] & b.words[i])
+	}
+	return n
+}
+
+// querySignature builds the query-side bitmap for ranking: lookups
+// only, so ranking a query never grows the dictionary.
+func querySignature(d *tagDict, q *tpq.Pattern) signature {
+	s := signature{rootTag: -1, outDepth: -1}
+	if q == nil || q.Root == nil {
+		return s
+	}
+	nodes := q.PreorderNodes()
+	for _, n := range nodes {
+		if id, ok := d.lookup(n.Tag); ok {
+			s.setBit(id)
+		}
+	}
+	if id, ok := d.lookup(q.Root.Tag); ok {
+		s.rootTag = id
+	}
+	s.rootChild = q.Root.Axis == tpq.Child
+	s.height = int32(q.Height())
+	s.outDepth = int32(q.OutputDepth())
+	s.size = int32(len(nodes))
+	return s
+}

@@ -32,6 +32,66 @@ func RandomPattern(rng *rand.Rand, alphabet []string, maxNodes int) *tpq.Pattern
 	return p
 }
 
+// CatalogTag names the i-th tag of the catalog-experiment universe.
+func CatalogTag(i int) string { return fmt.Sprintf("t%d", i) }
+
+// CatalogView is one generated registration of a synthetic view
+// catalog.
+type CatalogView struct {
+	Name string
+	Expr *tpq.Pattern
+}
+
+// RandomCatalogViews generates n named views over a root-tag-diverse
+// universe of nTags tags, the workload of the catalog-scaling
+// experiment: a childFrac fraction is '/'-rooted (root tag uniform over
+// the universe, so a '/'-rooted probe query's exact root partition
+// holds ~n·childFrac/nTags views), the rest '//'-rooted; each body is a
+// small random pattern over tags clustered near the root tag, keeping
+// the per-view tag bitmaps diverse.
+func RandomCatalogViews(rng *rand.Rand, n, nTags, maxNodes int, childFrac float64) []CatalogView {
+	out := make([]CatalogView, n)
+	for i := range out {
+		r := rng.Intn(nTags)
+		axis := tpq.Descendant
+		if rng.Float64() < childFrac {
+			axis = tpq.Child
+		}
+		out[i] = CatalogView{
+			Name: fmt.Sprintf("v%06d", i),
+			Expr: randomClusteredPattern(rng, axis, r, nTags, maxNodes),
+		}
+	}
+	return out
+}
+
+// CatalogProbeQuery builds a '/'-rooted (anchored) probe query rooted
+// at the rootTag-th universe tag, over the same clustered tag
+// neighborhood the views draw from. Anchored probes are the
+// signature index's best case: only the matching root partition needs
+// labeling, and the pruned views contribute nothing (not even the
+// trivial rewriting, which requires a '//' query root).
+func CatalogProbeQuery(rng *rand.Rand, rootTag, nTags, maxNodes int) *tpq.Pattern {
+	return randomClusteredPattern(rng, tpq.Child, rootTag, nTags, maxNodes)
+}
+
+// randomClusteredPattern builds a random pattern rooted (axis, t_r)
+// whose body tags stay within a small neighborhood of r, so distinct
+// roots give distinct tag sets.
+func randomClusteredPattern(rng *rand.Rand, axis tpq.Axis, r, nTags, maxNodes int) *tpq.Pattern {
+	p := tpq.New(axis, CatalogTag(r))
+	nodes := []*tpq.Node{p.Root}
+	target := 1 + rng.Intn(maxNodes)
+	for i := 1; i < target; i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		tag := CatalogTag((r + rng.Intn(4)) % nTags)
+		nodes = append(nodes, parent.AddChild(tpq.Axis(rng.Intn(2)), tag))
+	}
+	p.SetOutput(nodes[rng.Intn(len(nodes))])
+	p.Reindex() // generated patterns are shared across benchmark goroutines
+	return p
+}
+
 // RandomSchemaPattern builds a random pattern that is satisfiable with
 // respect to the schema: pc-edges follow schema edges, ad-edges follow
 // schema paths, and the root is the schema root ('/') or a reachable
