@@ -69,9 +69,11 @@ func (s chaosSpec) request() *http.Request {
 
 // chaosBodies is the request mix: schemaless rewrites (exercising
 // enumerate/buildcr/contain/worker/compute/singleflight), a schema
-// rewrite (exercising chase.step), a containment check, and a ranked
-// view listing (exercising catalog.lookup). Every request passes
-// through server.handler.
+// rewrite (exercising chase.step), a mixed batch (exercising the
+// shared-computation path and, with a cache directory armed, the
+// cache.persist writer), a containment check, and a ranked view
+// listing (exercising catalog.lookup). Every request passes through
+// server.handler.
 func chaosBodies(rng *rand.Rand) []chaosSpec {
 	alphabet := []string{"a", "b", "c"}
 	rq := workload.RandomPattern(rng, alphabet, 4).String()
@@ -84,6 +86,7 @@ func chaosBodies(rng *rand.Rand) []chaosSpec {
 		{"", "/v1/rewrite", `{"query":` + esc(workload.Fig8Query(6).String()) + `,"view":` + esc(workload.Fig8View().String()) + `}`},
 		{"", "/v1/rewrite", `{"query":"//Trials[//Status]//Trial","view":"//Trials//Trial","schema":` + esc(chaosSchema) + `}`},
 		{"", "/v1/rewrite", `{"query":` + esc(rq) + `,"view":` + esc(rv) + `}`},
+		{"", "/v1/rewrite/batch", `{"items":[{"query":` + esc(rq) + `,"view":` + esc(rv) + `},{"query":"//Trials[//Status]//Trial","view":"//Trials//Trial","schema":` + esc(chaosSchema) + `}]}`},
 		{"", "/v1/contain", `{"p":"//Trials//Trial[Status]","q":"//Trials//Trial","schema":` + esc(chaosSchema) + `}`},
 		{"", "/v1/answer", `{"query":"//Trials[//Status]//Trial/Patient","view":"//Trials//Trial","document":` + esc(chaosDoc) + `}`},
 		{"GET", "/v1/views?q=//Trials//Trial&k=4", ""},
@@ -132,7 +135,13 @@ func TestChaosRandomFaultsSurviveServing(t *testing.T) {
 		CacheSize:     64,
 		Timeout:       2 * time.Second,
 		MaxEmbeddings: 1 << 16,
+		CacheDir:      t.TempDir(),
 	})
+	defer func() {
+		if err := eng.Close(); err != nil {
+			t.Errorf("engine close after storm: %v", err)
+		}
+	}()
 	h := server.NewWith(eng)
 	actions := []fault.Action{fault.ActError, fault.ActPanic, fault.ActDelay, fault.ActCancel}
 	probs := []float64{1, 0.5, 0.05}

@@ -38,7 +38,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiments to run: useemb,mcrsize,inference,chase,schemamcr,savings,overhead,naive,recursive,engines,cache,select,answer,catalog or all")
+	expFlag := flag.String("exp", "all", "experiments to run: useemb,mcrsize,inference,chase,schemamcr,savings,overhead,naive,recursive,engines,cache,select,answer,catalog,coldstart or all")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonFlag := flag.Bool("json", false, "measure the hot kernels and emit one JSON report instead of the experiment tables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -77,11 +77,15 @@ func main() {
 	}
 
 	if *jsonFlag {
-		// `-exp catalog -json` selects the catalog-scaling report; every
+		// `-exp catalog -json` selects the catalog-scaling report and
+		// `-exp coldstart -json` the restart-protocol report; every
 		// other selection emits the standard hot-kernel report.
 		run := runJSON
-		if *expFlag == "catalog" {
+		switch *expFlag {
+		case "catalog":
 			run = runCatalogJSON
+		case "coldstart":
+			run = runColdstartJSON
 		}
 		if err := run(ctx, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "qavbench: %v\n", err)
@@ -107,8 +111,9 @@ func main() {
 		"select":    expSelect,
 		"answer":    expAnswer,
 		"catalog":   expCatalog,
+		"coldstart": expColdstart,
 	}
-	order := []string{"useemb", "mcrsize", "inference", "chase", "schemamcr", "savings", "overhead", "naive", "recursive", "engines", "cache", "select", "answer", "catalog"}
+	order := []string{"useemb", "mcrsize", "inference", "chase", "schemamcr", "savings", "overhead", "naive", "recursive", "engines", "cache", "select", "answer", "catalog", "coldstart"}
 
 	selected := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {

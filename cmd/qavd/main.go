@@ -55,6 +55,8 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 	topKViews := flag.Int("topk-views", 0, "cap multi-view rewriting to the K signature-tightest candidate views (0 = all)")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent rewrite-cache segment (empty = memory-only)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "periodic segment compaction interval (0 = never; requires -cache-dir)")
 	flag.Parse()
 
 	// Admission control in front of Engine compute: cache hits and
@@ -77,8 +79,21 @@ func main() {
 		SlowLogSize:        *slowLogSize,
 		Gate:               gate,
 		TopKViews:          *topKViews,
+		CacheDir:           *cacheDir,
+		SnapshotInterval:   *snapshotInterval,
 	})
 	eng.SlowLog().SetLogger(log.Default())
+	if *cacheDir != "" {
+		switch wb := eng.WarmBootInfo(); {
+		case wb.Err != "":
+			log.Printf("qavd: persistent cache disabled: %s", wb.Err)
+		case wb.TruncatedBytes > 0:
+			log.Printf("qavd: warm cache replayed %d entries from %s (truncated %d corrupt tail bytes)",
+				wb.Replayed, *cacheDir, wb.TruncatedBytes)
+		default:
+			log.Printf("qavd: warm cache replayed %d entries from %s", wb.Replayed, *cacheDir)
+		}
+	}
 	// The metrics snapshot is also published through expvar so any
 	// expvar-aware scraper can read it from /debug/vars.
 	obs.Publish("qav", func() any { return eng.MetricsSnapshot() })
@@ -124,6 +139,10 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("qavd: %v", err)
+		}
+		// Flush queued cache writes so the next boot replays them.
+		if err := eng.Close(); err != nil {
+			log.Printf("qavd: closing persistent cache: %v", err)
 		}
 		log.Printf("qavd: stopped")
 	}

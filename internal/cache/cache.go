@@ -5,12 +5,21 @@
 // pure, so caching it is free speedup (the semantic-caching direction
 // the paper cites as [7]) — and compiled answer plans keyed by the
 // canonical CR union, which are pure functions of the rewriting.
+//
+// An optional second tier (Persist) makes the rewrite cache survive
+// restarts: cacheable successful values are appended asynchronously to
+// a checksummed on-disk segment and replayed into a warm map on boot,
+// so a restarted replica serves previously computed rewritings without
+// recomputing them. See persist.go for the record format and the
+// crash-recovery semantics.
 package cache
 
 import (
 	"container/list"
 	"context"
 	"errors"
+	"strconv"
+	"strings"
 	"sync"
 
 	"qav/internal/fault"
@@ -39,12 +48,20 @@ type Cache[V any] struct {
 	// happened to land rather than the key (e.g. partial rewritings).
 	volatile func(V) bool
 
+	// tier2, when non-nil, is the persistent warm tier: lookups that
+	// miss the LRU consult it before computing, and cacheable
+	// successful values are appended to it asynchronously. Attached
+	// once before first use (AttachTier2) and detached by Close.
+	tier2 *Persist[V] // guarded by mu
+
 	// Disjoint lookup-outcome counters: a lookup is exactly one of a
-	// completed-entry hit, a miss (the caller becomes the computing
-	// leader), or a dedup (a follower wait collapsed onto an in-flight
-	// leader). Keeping dedups out of hits keeps the hit rate honest:
-	// followers wait for a computation, they do not avoid one.
-	hits, misses, dedups int64 // guarded by mu
+	// completed-entry hit, a warm hit (served by the persistent tier,
+	// decoded and promoted into the LRU), a miss (the caller becomes
+	// the computing leader), or a dedup (a follower wait collapsed onto
+	// an in-flight leader). Keeping dedups out of hits keeps the hit
+	// rate honest: followers wait for a computation, they do not avoid
+	// one.
+	hits, warmHits, misses, dedups int64 // guarded by mu
 }
 
 type entry[V any] struct {
@@ -82,34 +99,74 @@ func NewWithPolicy[V any](capacity int, volatile func(V) bool) *Cache[V] {
 	}
 }
 
+// keyVersion tags the cache-key encoding. Keys now outlive the process
+// (the persistent tier stores them verbatim in its segment file), so
+// the encoding carries an explicit version: bumping it makes keys from
+// an older format unreachable instead of silently aliased.
+const keyVersion = "k1"
+
 // Key derives the cache key for a rewriting request. The schema graph
 // may be nil (schemaless); recursive selects the §5 algorithm.
+//
+// The encoding is injective: two fixed-width flag bytes (recursive,
+// schema presence — nil schema and empty-string schema text must not
+// collide) followed by each variable-length field prefixed with its
+// decimal length. The previous separator-based encoding was not — a
+// nil-schema recursive request keyed identically to a non-recursive
+// request over a schema whose String() was "R".
 func Key(q, v *tpq.Pattern, g *schema.Graph, recursive bool) string {
-	k := q.Canonical() + "\x00" + v.Canonical()
+	qs, vs := q.Canonical(), v.Canonical()
+	gs, schemaFlag := "", "-"
 	if g != nil {
-		k += "\x00" + g.String()
+		gs, schemaFlag = g.String(), "S"
 	}
+	recFlag := "-"
 	if recursive {
-		k += "\x00R"
+		recFlag = "R"
 	}
-	return k
+	var b strings.Builder
+	b.Grow(len(keyVersion) + 2 + len(qs) + len(vs) + len(gs) + 24)
+	b.WriteString(keyVersion)
+	b.WriteString(recFlag)
+	b.WriteString(schemaFlag)
+	for _, field := range [...]string{qs, vs, gs} {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(len(field)))
+		b.WriteByte(':')
+		b.WriteString(field)
+	}
+	return b.String()
 }
 
-// Get returns the cached result for key, if present. The error is the
-// stored computation error and is meaningful only when ok is true.
+// Get returns the cached result for key, if present in either tier.
+// The error is the stored computation error and is meaningful only when
+// ok is true. A value found only in the persistent warm tier is decoded
+// outside the cache lock and promoted into the LRU.
 func (c *Cache[V]) Get(key string) (res V, ok bool, err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, found := c.byKey[key]
-	if !found {
-		c.misses++
-		var zero V
-		return zero, false, nil
+	if el, found := c.byKey[key]; found {
+		c.hits++
+		c.order.MoveToFront(el)
+		e := el.Value.(*entry[V])
+		c.mu.Unlock()
+		return e.res, true, e.err
 	}
-	c.hits++
-	c.order.MoveToFront(el)
-	e := el.Value.(*entry[V])
-	return e.res, true, e.err
+	t2 := c.tier2
+	c.mu.Unlock()
+	if t2 != nil {
+		if v, found := t2.lookup(key); found {
+			c.mu.Lock()
+			c.warmHits++
+			c.putLocked(key, v, nil)
+			c.mu.Unlock()
+			return v, true, nil
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	var zero V
+	return zero, false, nil
 }
 
 // Put stores a result (or the error computing it produced) under key.
@@ -117,15 +174,25 @@ func (c *Cache[V]) Get(key string) (res V, ok bool, err error) {
 // cached here are pure functions of the key, so a deterministic
 // failure (parse rejection, enumeration budget overrun) would fail
 // identically on every retry. Error entries occupy ordinary LRU slots
-// and age out like results; they are never pinned. Callers must not
-// Put context cancellation errors, transient errors, or volatile
-// values — those describe the request or a momentary condition, not
-// the computation (GetOrCompute filters all of them automatically, see
-// cacheable).
+// and age out like results; they are never pinned.
+//
+// Put enforces the same cacheable policy as GetOrCompute: context
+// cancellation errors, transient errors, and volatile values (per the
+// constructor policy) are silently dropped rather than stored — a
+// direct Put must not smuggle in an entry the computing path would
+// refuse. Successful values are also handed to the persistent tier,
+// when one is attached.
 func (c *Cache[V]) Put(key string, res V, err error) {
+	if !c.cacheable(res, err) {
+		return
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.putLocked(key, res, err)
+	t2 := c.tier2
+	c.mu.Unlock()
+	if t2 != nil && err == nil {
+		t2.enqueue(key, res)
+	}
 }
 
 func (c *Cache[V]) putLocked(key string, res V, err error) {
@@ -158,6 +225,7 @@ func (c *Cache[V]) putLocked(key string, res V, err error) {
 // follower that retries after a cancelled leader counts one dedup per
 // wait it joins.
 func (c *Cache[V]) GetOrCompute(ctx context.Context, key string, compute func() (V, error)) (V, error) {
+	warmChecked := false
 	for {
 		c.mu.Lock()
 		if el, ok := c.byKey[key]; ok {
@@ -181,6 +249,21 @@ func (c *Cache[V]) GetOrCompute(ctx context.Context, key string, compute func() 
 			}
 			return f.res, f.err
 		}
+		if t2 := c.tier2; t2 != nil && !warmChecked {
+			c.mu.Unlock()
+			warmChecked = true
+			if v, found := t2.lookup(key); found {
+				c.mu.Lock()
+				c.warmHits++
+				// A leader started concurrently may finish and store the
+				// same value; both stores are of the same pure function
+				// of the key, so last-write-wins is harmless.
+				c.putLocked(key, v, nil)
+				c.mu.Unlock()
+				return v, nil
+			}
+			continue
+		}
 		c.misses++
 		f := &flight[V]{done: make(chan struct{})}
 		c.inflight[key] = f
@@ -200,10 +283,18 @@ func (c *Cache[V]) runLeader(ctx context.Context, key string, f *flight[V], comp
 	defer func() {
 		c.mu.Lock()
 		delete(c.inflight, key)
-		if c.cacheable(f.res, f.err) {
+		store := c.cacheable(f.res, f.err)
+		if store {
 			c.putLocked(key, f.res, f.err)
 		}
+		t2 := c.tier2
 		c.mu.Unlock()
+		if store && f.err == nil && t2 != nil {
+			// Only successful values reach the persistent tier: error
+			// entries (even the deterministic ones negative-cached in
+			// memory) and volatile values are never written to disk.
+			t2.enqueue(key, f.res)
+		}
 		close(f.done)
 	}()
 	defer guard.Recover(&f.err, "cache.singleflight")
@@ -246,14 +337,52 @@ func isContextErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// AttachTier2 attaches the persistent warm tier. Call it once, after
+// construction and before the cache is shared; the cache takes
+// ownership and Close closes the tier.
+func (c *Cache[V]) AttachTier2(p *Persist[V]) {
+	c.mu.Lock()
+	c.tier2 = p
+	c.mu.Unlock()
+}
+
+// Tier2 returns the attached persistent tier, or nil.
+func (c *Cache[V]) Tier2() *Persist[V] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tier2
+}
+
+// Close detaches and closes the persistent tier, flushing queued
+// writes. A memory-only cache Closes as a no-op. The cache itself
+// remains usable (memory-only) afterwards.
+func (c *Cache[V]) Close() error {
+	c.mu.Lock()
+	t2 := c.tier2
+	c.tier2 = nil
+	c.mu.Unlock()
+	if t2 == nil {
+		return nil
+	}
+	return t2.Close()
+}
+
 // Stats returns the disjoint lookup-outcome counters: completed-entry
 // hits, leader computations (misses), and follower waits deduplicated
-// onto an in-flight leader. hits+misses+dedups equals the number of
-// lookups.
+// onto an in-flight leader. hits+misses+dedups+WarmHits equals the
+// number of lookups.
 func (c *Cache[V]) Stats() (hits, misses, dedups int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.dedups
+}
+
+// WarmHits returns the number of lookups served by the persistent warm
+// tier (disjoint from the Stats counters).
+func (c *Cache[V]) WarmHits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.warmHits
 }
 
 // Len returns the number of cached results.

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -77,6 +79,114 @@ func TestKeyDistinguishes(t *testing.T) {
 	// Structurally equal patterns share keys.
 	if Key(tpq.MustParse("//a[b][c]"), v, nil, false) != Key(tpq.MustParse("//a[c][b]"), v, nil, false) {
 		t.Error("sibling order changed the key")
+	}
+}
+
+// Regression: the pre-k1 separator-based key encoding was not
+// injective — a nil-schema recursive request keyed as q+"\x00"+v+"\x00R",
+// colliding with a non-recursive request over any schema whose String()
+// was "R". The length-prefixed encoding is decodable, hence injective:
+// this test decodes keys back to their fields and verifies the
+// round-trip across every flag combination, which no separator scheme
+// with unconstrained field contents can pass.
+func TestKeyInjectiveEncoding(t *testing.T) {
+	decodeField := func(t *testing.T, key string) (field, rest string) {
+		t.Helper()
+		if key == "" || key[0] != '|' {
+			t.Fatalf("field does not start with '|': %q", key)
+		}
+		key = key[1:]
+		colon := strings.IndexByte(key, ':')
+		if colon < 0 {
+			t.Fatalf("field has no length prefix: %q", key)
+		}
+		n, err := strconv.Atoi(key[:colon])
+		if err != nil || n < 0 || colon+1+n > len(key) {
+			t.Fatalf("bad field length %q: %v", key[:colon], err)
+		}
+		return key[colon+1 : colon+1+n], key[colon+1+n:]
+	}
+	q := tpq.MustParse("//a[b]")
+	v := tpq.MustParse("//a")
+	g := schema.MustParse("root a\na -> b?")
+	for _, tc := range []struct {
+		g         *schema.Graph
+		recursive bool
+	}{
+		{nil, false}, {nil, true}, {g, false}, {g, true},
+	} {
+		key := Key(q, v, tc.g, tc.recursive)
+		if !strings.HasPrefix(key, keyVersion) {
+			t.Fatalf("key %q lacks version prefix %q", key, keyVersion)
+		}
+		rest := key[len(keyVersion):]
+		if len(rest) < 2 {
+			t.Fatalf("key %q too short for flags", key)
+		}
+		wantRec, wantSchema := "-", "-"
+		if tc.recursive {
+			wantRec = "R"
+		}
+		if tc.g != nil {
+			wantSchema = "S"
+		}
+		if string(rest[0]) != wantRec || string(rest[1]) != wantSchema {
+			t.Fatalf("flags = %q, want %s%s", rest[:2], wantRec, wantSchema)
+		}
+		qf, rest2 := decodeField(t, rest[2:])
+		vf, rest3 := decodeField(t, rest2)
+		gf, tail := decodeField(t, rest3)
+		if tail != "" {
+			t.Fatalf("trailing bytes after fields: %q", tail)
+		}
+		if qf != q.Canonical() || vf != v.Canonical() {
+			t.Fatalf("q/v fields did not round-trip: %q, %q", qf, vf)
+		}
+		wantG := ""
+		if tc.g != nil {
+			wantG = tc.g.String()
+		}
+		if gf != wantG {
+			t.Fatalf("schema field %q, want %q", gf, wantG)
+		}
+	}
+	// The historical collision shape: recursive flag vs schema content
+	// must be distinguishable even when the schema text is adversarial.
+	if Key(q, v, nil, true) == Key(q, v, g, false) {
+		t.Fatal("nil-schema recursive collides with schema non-recursive")
+	}
+}
+
+// Regression: a direct Put used to bypass the volatile policy that
+// GetOrCompute enforces, letting callers store partial results the
+// constructor policy forbids. Put now routes through cacheable.
+func TestPutRespectsVolatilePolicy(t *testing.T) {
+	c := NewWithPolicy[*rewrite.Result](4, func(r *rewrite.Result) bool {
+		return r != nil && r.Partial
+	})
+	c.Put("partial", &rewrite.Result{Partial: true, PartialReason: rewrite.PartialBudget}, nil)
+	if _, ok, _ := c.Get("partial"); ok {
+		t.Error("Put stored a volatile (partial) result")
+	}
+	// Context and transient errors are equally refused.
+	c.Put("ctx", nil, context.Canceled)
+	if _, ok, _ := c.Get("ctx"); ok {
+		t.Error("Put stored a context cancellation error")
+	}
+	c.Put("transient", nil, &guard.InternalError{Op: "test", Value: "boom"})
+	if _, ok, _ := c.Get("transient"); ok {
+		t.Error("Put stored a transient error")
+	}
+	// Complete results and deterministic errors still store.
+	full := &rewrite.Result{}
+	c.Put("full", full, nil)
+	if got, ok, _ := c.Get("full"); !ok || got != full {
+		t.Error("Put refused a complete result")
+	}
+	boom := errors.New("deterministic")
+	c.Put("err", nil, boom)
+	if _, ok, err := c.Get("err"); !ok || !errors.Is(err, boom) {
+		t.Error("Put refused a deterministic error (negative caching broken)")
 	}
 }
 

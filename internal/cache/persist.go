@@ -1,0 +1,484 @@
+// Persistent warm tier for the rewrite cache: an append-only segment
+// file with a versioned, checksummed record format, written
+// asynchronously behind Put/GetOrCompute and replayed on boot.
+//
+// Segment layout:
+//
+//	[8-byte magic "QAVSEG01"] [record]*
+//	record := [u32 keyLen] [u32 valLen] [u32 crc32(key||val)] [key] [val]
+//
+// All integers are little-endian; the checksum is IEEE CRC-32 over the
+// concatenated key and value bytes. The format version lives in the
+// magic: a segment written by an incompatible build fails the magic
+// check and is reset (truncated to empty), never misread. A corrupt or
+// partial tail — a torn write from a crash, a bit flip caught by the
+// checksum, an impossible length — truncates the segment back to the
+// last intact record; replay is never fatal for content reasons, only
+// for I/O errors on the file itself.
+//
+// What is never persisted: error entries (including the deterministic
+// errors the in-memory tier negative-caches) and volatile values — the
+// cacheable policy plus an err == nil check gate every append, so the
+// segment only ever holds completed, stable results.
+package cache
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"qav/internal/fault"
+	"qav/internal/guard"
+	"qav/internal/names"
+)
+
+// faultPersist fires in the async persister just before a record is
+// encoded and appended (no-op unless a chaos plan arms it). An injected
+// error or panic loses that one record — the durability contract is
+// best-effort — but must never corrupt the segment or kill the writer.
+var faultPersist = fault.Register(names.FaultCachePersist)
+
+const (
+	segmentMagic = "QAVSEG01"
+	headerLen    = 12 // keyLen + valLen + crc32
+	// maxRecordLen bounds each of key and value. Lengths beyond it in a
+	// replayed header are treated as corruption (truncate point), and
+	// appends beyond it are refused; it keeps a flipped length bit from
+	// provoking a multi-gigabyte allocation.
+	maxRecordLen = 16 << 20
+)
+
+// A Codec translates cached values to and from the byte form stored in
+// the segment. Encode may reject values that cannot or should not be
+// serialized; Decode must reject bytes it did not produce (a decode
+// failure drops the warm entry, it never fails a lookup).
+type Codec[V any] interface {
+	Encode(V) ([]byte, error)
+	Decode([]byte) (V, error)
+}
+
+// PersistOptions tune the warm tier. The zero value is usable.
+type PersistOptions struct {
+	// MaxEntries bounds the in-memory warm map (and therefore what a
+	// Compact rewrites). Replayed or appended keys beyond the bound are
+	// dropped, oldest-blind. <= 0 means 4096.
+	MaxEntries int
+	// QueueSize bounds the async writer's queue; enqueues beyond it are
+	// dropped (counted, never blocking the serving path). <= 0 means 256.
+	QueueSize int
+	// CompactInterval, when positive, periodically rewrites the segment
+	// to exactly the live warm map — dropping superseded duplicates —
+	// via a temp file and atomic rename.
+	CompactInterval time.Duration
+}
+
+// PersistStats is a point-in-time view of the warm tier.
+type PersistStats struct {
+	Entries        int   // live warm-map entries
+	Replayed       int64 // records loaded from the segment at boot
+	TruncatedBytes int64 // corrupt/partial tail bytes discarded at boot
+	VersionReset   bool  // segment had a foreign magic and was reset
+	Appended       int64 // records appended since boot
+	Dropped        int64 // enqueue drops (queue full) + bound drops
+	Errors         int64 // encode/write/decode failures and persist faults
+	Compactions    int64
+	SegmentBytes   int64 // current segment size
+	ReplayDuration time.Duration
+}
+
+type persistReq[V any] struct {
+	key string
+	val V
+}
+
+// Persist is the on-disk warm tier. Construct with OpenPersist, attach
+// with Cache.AttachTier2; all methods are safe for concurrent use.
+type Persist[V any] struct {
+	codec      Codec[V]
+	path       string
+	maxEntries int
+
+	queue chan persistReq[V]
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	f      *os.File          // guarded by mu; nil after Close
+	warm   map[string][]byte // guarded by mu; encoded values
+	size   int64             // guarded by mu; current segment size in bytes
+	closed bool              // guarded by mu
+
+	replayed       int64         // guarded by mu
+	truncatedBytes int64         // guarded by mu
+	versionReset   bool          // guarded by mu
+	appended       int64         // guarded by mu
+	dropped        int64         // guarded by mu
+	errs           int64         // guarded by mu
+	compactions    int64         // guarded by mu
+	replayDur      time.Duration // guarded by mu
+}
+
+// OpenPersist opens (creating if needed) the segment file at path and
+// replays it into the warm map. Content-level damage — torn tails, bad
+// checksums, a version-mismatched header — is repaired by truncation
+// and reported in Stats, never returned as an error; only I/O failures
+// on the file itself are fatal. The returned tier owns a background
+// writer goroutine until Close.
+func OpenPersist[V any](path string, codec Codec[V], opts PersistOptions) (*Persist[V], error) {
+	if opts.MaxEntries <= 0 {
+		opts.MaxEntries = 4096
+	}
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = 256
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: create segment dir: %w", err)
+		}
+	}
+	// O_APPEND keeps every record write at the end of the file even
+	// after a replay-time Truncate repaired a torn tail.
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cache: open segment: %w", err)
+	}
+	p := &Persist[V]{
+		codec:      codec,
+		path:       path,
+		maxEntries: opts.MaxEntries,
+		queue:      make(chan persistReq[V], opts.QueueSize),
+		done:       make(chan struct{}),
+		f:          f,
+		warm:       make(map[string][]byte),
+	}
+	// No other goroutine exists yet, but replay writes mu-guarded
+	// fields, so hold the lock for the analyzer's (and reader's) sake.
+	start := time.Now()
+	p.mu.Lock()
+	err = p.replayLocked()
+	p.replayDur = time.Since(start)
+	p.mu.Unlock()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	p.wg.Add(1)
+	go p.run()
+	if opts.CompactInterval > 0 {
+		p.wg.Add(1)
+		go p.compactLoop(opts.CompactInterval)
+	}
+	return p, nil
+}
+
+// replayLocked loads the segment into the warm map, truncating any
+// corrupt or partial tail back to the last intact record. Later
+// records win over earlier ones for the same key (the segment is
+// append-only, so later means newer).
+func (p *Persist[V]) replayLocked() error {
+	data, err := io.ReadAll(p.f)
+	if err != nil {
+		return fmt.Errorf("cache: read segment: %w", err)
+	}
+	if len(data) == 0 {
+		if _, err := p.f.Write([]byte(segmentMagic)); err != nil {
+			return fmt.Errorf("cache: write segment magic: %w", err)
+		}
+		p.size = int64(len(segmentMagic))
+		return nil
+	}
+	if len(data) < len(segmentMagic) || string(data[:len(segmentMagic)]) != segmentMagic {
+		// Foreign or older format: reset rather than misread. The warm
+		// tier starts cold, which is the same outcome as no segment.
+		p.versionReset = true
+		p.truncatedBytes = int64(len(data))
+		if err := p.f.Truncate(0); err != nil {
+			return fmt.Errorf("cache: reset segment: %w", err)
+		}
+		if _, err := p.f.Write([]byte(segmentMagic)); err != nil {
+			return fmt.Errorf("cache: write segment magic: %w", err)
+		}
+		p.size = int64(len(segmentMagic))
+		return nil
+	}
+	off := len(segmentMagic)
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < headerLen {
+			break // partial header: torn final write
+		}
+		keyLen := binary.LittleEndian.Uint32(rest[0:4])
+		valLen := binary.LittleEndian.Uint32(rest[4:8])
+		sum := binary.LittleEndian.Uint32(rest[8:12])
+		if keyLen == 0 || keyLen > maxRecordLen || valLen > maxRecordLen {
+			break // impossible lengths: corruption
+		}
+		end := headerLen + int(keyLen) + int(valLen)
+		if len(rest) < end {
+			break // partial body: torn final write
+		}
+		body := rest[headerLen:end]
+		if crc32.ChecksumIEEE(body) != sum {
+			break // checksum mismatch: bit rot or torn overwrite
+		}
+		key := string(body[:keyLen])
+		val := append([]byte(nil), body[keyLen:]...)
+		if _, exists := p.warm[key]; exists || len(p.warm) < p.maxEntries {
+			p.warm[key] = val
+			p.replayed++
+		} else {
+			p.dropped++
+		}
+		off += end
+	}
+	if off < len(data) {
+		p.truncatedBytes = int64(len(data) - off)
+		if err := p.f.Truncate(int64(off)); err != nil {
+			return fmt.Errorf("cache: truncate corrupt tail: %w", err)
+		}
+	}
+	p.size = int64(off)
+	return nil
+}
+
+// enqueue hands a value to the async writer; it never blocks the
+// serving path (a full queue drops the record and counts the drop).
+func (p *Persist[V]) enqueue(key string, val V) {
+	select {
+	case p.queue <- persistReq[V]{key: key, val: val}:
+	default:
+		p.mu.Lock()
+		p.dropped++
+		p.mu.Unlock()
+	}
+}
+
+// run is the writer goroutine: it drains the queue until Close, then
+// drains whatever is still queued and exits.
+func (p *Persist[V]) run() {
+	defer p.wg.Done()
+	for {
+		select {
+		case r := <-p.queue:
+			p.handle(r)
+		case <-p.done:
+			for {
+				select {
+				case r := <-p.queue:
+					p.handle(r)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (p *Persist[V]) handle(r persistReq[V]) {
+	if err := p.persistOne(r); err != nil {
+		p.mu.Lock()
+		p.errs++
+		p.mu.Unlock()
+	}
+}
+
+// persistOne encodes and appends one record. Panics (from a chaos plan
+// or a misbehaving codec) are confined to this record: the guard turns
+// them into an error so the writer goroutine — and the process —
+// survives.
+func (p *Persist[V]) persistOne(r persistReq[V]) (err error) {
+	defer guard.Recover(&err, names.FaultCachePersist)
+	if err := faultPersist.Hit(context.Background()); err != nil {
+		return err
+	}
+	val, err := p.codec.Encode(r.val)
+	if err != nil {
+		return err
+	}
+	return p.append(r.key, val)
+}
+
+// append writes one framed record and mirrors it into the warm map.
+func (p *Persist[V]) append(key string, val []byte) error {
+	if len(key) == 0 || len(key) > maxRecordLen || len(val) > maxRecordLen {
+		return fmt.Errorf("cache: record out of bounds (%d-byte key, %d-byte value)", len(key), len(val))
+	}
+	rec := appendRecord(nil, key, val)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.f == nil {
+		return errors.New("cache: persist tier closed")
+	}
+	if _, err := p.f.Write(rec); err != nil {
+		return fmt.Errorf("cache: append record: %w", err)
+	}
+	p.size += int64(len(rec))
+	p.appended++
+	if _, exists := p.warm[key]; exists || len(p.warm) < p.maxEntries {
+		p.warm[key] = append([]byte(nil), val...)
+	} else {
+		p.dropped++
+	}
+	return nil
+}
+
+// appendRecord appends the framed form of one record to dst.
+func appendRecord(dst []byte, key string, val []byte) []byte {
+	var hdr [headerLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(val)))
+	h := crc32.NewIEEE()
+	h.Write([]byte(key))
+	h.Write(val)
+	binary.LittleEndian.PutUint32(hdr[8:12], h.Sum32())
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, key...)
+	return append(dst, val...)
+}
+
+// lookup returns the decoded warm value for key, if present. Decoding
+// happens per lookup (callers promote the result into the LRU, so each
+// key decodes at most once per process in the common case); a record
+// that fails to decode is dropped so it is not retried on every miss.
+func (p *Persist[V]) lookup(key string) (V, bool) {
+	p.mu.Lock()
+	buf, ok := p.warm[key]
+	p.mu.Unlock()
+	var zero V
+	if !ok {
+		return zero, false
+	}
+	v, err := p.codec.Decode(buf)
+	if err != nil {
+		p.mu.Lock()
+		delete(p.warm, key)
+		p.errs++
+		p.mu.Unlock()
+		return zero, false
+	}
+	return v, true
+}
+
+// Compact rewrites the segment to exactly the live warm map — dropping
+// superseded duplicate records — by writing a temp file, fsyncing it,
+// and renaming it over the segment. Concurrent appends queue behind
+// the lock and land in the new segment.
+func (p *Persist[V]) Compact() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.f == nil {
+		return errors.New("cache: persist tier closed")
+	}
+	tmpPath := p.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("cache: compact: %w", err)
+	}
+	buf := []byte(segmentMagic)
+	for key, val := range p.warm {
+		buf = appendRecord(buf, key, val)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("cache: compact write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("cache: compact sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("cache: compact close: %w", err)
+	}
+	if err := os.Rename(tmpPath, p.path); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("cache: compact rename: %w", err)
+	}
+	f, err := os.OpenFile(p.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		// The compacted segment is on disk but we lost our handle;
+		// future appends fail until reopen. Close the old handle and
+		// surface the error.
+		p.f.Close()
+		p.f = nil
+		return fmt.Errorf("cache: reopen after compact: %w", err)
+	}
+	p.f.Close()
+	p.f = f
+	p.size = int64(len(buf))
+	p.compactions++
+	return nil
+}
+
+func (p *Persist[V]) compactLoop(interval time.Duration) {
+	defer p.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := p.Compact(); err != nil {
+				p.mu.Lock()
+				p.errs++
+				p.mu.Unlock()
+			}
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// Close stops the background goroutines, drains queued writes, fsyncs
+// and closes the segment. Safe to call more than once.
+func (p *Persist[V]) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.done)
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.f == nil {
+		return nil
+	}
+	err := p.f.Sync()
+	if cerr := p.f.Close(); err == nil {
+		err = cerr
+	}
+	p.f = nil
+	return err
+}
+
+// Stats returns a point-in-time view of the tier.
+func (p *Persist[V]) Stats() PersistStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PersistStats{
+		Entries:        len(p.warm),
+		Replayed:       p.replayed,
+		TruncatedBytes: p.truncatedBytes,
+		VersionReset:   p.versionReset,
+		Appended:       p.appended,
+		Dropped:        p.dropped,
+		Errors:         p.errs,
+		Compactions:    p.compactions,
+		SegmentBytes:   p.size,
+		ReplayDuration: p.replayDur,
+	}
+}
+
+// Path returns the segment file path.
+func (p *Persist[V]) Path() string { return p.path }

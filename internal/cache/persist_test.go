@@ -1,0 +1,413 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qav/internal/fault"
+)
+
+// stringCodec is the trivial test codec: the value bytes themselves.
+// Decode rejects a poison marker so decode-failure handling is testable.
+type stringCodec struct{}
+
+func (stringCodec) Encode(s string) ([]byte, error) {
+	if strings.HasPrefix(s, "unencodable") {
+		return nil, errors.New("unencodable value")
+	}
+	return []byte(s), nil
+}
+
+func (stringCodec) Decode(b []byte) (string, error) {
+	if strings.HasPrefix(string(b), "poison") {
+		return "", errors.New("poisoned record")
+	}
+	return string(b), nil
+}
+
+func openTestPersist(t *testing.T, dir string, opts PersistOptions) *Persist[string] {
+	t.Helper()
+	p, err := OpenPersist[string](filepath.Join(dir, "test.seg"), stringCodec{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// A value stored before shutdown is served by the warm tier after a
+// restart — as a warm hit, without recomputing.
+func TestPersistWarmBootServesHit(t *testing.T) {
+	dir := t.TempDir()
+	c1 := New[string](8)
+	c1.AttachTier2(openTestPersist(t, dir, PersistOptions{}))
+	got, err := c1.GetOrCompute(context.Background(), "key-a", func() (string, error) {
+		return "value-a", nil
+	})
+	if err != nil || got != "value-a" {
+		t.Fatalf("prime: %q, %v", got, err)
+	}
+	if err := c1.Close(); err != nil { // drains the async writer
+		t.Fatal(err)
+	}
+
+	c2 := New[string](8)
+	p2 := openTestPersist(t, dir, PersistOptions{})
+	if st := p2.Stats(); st.Replayed != 1 || st.Entries != 1 {
+		t.Fatalf("replay stats = %+v, want 1 replayed entry", st)
+	}
+	c2.AttachTier2(p2)
+	defer c2.Close()
+	got, err = c2.GetOrCompute(context.Background(), "key-a", func() (string, error) {
+		t.Error("warm entry must not recompute")
+		return "", nil
+	})
+	if err != nil || got != "value-a" {
+		t.Fatalf("warm lookup: %q, %v", got, err)
+	}
+	if wh := c2.WarmHits(); wh != 1 {
+		t.Errorf("warmHits = %d, want 1", wh)
+	}
+	hits, misses, dedups := c2.Stats()
+	if hits != 0 || misses != 0 || dedups != 0 {
+		t.Errorf("stats = %d/%d/%d, want 0/0/0 (warm hit is its own outcome)", hits, misses, dedups)
+	}
+	// Promoted: the second lookup is an ordinary tier-1 hit.
+	if got, err = c2.GetOrCompute(context.Background(), "key-a", nil); err != nil || got != "value-a" {
+		t.Fatalf("promoted lookup: %q, %v", got, err)
+	}
+	if hits, _, _ := c2.Stats(); hits != 1 {
+		t.Errorf("post-promotion hits = %d, want 1", hits)
+	}
+}
+
+// A torn final write (partial record at the tail) is truncated on
+// replay; every intact record survives.
+func TestPersistTruncatedTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	p := openTestPersist(t, dir, PersistOptions{})
+	for i := 0; i < 5; i++ {
+		if err := p.append(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goodSize := p.Stats().SegmentBytes
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: half a record at the tail.
+	path := filepath.Join(dir, "test.seg")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 0, 0, 0, 9, 0}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	p2 := openTestPersist(t, dir, PersistOptions{})
+	defer p2.Close()
+	st := p2.Stats()
+	if st.Replayed != 5 {
+		t.Errorf("replayed = %d, want 5", st.Replayed)
+	}
+	if st.TruncatedBytes != 6 {
+		t.Errorf("truncatedBytes = %d, want 6", st.TruncatedBytes)
+	}
+	if st.SegmentBytes != goodSize {
+		t.Errorf("segment size = %d, want %d (tail truncated)", st.SegmentBytes, goodSize)
+	}
+	for i := 0; i < 5; i++ {
+		if v, ok := p2.lookup(fmt.Sprintf("k%d", i)); !ok || v != fmt.Sprintf("v%d", i) {
+			t.Errorf("k%d: got %q, %v", i, v, ok)
+		}
+	}
+}
+
+// A bit flip in a record body fails that record's checksum; replay
+// keeps everything before it and truncates from the damaged record on.
+func TestPersistBitFlipTruncates(t *testing.T) {
+	dir := t.TempDir()
+	p := openTestPersist(t, dir, PersistOptions{})
+	if err := p.append("first", []byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	firstEnd := p.Stats().SegmentBytes
+	if err := p.append("second", []byte("damaged")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "test.seg")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x40 // flip a bit in the second record's value
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := openTestPersist(t, dir, PersistOptions{})
+	defer p2.Close()
+	st := p2.Stats()
+	if st.Replayed != 1 {
+		t.Errorf("replayed = %d, want 1 (only the intact record)", st.Replayed)
+	}
+	if st.TruncatedBytes == 0 {
+		t.Error("damaged record was not counted as truncated")
+	}
+	if st.SegmentBytes != firstEnd {
+		t.Errorf("segment size = %d, want %d", st.SegmentBytes, firstEnd)
+	}
+	if v, ok := p2.lookup("first"); !ok || v != "intact" {
+		t.Errorf("first: got %q, %v", v, ok)
+	}
+	if _, ok := p2.lookup("second"); ok {
+		t.Error("damaged record must not be served")
+	}
+}
+
+// A segment with a foreign magic (older or corrupted format) is reset
+// to empty — never misread, never fatal.
+func TestPersistVersionMismatchResets(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.seg")
+	if err := os.WriteFile(path, []byte("QAVSEG00old-format-payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := openTestPersist(t, dir, PersistOptions{})
+	st := p.Stats()
+	if !st.VersionReset {
+		t.Error("versionReset not reported")
+	}
+	if st.Replayed != 0 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want empty warm tier", st)
+	}
+	// The reset segment is immediately usable and replayable.
+	if err := p.append("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2 := openTestPersist(t, dir, PersistOptions{})
+	defer p2.Close()
+	if st := p2.Stats(); st.Replayed != 1 || st.VersionReset {
+		t.Errorf("post-reset reopen stats = %+v, want 1 replayed, no reset", st)
+	}
+}
+
+// Concurrent Puts racing a compaction keep the warm tier consistent:
+// every value written before Close is either in the reopened tier with
+// its correct bytes or was dropped outright — never corrupted.
+func TestPersistConcurrentPutDuringCompact(t *testing.T) {
+	dir := t.TempDir()
+	c := New[string](256)
+	p := openTestPersist(t, dir, PersistOptions{MaxEntries: 1024, QueueSize: 1024})
+	c.AttachTier2(p)
+
+	const writers, perWriter = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := fmt.Sprintf("w%d-k%d", w, i)
+				c.Put(k, "val-"+k, nil)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := p.Compact(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := openTestPersist(t, dir, PersistOptions{MaxEntries: 1024})
+	defer p2.Close()
+	st := p2.Stats()
+	if st.TruncatedBytes != 0 || st.VersionReset {
+		t.Errorf("compacted segment replayed dirty: %+v", st)
+	}
+	found := 0
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			k := fmt.Sprintf("w%d-k%d", w, i)
+			if v, ok := p2.lookup(k); ok {
+				found++
+				if v != "val-"+k {
+					t.Errorf("%s: got %q, want %q", k, v, "val-"+k)
+				}
+			}
+		}
+	}
+	if found == 0 {
+		t.Error("no records survived the compaction race")
+	}
+}
+
+// Compaction drops superseded duplicate records: N overwrites of one
+// key compact down to one live record.
+func TestPersistCompactDropsDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	p := openTestPersist(t, dir, PersistOptions{})
+	for i := 0; i < 10; i++ {
+		if err := p.append("k", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := p.Stats().SegmentBytes
+	if err := p.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.SegmentBytes >= before {
+		t.Errorf("compact did not shrink the segment: %d -> %d", before, st.SegmentBytes)
+	}
+	if v, ok := p.lookup("k"); !ok || v != "v9" {
+		t.Errorf("after compact: got %q, %v, want latest value", v, ok)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2 := openTestPersist(t, dir, PersistOptions{})
+	defer p2.Close()
+	if v, ok := p2.lookup("k"); !ok || v != "v9" {
+		t.Errorf("replayed compacted segment: got %q, %v", v, ok)
+	}
+}
+
+// The cache.persist fault point makes the async writer fail (or panic)
+// on selected records without killing the writer goroutine or
+// corrupting the segment — persistence is best-effort.
+func TestPersistFaultPoint(t *testing.T) {
+	for _, act := range []fault.Action{fault.ActError, fault.ActPanic} {
+		t.Run(act.String(), func(t *testing.T) {
+			defer fault.Disable()
+			dir := t.TempDir()
+			c := New[string](8)
+			p := openTestPersist(t, dir, PersistOptions{})
+			c.AttachTier2(p)
+			if err := fault.Enable(&fault.Plan{Seed: 11, Injections: []fault.Injection{
+				{Point: "cache.persist", Action: act},
+			}}); err != nil {
+				t.Fatal(err)
+			}
+			c.Put("lost", "value", nil)
+			waitFor(t, "injected persist failure", func() bool {
+				return p.Stats().Errors >= 1
+			})
+			fault.Disable()
+			// The writer survived: the next record persists normally.
+			c.Put("kept", "value", nil)
+			waitFor(t, "post-fault append", func() bool {
+				return p.Stats().Appended >= 1
+			})
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+			p2 := openTestPersist(t, dir, PersistOptions{})
+			defer p2.Close()
+			if _, ok := p2.lookup("lost"); ok {
+				t.Error("faulted record must not be on disk")
+			}
+			if v, ok := p2.lookup("kept"); !ok || v != "value" {
+				t.Errorf("post-fault record: got %q, %v", v, ok)
+			}
+		})
+	}
+}
+
+// Error entries and volatile values never reach the segment, even
+// though error entries are negative-cached in memory.
+func TestPersistNeverStoresErrorsOrVolatile(t *testing.T) {
+	dir := t.TempDir()
+	c := NewWithPolicy[string](8, func(s string) bool {
+		return strings.HasPrefix(s, "volatile")
+	})
+	c.AttachTier2(openTestPersist(t, dir, PersistOptions{}))
+	boom := errors.New("deterministic failure")
+	if _, err := c.GetOrCompute(context.Background(), "err-key", func() (string, error) {
+		return "", boom
+	}); !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get("err-key"); !errors.Is(err, boom) {
+		t.Error("deterministic error must stay negative-cached in memory")
+	}
+	if v, err := c.GetOrCompute(context.Background(), "vol-key", func() (string, error) {
+		return "volatile-value", nil
+	}); err != nil || v != "volatile-value" {
+		t.Fatal(v, err)
+	}
+	c.Put("vol-put", "volatile-too", nil)
+	c.Put("good", "stable", nil)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := openTestPersist(t, dir, PersistOptions{})
+	defer p2.Close()
+	if st := p2.Stats(); st.Replayed != 1 {
+		t.Errorf("replayed = %d, want only the stable record", st.Replayed)
+	}
+	for _, k := range []string{"err-key", "vol-key", "vol-put"} {
+		if _, ok := p2.lookup(k); ok {
+			t.Errorf("%s must not be persisted", k)
+		}
+	}
+	if v, ok := p2.lookup("good"); !ok || v != "stable" {
+		t.Errorf("good: got %q, %v", v, ok)
+	}
+}
+
+// A record whose stored bytes no longer decode is dropped on first
+// lookup (not retried forever) and never fails the caller.
+func TestPersistDecodeFailureDropsRecord(t *testing.T) {
+	dir := t.TempDir()
+	p := openTestPersist(t, dir, PersistOptions{})
+	defer p.Close()
+	if err := p.append("bad", []byte("poison-pill")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.lookup("bad"); ok {
+		t.Fatal("undecodable record served")
+	}
+	st := p.Stats()
+	if st.Errors != 1 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want the record dropped and counted", st)
+	}
+}

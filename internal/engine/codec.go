@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"qav/internal/rewrite"
+	"qav/internal/tpq"
+)
+
+// resultCodec serializes complete rewrite results for the persistent
+// cache tier. The wire form stores patterns as expressions — Parse of a
+// pattern's String reproduces it up to sibling order, which Canonical
+// treats as equivalent — so persisted entries survive changes to the
+// in-memory pattern representation; only expression-syntax changes
+// require a wire version bump. Inducing embeddings are deliberately not
+// persisted: they reference live pattern nodes, and the only consumer
+// (Explain) tolerates their absence.
+type resultCodec struct{}
+
+// wireVersion tags the encoded result format. Decode rejects foreign
+// versions, which the persist tier treats like any other dead record.
+const wireVersion = 1
+
+type wireCR struct {
+	Rewriting    string `json:"r"`
+	Compensation string `json:"c"`
+}
+
+type wireResult struct {
+	Version              int      `json:"v"`
+	CRs                  []wireCR `json:"crs"`
+	EmbeddingsConsidered int      `json:"emb"`
+}
+
+func (resultCodec) Encode(r *rewrite.Result) ([]byte, error) {
+	if r == nil {
+		return nil, errors.New("engine: refusing to encode a nil result")
+	}
+	if r.Partial {
+		// Defense in depth: the cache's volatile policy already keeps
+		// partial results out of both tiers.
+		return nil, errors.New("engine: refusing to encode a partial result")
+	}
+	w := wireResult{
+		Version:              wireVersion,
+		EmbeddingsConsidered: r.EmbeddingsConsidered,
+		CRs:                  make([]wireCR, 0, len(r.CRs)),
+	}
+	for _, cr := range r.CRs {
+		if cr == nil || cr.Rewriting == nil || cr.Compensation == nil {
+			return nil, errors.New("engine: refusing to encode an incomplete CR")
+		}
+		w.CRs = append(w.CRs, wireCR{
+			Rewriting:    cr.Rewriting.String(),
+			Compensation: cr.Compensation.String(),
+		})
+	}
+	return json.Marshal(w)
+}
+
+func (resultCodec) Decode(b []byte) (*rewrite.Result, error) {
+	var w wireResult
+	if err := json.Unmarshal(b, &w); err != nil {
+		return nil, fmt.Errorf("engine: decode persisted result: %w", err)
+	}
+	if w.Version != wireVersion {
+		return nil, fmt.Errorf("engine: persisted result version %d, want %d", w.Version, wireVersion)
+	}
+	res := &rewrite.Result{
+		Union:                &tpq.Union{},
+		EmbeddingsConsidered: w.EmbeddingsConsidered,
+	}
+	for _, c := range w.CRs {
+		rw, err := tpq.Parse(c.Rewriting)
+		if err != nil {
+			return nil, fmt.Errorf("engine: persisted rewriting: %w", err)
+		}
+		comp, err := tpq.Parse(c.Compensation)
+		if err != nil {
+			return nil, fmt.Errorf("engine: persisted compensation: %w", err)
+		}
+		res.Union.Patterns = append(res.Union.Patterns, rw)
+		res.CRs = append(res.CRs, &rewrite.ContainedRewriting{
+			Rewriting:    rw,
+			Compensation: comp,
+		})
+	}
+	return res, nil
+}

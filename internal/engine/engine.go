@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -105,6 +106,20 @@ type Config struct {
 	// index ranks tightest for the query — a recall/latency dial for
 	// very large catalogs. 0 considers every view.
 	TopKViews int
+	// CacheDir, when non-empty, enables the persistent second cache
+	// tier: completed rewritings are appended asynchronously to a
+	// checksummed segment file under this directory and replayed at
+	// construction, so a restarted engine serves previously computed
+	// rewritings without recomputing them. Corrupt or partial segment
+	// tails are truncated, never fatal; a tier that fails to open
+	// disables itself and reports the error through Stats.WarmBootErr
+	// rather than failing New. Partial results and errors are never
+	// persisted.
+	CacheDir string
+	// SnapshotInterval, when positive (and CacheDir is set),
+	// periodically compacts the segment file down to the live warm
+	// entries, dropping superseded duplicates. 0 never compacts.
+	SnapshotInterval time.Duration
 }
 
 // Engine is the shared rewriting pipeline. It is safe for concurrent
@@ -119,6 +134,16 @@ type Engine struct {
 	views   *viewstore.Catalog
 	metrics *obs.Registry
 	slow    *obs.SlowLog
+	// intern shares parsed patterns and schemas across requests and
+	// collapses canonically identical request text before the cache.
+	intern *interner
+	// persist is the attached warm tier, retained here so Stats can
+	// still report it after Close detaches it from the cache; nil when
+	// not configured or when the open failed.
+	persist *cache.Persist[*rewrite.Result]
+	// warmErr records a persistent-tier open failure (the tier is then
+	// disabled); empty when the tier is healthy or not configured.
+	warmErr string
 
 	mu sync.RWMutex
 	// schemas caches constraint-inference contexts, keyed by canonical
@@ -143,7 +168,7 @@ func New(cfg Config) *Engine {
 	if metrics == nil {
 		metrics = obs.NewRegistry()
 	}
-	return &Engine{
+	e := &Engine{
 		cfg: cfg,
 		// Partial rewritings describe where one request's budget or
 		// deadline landed, not the key — volatile, never stored.
@@ -154,8 +179,62 @@ func New(cfg Config) *Engine {
 		views:   viewstore.NewCatalog(),
 		metrics: metrics,
 		slow:    obs.NewSlowLog(cfg.SlowQueryThreshold, cfg.SlowLogSize),
+		intern:  newInterner(4 * size),
 		schemas: make(map[string]*rewrite.SchemaContext),
 	}
+	if cfg.CacheDir != "" {
+		p, err := cache.OpenPersist[*rewrite.Result](
+			filepath.Join(cfg.CacheDir, "rewrites.seg"),
+			resultCodec{},
+			cache.PersistOptions{
+				MaxEntries:      4 * size,
+				CompactInterval: cfg.SnapshotInterval,
+			},
+		)
+		if err != nil {
+			// A broken cache directory degrades to a memory-only engine;
+			// persistence is an optimization, never a startup dependency.
+			e.warmErr = err.Error()
+		} else {
+			e.cache.AttachTier2(p)
+			e.persist = p
+			metrics.ObserveStage(obs.StageCacheReplay, p.Stats().ReplayDuration)
+		}
+	}
+	return e
+}
+
+// Close flushes and closes the persistent cache tier; it is a no-op for
+// a memory-only engine, which stays usable afterwards. Call it on
+// shutdown so queued cache writes reach the segment.
+func (e *Engine) Close() error { return e.cache.Close() }
+
+// WarmBoot describes the persistent tier's boot outcome.
+type WarmBoot struct {
+	// Enabled reports whether a persistent tier is attached.
+	Enabled bool
+	// Entries is the current warm-tier entry count; Replayed how many
+	// records the boot replay loaded; TruncatedBytes how many trailing
+	// segment bytes were discarded as corrupt or torn.
+	Entries        int
+	Replayed       int64
+	TruncatedBytes int64
+	// Err is the open failure that disabled the tier, if any.
+	Err string
+}
+
+// WarmBootInfo returns the persistent tier's boot outcome, for startup
+// logs and smoke checks.
+func (e *Engine) WarmBootInfo() WarmBoot {
+	wb := WarmBoot{Err: e.warmErr}
+	if p := e.persist; p != nil {
+		ps := p.Stats()
+		wb.Enabled = true
+		wb.Entries = ps.Entries
+		wb.Replayed = ps.Replayed
+		wb.TruncatedBytes = ps.TruncatedBytes
+	}
+	return wb
 }
 
 // Metrics returns the engine's observation registry; the HTTP layer
@@ -363,24 +442,93 @@ func (e *Engine) RewriteExpr(ctx context.Context, req RewriteRequest) (*rewrite.
 	return e.Rewrite(ctx, parsed)
 }
 
+// parseRewriteRequest parses a textual request through the interner:
+// repeated expression text skips the parse entirely, and canonically
+// identical patterns collapse onto one shared instance — so two
+// spellings of the same query produce the same cache key and join the
+// same singleflight before any parse-downstream work runs.
 func (e *Engine) parseRewriteRequest(req RewriteRequest) (Request, error) {
 	start := time.Now()
 	defer func() { e.metrics.ObserveStage(obs.StageParse, time.Since(start)) }()
-	q, err := tpq.Parse(req.Query)
+	q, err := e.intern.pattern(req.Query)
 	if err != nil {
 		return Request{}, &InvalidRequestError{Field: "query", Err: err}
 	}
-	v, err := tpq.Parse(req.View)
+	v, err := e.intern.pattern(req.View)
 	if err != nil {
 		return Request{}, &InvalidRequestError{Field: "view", Err: err}
 	}
 	var g *schema.Graph
 	if req.Schema != "" {
-		if g, err = schema.Parse(req.Schema); err != nil {
+		if g, err = e.intern.schemaGraph(req.Schema); err != nil {
 			return Request{}, &InvalidRequestError{Field: "schema", Err: err}
 		}
 	}
 	return Request{Query: q, View: v, Schema: g, Recursive: req.Recursive}, nil
+}
+
+// BatchOutcome is one item's outcome in a RewriteBatch call.
+type BatchOutcome struct {
+	Result *rewrite.Result
+	Err    error
+	// Shared marks items whose (query, view, schema) was canonically
+	// identical to an earlier item in the same batch: they reuse that
+	// item's computation instead of starting their own.
+	Shared bool
+}
+
+// RewriteBatch rewrites a batch of textual requests, sharing work
+// across items: parsing goes through the interner (so repeated or
+// canonically identical expressions parse once), items that collapse
+// onto the same cache key compute once per batch, and distinct keys
+// compute concurrently under the engine's gate, deadline and cache —
+// schema contexts and chase results are shared through the usual
+// per-schema cache. The returned slice is index-aligned with reqs;
+// per-item failures land in their item's Err and never fail the batch.
+func (e *Engine) RewriteBatch(ctx context.Context, reqs []RewriteRequest) []BatchOutcome {
+	ctx, cancel := e.withDeadline(ctx)
+	defer cancel()
+	out := make([]BatchOutcome, len(reqs))
+	parsed := make([]Request, len(reqs))
+	groups := make(map[string][]int) // cache key → item indices
+	var order []string
+	for i, r := range reqs {
+		p, err := e.parseRewriteRequest(r)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		parsed[i] = p
+		recursive := p.Schema != nil && (p.Recursive || p.Schema.IsRecursive())
+		k := cache.Key(p.Query, p.View, p.Schema, recursive)
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	var wg sync.WaitGroup
+	for _, k := range order {
+		indices := groups[k]
+		wg.Add(1)
+		go func(indices []int) {
+			defer wg.Done()
+			lead := indices[0]
+			var res *rewrite.Result
+			var err error
+			func() {
+				// Rewrite isolates pipeline panics itself; this guard
+				// covers the batch plumbing so one bad item cannot take
+				// down the whole process.
+				defer guard.Recover(&err, "engine.batch")
+				res, err = e.Rewrite(ctx, parsed[lead])
+			}()
+			for _, i := range indices {
+				out[i] = BatchOutcome{Result: res, Err: err, Shared: i != lead}
+			}
+		}(indices)
+	}
+	wg.Wait()
+	return out
 }
 
 // Answer is the outcome of answering a query through a view over a
@@ -815,10 +963,30 @@ func (e *Engine) Chase(ctx context.Context, v, q *tpq.Pattern, g *schema.Graph) 
 // exactly one of a completed-entry hit, a leader computation, or a
 // follower wait deduplicated onto an in-flight leader.
 type Stats struct {
-	CacheHits      int64
-	CacheMisses    int64
-	CacheDedups    int64
-	CacheEntries   int
+	CacheHits    int64
+	CacheMisses  int64
+	CacheDedups  int64
+	CacheEntries int
+	// CacheWarmHits counts lookups served by the persistent warm tier
+	// (decoded from disk and promoted, no recompute) — disjoint from
+	// hits, misses and dedups.
+	CacheWarmHits int64
+	// Persistent-tier gauges; all zero for a memory-only engine.
+	WarmEntries   int
+	WarmReplayed  int64
+	Persisted     int64
+	PersistDrops  int64
+	PersistErrors int64
+	SegmentBytes  int64
+	// WarmBootErr is the persistent-tier open failure that disabled the
+	// tier, if any.
+	WarmBootErr string
+	// Interner counters: text hits (no parse), parses, and parses that
+	// collapsed onto a canonically identical shared pattern.
+	InternHits   int64
+	InternMisses int64
+	InternDedups int64
+
 	PlanCacheHits  int64
 	PlanCacheMiss  int64
 	PlanCacheDedup int64
@@ -831,20 +999,36 @@ type Stats struct {
 func (e *Engine) Stats() Stats {
 	hits, misses, dedups := e.cache.Stats()
 	phits, pmisses, pdedups := e.plans.Stats()
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return Stats{
+	ihits, imisses, idedups := e.intern.stats()
+	st := Stats{
 		CacheHits:      hits,
 		CacheMisses:    misses,
 		CacheDedups:    dedups,
 		CacheEntries:   e.cache.Len(),
+		CacheWarmHits:  e.cache.WarmHits(),
+		WarmBootErr:    e.warmErr,
+		InternHits:     ihits,
+		InternMisses:   imisses,
+		InternDedups:   idedups,
 		PlanCacheHits:  phits,
 		PlanCacheMiss:  pmisses,
 		PlanCacheDedup: pdedups,
 		PlanEntries:    e.plans.Len(),
-		SchemaContexts: len(e.schemas),
 		StoredViews:    e.views.Len(),
 	}
+	if p := e.persist; p != nil {
+		ps := p.Stats()
+		st.WarmEntries = ps.Entries
+		st.WarmReplayed = ps.Replayed
+		st.Persisted = ps.Appended
+		st.PersistDrops = ps.Dropped
+		st.PersistErrors = ps.Errors
+		st.SegmentBytes = ps.SegmentBytes
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st.SchemaContexts = len(e.schemas)
+	return st
 }
 
 // MetricsSnapshot returns the full observability document: endpoint and
@@ -856,10 +1040,17 @@ func (e *Engine) MetricsSnapshot() obs.Snapshot {
 	snap := e.metrics.Snapshot()
 	st := e.Stats()
 	snap.Cache = &obs.CacheSnapshot{
-		Hits:    st.CacheHits,
-		Misses:  st.CacheMisses,
-		Dedups:  st.CacheDedups,
-		Entries: st.CacheEntries,
+		Hits:          st.CacheHits,
+		WarmHits:      st.CacheWarmHits,
+		Misses:        st.CacheMisses,
+		Dedups:        st.CacheDedups,
+		Entries:       st.CacheEntries,
+		WarmEntries:   st.WarmEntries,
+		Replayed:      st.WarmReplayed,
+		Persisted:     st.Persisted,
+		PersistDrops:  st.PersistDrops,
+		PersistErrors: st.PersistErrors,
+		SegmentBytes:  st.SegmentBytes,
 	}
 	snap.Engine = map[string]int64{
 		"schemaContexts":  int64(st.SchemaContexts),
@@ -868,6 +1059,9 @@ func (e *Engine) MetricsSnapshot() obs.Snapshot {
 		"planCacheMisses": st.PlanCacheMiss,
 		"planCacheDedups": st.PlanCacheDedup,
 		"planCacheSize":   int64(st.PlanEntries),
+		"internHits":      st.InternHits,
+		"internMisses":    st.InternMisses,
+		"internDedups":    st.InternDedups,
 	}
 	if g := e.cfg.Gate; g != nil {
 		gs := g.Stats()

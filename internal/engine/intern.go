@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"sync"
+
+	"qav/internal/schema"
+	"qav/internal/tpq"
+)
+
+// interner collapses request text to shared parsed forms before any
+// parse-downstream work runs. Two layers:
+//
+//   - by expression text: the exact string seen before is returned
+//     without reparsing;
+//   - by canonical form: syntactically different but canonically
+//     identical patterns ("a[b]/c" vs "a[ b ]/c", predicate order,
+//     whitespace) collapse onto one shared *tpq.Pattern instance, so
+//     the rewrite cache key, the pattern's cached metadata, and the
+//     singleflight leader are all computed once per equivalence class.
+//
+// Sharing parsed patterns across requests is safe: the rewriting
+// pipeline treats inputs as immutable (the patmut analyzer enforces
+// it), and per-pattern caches (labels, canonical text) are built behind
+// atomics. Both maps are bounded by wholesale reset, like the engine's
+// schema-context cache: interning is an optimization, losing it costs a
+// reparse, never correctness.
+type interner struct {
+	mu       sync.Mutex
+	capacity int
+
+	patByExpr    map[string]*tpq.Pattern  // guarded by mu
+	patByCanon   map[string]*tpq.Pattern  // guarded by mu
+	schemaByExpr map[string]*schema.Graph // guarded by mu
+
+	hits        int64 // guarded by mu; expression-text hits (no parse)
+	misses      int64 // guarded by mu; texts that had to be parsed
+	canonDedups int64 // guarded by mu; parses collapsed onto a canonical twin
+}
+
+func newInterner(capacity int) *interner {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &interner{
+		capacity:     capacity,
+		patByExpr:    make(map[string]*tpq.Pattern),
+		patByCanon:   make(map[string]*tpq.Pattern),
+		schemaByExpr: make(map[string]*schema.Graph),
+	}
+}
+
+// pattern parses expr, interned: the same text never parses twice, and
+// canonically identical texts share one pattern instance. Parse errors
+// are returned unwrapped (callers add their field context) and are not
+// negatively cached — the rewrite cache already handles that.
+func (in *interner) pattern(expr string) (*tpq.Pattern, error) {
+	in.mu.Lock()
+	if p := in.patByExpr[expr]; p != nil {
+		in.hits++
+		in.mu.Unlock()
+		return p, nil
+	}
+	in.mu.Unlock()
+	p, err := tpq.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	canon := p.Canonical()
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.misses++
+	if shared := in.patByCanon[canon]; shared != nil {
+		in.canonDedups++
+		p = shared
+	} else {
+		if len(in.patByCanon) >= in.capacity {
+			in.patByCanon = make(map[string]*tpq.Pattern)
+		}
+		in.patByCanon[canon] = p
+	}
+	if len(in.patByExpr) >= in.capacity {
+		in.patByExpr = make(map[string]*tpq.Pattern)
+	}
+	in.patByExpr[expr] = p
+	return p, nil
+}
+
+// schemaGraph parses schema DSL text, interned by exact text. Schema
+// texts repeat verbatim across requests (clients send the same schema
+// with every query), so text identity captures almost all sharing and
+// skips the canonical-form layer.
+func (in *interner) schemaGraph(expr string) (*schema.Graph, error) {
+	in.mu.Lock()
+	if g := in.schemaByExpr[expr]; g != nil {
+		in.hits++
+		in.mu.Unlock()
+		return g, nil
+	}
+	in.mu.Unlock()
+	g, err := schema.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.misses++
+	if cached := in.schemaByExpr[expr]; cached != nil {
+		return cached, nil
+	}
+	if len(in.schemaByExpr) >= in.capacity {
+		in.schemaByExpr = make(map[string]*schema.Graph)
+	}
+	in.schemaByExpr[expr] = g
+	return g, nil
+}
+
+// stats returns the interner's counters: expression-text hits, parses,
+// and parses that collapsed onto a canonical twin.
+func (in *interner) stats() (hits, misses, canonDedups int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits, in.misses, in.canonDedups
+}

@@ -173,3 +173,27 @@ func TestConcurrentAdmissionBound(t *testing.T) {
 		t.Errorf("gate not drained: %+v", s)
 	}
 }
+
+// Regression: RetryAfterSeconds must clamp to at least 1 — a zero or
+// negative RetryAfter would emit "Retry-After: 0" and invite an
+// immediate retry stampede — and must round sub-second delays up, not
+// down to zero.
+func TestRetryAfterSecondsClampsToOne(t *testing.T) {
+	for _, tc := range []struct {
+		in   time.Duration
+		want int
+	}{
+		{0, 1},
+		{-5 * time.Second, 1},
+		{time.Millisecond, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1500 * time.Millisecond, 2},
+		{3 * time.Second, 3},
+	} {
+		e := &SaturatedError{RetryAfter: tc.in}
+		if got := e.RetryAfterSeconds(); got != tc.want {
+			t.Errorf("RetryAfterSeconds(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

@@ -33,6 +33,10 @@ const (
 	// query-side work: the labeling metadata computed once per query and
 	// reused across every surviving candidate view.
 	StageBatchChase = "batch.chase"
+	// StageCacheReplay is the warm-boot replay of the persistent cache
+	// tier: reading the on-disk segment back into the warm tier at
+	// engine construction. Credited once per boot.
+	StageCacheReplay = "cache.replay"
 )
 
 // Fault injection point names. Each constant is passed to
@@ -42,6 +46,7 @@ const (
 const (
 	FaultServerHandler    = "server.handler"
 	FaultCacheFlight      = "cache.singleflight"
+	FaultCachePersist     = "cache.persist"
 	FaultCatalogLookup    = "catalog.lookup"
 	FaultChaseStep        = "chase.step"
 	FaultEngineCompute    = "engine.compute"
@@ -64,7 +69,7 @@ func Stages() []string {
 	return []string{
 		StageParse, StageChase, StageEnumerate, StageBuildCR,
 		StageContain, StagePlanCompile, StagePlanIndex, StagePlanExec,
-		StageCatalogPrune, StageBatchChase,
+		StageCatalogPrune, StageBatchChase, StageCacheReplay,
 	}
 }
 
@@ -72,10 +77,10 @@ func Stages() []string {
 // (matching the order fault.Names reports).
 func FaultPoints() []string {
 	return []string{
-		FaultCacheFlight, FaultCatalogLookup, FaultChaseStep,
-		FaultEngineCompute, FaultPlanExec, FaultRewriteBuildCR,
-		FaultRewriteContain, FaultRewriteEnumerate, FaultRewriteWorker,
-		FaultServerHandler,
+		FaultCachePersist, FaultCacheFlight, FaultCatalogLookup,
+		FaultChaseStep, FaultEngineCompute, FaultPlanExec,
+		FaultRewriteBuildCR, FaultRewriteContain, FaultRewriteEnumerate,
+		FaultRewriteWorker, FaultServerHandler,
 	}
 }
 

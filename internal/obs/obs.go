@@ -57,6 +57,7 @@ const (
 	StagePlanExec
 	StageCatalogPrune
 	StageBatchChase
+	StageCacheReplay
 	// NumStages bounds the Stage enum; keep it last.
 	NumStages
 )
@@ -65,7 +66,7 @@ var stageNames = [NumStages]string{
 	names.StageParse, names.StageChase, names.StageEnumerate,
 	names.StageBuildCR, names.StageContain, names.StagePlanCompile,
 	names.StagePlanIndex, names.StagePlanExec, names.StageCatalogPrune,
-	names.StageBatchChase,
+	names.StageBatchChase, names.StageCacheReplay,
 }
 
 // String returns the stable metric name of the stage, used as the key

@@ -110,14 +110,26 @@ type StageSnapshot struct {
 }
 
 // CacheSnapshot is the /metrics view of the rewrite cache. Hits are
-// completed-entry lookups, Misses leader computations, Dedups follower
-// waits collapsed onto an in-flight leader — the three are disjoint, so
-// hits+misses+dedups equals the number of cache lookups.
+// completed-entry lookups in the in-memory tier, WarmHits lookups
+// served by the persistent warm tier (decoded and promoted, no
+// recompute), Misses leader computations, Dedups follower waits
+// collapsed onto an in-flight leader — the four are disjoint, so
+// hits+warmHits+misses+dedups equals the number of cache lookups. The
+// remaining fields describe the persistent tier: entries replayed at
+// boot, records appended/dropped by the async persister, and persist
+// faults (all zero when no cache directory is configured).
 type CacheSnapshot struct {
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Dedups  int64 `json:"dedups"`
-	Entries int   `json:"entries"`
+	Hits          int64 `json:"hits"`
+	WarmHits      int64 `json:"warmHits,omitempty"`
+	Misses        int64 `json:"misses"`
+	Dedups        int64 `json:"dedups"`
+	Entries       int   `json:"entries"`
+	WarmEntries   int   `json:"warmEntries,omitempty"`
+	Replayed      int64 `json:"replayed,omitempty"`
+	Persisted     int64 `json:"persisted,omitempty"`
+	PersistDrops  int64 `json:"persistDrops,omitempty"`
+	PersistErrors int64 `json:"persistErrors,omitempty"`
+	SegmentBytes  int64 `json:"segmentBytes,omitempty"`
 }
 
 // GateSnapshot is the /metrics view of the admission gate in front of

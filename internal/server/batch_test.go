@@ -1,0 +1,140 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("%s: non-JSON response %q", path, rec.Body.String())
+	}
+	return rec, out
+}
+
+func batchItems(t *testing.T, out map[string]any) []map[string]any {
+	t.Helper()
+	raw, ok := out["items"].([]any)
+	if !ok {
+		t.Fatalf("no items array in %v", out)
+	}
+	items := make([]map[string]any, len(raw))
+	for i, r := range raw {
+		items[i] = r.(map[string]any)
+	}
+	return items
+}
+
+// The batch endpoint returns index-aligned per-item outcomes: successes
+// carry rewrite responses, failures carry their own status and error,
+// and canonical duplicates are marked shared.
+func TestRewriteBatchEndpoint(t *testing.T) {
+	h := New()
+	rec, out := post(t, h, "/v1/rewrite/batch", `{"items":[
+		{"query":"//Trials[//Status][//Phase]//Trial","view":"//Trials//Trial"},
+		{"query":"//Trials[//Status//","view":"//Trials//Trial"},
+		{"query":"//Trials[//Phase][//Status]//Trial","view":"//Trials//Trial"},
+		{"query":"/b/d","view":"/a/b//c"}
+	]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	items := batchItems(t, out)
+	if len(items) != 4 {
+		t.Fatalf("got %d items", len(items))
+	}
+	if items[0]["status"] != float64(200) || items[0]["answerable"] != true {
+		t.Errorf("item 0 = %v, want a 200 answerable rewrite", items[0])
+	}
+	if items[0]["shared"] == true {
+		t.Error("item 0 is the leader, must not be marked shared")
+	}
+	if items[1]["status"] != float64(http.StatusUnprocessableEntity) {
+		t.Errorf("item 1 status = %v, want 422", items[1]["status"])
+	}
+	if msg, _ := items[1]["error"].(string); !strings.Contains(msg, "query") {
+		t.Errorf("item 1 error = %v, want a query parse error", items[1]["error"])
+	}
+	if items[2]["status"] != float64(200) || items[2]["shared"] != true {
+		t.Errorf("item 2 = %v, want a shared 200", items[2])
+	}
+	if items[2]["union"] != items[0]["union"] {
+		t.Errorf("canonical twins disagree: %v vs %v", items[2]["union"], items[0]["union"])
+	}
+	// Item 3 is well-formed but not answerable — still a 200 outcome.
+	if items[3]["status"] != float64(200) || items[3]["answerable"] == true {
+		t.Errorf("item 3 = %v, want a 200 unanswerable rewrite", items[3])
+	}
+}
+
+// Batch validation: empty batches and oversized batches are rejected as
+// a whole with 400.
+func TestRewriteBatchValidation(t *testing.T) {
+	h := New()
+	rec, _ := post(t, h, "/v1/rewrite/batch", `{"items":[]}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty batch status = %d, want 400", rec.Code)
+	}
+	var sb strings.Builder
+	sb.WriteString(`{"items":[`)
+	for i := 0; i <= maxBatchItems; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"query":"//a%d","view":"//a"}`, i)
+	}
+	sb.WriteString(`]}`)
+	rec, _ = post(t, h, "/v1/rewrite/batch", sb.String())
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized batch status = %d, want 400", rec.Code)
+	}
+	rec, _ = post(t, h, "/v1/rewrite/batch", `{"items":[{"query":"//a","view":"//a"}]} trailing`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("trailing-garbage batch status = %d, want 400", rec.Code)
+	}
+}
+
+// Duplicate-heavy batches share computation: the engine counters show
+// one miss per distinct canonical key, not per item.
+func TestRewriteBatchSharesComputation(t *testing.T) {
+	h := New()
+	var sb strings.Builder
+	sb.WriteString(`{"items":[`)
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"query":"//Trials[//Status]//Trial","view":"//Trials//Trial"}`)
+	}
+	sb.WriteString(`]}`)
+	rec, out := post(t, h, "/v1/rewrite/batch", sb.String())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	items := batchItems(t, out)
+	shared := 0
+	for _, it := range items {
+		if it["shared"] == true {
+			shared++
+		}
+	}
+	if shared != 7 {
+		t.Errorf("shared items = %d, want 7 (one leader, seven followers)", shared)
+	}
+	recStats, stats := get(t, h, "/v1/stats")
+	if recStats.Code != http.StatusOK {
+		t.Fatalf("stats status %d", recStats.Code)
+	}
+	if stats["cacheMisses"] != float64(1) {
+		t.Errorf("cacheMisses = %v, want 1 (one computation for eight items)", stats["cacheMisses"])
+	}
+}

@@ -2,7 +2,8 @@
 // service: the mediator component of an integration deployment.
 // Endpoints:
 //
-//	POST /v1/rewrite  {query, view, schema?, recursive?}
+//	POST /v1/rewrite        {query, view, schema?, recursive?}
+//	POST /v1/rewrite/batch  {items: [{query, view, schema?, recursive?}, ...]}
 //	POST /v1/answer   {query, view, document, schema?, backend?}
 //	POST /v1/answer   {query, viewName, backend?}   (stored-view mode)
 //	POST /v1/contain  {p, q, schema?}
@@ -91,6 +92,7 @@ func NewWith(eng *engine.Engine) http.Handler {
 	handle("GET /v1/slowlog", s.handleSlowLog)
 	handle("GET /metrics", s.handleMetrics)
 	handle("POST /v1/rewrite", s.handleRewrite)
+	handle("POST /v1/rewrite/batch", s.handleRewriteBatch)
 	handle("POST /v1/answer", s.handleAnswer)
 	handle("POST /v1/contain", s.handleContain)
 	handle("POST /v1/views", s.handleRegisterView)
@@ -174,9 +176,15 @@ func (s *service) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	writeJSON(w, map[string]int64{
 		"cacheHits":       st.CacheHits,
+		"cacheWarmHits":   st.CacheWarmHits,
 		"cacheMisses":     st.CacheMisses,
 		"cacheDedups":     st.CacheDedups,
 		"cacheEntries":    int64(st.CacheEntries),
+		"warmEntries":     int64(st.WarmEntries),
+		"warmReplayed":    st.WarmReplayed,
+		"persisted":       st.Persisted,
+		"internHits":      st.InternHits,
+		"internDedups":    st.InternDedups,
 		"planCacheHits":   st.PlanCacheHits,
 		"planCacheMisses": st.PlanCacheMiss,
 		"planCacheDedups": st.PlanCacheDedup,
@@ -250,6 +258,70 @@ func buildRewriteResponse(res *rewrite.Result) rewriteResponse {
 		}
 	}
 	return out
+}
+
+// maxBatchItems bounds one batch request; larger workloads paginate.
+const maxBatchItems = 256
+
+type batchRewriteRequest struct {
+	Items []rewriteRequest `json:"items"`
+}
+
+// batchItemResponse is one item's outcome: its own HTTP-style status
+// and either a rewrite response (200) or an error message. Shared marks
+// items that were canonically identical to an earlier item in the same
+// batch and reused its computation.
+type batchItemResponse struct {
+	Status int    `json:"status"`
+	Error  string `json:"error,omitempty"`
+	Shared bool   `json:"shared,omitempty"`
+	rewriteResponse
+}
+
+type batchRewriteResponse struct {
+	Items []batchItemResponse `json:"items"`
+}
+
+// handleRewriteBatch rewrites up to maxBatchItems requests in one call,
+// sharing parse, schema-context and chase work across items hitting the
+// same view+schema (see engine.RewriteBatch). The response is
+// index-aligned with the request items; per-item failures carry their
+// own status and never fail the batch, so the outer status is 200
+// whenever the batch itself was well-formed.
+func (s *service) handleRewriteBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRewriteRequest
+	if err := decode(w, r, &req); err != nil {
+		httpError(w, decodeStatus(err), err)
+		return
+	}
+	if len(req.Items) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("batch must contain at least one item"))
+		return
+	}
+	if len(req.Items) > maxBatchItems {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d items exceeds the limit of %d", len(req.Items), maxBatchItems))
+		return
+	}
+	reqs := make([]engine.RewriteRequest, len(req.Items))
+	for i, it := range req.Items {
+		reqs[i] = engine.RewriteRequest{
+			Query: it.Query, View: it.View, Schema: it.Schema, Recursive: it.Recursive,
+		}
+	}
+	outs := s.eng.RewriteBatch(r.Context(), reqs)
+	resp := batchRewriteResponse{Items: make([]batchItemResponse, len(outs))}
+	for i, o := range outs {
+		item := batchItemResponse{Status: http.StatusOK, Shared: o.Shared}
+		if o.Err != nil {
+			item.Status = statusFor(o.Err)
+			item.Error = o.Err.Error()
+		} else {
+			item.rewriteResponse = buildRewriteResponse(o.Result)
+		}
+		resp.Items[i] = item
+	}
+	writeJSON(w, resp)
 }
 
 type answerRequest struct {

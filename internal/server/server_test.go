@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -440,8 +441,13 @@ func TestSaturationSheds429(t *testing.T) {
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429 (body %v)", rec.Code, out)
 	}
-	if ra := rec.Header().Get("Retry-After"); ra == "" {
+	// The header must parse as a positive integer: Retry-After: 0 would
+	// invite an immediate retry stampede from well-behaved clients.
+	ra := rec.Header().Get("Retry-After")
+	if ra == "" {
 		t.Error("429 without Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want an integer >= 1", ra)
 	}
 	if rec := <-first; rec.Code != http.StatusOK {
 		t.Errorf("admitted request status = %d, want 200", rec.Code)
