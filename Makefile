@@ -2,7 +2,7 @@ GO ?= go
 QAVLINT := $(CURDIR)/bin/qavlint
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint lint-self qavlint fmt fuzz chaos clean
+.PHONY: all build test race lint lint-self qavlint fmt fuzz chaos cluster clean
 
 all: build test lint
 
@@ -43,6 +43,14 @@ chaos:
 	QAV_CHAOS_SEED=$(CHAOS_SEED) QAV_CHAOS_RUNS=$(CHAOS_RUNS) \
 		$(GO) test -race -run '^TestChaos' -v .
 	$(GO) test -race -run '^TestSoakMixedLoadWithFaults$$' .
+
+# cluster runs the multi-replica storms (kill/restart/slow rounds and
+# router-fault plans against engine-backed replicas) plus the router's
+# own unit suite, all under the race detector.
+cluster:
+	QAV_CHAOS_SEED=$(CHAOS_SEED) QAV_CHAOS_RUNS=$(CHAOS_RUNS) \
+		$(GO) test -race -run '^TestCluster' -v .
+	$(GO) test -race ./internal/router
 
 # fuzz smoke-runs every fuzz target for FUZZTIME each.
 fuzz:

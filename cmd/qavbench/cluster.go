@@ -1,0 +1,236 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"qav/internal/engine"
+	"qav/internal/router"
+	"qav/internal/server"
+	"qav/internal/workload"
+)
+
+// The cluster experiment (E17) measures what canonical-affinity
+// routing buys over round-robin on a 3-replica in-process cluster: the
+// same workload (distinct canonical rewrite requests, repeated over
+// several rounds) is driven through internal/router under each policy,
+// and the per-replica rewrite-cache hit rates plus client-side p50/p99
+// tell the story. Under affinity every canonical key has one stable
+// owner, so after the first round the owner serves from cache; under
+// round-robin each key revisits every replica in turn, so each replica
+// recomputes each key before it can hit.
+
+const (
+	clusterReplicas = 3
+	// clusterDistinct is deliberately coprime with clusterReplicas:
+	// were it a multiple, round-robin would assign each key to the
+	// same replica every round and accidentally behave affinely.
+	clusterDistinct = 25 // distinct canonical query/view pairs
+	clusterRounds   = 6  // passes over the distinct set
+)
+
+// clusterWorkload builds the distinct request bodies.
+func clusterWorkload(seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	alphabet := []string{"a", "b", "c"}
+	esc := func(s string) string {
+		b, _ := json.Marshal(s)
+		return string(b)
+	}
+	bodies := make([]string, clusterDistinct)
+	for i := range bodies {
+		q := workload.RandomPattern(rng, alphabet, 5).String()
+		v := workload.RandomPattern(rng, alphabet, 5).String()
+		bodies[i] = `{"query":` + esc(q) + `,"view":` + esc(v) + `}`
+	}
+	return bodies
+}
+
+// clusterReplicaStats is one replica's cache outcome under a policy.
+type clusterReplicaStats struct {
+	Name    string  `json:"name"`
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// clusterPolicyResult is one policy's measured run.
+type clusterPolicyResult struct {
+	Policy      string                `json:"policy"`
+	Requests    int                   `json:"requests"`
+	P50NsPerOp  float64               `json:"p50_ns_per_op"`
+	P99NsPerOp  float64               `json:"p99_ns_per_op"`
+	CacheHits   int64                 `json:"cache_hits"`
+	CacheMisses int64                 `json:"cache_misses"`
+	HitRate     float64               `json:"hit_rate"`
+	Replicas    []clusterReplicaStats `json:"replicas"`
+}
+
+// clusterSummary is the verdict: the two policies side by side and the
+// affinity hit-rate advantage the CI bench-smoke job asserts on.
+type clusterSummary struct {
+	ReplicaCount         int                 `json:"replica_count"`
+	Distinct             int                 `json:"distinct_requests"`
+	Rounds               int                 `json:"rounds"`
+	Affinity             clusterPolicyResult `json:"affinity"`
+	RoundRobin           clusterPolicyResult `json:"roundrobin"`
+	AffinityHitAdvantage float64             `json:"affinity_hit_advantage"`
+}
+
+// clusterRunPolicy boots a fresh 3-replica cluster, drives the
+// workload through the router under the named policy, and reports
+// latency quantiles plus per-replica cache outcomes.
+func clusterRunPolicy(ctx context.Context, policy string, seed int64) (clusterPolicyResult, error) {
+	ht := router.NewHandlerTransport()
+	var engines []*engine.Engine
+	var urls []string
+	for i := 0; i < clusterReplicas; i++ {
+		eng := engine.New(engine.Config{CacheSize: 4 * clusterDistinct, MaxEmbeddings: 1 << 16})
+		engines = append(engines, eng)
+		host := fmt.Sprintf("replica-%d", i)
+		ht.Register(host, server.NewService(eng).Handler())
+		urls = append(urls, "http://"+host)
+	}
+	defer func() {
+		for _, eng := range engines {
+			eng.Close()
+		}
+	}()
+	rt, err := router.New(router.Config{
+		Replicas:      urls,
+		Policy:        policy,
+		Seed:          seed,
+		ProbeInterval: 50 * time.Millisecond,
+		Transport:     ht,
+	})
+	if err != nil {
+		return clusterPolicyResult{}, err
+	}
+	defer rt.Close()
+
+	bodies := clusterWorkload(seed)
+	h := rt.Handler()
+	latencies := make([]time.Duration, 0, clusterRounds*len(bodies))
+	for round := 0; round < clusterRounds; round++ {
+		for i, body := range bodies {
+			if ctx.Err() != nil {
+				return clusterPolicyResult{}, ctx.Err()
+			}
+			req := httptest.NewRequest("POST", "/v1/rewrite", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			start := time.Now()
+			h.ServeHTTP(rec, req)
+			latencies = append(latencies, time.Since(start))
+			if rec.Code != http.StatusOK {
+				return clusterPolicyResult{}, fmt.Errorf("%s round %d request %d: status %d: %s",
+					policy, round, i, rec.Code, rec.Body.String())
+			}
+		}
+	}
+
+	res := clusterPolicyResult{Policy: policy, Requests: len(latencies)}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res.P50NsPerOp = float64(latencies[len(latencies)/2].Nanoseconds())
+	res.P99NsPerOp = float64(latencies[len(latencies)*99/100].Nanoseconds())
+	for i, eng := range engines {
+		st := eng.Stats()
+		hits := st.CacheHits + st.CacheWarmHits
+		rs := clusterReplicaStats{
+			Name:   fmt.Sprintf("replica-%d", i),
+			Hits:   hits,
+			Misses: st.CacheMisses,
+		}
+		if total := rs.Hits + rs.Misses; total > 0 {
+			rs.HitRate = float64(rs.Hits) / float64(total)
+		}
+		res.Replicas = append(res.Replicas, rs)
+		res.CacheHits += rs.Hits
+		res.CacheMisses += rs.Misses
+	}
+	if total := res.CacheHits + res.CacheMisses; total > 0 {
+		res.HitRate = float64(res.CacheHits) / float64(total)
+	}
+	return res, nil
+}
+
+// clusterRun measures both policies on identical fresh clusters.
+func clusterRun(ctx context.Context, seed int64) (clusterSummary, error) {
+	sum := clusterSummary{
+		ReplicaCount: clusterReplicas,
+		Distinct:     clusterDistinct,
+		Rounds:       clusterRounds,
+	}
+	var err error
+	if sum.Affinity, err = clusterRunPolicy(ctx, "affinity", seed); err != nil {
+		return sum, err
+	}
+	if sum.RoundRobin, err = clusterRunPolicy(ctx, "roundrobin", seed); err != nil {
+		return sum, err
+	}
+	sum.AffinityHitAdvantage = sum.Affinity.HitRate - sum.RoundRobin.HitRate
+	return sum, nil
+}
+
+// clusterReport is the `-exp cluster -json` document, archived as
+// BENCH_PR10.json.
+type clusterReport struct {
+	GOOS    string         `json:"goos"`
+	GOARCH  string         `json:"goarch"`
+	NumCPU  int            `json:"num_cpu"`
+	Seed    int64          `json:"seed"`
+	Cluster clusterSummary `json:"cluster"`
+}
+
+// runClusterJSON measures affinity vs round-robin and writes one JSON
+// report to stdout.
+func runClusterJSON(ctx context.Context, seed int64) error {
+	sum, err := clusterRun(ctx, seed)
+	if err != nil {
+		return err
+	}
+	report := clusterReport{
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		NumCPU:  runtime.NumCPU(),
+		Seed:    seed,
+		Cluster: sum,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// E17: affinity vs round-robin routing on a 3-replica cluster.
+func expCluster(ctx context.Context, _ *engine.Engine, seed int64) {
+	sum, err := clusterRun(ctx, seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cluster: %v\n", err)
+		return
+	}
+	w := table("E17 cluster routing: affinity vs round-robin (3 replicas)",
+		"policy", "requests", "p50", "p99", "hits", "misses", "hit rate")
+	for _, res := range []clusterPolicyResult{sum.Affinity, sum.RoundRobin} {
+		fmt.Fprintf(w, "%s\t%d\t%v\t%v\t%d\t%d\t%.1f%%\n",
+			res.Policy, res.Requests,
+			time.Duration(res.P50NsPerOp), time.Duration(res.P99NsPerOp),
+			res.CacheHits, res.CacheMisses, 100*res.HitRate)
+	}
+	w.Flush()
+	for _, res := range []clusterPolicyResult{sum.Affinity, sum.RoundRobin} {
+		parts := make([]string, len(res.Replicas))
+		for i, rs := range res.Replicas {
+			parts[i] = fmt.Sprintf("%s %.0f%%", rs.Name, 100*rs.HitRate)
+		}
+		fmt.Printf("%-10s per-replica hit rates: %s\n", res.Policy, strings.Join(parts, ", "))
+	}
+	fmt.Printf("affinity hit-rate advantage: %+.1f points\n", 100*sum.AffinityHitAdvantage)
+}

@@ -38,7 +38,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiments to run: useemb,mcrsize,inference,chase,schemamcr,savings,overhead,naive,recursive,engines,cache,select,answer,catalog,coldstart or all")
+	expFlag := flag.String("exp", "all", "experiments to run: useemb,mcrsize,inference,chase,schemamcr,savings,overhead,naive,recursive,engines,cache,select,answer,catalog,coldstart,cluster or all")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonFlag := flag.Bool("json", false, "measure the hot kernels and emit one JSON report instead of the experiment tables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -86,6 +86,8 @@ func main() {
 			run = runCatalogJSON
 		case "coldstart":
 			run = runColdstartJSON
+		case "cluster":
+			run = runClusterJSON
 		}
 		if err := run(ctx, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "qavbench: %v\n", err)
@@ -112,8 +114,9 @@ func main() {
 		"answer":    expAnswer,
 		"catalog":   expCatalog,
 		"coldstart": expColdstart,
+		"cluster":   expCluster,
 	}
-	order := []string{"useemb", "mcrsize", "inference", "chase", "schemamcr", "savings", "overhead", "naive", "recursive", "engines", "cache", "select", "answer", "catalog", "coldstart"}
+	order := []string{"useemb", "mcrsize", "inference", "chase", "schemamcr", "savings", "overhead", "naive", "recursive", "engines", "cache", "select", "answer", "catalog", "coldstart", "cluster"}
 
 	selected := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {

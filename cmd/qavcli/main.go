@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	qavcli rewrite -q XPATH -v XPATH [-schema FILE] [-recursive]
+//	qavcli rewrite -q XPATH -v XPATH [-schema FILE] [-recursive] [-server URL [-retries N] [-verbose]]
 //	qavcli answer  -q XPATH -v XPATH -doc FILE [-schema FILE] [-backend B]
 //	qavcli eval    -q XPATH -doc FILE
 //	qavcli contain -p XPATH -q XPATH [-schema FILE]
@@ -112,9 +112,15 @@ func cmdRewrite(ctx context.Context, eng *engine.Engine, args []string) error {
 	schemaFile := fs.String("schema", "", "optional schema file")
 	recursive := fs.Bool("recursive", false, "use the recursive-schema algorithm")
 	explain := fs.Bool("explain", false, "print the embedding derivation of each CR")
+	server := fs.String("server", "", "rewrite via a qavd/qavrouter endpoint (base URL) instead of in-process")
+	retries := fs.Int("retries", 0, "with -server: bounded retries on 429, honoring Retry-After")
+	verbose := fs.Bool("verbose", false, "with -server: print per-attempt status and X-QAV-Replica attribution")
 	fs.Parse(args)
 	if *qExpr == "" || *vExpr == "" {
 		return fmt.Errorf("-q and -v are required")
+	}
+	if *server != "" {
+		return remoteRewrite(ctx, *server, *qExpr, *vExpr, *schemaFile, *recursive, *retries, *verbose)
 	}
 	q, err := qav.ParseQuery(*qExpr)
 	if err != nil {

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+)
+
+// postJSON posts body to url and decodes the JSON response into out.
+// A 429 is retried up to retries times, honoring the server's
+// Retry-After header (capped so a misbehaving server cannot park the
+// CLI); with retries=0 the 429 surfaces immediately, preserving the
+// old behavior. With verbose, each attempt's status and the router's
+// X-QAV-Replica attribution header go to stderr.
+func postJSON(ctx context.Context, url string, body, out any, retries int, verbose bool) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	const maxRetryAfter = 30 * time.Second
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		data, readErr := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		if verbose {
+			replica := resp.Header.Get("X-QAV-Replica")
+			if replica == "" {
+				replica = "-"
+			}
+			fmt.Fprintf(os.Stderr, "qavcli: %s -> %s (replica %s)\n", url, resp.Status, replica)
+		}
+		if readErr != nil {
+			return readErr
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < retries {
+			wait := time.Second
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				wait = time.Duration(secs) * time.Second
+			}
+			if wait > maxRetryAfter {
+				wait = maxRetryAfter
+			}
+			if verbose {
+				fmt.Fprintf(os.Stderr, "qavcli: saturated, retrying in %v (%d/%d)\n", wait, attempt+1, retries)
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(wait):
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			var errBody struct {
+				Error string `json:"error"`
+			}
+			if json.Unmarshal(data, &errBody) == nil && errBody.Error != "" {
+				return fmt.Errorf("server: %s (HTTP %d)", errBody.Error, resp.StatusCode)
+			}
+			return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+		}
+		return json.Unmarshal(data, out)
+	}
+}
+
+// remoteRewrite sends the rewrite to a qavd or qavrouter endpoint and
+// prints the response in the same format as the local path.
+func remoteRewrite(ctx context.Context, server, qExpr, vExpr, schemaFile string, recursive bool, retries int, verbose bool) error {
+	var schemaText string
+	if schemaFile != "" {
+		src, err := os.ReadFile(schemaFile)
+		if err != nil {
+			return err
+		}
+		schemaText = string(src)
+	}
+	reqBody := map[string]any{"query": qExpr, "view": vExpr}
+	if schemaText != "" {
+		reqBody["schema"] = schemaText
+	}
+	if recursive {
+		reqBody["recursive"] = true
+	}
+	var res struct {
+		Answerable bool   `json:"answerable"`
+		Union      string `json:"union"`
+		CRs        []struct {
+			Rewriting    string `json:"rewriting"`
+			Compensation string `json:"compensation"`
+		} `json:"crs"`
+		Partial       bool   `json:"partial"`
+		PartialReason string `json:"partialReason"`
+	}
+	if err := postJSON(ctx, server+"/v1/rewrite", reqBody, &res, retries, verbose); err != nil {
+		return err
+	}
+	if !res.Answerable {
+		if res.Partial {
+			fmt.Printf("PARTIAL (%s): generation stopped before finding any contained rewriting\n", res.PartialReason)
+			return nil
+		}
+		fmt.Println("not answerable: no contained rewriting exists")
+		return nil
+	}
+	if res.Partial {
+		fmt.Printf("PARTIAL (%s): sound but possibly non-maximal rewriting (%d CR(s)):\n", res.PartialReason, len(res.CRs))
+	} else {
+		fmt.Printf("maximal contained rewriting (%d CR(s)):\n", len(res.CRs))
+	}
+	for _, cr := range res.CRs {
+		fmt.Printf("  %-50s compensation: %s\n", cr.Rewriting, cr.Compensation)
+	}
+	return nil
+}

@@ -98,8 +98,9 @@ func main() {
 	// expvar-aware scraper can read it from /debug/vars.
 	obs.Publish("qav", func() any { return eng.MetricsSnapshot() })
 
+	svc := server.NewService(eng)
 	mux := http.NewServeMux()
-	mux.Handle("/", server.NewWith(eng))
+	mux.Handle("/", svc.Handler())
 	// Profiling endpoints are wired explicitly (rather than importing
 	// net/http/pprof for its DefaultServeMux side effect) so they exist
 	// regardless of what the default mux holds.
@@ -131,6 +132,10 @@ func main() {
 		log.Fatal(err)
 	case <-ctx.Done():
 		stop() // a second signal kills immediately
+		// Flip /healthz to 503 before the listener stops accepting: a
+		// router probing health steers new work away while in-flight
+		// requests drain normally.
+		svc.StartDraining()
 		log.Printf("qavd: signal received, draining for up to %v", *drain)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()

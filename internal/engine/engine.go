@@ -245,6 +245,11 @@ func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 // SlowLog returns the engine's slow-query log.
 func (e *Engine) SlowLog() *obs.SlowLog { return e.slow }
 
+// Gate returns the engine's admission gate, or nil when ungated. The
+// health endpoint reads its occupancy for load-aware routing; a nil
+// Gate is a valid no-op receiver for Stats and Acquire.
+func (e *Engine) Gate() *limits.Gate { return e.cfg.Gate }
+
 // withDeadline applies the engine's default timeout when the caller's
 // context has no deadline of its own.
 func (e *Engine) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {

@@ -23,9 +23,9 @@ import (
 // guard package itself cannot be imported).
 var PanicGuard = &Analyzer{
 	Name: "panicguard",
-	Doc: "goroutines in internal/rewrite and internal/server must defer " +
-		"a recovery helper from internal/guard (or a recover-calling " +
-		"function literal) at the top level of their body",
+	Doc: "goroutines in the serving-path packages (panicguardTargets) " +
+		"must defer a recovery helper from internal/guard (or a " +
+		"recover-calling function literal) at the top level of their body",
 	Run: runPanicGuard,
 }
 
@@ -35,6 +35,7 @@ var panicguardTargets = []string{
 	"internal/rewrite",
 	"internal/server",
 	"internal/plan",
+	"internal/router",
 }
 
 func runPanicGuard(pass *Pass) error {

@@ -37,6 +37,22 @@ const (
 	// tier: reading the on-disk segment back into the warm tier at
 	// engine construction. Credited once per boot.
 	StageCacheReplay = "cache.replay"
+	// StageRouterPick is the cluster router's replica selection: one
+	// credit per routed request, covering affinity-key derivation and
+	// the policy's candidate ranking.
+	StageRouterPick = "router.pick"
+	// StageRouterRetry is the router's backoff-and-retry layer: one
+	// credit per retry round slept, with the backoff duration (capped
+	// exponential, seeded jitter, Retry-After aware) as the credit.
+	StageRouterRetry = "router.retry"
+	// StageRouterHedge is the hedged-request layer: one credit per
+	// hedge launched, carrying the delay the hedge waited before
+	// firing (the tracked tail-latency quantile).
+	StageRouterHedge = "router.hedge"
+	// StageRouterBreaker counts circuit-breaker state transitions; the
+	// credit duration is the time spent in the state being left, so
+	// the histogram shows how long replicas stayed open.
+	StageRouterBreaker = "router.breaker"
 )
 
 // Fault injection point names. Each constant is passed to
@@ -55,6 +71,11 @@ const (
 	FaultRewriteBuildCR   = "rewrite.buildcr"
 	FaultRewriteContain   = "rewrite.contain"
 	FaultRewriteWorker    = "rewrite.worker"
+	// Router-side points (internal/router): replica selection, the
+	// active health prober, and the hedged-attempt launcher.
+	FaultRouterPick  = "router.pick"
+	FaultRouterProbe = "router.probe"
+	FaultRouterHedge = "router.hedge"
 )
 
 // Slow-query-log operation labels (obs.SlowEntry.Op).
@@ -70,6 +91,8 @@ func Stages() []string {
 		StageParse, StageChase, StageEnumerate, StageBuildCR,
 		StageContain, StagePlanCompile, StagePlanIndex, StagePlanExec,
 		StageCatalogPrune, StageBatchChase, StageCacheReplay,
+		StageRouterPick, StageRouterRetry, StageRouterHedge,
+		StageRouterBreaker,
 	}
 }
 
@@ -80,7 +103,8 @@ func FaultPoints() []string {
 		FaultCachePersist, FaultCacheFlight, FaultCatalogLookup,
 		FaultChaseStep, FaultEngineCompute, FaultPlanExec,
 		FaultRewriteBuildCR, FaultRewriteContain, FaultRewriteEnumerate,
-		FaultRewriteWorker, FaultServerHandler,
+		FaultRewriteWorker, FaultRouterHedge, FaultRouterPick,
+		FaultRouterProbe, FaultServerHandler,
 	}
 }
 

@@ -43,7 +43,11 @@ import (
 // (structural-join execution and answer union). The multi-view path
 // adds catalog.prune (signature-index candidate selection over the view
 // catalog) and batch.chase (the batched pipeline's shared query-side
-// labeling metadata, computed once and reused per candidate).
+// labeling metadata, computed once and reused per candidate). The
+// cluster router (internal/router) adds router.pick (policy replica
+// selection), router.retry (backoff rounds), router.hedge (hedged
+// attempts launched) and router.breaker (circuit-breaker state
+// transitions).
 type Stage int
 
 const (
@@ -58,6 +62,10 @@ const (
 	StageCatalogPrune
 	StageBatchChase
 	StageCacheReplay
+	StageRouterPick
+	StageRouterRetry
+	StageRouterHedge
+	StageRouterBreaker
 	// NumStages bounds the Stage enum; keep it last.
 	NumStages
 )
@@ -66,7 +74,9 @@ var stageNames = [NumStages]string{
 	names.StageParse, names.StageChase, names.StageEnumerate,
 	names.StageBuildCR, names.StageContain, names.StagePlanCompile,
 	names.StagePlanIndex, names.StagePlanExec, names.StageCatalogPrune,
-	names.StageBatchChase, names.StageCacheReplay,
+	names.StageBatchChase, names.StageCacheReplay, names.StageRouterPick,
+	names.StageRouterRetry, names.StageRouterHedge,
+	names.StageRouterBreaker,
 }
 
 // String returns the stable metric name of the stage, used as the key

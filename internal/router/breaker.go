@@ -1,0 +1,153 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker machine. A
+// replica starts closed (traffic flows); threshold consecutive
+// failures open it (traffic skips it); after a seeded-jitter cooldown
+// it goes half-open and admits exactly one probe, whose outcome either
+// re-closes the breaker or re-opens it with a fresh cooldown.
+type breakerState int32
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case stateClosed:
+		return "closed"
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is one replica's circuit breaker. All transitions happen
+// under mu; the jitter source is the router's seeded generator, so a
+// fixed seed reproduces the exact cooldown schedule.
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	fails     int       // consecutive failures while closed
+	openUntil time.Time // when open → half-open probing may begin
+	probing   bool      // half-open: one probe is already in flight
+	since     time.Time // when the current state was entered
+
+	threshold   int
+	cooldown    time.Duration
+	rng         *rng
+	transitions int64
+	// onTransition observes every state change with the time spent in
+	// the state being left (feeds the router.breaker stage histogram).
+	onTransition func(from, to breakerState, inState time.Duration)
+}
+
+func newBreaker(threshold int, cooldown time.Duration, rng *rng, onTransition func(from, to breakerState, inState time.Duration)) *breaker {
+	return &breaker{
+		state:        stateClosed,
+		since:        time.Now(),
+		threshold:    threshold,
+		cooldown:     cooldown,
+		rng:          rng,
+		onTransition: onTransition,
+	}
+}
+
+// transition moves to state to; callers hold mu.
+func (b *breaker) transition(to breakerState, now time.Time) {
+	from := b.state
+	if from == to {
+		return
+	}
+	inState := now.Sub(b.since)
+	b.state = to
+	b.since = now
+	b.transitions++
+	if b.onTransition != nil {
+		b.onTransition(from, to, inState)
+	}
+}
+
+// Allow reports whether a request may be sent through the breaker. In
+// the open state it also performs the open → half-open transition once
+// the cooldown has elapsed: the caller that gets true there is the
+// probe, and further callers are refused until its outcome arrives via
+// Success or Failure.
+func (b *breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if now.Before(b.openUntil) {
+			return false
+		}
+		b.transition(stateHalfOpen, now)
+		b.probing = true
+		return true
+	case stateHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success records a successful attempt: half-open re-closes, closed
+// resets the consecutive-failure count.
+func (b *breaker) Success(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	if b.state != stateClosed {
+		b.transition(stateClosed, now)
+	}
+}
+
+// Failure records a failed attempt: threshold consecutive failures
+// open a closed breaker; a failed half-open probe re-opens it. The
+// cooldown is jittered (±50% around the configured value) from the
+// seeded generator so a fleet of breakers doesn't probe in lockstep —
+// and so a fixed seed reproduces the schedule exactly.
+func (b *breaker) Failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case stateClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.open(now)
+		}
+	case stateHalfOpen:
+		b.open(now)
+	case stateOpen:
+		// Late failure from an attempt launched before the trip; the
+		// breaker is already open.
+	}
+}
+
+func (b *breaker) open(now time.Time) {
+	b.openUntil = now.Add(b.rng.jitter(b.cooldown))
+	b.transition(stateOpen, now)
+}
+
+// Snapshot returns the state, consecutive failures and transition
+// count for /v1/cluster.
+func (b *breaker) Snapshot() (state breakerState, fails int, transitions int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.fails, b.transitions
+}

@@ -43,6 +43,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"qav/internal/engine"
@@ -74,9 +75,19 @@ func New() http.Handler {
 
 // NewWith returns the service's HTTP handler backed by eng, so a
 // deployment can share one Engine between the HTTP surface and other
-// entry points, or tune its bounds.
+// entry points, or tune its bounds. Deployments that need the drain
+// control (flipping /healthz to 503 before shutdown) use NewService
+// instead.
 func NewWith(eng *engine.Engine) http.Handler {
-	s := &service{eng: eng}
+	return NewService(eng).Handler()
+}
+
+// NewService returns the service backed by eng. The Service exposes
+// the HTTP handler plus the lifecycle surface a clustered deployment
+// needs: StartDraining (health goes 503 before the listener dies) and
+// the Health load report.
+func NewService(eng *engine.Engine) *Service {
+	s := &Service{eng: eng}
 	reg := eng.Metrics()
 	mux := http.NewServeMux()
 	handle := func(pattern string, h http.HandlerFunc) {
@@ -84,10 +95,7 @@ func NewWith(eng *engine.Engine) http.Handler {
 		// cardinality stays bounded no matter what clients send.
 		mux.Handle(pattern, s.instrument(pattern, reg.Endpoint(pattern), h))
 	}
-	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	handle("GET /healthz", s.handleHealth)
 	handle("GET /v1/stats", s.handleStats)
 	handle("GET /v1/slowlog", s.handleSlowLog)
 	handle("GET /metrics", s.handleMetrics)
@@ -97,12 +105,26 @@ func NewWith(eng *engine.Engine) http.Handler {
 	handle("POST /v1/contain", s.handleContain)
 	handle("POST /v1/views", s.handleRegisterView)
 	handle("GET /v1/views", s.handleListViews)
-	return mux
+	s.mux = mux
+	return s
 }
 
-type service struct {
+// Service is the HTTP service with its lifecycle state: the handler
+// mux, the draining bit /healthz reports, and the in-flight request
+// gauge the health payload exposes for least-loaded routing.
+type Service struct {
 	eng *engine.Engine
+	mux *http.ServeMux
+
+	draining atomic.Bool
+	inflight atomic.Int64
 }
+
+// Handler returns the service's HTTP handler.
+func (s *Service) Handler() http.Handler { return s.mux }
+
+// Engine returns the engine backing the service.
+func (s *Service) Engine() *engine.Engine { return s.eng }
 
 // statusWriter remembers the first status code written so the metrics
 // middleware can classify the response.
@@ -130,10 +152,12 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // 500 (when nothing was written yet) plus a slow-log entry carrying the
 // stack, instead of net/http killing the connection and losing the
 // crash site in the server's stderr noise.
-func (s *service) instrument(pattern string, ep *obs.Endpoint, h http.HandlerFunc) http.Handler {
+func (s *Service) instrument(pattern string, ep *obs.Endpoint, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
 		func() {
 			defer func() {
 				v := recover()
@@ -172,7 +196,7 @@ func (s *service) instrument(pattern string, ep *obs.Endpoint, h http.HandlerFun
 	})
 }
 
-func (s *service) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	writeJSON(w, map[string]int64{
 		"cacheHits":       st.CacheHits,
@@ -194,11 +218,11 @@ func (s *service) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.eng.MetricsSnapshot())
 }
 
-func (s *service) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleSlowLog(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.eng.SlowLog().Snapshot())
 }
 
@@ -226,7 +250,7 @@ type rewriteResponse struct {
 	PartialReason string `json:"partialReason,omitempty"`
 }
 
-func (s *service) handleRewrite(w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleRewrite(w http.ResponseWriter, r *http.Request) {
 	var req rewriteRequest
 	if err := decode(w, r, &req); err != nil {
 		httpError(w, decodeStatus(err), err)
@@ -288,7 +312,7 @@ type batchRewriteResponse struct {
 // index-aligned with the request items; per-item failures carry their
 // own status and never fail the batch, so the outer status is 200
 // whenever the batch itself was well-formed.
-func (s *service) handleRewriteBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleRewriteBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRewriteRequest
 	if err := decode(w, r, &req); err != nil {
 		httpError(w, decodeStatus(err), err)
@@ -376,7 +400,7 @@ func buildPlanJSON(pl *plan.Plan, exec *plan.ExecResult) *planJSON {
 	return pj
 }
 
-func (s *service) handleAnswer(w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	var req answerRequest
 	if err := decode(w, r, &req); err != nil {
 		httpError(w, decodeStatus(err), err)
@@ -443,7 +467,7 @@ type registerViewResponse struct {
 // handleRegisterView materializes the view over the document and stores
 // the resulting forest under the given name — the source side of the
 // integration scenario, shipping a view to the mediator.
-func (s *service) handleRegisterView(w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleRegisterView(w http.ResponseWriter, r *http.Request) {
 	var req registerViewRequest
 	if err := decode(w, r, &req); err != nil {
 		httpError(w, decodeStatus(err), err)
@@ -469,7 +493,7 @@ type listViewsResponse struct {
 // handleListViews lists the registered views plus the catalog's
 // statistics. With ?q=<tree pattern> it additionally ranks the
 // signature-index candidates for that query (?k= bounds the list).
-func (s *service) handleListViews(w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleListViews(w http.ResponseWriter, r *http.Request) {
 	resp := listViewsResponse{Views: s.eng.ViewNames(), Stats: s.eng.ViewStats()}
 	if resp.Views == nil {
 		resp.Views = []string{}
@@ -511,7 +535,7 @@ type containResponse struct {
 	QInP bool `json:"qInP"`
 }
 
-func (s *service) handleContain(w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleContain(w http.ResponseWriter, r *http.Request) {
 	var req containRequest
 	if err := decode(w, r, &req); err != nil {
 		httpError(w, decodeStatus(err), err)
@@ -600,6 +624,13 @@ func decodeStatus(err error) int {
 // encoding failure can still become a clean 500 instead of a 200 with
 // half a body and a second JSON object glued on.
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus is writeJSON with an explicit status code, for
+// endpoints (like the draining /healthz) that serve a body alongside a
+// non-200 status.
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
@@ -608,7 +639,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(code)
 	w.Write(buf.Bytes())
 }
 
